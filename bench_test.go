@@ -1,0 +1,346 @@
+package cffs
+
+// One benchmark per reproduced table and figure. Each runs the same
+// experiment code as cmd/cffsbench at a reduced (Quick) scale per
+// iteration and reports the headline simulated-throughput numbers as
+// custom metrics, so `go test -bench=.` regenerates the whole
+// evaluation. bench_output.txt in the repository root records a full
+// run; EXPERIMENTS.md compares the numbers against the paper.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cffs/internal/bench"
+	"cffs/internal/blockio"
+	"cffs/internal/cache"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+	"cffs/internal/workload"
+)
+
+func benchCfg() bench.Config { return bench.Config{Quick: true} }
+
+// runExperiment executes a registered experiment b.N times and returns
+// the final run's tables for metric extraction.
+func runExperiment(b *testing.B, name string) []bench.Table {
+	b.Helper()
+	e, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tables []bench.Table
+	for i := 0; i < b.N; i++ {
+		tables, err = e.Run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+// BenchmarkTable1DiskCharacteristics regenerates Table 1 (the 1996
+// drive characteristics).
+func BenchmarkTable1DiskCharacteristics(b *testing.B) {
+	runExperiment(b, "table1")
+}
+
+// BenchmarkTable2TestbedDisk regenerates Table 2 (the ST31200).
+func BenchmarkTable2TestbedDisk(b *testing.B) {
+	runExperiment(b, "table2")
+}
+
+// BenchmarkFigure2AccessTimeVsSize regenerates Figure 2 (average access
+// time versus request size across the drive catalog).
+func BenchmarkFigure2AccessTimeVsSize(b *testing.B) {
+	runExperiment(b, "fig2")
+}
+
+// gridMetrics pulls per-phase files/s for two variants out of a
+// small-file grid table and reports them as benchmark metrics.
+func gridMetrics(b *testing.B, t bench.Table) {
+	b.Helper()
+	col := map[string]int{}
+	for i, c := range t.Columns {
+		col[c] = i
+	}
+	for _, row := range t.Rows {
+		phase := row[0]
+		if i, ok := col["conventional"]; ok {
+			b.ReportMetric(cell(b, row[i]), phase+"-conv-files/s")
+		}
+		if i, ok := col["C-FFS"]; ok {
+			b.ReportMetric(cell(b, row[i]), phase+"-cffs-files/s")
+		}
+	}
+}
+
+// BenchmarkFigure4SmallFileSync regenerates Figure 4 (the four-phase
+// small-file benchmark with synchronous metadata) and Figure 5 (its
+// disk-request counts).
+func BenchmarkFigure4SmallFileSync(b *testing.B) {
+	tables := runExperiment(b, "smallfile-sync")
+	gridMetrics(b, tables[0])
+}
+
+// BenchmarkFigure5DiskRequests reports the request-count reduction of
+// the synchronous-metadata run (the paper's order-of-magnitude claim).
+func BenchmarkFigure5DiskRequests(b *testing.B) {
+	tables := runExperiment(b, "smallfile-sync")
+	req := tables[1]
+	last := len(req.Columns) - 1
+	for _, row := range req.Rows {
+		b.ReportMetric(cellX(b, row[last]), row[0]+"-request-reduction-x")
+	}
+}
+
+// BenchmarkFigure6SmallFileDelayed regenerates Figure 6 (soft updates
+// emulated via delayed metadata writes).
+func BenchmarkFigure6SmallFileDelayed(b *testing.B) {
+	tables := runExperiment(b, "smallfile-delayed")
+	gridMetrics(b, tables[0])
+}
+
+// BenchmarkFigure7FileSizeSweep regenerates Figure 7 (throughput versus
+// file size, where the small-file advantage tapers).
+func BenchmarkFigure7FileSizeSweep(b *testing.B) {
+	tables := runExperiment(b, "sizesweep")
+	rows := tables[0].Rows
+	b.ReportMetric(cellX(b, rows[0][len(rows[0])-1]), "read-speedup-1KB-x")
+	lastRow := rows[len(rows)-1]
+	b.ReportMetric(cellX(b, lastRow[len(lastRow)-1]), "read-speedup-256KB-x")
+}
+
+// BenchmarkAging regenerates the Section 4.3 aged-file-system results.
+func BenchmarkAging(b *testing.B) {
+	tables := runExperiment(b, "aging")
+	rows := tables[0].Rows
+	b.ReportMetric(cellX(b, rows[0][4]), "read-speedup-fresh-x")
+	b.ReportMetric(cellX(b, rows[len(rows)-1][4]), "read-speedup-aged-x")
+}
+
+// BenchmarkApplications regenerates the Section 4.4 software-development
+// application comparison.
+func BenchmarkApplications(b *testing.B) {
+	tables := runExperiment(b, "apps")
+	t := tables[0]
+	last := len(t.Columns) - 1
+	for _, row := range t.Rows {
+		b.ReportMetric(cellX(b, row[last]), row[0]+"-speedup-x")
+	}
+}
+
+// BenchmarkDirectoryOverhead regenerates the directory-size trade table.
+func BenchmarkDirectoryOverhead(b *testing.B) {
+	tables := runExperiment(b, "dirsize")
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	b.ReportMetric(cell(b, last[1]), "ffs-dir-blocks")
+	b.ReportMetric(cell(b, last[2]), "embed-dir-blocks")
+}
+
+// BenchmarkLargeFile regenerates the large-file bandwidth check.
+func BenchmarkLargeFile(b *testing.B) {
+	tables := runExperiment(b, "largefile")
+	for _, row := range tables[0].Rows {
+		if row[0] == "C-FFS" || row[0] == "conventional" {
+			b.ReportMetric(cell(b, row[2]), row[0]+"-read-MB/s")
+		}
+	}
+}
+
+// BenchmarkSchedulerAblation regenerates the C-LOOK vs FCFS ablation.
+func BenchmarkSchedulerAblation(b *testing.B) {
+	runExperiment(b, "sched")
+}
+
+// BenchmarkCacheSweep regenerates the buffer-cache-size ablation.
+func BenchmarkCacheSweep(b *testing.B) {
+	runExperiment(b, "cache")
+}
+
+// BenchmarkDriveSweep regenerates the drive-generation ablation (the
+// paper's argument that the techniques matter more as bandwidth
+// outgrows access time).
+func BenchmarkDriveSweep(b *testing.B) {
+	tables := runExperiment(b, "drives")
+	for _, row := range tables[0].Rows {
+		b.ReportMetric(cellX(b, row[4]), row[1]+"-read-speedup-x")
+	}
+}
+
+// --- substrate micro-benchmarks (real CPU cost of the simulator) ---
+
+// BenchmarkDiskModelAccess measures the simulator's service-time
+// computation itself.
+func BenchmarkDiskModelAccess(b *testing.B) {
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(rng.Int63n(d.Sectors()-8), 8, i%2 == 0)
+	}
+}
+
+// BenchmarkCacheHit measures the buffer cache's hit path.
+func BenchmarkCacheHit(b *testing.B) {
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := cache.New(blockio.NewDevice(d, sched.CLook{}), 256)
+	buf, err := c.Alloc(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := c.Read(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Release()
+	}
+}
+
+// BenchmarkCFFSCreate measures the end-to-end cost (Go CPU, not
+// simulated time) of a C-FFS create+write in delayed mode.
+func BenchmarkCFFSCreate(b *testing.B) {
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := core.Mkfs(blockio.NewDevice(d, sched.CLook{}), core.Options{
+		EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed, CacheBlocks: 8192,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 1024)
+	// Spread across directories so per-directory scans stay short.
+	nd := b.N/256 + 1
+	dirInos := make([]vfs.Ino, nd)
+	for i := 0; i < nd; i++ {
+		ino, err := fs.Mkdir(fs.Root(), fmt.Sprintf("d%06d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dirInos[i] = ino
+	}
+	names := make([]string, b.N)
+	for i := 0; i < b.N; i++ {
+		names[i] = fmt.Sprintf("f%08d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ino, err := fs.Create(dirInos[i%nd], names[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.WriteAt(ino, data, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// cell parses a numeric table cell for metric reporting.
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+// cellX parses a "N.Nx" ratio cell.
+func cellX(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "x"), 64)
+	if err != nil {
+		b.Fatalf("ratio cell %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkSmallFileWorkload measures the full four-phase benchmark as
+// Go work (simulated metrics come from the figure benchmarks above).
+func BenchmarkSmallFileWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs, err := core.Mkfs(blockio.NewDevice(d, sched.CLook{}), core.Options{
+			EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := workload.RunSmallFile(fs, workload.SmallFileConfig{
+			NumFiles: 1000, Dirs: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res[1].FilesPerSec(), "read-files/s-simulated")
+		}
+	}
+}
+
+// BenchmarkImmediateFiles regenerates the immediate-files extension
+// ablation ([Mullender84]: tiny files living inside their inode — and,
+// with embedding, inside their directory block).
+func BenchmarkImmediateFiles(b *testing.B) {
+	tables := runExperiment(b, "immediate")
+	for _, row := range tables[0].Rows {
+		b.ReportMetric(cell(b, row[2]), row[0]+"-read-files/s")
+	}
+}
+
+// BenchmarkReadahead regenerates the sequential-prefetch extension
+// ablation (the feature the paper's prototype lacked).
+func BenchmarkReadahead(b *testing.B) {
+	tables := runExperiment(b, "readahead")
+	rows := tables[0].Rows
+	b.ReportMetric(cell(b, rows[0][1]), "ra0-MB/s")
+	b.ReportMetric(cell(b, rows[len(rows)-1][1]), "ra16-MB/s")
+}
+
+// BenchmarkPostmark regenerates the PostMark-style steady-state churn
+// comparison.
+func BenchmarkPostmark(b *testing.B) {
+	tables := runExperiment(b, "postmark")
+	for _, row := range tables[0].Rows {
+		if row[0] == "conventional" || row[0] == "C-FFS" {
+			b.ReportMetric(cell(b, row[1]), row[0]+"-tx/s")
+		}
+	}
+}
+
+// BenchmarkSoftUpdates regenerates the isolated metadata-integrity-cost
+// table ([Ganger94]).
+func BenchmarkSoftUpdates(b *testing.B) {
+	tables := runExperiment(b, "softupdates")
+	for _, row := range tables[0].Rows {
+		b.ReportMetric(cellX(b, row[3]), row[0]+"-delayed-vs-sync-x")
+	}
+}
+
+// BenchmarkLFSComparison regenerates the log-structured baseline
+// comparison ([Rosenblum92]): log order versus namespace order.
+func BenchmarkLFSComparison(b *testing.B) {
+	tables := runExperiment(b, "lfs")
+	for _, row := range tables[0].Rows {
+		b.ReportMetric(cell(b, row[3]), row[0]+"-read-bydir-files/s")
+	}
+}

@@ -1,0 +1,75 @@
+// Command cffsbench runs the reproduction experiments and prints the
+// paper's tables and figures as text.
+//
+// Usage:
+//
+//	cffsbench [-exp name] [-drive name] [-sched clook|fcfs] [-files N]
+//	          [-size bytes] [-dirs N] [-cache blocks] [-seed N] [-quick]
+//	cffsbench -list
+//
+// With no -exp, every experiment runs in sequence (the full run takes a
+// few minutes of real time; pass -quick for a fast pass).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cffs/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (default: all)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		drive = flag.String("drive", "", `disk model (default "Seagate ST31200")`)
+		sch   = flag.String("sched", "", `scheduler: "clook" or "fcfs"`)
+		files = flag.Int("files", 0, "small-file benchmark file count (default 10000)")
+		size  = flag.Int("size", 0, "small-file size in bytes (default 1024)")
+		dirs  = flag.Int("dirs", 0, "directories for the small-file benchmark (default 100)")
+		cache = flag.Int("cache", 0, "buffer cache size in 4K blocks (default 2048)")
+		seed  = flag.Uint64("seed", 0, "workload seed (default 42)")
+		quick = flag.Bool("quick", false, "shrink workloads ~10x")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-18s %s\n", e.Name, e.Brief)
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		Drive:       *drive,
+		Scheduler:   *sch,
+		NumFiles:    *files,
+		FileSize:    *size,
+		Dirs:        *dirs,
+		CacheBlocks: *cache,
+		Seed:        *seed,
+		Quick:       *quick,
+	}
+
+	if *exp == "" {
+		if err := bench.RunAll(os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "cffsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, err := bench.ByName(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cffsbench:", err)
+		os.Exit(1)
+	}
+	tables, err := e.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cffsbench:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		t.Render(os.Stdout)
+	}
+}

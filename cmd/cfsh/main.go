@@ -1,0 +1,111 @@
+// Command cfsh is an interactive shell over a file-system image: list,
+// read, write, and reorganize files on a C-FFS or baseline-FFS image
+// without mounting anything. Run `help` inside for the command set.
+//
+// Usage:
+//
+//	cfsh -img disk.img [-drive name] [-c "cmd; cmd; ..."]
+//
+// Without -c it reads commands from stdin (one per line).
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/ffs"
+	"cffs/internal/lfs"
+	"cffs/internal/sched"
+	"cffs/internal/shell"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+)
+
+func main() {
+	var (
+		img    = flag.String("img", "", "image file to open (required)")
+		drive  = flag.String("drive", "Seagate ST31200", "disk model defining the geometry")
+		script = flag.String("c", "", "semicolon-separated commands to run non-interactively")
+	)
+	flag.Parse()
+	if *img == "" {
+		fmt.Fprintln(os.Stderr, "cfsh: -img is required")
+		os.Exit(2)
+	}
+	spec, err := disk.SpecByName(*drive)
+	fatal(err)
+	store, err := disk.OpenFileStore(*img, spec.Geom.Bytes())
+	fatal(err)
+	defer store.Close()
+	d, err := disk.New(spec, sim.NewClock(), store)
+	fatal(err)
+	dev := blockio.NewDevice(d, sched.CLook{})
+
+	var magic [4]byte
+	fatal(store.ReadAt(magic[:], 0))
+	var fs vfs.FileSystem
+	switch binary.LittleEndian.Uint32(magic[:]) {
+	case core.Magic:
+		fs, err = core.Mount(dev, core.Options{Mode: core.ModeDelayed})
+	case ffs.Magic:
+		fs, err = ffs.Mount(dev, ffs.Options{Mode: ffs.ModeDelayed})
+	case lfs.Magic:
+		fs, err = lfs.Mount(dev, lfs.Options{})
+	default:
+		fmt.Fprintln(os.Stderr, "cfsh: unrecognized image; run mkfs first")
+		os.Exit(1)
+	}
+	fatal(err)
+	defer fs.Close()
+
+	sh := shell.New(fs, dev, os.Stdout)
+	if *script != "" {
+		for _, cmd := range strings.Split(*script, ";") {
+			if err := sh.Run(strings.TrimSpace(cmd)); err != nil {
+				if err == io.EOF {
+					return
+				}
+				fmt.Fprintln(os.Stderr, "cfsh:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	interactive := isTerminal()
+	for {
+		if interactive {
+			fmt.Printf("cfsh:%s> ", sh.Cwd())
+		}
+		if !in.Scan() {
+			return
+		}
+		if err := sh.Run(in.Text()); err != nil {
+			if err == io.EOF {
+				return
+			}
+			fmt.Fprintln(os.Stderr, "cfsh:", err)
+		}
+	}
+}
+
+func isTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfsh:", err)
+		os.Exit(1)
+	}
+}

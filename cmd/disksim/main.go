@@ -1,0 +1,74 @@
+// Command disksim explores the simulated disk models: the drive catalog
+// (the paper's Tables 1 and 2), fitted seek curves, and the access-time
+// versus request-size behaviour behind Figure 2.
+//
+// Usage:
+//
+//	disksim                  # catalog summary
+//	disksim -drive name      # one drive in detail + size sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cffs/internal/disk"
+	"cffs/internal/sim"
+)
+
+func main() {
+	drive := flag.String("drive", "", "drive to detail (default: catalog summary)")
+	flag.Parse()
+
+	if *drive == "" {
+		fmt.Printf("%-22s %5s %9s %9s %9s %8s %9s\n",
+			"drive", "year", "cap(GB)", "avg seek", "max seek", "RPM", "MB/s")
+		for _, s := range disk.Catalog() {
+			if err := s.Validate(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-22s %5d %9.2f %7.1fms %7.1fms %8.0f %9.1f\n",
+				s.Name, s.Year, float64(s.Geom.Bytes())/1e9,
+				s.SeekAvg*1e3, s.SeekMax*1e3, s.RPM, s.MediaRate()/1e6)
+		}
+		return
+	}
+
+	spec, err := disk.SpecByName(*drive)
+	fatal(err)
+	d, err := disk.NewMem(spec, sim.NewClock())
+	fatal(err)
+	d.SetCacheEnabled(false)
+	fmt.Printf("%s (%d)\n", spec.Name, spec.Year)
+	fmt.Printf("  capacity       %.2f GB (%d cylinders x %d heads)\n",
+		float64(spec.Geom.Bytes())/1e9, spec.Geom.Cylinders(), spec.Geom.Heads)
+	fmt.Printf("  rotation       %.0f RPM (%.2f ms/rev)\n", spec.RPM, spec.RevTime()*1e3)
+	fmt.Printf("  seek           %.1f / %.1f / %.1f ms (single/avg/max)\n",
+		spec.SeekSingle*1e3, spec.SeekAvg*1e3, spec.SeekMax*1e3)
+	fmt.Printf("  media rate     %.1f MB/s mean (%.0f sectors/track mean)\n",
+		spec.MediaRate()/1e6, spec.Geom.MeanSPT())
+	fmt.Printf("  bus rate       %.1f MB/s\n", spec.BusRate/1e6)
+
+	fmt.Println("\n  random-read access time vs request size:")
+	fmt.Printf("  %10s %12s %12s\n", "size", "mean access", "bandwidth")
+	rng := sim.NewRNG(7)
+	for _, kb := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+		nsect := kb * 1024 / disk.SectorSize
+		const trials = 500
+		var total int64
+		for i := 0; i < trials; i++ {
+			lba := rng.Int63n(d.Sectors() - int64(nsect))
+			total += d.Access(lba, nsect, false)
+		}
+		mean := float64(total) / trials
+		fmt.Printf("  %8d K %10.2fms %9.2fMB/s\n", kb, mean/1e6, float64(kb*1024)/(mean/1e9)/1e6)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disksim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+// Command fsck checks a file system image for consistency, sniffing the
+// superblock to pick the right checker, and optionally repairs the
+// allocation state from the namespace walk.
+//
+// Usage:
+//
+//	fsck -img disk.img [-drive name] [-repair] [-v]
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/ffs"
+	"cffs/internal/fsck"
+	"cffs/internal/lfs"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+)
+
+func main() {
+	var (
+		img     = flag.String("img", "", "image file to check (required)")
+		drive   = flag.String("drive", "Seagate ST31200", "disk model defining the geometry")
+		repair  = flag.Bool("repair", false, "rewrite bitmaps/descriptors from the walk")
+		verbose = flag.Bool("v", false, "print every problem found")
+	)
+	flag.Parse()
+	if *img == "" {
+		fmt.Fprintln(os.Stderr, "fsck: -img is required")
+		os.Exit(2)
+	}
+	spec, err := disk.SpecByName(*drive)
+	fatal(err)
+	store, err := disk.OpenFileStore(*img, spec.Geom.Bytes())
+	fatal(err)
+	defer store.Close()
+	d, err := disk.New(spec, sim.NewClock(), store)
+	fatal(err)
+	dev := blockio.NewDevice(d, sched.CLook{})
+
+	var magic [4]byte
+	fatal(store.ReadAt(magic[:], 0))
+	var rep *fsck.Report
+	switch binary.LittleEndian.Uint32(magic[:]) {
+	case core.Magic:
+		rep, err = core.Check(dev, *repair)
+	case ffs.Magic:
+		rep, err = ffs.Check(dev, *repair)
+	case lfs.Magic:
+		rep, err = lfs.Check(dev, *repair)
+	default:
+		fmt.Fprintf(os.Stderr, "fsck: %s: unrecognized superblock magic %#x\n",
+			*img, binary.LittleEndian.Uint32(magic[:]))
+		os.Exit(1)
+	}
+	fatal(err)
+	fmt.Println(rep.Summary())
+	if *verbose {
+		for _, p := range rep.Problems {
+			fmt.Println("  ", p)
+		}
+	}
+	if !rep.Clean() && rep.RepairsMade == 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsck:", err)
+		os.Exit(1)
+	}
+}

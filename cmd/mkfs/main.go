@@ -1,0 +1,84 @@
+// Command mkfs builds a C-FFS or baseline-FFS image in a file. The
+// image is sized to the chosen drive model so the same file works with
+// fsck, agefs, and any program mounting it.
+//
+// Usage:
+//
+//	mkfs -img disk.img [-drive name] [-fs cffs|ffs] [-embed=true]
+//	     [-group=true] [-mode sync|delayed]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/ffs"
+	"cffs/internal/lfs"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+)
+
+func main() {
+	var (
+		img    = flag.String("img", "", "image file to create (required)")
+		drive  = flag.String("drive", "Seagate ST31200", "disk model defining the geometry")
+		fsKind = flag.String("fs", "cffs", `file system: "cffs", "ffs", or "lfs"`)
+		embed  = flag.Bool("embed", true, "cffs: embed inodes in directories")
+		group  = flag.Bool("group", true, "cffs: explicit grouping of small files")
+		mode   = flag.String("mode", "sync", `metadata integrity: "sync" or "delayed"`)
+	)
+	flag.Parse()
+	if *img == "" {
+		fmt.Fprintln(os.Stderr, "mkfs: -img is required")
+		os.Exit(2)
+	}
+	spec, err := disk.SpecByName(*drive)
+	fatal(err)
+	store, err := disk.OpenFileStore(*img, spec.Geom.Bytes())
+	fatal(err)
+	d, err := disk.New(spec, sim.NewClock(), store)
+	fatal(err)
+	dev := blockio.NewDevice(d, sched.CLook{})
+
+	switch *fsKind {
+	case "cffs":
+		m := core.ModeSync
+		if *mode == "delayed" {
+			m = core.ModeDelayed
+		}
+		fs, err := core.Mkfs(dev, core.Options{EmbedInodes: *embed, Grouping: *group, Mode: m})
+		fatal(err)
+		fatal(fs.Close())
+		fmt.Printf("mkfs: C-FFS (%s) on %s: %d blocks\n",
+			core.Options{EmbedInodes: *embed, Grouping: *group}.Config(), *img, dev.Blocks())
+	case "ffs":
+		m := ffs.ModeSync
+		if *mode == "delayed" {
+			m = ffs.ModeDelayed
+		}
+		fs, err := ffs.Mkfs(dev, ffs.Options{Mode: m})
+		fatal(err)
+		fatal(fs.Close())
+		fmt.Printf("mkfs: FFS on %s: %d blocks\n", *img, dev.Blocks())
+	case "lfs":
+		fs, err := lfs.Mkfs(dev, lfs.Options{})
+		fatal(err)
+		fatal(fs.Close())
+		fmt.Printf("mkfs: LFS on %s: %d blocks\n", *img, dev.Blocks())
+	default:
+		fmt.Fprintf(os.Stderr, "mkfs: unknown fs %q\n", *fsKind)
+		os.Exit(2)
+	}
+	fatal(store.Close())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mkfs:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,17 @@
+// Package cffs is a reproduction of "Embedded Inodes and Explicit
+// Grouping: Exploiting Disk Bandwidth for Small Files" (Ganger &
+// Kaashoek, USENIX 1997).
+//
+// The implementation lives under internal/: a detailed simulated disk
+// (internal/disk), a C-LOOK block driver (internal/sched,
+// internal/blockio), a dual-indexed buffer cache (internal/cache), the
+// C-FFS file system with embedded inodes and explicit grouping
+// (internal/core), an independent FFS baseline (internal/ffs), offline
+// checkers (internal/fsck), and the paper's workloads and experiment
+// harness (internal/workload, internal/aging, internal/bench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced tables and figures. The benchmarks
+// in bench_test.go regenerate every table and figure; cmd/cffsbench is
+// the command-line front end for the same experiments.
+package cffs

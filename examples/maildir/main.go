@@ -1,0 +1,120 @@
+// Maildir: a mail-server-shaped workload — one of the small-file-bound
+// server applications the paper's introduction motivates (alongside web
+// servers and software development). Messages of 1-6 KB are delivered
+// into per-user mailbox directories, then a "pop session" scans each
+// mailbox and reads every message.
+//
+// With embedded inodes the scan gets all message inodes with the
+// directory; with explicit grouping a mailbox's messages arrive in a
+// few 64 KB reads instead of one random access per message.
+//
+// Run with: go run ./examples/maildir
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+)
+
+const (
+	users           = 25
+	messagesPerUser = 40
+)
+
+func main() {
+	fmt.Printf("mail server: %d mailboxes x %d messages\n\n", users, messagesPerUser)
+	fmt.Printf("%-14s %14s %14s %16s\n", "config", "deliver (s)", "pop scan (s)", "disk requests")
+	for _, cfg := range []struct {
+		name         string
+		embed, group bool
+	}{
+		{"conventional", false, false},
+		{"embedded", true, false},
+		{"grouping", false, true},
+		{"C-FFS", true, true},
+	} {
+		d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev := blockio.NewDevice(d, sched.CLook{})
+		fs, err := core.Mkfs(dev, core.Options{
+			EmbedInodes: cfg.embed, Grouping: cfg.group, Mode: core.ModeSync,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := sim.NewRNG(99)
+		clk := d.Clock()
+
+		// Delivery: every message is an atomic create+write+sync, like a
+		// real MTA (synchronous metadata matters here).
+		spool, err := vfs.MkdirAll(fs, "/var/mail")
+		if err != nil {
+			log.Fatal(err)
+		}
+		boxes := make([]vfs.Ino, users)
+		for u := range boxes {
+			if boxes[u], err = fs.Mkdir(spool, fmt.Sprintf("user%03d", u)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		start := clk.Now()
+		for m := 0; m < messagesPerUser; m++ {
+			for u := 0; u < users; u++ {
+				ino, err := fs.Create(boxes[u], fmt.Sprintf("msg%05d", m))
+				if err != nil {
+					log.Fatal(err)
+				}
+				body := make([]byte, 1024+rng.Intn(5*1024))
+				if _, err := fs.WriteAt(ino, body, 0); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if err := fs.Sync(); err != nil {
+			log.Fatal(err)
+		}
+		deliver := float64(clk.Now()-start) / 1e9
+
+		// Pop sessions on a cold cache: scan each mailbox, read all mail.
+		if err := fs.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		s0 := d.Stats()
+		start = clk.Now()
+		var got int
+		for u := 0; u < users; u++ {
+			ents, err := fs.ReadDir(boxes[u])
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, e := range ents {
+				st, err := fs.Stat(e.Ino)
+				if err != nil {
+					log.Fatal(err)
+				}
+				buf := make([]byte, st.Size)
+				if _, err := fs.ReadAt(e.Ino, buf, 0); err != nil {
+					log.Fatal(err)
+				}
+				got++
+			}
+		}
+		if got != users*messagesPerUser {
+			log.Fatalf("pop read %d messages, want %d", got, users*messagesPerUser)
+		}
+		scan := float64(clk.Now()-start) / 1e9
+		reqs := d.Stats().Sub(s0).Requests
+		fmt.Printf("%-14s %13.2fs %13.2fs %16d\n", cfg.name, deliver, scan, reqs)
+	}
+	fmt.Println("\ndelivery is bounded by ordered metadata writes (embedding halves them);")
+	fmt.Println("the scan is bounded by per-message disk requests (grouping batches them)")
+}

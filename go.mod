@@ -1,0 +1,3 @@
+module cffs
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package aging implements the file-system aging program of the paper's
+// Section 4.3, modeled on [Herrin93]: a long stream of file creations
+// and deletions in which the probability that the next operation is a
+// creation is drawn from a distribution centered on a desired
+// utilization. Aged images fragment the free space, which is exactly
+// what degrades explicit grouping — the effect the aging experiment
+// quantifies.
+package aging
+
+import (
+	"fmt"
+
+	"cffs/internal/blockio"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+)
+
+// Config parameterizes an aging run.
+type Config struct {
+	Ops        int     // create/delete operations to perform, default 20000
+	TargetUtil float64 // desired fraction of data blocks in use, default 0.5
+	Dirs       int     // directories the churn spreads over, default 50
+	MeanSize   int     // mean file size in bytes, default 4096
+	Seed       uint64
+}
+
+func (c *Config) fill() error {
+	if c.Ops == 0 {
+		c.Ops = 20000
+	}
+	if c.TargetUtil == 0 {
+		c.TargetUtil = 0.5
+	}
+	if c.TargetUtil < 0.05 || c.TargetUtil > 0.95 {
+		return fmt.Errorf("aging: target utilization %.2f outside [0.05,0.95]", c.TargetUtil)
+	}
+	if c.Dirs == 0 {
+		c.Dirs = 50
+	}
+	if c.MeanSize == 0 {
+		c.MeanSize = 4096
+	}
+	return nil
+}
+
+// freeCounter lets the ager read true utilization; both file systems
+// implement it.
+type freeCounter interface {
+	FreeBlocks() (int64, error)
+	Device() *blockio.Device
+}
+
+// Stats reports what an aging run did.
+type Stats struct {
+	Creates   int
+	Deletes   int
+	FinalUtil float64
+	LiveFiles int
+}
+
+// Age runs the churn under /aged on the given file system. It leaves
+// the surviving files in place (they are the aged state) and returns
+// run statistics.
+func Age(fs vfs.FileSystem, cfg Config) (Stats, error) {
+	var st Stats
+	if err := cfg.fill(); err != nil {
+		return st, err
+	}
+	fc, ok := fs.(freeCounter)
+	if !ok {
+		return st, fmt.Errorf("aging: file system does not expose free-block counts")
+	}
+	totalBlocks := fc.Device().Blocks()
+
+	rng := sim.NewRNG(cfg.Seed + 0xa9e)
+	root, err := vfs.MkdirAll(fs, "/aged")
+	if err != nil {
+		return st, err
+	}
+	dirs := make([]vfs.Ino, cfg.Dirs)
+	for i := range dirs {
+		d, err := fs.Mkdir(root, fmt.Sprintf("a%03d", i))
+		if err != nil {
+			return st, err
+		}
+		dirs[i] = d
+	}
+
+	type liveFile struct {
+		dir  vfs.Ino
+		name string
+	}
+	var live []liveFile
+	seq := 0
+
+	utilization := func() (float64, error) {
+		free, err := fc.FreeBlocks()
+		if err != nil {
+			return 0, err
+		}
+		return 1 - float64(free)/float64(totalBlocks), nil
+	}
+
+	util, err := utilization()
+	if err != nil {
+		return st, err
+	}
+	for op := 0; op < cfg.Ops; op++ {
+		// Re-reading true utilization every operation would dominate the
+		// run; the controller tracks it at a coarser grain.
+		if op%16 == 15 {
+			util, err = utilization()
+			if err != nil {
+				return st, err
+			}
+		}
+		// Probability of create falls linearly through the target:
+		// far below target -> almost always create; far above ->
+		// almost always delete.
+		pCreate := 0.5 + 2*(cfg.TargetUtil-util)
+		if pCreate > 0.98 {
+			pCreate = 0.98
+		}
+		if pCreate < 0.02 {
+			pCreate = 0.02
+		}
+		if len(live) == 0 || rng.Float64() < pCreate {
+			size := 512 + rng.Intn(2*cfg.MeanSize-512)
+			dir := dirs[rng.Intn(len(dirs))]
+			name := fmt.Sprintf("g%07d", seq)
+			seq++
+			ino, err := fs.Create(dir, name)
+			if err != nil {
+				return st, fmt.Errorf("aging create %s: %w", name, err)
+			}
+			if _, err := fs.WriteAt(ino, make([]byte, size), 0); err != nil {
+				return st, err
+			}
+			live = append(live, liveFile{dir, name})
+			st.Creates++
+		} else {
+			pick := rng.Intn(len(live))
+			f := live[pick]
+			live[pick] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := fs.Unlink(f.dir, f.name); err != nil {
+				return st, fmt.Errorf("aging delete %s: %w", f.name, err)
+			}
+			st.Deletes++
+		}
+		// Periodic sync, like an update daemon, so the churn actually
+		// exercises on-disk allocation rather than pure cache state.
+		if op%500 == 499 {
+			if err := fs.Sync(); err != nil {
+				return st, err
+			}
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return st, err
+	}
+	st.LiveFiles = len(live)
+	st.FinalUtil, err = utilization()
+	return st, err
+}

@@ -1,0 +1,87 @@
+package aging
+
+import (
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+)
+
+func newFS(t *testing.T) *core.FS {
+	t.Helper()
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := core.Mkfs(blockio.NewDevice(d, sched.CLook{}), core.Options{
+		EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestAgeReachesTargetUtilization(t *testing.T) {
+	fs := newFS(t)
+	st, err := Age(fs, Config{Ops: 4000, TargetUtil: 0.15, Dirs: 10, MeanSize: 65536, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Creates == 0 || st.Deletes == 0 {
+		t.Fatalf("aging did not churn: %+v", st)
+	}
+	if st.FinalUtil < 0.10 || st.FinalUtil > 0.20 {
+		t.Fatalf("final utilization %.2f, target 0.15", st.FinalUtil)
+	}
+	if st.LiveFiles == 0 {
+		t.Fatal("no live files after aging")
+	}
+}
+
+func TestAgedImageIsConsistent(t *testing.T) {
+	fs := newFS(t)
+	if _, err := Age(fs, Config{Ops: 1500, TargetUtil: 0.15, Dirs: 6, MeanSize: 16384, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		max := len(rep.Problems)
+		if max > 5 {
+			max = 5
+		}
+		t.Fatalf("aged image not consistent: %v", rep.Problems[:max])
+	}
+}
+
+func TestAgeDeterministic(t *testing.T) {
+	a := newFS(t)
+	b := newFS(t)
+	sa, err := Age(a, Config{Ops: 800, TargetUtil: 0.10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Age(b, Config{Ops: 800, TargetUtil: 0.10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa != sb {
+		t.Fatalf("same seed produced different aging: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestAgeValidation(t *testing.T) {
+	fs := newFS(t)
+	if _, err := Age(fs, Config{TargetUtil: 0.99}); err == nil {
+		t.Fatal("absurd target utilization accepted")
+	}
+}

@@ -1,0 +1,403 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cffs/internal/core"
+	"cffs/internal/workload"
+)
+
+// The tests in this file are the reproduction assertions: they run the
+// experiments at Quick scale and check the paper's qualitative claims —
+// who wins, by roughly what factor, and where the effect comes from.
+
+func quick() Config { return Config{Quick: true} }
+
+// runGridPhases runs the small-file grid and indexes results by
+// variant and phase for assertions.
+func runGridPhases(t *testing.T, mode core.Mode) map[string]map[string]workload.PhaseResult {
+	t.Helper()
+	cfg := quick().fill()
+	out := make(map[string]map[string]workload.PhaseResult)
+	for _, v := range grid() {
+		fs, _, err := v.Build(cfg, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := workload.RunSmallFile(fs, workload.SmallFileConfig{
+			NumFiles: cfg.NumFiles, FileSize: cfg.FileSize, Dirs: cfg.Dirs, Seed: cfg.Seed,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		out[v.Name] = make(map[string]workload.PhaseResult)
+		for _, r := range res {
+			out[v.Name][r.Name] = r
+		}
+	}
+	return out
+}
+
+// Paper claim (abstract): embedded inodes and explicit grouping increase
+// small-file throughput for both reads and writes by a large factor
+// (5-7x on the authors' testbed) relative to the same file system
+// without the techniques.
+func TestPaperClaimSmallFileSpeedup(t *testing.T) {
+	r := runGridPhases(t, core.ModeDelayed)
+	read := r["C-FFS"]["read"].FilesPerSec() / r["conventional"]["read"].FilesPerSec()
+	if read < 3.5 {
+		t.Errorf("read speedup %.1fx, paper shape needs >= 3.5x", read)
+	}
+	over := r["C-FFS"]["overwrite"].FilesPerSec() / r["conventional"]["overwrite"].FilesPerSec()
+	if over < 3 {
+		t.Errorf("overwrite speedup %.1fx, paper shape needs >= 3x", over)
+	}
+	create := r["C-FFS"]["create"].FilesPerSec() / r["conventional"]["create"].FilesPerSec()
+	if create < 2 {
+		t.Errorf("create speedup %.1fx, paper shape needs >= 2x", create)
+	}
+}
+
+// Paper claim (abstract): the improvement comes directly from reducing
+// the number of disk requests by an order of magnitude.
+func TestPaperClaimRequestReduction(t *testing.T) {
+	r := runGridPhases(t, core.ModeDelayed)
+	for _, phase := range []string{"create", "read", "overwrite"} {
+		conv := r["conventional"][phase].Disk.Requests
+		cffs := r["C-FFS"][phase].Disk.Requests
+		if ratio := float64(conv) / float64(cffs); ratio < 5 {
+			t.Errorf("%s: request reduction %.1fx, want >= 5x", phase, ratio)
+		}
+	}
+}
+
+// Paper claim (Section 4.2): embedded inodes alone raise delete
+// throughput ~250% under synchronous metadata, by halving the ordered
+// writes and repeatedly rewriting the same directory block.
+func TestPaperClaimEmbeddedDeleteSpeedup(t *testing.T) {
+	r := runGridPhases(t, core.ModeSync)
+	// The paper reports ~2.5x; our conventional baseline keeps inodes
+	// closer to their directories than 1997 FFS did, so the structural
+	// gap (two ordered writes vs one) dominates and lands near 2x.
+	del := r["embedded"]["delete"].FilesPerSec() / r["conventional"]["delete"].FilesPerSec()
+	if del < 1.6 {
+		t.Errorf("embedded-only delete speedup %.1fx, want >= 1.6x", del)
+	}
+	// And creation benefits too (one ordered write instead of two).
+	cr := r["embedded"]["create"].FilesPerSec() / r["conventional"]["create"].FilesPerSec()
+	if cr < 1.3 {
+		t.Errorf("embedded-only create speedup %.1fx, want >= 1.3x", cr)
+	}
+}
+
+// The decomposition must match the paper: grouping is what accelerates
+// reads; embedding barely affects them (inode access is amortized), and
+// vice versa for sync-mode deletes.
+func TestTechniqueDecomposition(t *testing.T) {
+	r := runGridPhases(t, core.ModeDelayed)
+	groupRead := r["grouping"]["read"].FilesPerSec()
+	embedRead := r["embedded"]["read"].FilesPerSec()
+	convRead := r["conventional"]["read"].FilesPerSec()
+	if groupRead < 2.5*convRead {
+		t.Errorf("grouping-only read %.0f vs conventional %.0f; grouping should carry the read win", groupRead, convRead)
+	}
+	if embedRead > 2*convRead {
+		t.Errorf("embedded-only read %.0f vs conventional %.0f; embedding should not dominate reads", embedRead, convRead)
+	}
+}
+
+// The independent FFS baseline must behave like a conventional file
+// system: far below C-FFS on reads, in the same league as the
+// conventional core configuration.
+func TestIndependentBaselineAgrees(t *testing.T) {
+	r := runGridPhases(t, core.ModeDelayed)
+	ffsRead := r["FFS"]["read"].FilesPerSec()
+	cffsRead := r["C-FFS"]["read"].FilesPerSec()
+	convRead := r["conventional"]["read"].FilesPerSec()
+	if cffsRead < 2.5*ffsRead {
+		t.Errorf("C-FFS read %.0f vs independent FFS %.0f; want >= 2.5x", cffsRead, ffsRead)
+	}
+	if ffsRead > 3*convRead || convRead > 3*ffsRead {
+		t.Errorf("two conventional implementations diverge: core %.0f vs ffs %.0f", convRead, ffsRead)
+	}
+}
+
+// Figure 2's shape: per-request costs dominate small transfers, so MB/s
+// rises steeply with request size.
+func TestFigure2Shape(t *testing.T) {
+	tables, err := Figure2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	first := cellFloat(t, rows[0][1])          // 1 KB mean ms on C3653
+	last := cellFloat(t, rows[len(rows)-1][1]) // 1 MB mean ms
+	if last < 4*first {
+		t.Errorf("1MB access %.2fms vs 1KB %.2fms; transfer time should dominate large requests", last, first)
+	}
+	if first > 30 {
+		t.Errorf("1KB random access %.2fms implausible", first)
+	}
+}
+
+// Large files must see no meaningful penalty from grouping.
+func TestLargeFileUnchanged(t *testing.T) {
+	tables, err := LargeFile(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conv, cffs float64
+	for _, row := range tables[0].Rows {
+		switch row[0] {
+		case "conventional":
+			conv = cellFloat(t, row[2])
+		case "C-FFS":
+			cffs = cellFloat(t, row[2])
+		}
+	}
+	if cffs < conv*0.7 {
+		t.Errorf("C-FFS large-file read %.2f MB/s vs conventional %.2f; grouping must not hurt large files", cffs, conv)
+	}
+}
+
+// Applications: C-FFS must win on every small-file-bound workload; the
+// paper reports 10-300%.
+func TestApplicationsSpeedup(t *testing.T) {
+	tables, err := Apps(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	speedupCol := len(tb.Columns) - 1
+	for _, row := range tb.Rows {
+		app := row[0]
+		sp := cellFloat(t, strings.TrimSuffix(row[speedupCol], "x"))
+		// Delete-heavy workloads under delayed metadata are cache-bound
+		// and roughly tie; everything else must win outright.
+		floor := 1.0
+		if app == "clean" || app == "remove" {
+			floor = 0.85
+		}
+		if sp < floor {
+			t.Errorf("%s: C-FFS speedup %.2fx below floor %.2fx", app, sp, floor)
+		}
+	}
+}
+
+// Directory overhead: the paper's acknowledged cost — embedded inodes
+// grow directories — and benefit — attribute scans need no extra I/O.
+func TestDirSizeTradeoff(t *testing.T) {
+	tables, err := DirSize(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	convBlocks := cellFloat(t, last[1])
+	embedBlocks := cellFloat(t, last[2])
+	if embedBlocks <= convBlocks {
+		t.Error("embedded directories should be larger than conventional ones")
+	}
+	// Scans of very large flat directories pay for the extra blocks, but
+	// the cost must stay bounded (the paper's trade: a few extra
+	// sequential blocks, not extra random requests).
+	convScan := cellFloat(t, last[3])
+	embedScan := cellFloat(t, last[4])
+	if embedScan > 3*convScan {
+		t.Errorf("cold scan of a big flat dir: embedded %.1fms vs FFS %.1fms; cost should stay bounded", embedScan, convScan)
+	}
+}
+
+// The scheduler matters: C-LOOK must beat FCFS for the conventional
+// system's scattered access patterns.
+func TestSchedulerAblation(t *testing.T) {
+	tables, err := SchedulerAblation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clookConv, fcfsConv float64
+	for _, row := range tables[0].Rows {
+		if row[0] == "conventional" {
+			v := cellFloat(t, row[3]) // read phase
+			if row[1] == "clook" {
+				clookConv = v
+			} else {
+				fcfsConv = v
+			}
+		}
+	}
+	if clookConv < fcfsConv {
+		t.Errorf("conventional read with C-LOOK %.0f < FCFS %.0f", clookConv, fcfsConv)
+	}
+}
+
+// Aging shrinks but does not erase the C-FFS advantage.
+func TestAgingShape(t *testing.T) {
+	tables, err := AgingExp(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	firstSpeedup := cellFloat(t, strings.TrimSuffix(rows[0][4], "x"))
+	lastSpeedup := cellFloat(t, strings.TrimSuffix(rows[len(rows)-1][4], "x"))
+	if firstSpeedup < 2 {
+		t.Errorf("fresh-ish C-FFS read speedup %.1fx, want >= 2x", firstSpeedup)
+	}
+	if lastSpeedup < 1.0 {
+		t.Errorf("aged C-FFS read speedup %.1fx; should not fall below conventional", lastSpeedup)
+	}
+}
+
+// All experiments in the registry must run to completion at Quick scale
+// and render valid tables.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run is slow")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, quick()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Every experiment emits at least one table header; count them.
+	if got := strings.Count(out, "== "); got < len(Experiments()) {
+		t.Errorf("only %d tables rendered for %d experiments", got, len(Experiments()))
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "+Inf") {
+		t.Error("experiment output contains NaN/Inf")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("apps"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{ID: "x", Title: "T", Columns: []string{"a", "bb"}, Notes: []string{"n"}}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: T ==", "a  bb", "1  2", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "x"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+// Extension shapes: immediate files make tiny-file reads far cheaper,
+// and readahead multiplies sequential large-file bandwidth.
+func TestExtensionShapes(t *testing.T) {
+	tables, err := Immediate(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cellFloat(t, tables[0].Rows[0][2])
+	inline := cellFloat(t, tables[0].Rows[1][2])
+	if inline < 1.5*base {
+		t.Errorf("immediate tiny-file read %.0f vs %.0f f/s; want >= 1.5x", inline, base)
+	}
+	tables, err = Readahead(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra0 := cellFloat(t, tables[0].Rows[0][1])
+	ra16 := cellFloat(t, tables[0].Rows[len(tables[0].Rows)-1][1])
+	if ra16 < 1.8*ra0 {
+		t.Errorf("readahead-16 bandwidth %.2f vs %.2f MB/s; want >= 1.8x", ra16, ra0)
+	}
+}
+
+// PostMark churn: C-FFS must hold a clear advantage in steady state,
+// not just on clean create-then-read phases.
+func TestPostmarkShape(t *testing.T) {
+	tables, err := Postmark(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, row := range tables[0].Rows {
+		vals[row[0]] = cellFloat(t, row[1])
+	}
+	if vals["C-FFS"] < 1.5*vals["conventional"] {
+		t.Errorf("PostMark: C-FFS %.0f tx/s vs conventional %.0f; want >= 1.5x", vals["C-FFS"], vals["conventional"])
+	}
+	// The log owns random small-file churn.
+	if vals["LFS"] < 1.2*vals["conventional"] {
+		t.Errorf("PostMark: LFS %.0f tx/s vs conventional %.0f; the log should win churn", vals["LFS"], vals["conventional"])
+	}
+}
+
+// The [Ganger94] observation: synchronous metadata costs the
+// conventional system multiples on create/delete and nothing on reads.
+func TestSoftUpdatesShape(t *testing.T) {
+	tables, err := SoftUpdates(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		ratio := cellFloat(t, strings.TrimSuffix(row[3], "x"))
+		switch row[0] {
+		case "create", "delete":
+			if ratio < 2 {
+				t.Errorf("%s: delayed vs sync only %.1fx; metadata cost should dominate", row[0], ratio)
+			}
+		case "read":
+			if ratio < 0.95 || ratio > 1.05 {
+				t.Errorf("read phase should be unaffected by metadata mode, got %.2fx", ratio)
+			}
+		}
+	}
+}
+
+// The LFS comparison must show the paper's qualitative story: the log
+// wins creation outright, and its read throughput collapses when the
+// read order diverges from the write order while grouping's does not.
+func TestLFSShape(t *testing.T) {
+	// Not Quick (it clamps Dirs): the interleave period must exceed the
+	// drive's prefetch window for the order effect to be physical.
+	cfg := Config{NumFiles: 3000, Dirs: 100}
+	tables, err := LFSExp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, row := range tables[0].Rows {
+		rows[row[0]] = row
+	}
+	lfsCreate := cellFloat(t, rows["LFS"][1])
+	convCreate := cellFloat(t, rows["conventional"][1])
+	if lfsCreate < 2*convCreate {
+		t.Errorf("LFS create %.0f vs conventional %.0f; the log should win creation big", lfsCreate, convCreate)
+	}
+	lfsPenalty := cellFloat(t, strings.TrimSuffix(rows["LFS"][4], "x"))
+	cffsPenalty := cellFloat(t, strings.TrimSuffix(rows["C-FFS"][4], "x"))
+	if lfsPenalty < 2 {
+		t.Errorf("LFS order penalty %.1fx; reads off the write order should hurt a log", lfsPenalty)
+	}
+	if cffsPenalty > 1.2 {
+		t.Errorf("C-FFS order penalty %.1fx; grouping should not care about creation order", cffsPenalty)
+	}
+	lfsDir := cellFloat(t, rows["LFS"][3])
+	cffsDir := cellFloat(t, rows["C-FFS"][3])
+	if cffsDir < 2*lfsDir {
+		t.Errorf("by-directory reads: C-FFS %.0f vs LFS %.0f; want a clear C-FFS win", cffsDir, lfsDir)
+	}
+}

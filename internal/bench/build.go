@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/ffs"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+)
+
+// Config controls experiment scale and substrate. The zero value plus
+// fill() gives the paper-scale defaults; Quick shrinks everything for
+// tests and -short runs while preserving the comparative shapes.
+type Config struct {
+	Drive       string // disk model, default the paper's ST31200
+	Scheduler   string // "clook" (default) or "fcfs"
+	CacheBlocks int    // buffer cache size, default 2048 (8 MB)
+
+	NumFiles int // small-file benchmark file count, default 10000
+	FileSize int // small-file size in bytes, default 1024
+	Dirs     int // directories for the small-file benchmark, default 100
+
+	Seed  uint64
+	Quick bool // shrink workloads ~10x for fast runs
+}
+
+func (c Config) fill() Config {
+	if c.Drive == "" {
+		c.Drive = "Seagate ST31200"
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = "clook"
+	}
+	if c.CacheBlocks == 0 {
+		c.CacheBlocks = 2048
+	}
+	if c.NumFiles == 0 {
+		c.NumFiles = 10000
+	}
+	if c.FileSize == 0 {
+		c.FileSize = 1024
+	}
+	if c.Dirs == 0 {
+		c.Dirs = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Quick {
+		c.NumFiles = min(c.NumFiles, 1500)
+		c.Dirs = min(c.Dirs, 15)
+	}
+	return c
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// newDevice builds a fresh simulated disk + driver.
+func (c Config) newDevice() (*blockio.Device, error) {
+	spec, err := disk.SpecByName(c.Drive)
+	if err != nil {
+		return nil, err
+	}
+	d, err := disk.NewMem(spec, sim.NewClock())
+	if err != nil {
+		return nil, err
+	}
+	s, ok := sched.ByName(c.Scheduler)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown scheduler %q", c.Scheduler)
+	}
+	return blockio.NewDevice(d, s), nil
+}
+
+// fsVariant names one file system configuration under comparison.
+type fsVariant struct {
+	Name  string
+	Build func(c Config, mode core.Mode) (vfs.FileSystem, *blockio.Device, error)
+}
+
+// coreVariant builds a C-FFS-family file system.
+func coreVariant(name string, embed, grouping bool) fsVariant {
+	return fsVariant{
+		Name: name,
+		Build: func(c Config, mode core.Mode) (vfs.FileSystem, *blockio.Device, error) {
+			dev, err := c.newDevice()
+			if err != nil {
+				return nil, nil, err
+			}
+			fs, err := core.Mkfs(dev, core.Options{
+				EmbedInodes: embed,
+				Grouping:    grouping,
+				Mode:        mode,
+				CacheBlocks: c.CacheBlocks,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			return fs, dev, nil
+		},
+	}
+}
+
+// ffsVariant builds the independent classic-FFS baseline.
+func ffsVariant() fsVariant {
+	return fsVariant{
+		Name: "FFS",
+		Build: func(c Config, mode core.Mode) (vfs.FileSystem, *blockio.Device, error) {
+			dev, err := c.newDevice()
+			if err != nil {
+				return nil, nil, err
+			}
+			m := ffs.ModeSync
+			if mode == core.ModeDelayed {
+				m = ffs.ModeDelayed
+			}
+			fs, err := ffs.Mkfs(dev, ffs.Options{Mode: m, CacheBlocks: c.CacheBlocks})
+			if err != nil {
+				return nil, nil, err
+			}
+			return fs, dev, nil
+		},
+	}
+}
+
+// grid is the paper's four-way comparison plus the independent FFS.
+func grid() []fsVariant {
+	return []fsVariant{
+		coreVariant("conventional", false, false),
+		coreVariant("embedded", true, false),
+		coreVariant("grouping", false, true),
+		coreVariant("C-FFS", true, true),
+		ffsVariant(),
+	}
+}
+
+// pair is just the endpoints: conventional vs C-FFS.
+func pair() []fsVariant {
+	return []fsVariant{
+		coreVariant("conventional", false, false),
+		coreVariant("C-FFS", true, true),
+	}
+}

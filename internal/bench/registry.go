@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is a named, runnable reproduction of one or more of the
+// paper's tables/figures.
+type Experiment struct {
+	Name  string
+	Brief string
+	Run   func(Config) ([]Table, error)
+}
+
+// Experiments returns the registry, sorted by name.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{"table1", "Table 1: characteristics of three 1996 disk drives", Table1},
+		{"table2", "Table 2: the ST31200 testbed disk", Table2},
+		{"fig2", "Figure 2: access time vs request size", Figure2},
+		{"smallfile-sync", "Figures 4+5: small-file benchmark, synchronous metadata", Figure4},
+		{"smallfile-delayed", "Figure 6: small-file benchmark, soft updates emulated", Figure6},
+		{"sizesweep", "Figure 7: throughput vs file size", Figure7},
+		{"aging", "Section 4.3: benchmark on aged file systems", AgingExp},
+		{"apps", "Section 4.4: software-development applications", Apps},
+		{"dirsize", "Directory growth and attribute scans under embedded inodes", DirSize},
+		{"largefile", "Large-file bandwidth is unchanged", LargeFile},
+		{"sched", "Ablation: C-LOOK vs FCFS", SchedulerAblation},
+		{"cache", "Ablation: buffer cache size", CacheSweep},
+		{"drives", "Ablation: drive generations", DriveSweep},
+		{"immediate", "Extension: immediate files [Mullender84]", Immediate},
+		{"readahead", "Extension: sequential prefetching", Readahead},
+		{"postmark", "PostMark-style transaction churn", Postmark},
+		{"profile", "Read-phase request profile (the mechanism made visible)", ProfileExp},
+		{"lfs", "LFS comparison: log order vs namespace order [Rosenblum92]", LFSExp},
+		{"softupdates", "Metadata integrity cost in isolation [Ganger94]", SoftUpdates},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
+	return exps
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (try: %v)", name, names())
+}
+
+func names() []string {
+	var out []string
+	for _, e := range Experiments() {
+		out = append(out, e.Name)
+	}
+	return out
+}
+
+// RunAll executes every experiment and renders the tables to w.
+func RunAll(w io.Writer, cfg Config) error {
+	for _, e := range Experiments() {
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		for _, t := range tables {
+			t.Render(w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Package blockio is the block device driver sitting between the file
+// systems and the simulated disk. It converts block-sized transfers to
+// sector runs, schedules queued batches (C-LOOK, like the paper's
+// NetBSD-derived driver), merges physically adjacent transfers up to the
+// MAXPHYS-era 64 KB cap, and supports scatter/gather so one disk request
+// can fill or drain many buffer-cache blocks.
+package blockio
+
+import (
+	"fmt"
+
+	"cffs/internal/disk"
+	"cffs/internal/sched"
+)
+
+// BlockSize is the file system block size. The paper's C-FFS uses 4 KB
+// allocation units with no fragments; everything above this layer counts
+// in these blocks.
+const BlockSize = 4096
+
+// SectorsPerBlock is the sector run length of one block.
+const SectorsPerBlock = BlockSize / disk.SectorSize
+
+// MaxTransferBlocks caps a single merged disk request at 16 blocks
+// (64 KB), matching the MAXPHYS transfer limit of mid-90s BSD drivers —
+// and, not coincidentally, the explicit-grouping group size.
+const MaxTransferBlocks = 16
+
+// Req is one queued block request: a contiguous run of blocks starting at
+// Block, with one buffer per block (scatter/gather).
+type Req struct {
+	Write bool
+	Block int64
+	Bufs  [][]byte
+}
+
+func (r *Req) blocks() int { return len(r.Bufs) }
+
+// Device is a block device over a simulated disk.
+type Device struct {
+	dsk     *disk.Disk
+	sch     sched.Scheduler
+	lastLBA int64
+}
+
+// NewDevice wraps a disk with a scheduler.
+func NewDevice(d *disk.Disk, s sched.Scheduler) *Device {
+	return &Device{dsk: d, sch: s}
+}
+
+// Blocks returns the number of whole blocks on the device.
+func (dev *Device) Blocks() int64 { return dev.dsk.Sectors() / SectorsPerBlock }
+
+// Disk exposes the underlying simulated disk (for stats and the clock).
+func (dev *Device) Disk() *disk.Disk { return dev.dsk }
+
+// Scheduler returns the active scheduler.
+func (dev *Device) Scheduler() sched.Scheduler { return dev.sch }
+
+// ReadBlocks issues one disk request reading len(bufs) contiguous blocks
+// starting at block, scattering them into bufs.
+func (dev *Device) ReadBlocks(block int64, bufs [][]byte) error {
+	if err := dev.check(block, bufs); err != nil {
+		return err
+	}
+	lba := block * SectorsPerBlock
+	dev.lastLBA = lba + int64(len(bufs)*SectorsPerBlock)
+	return dev.dsk.ReadV(lba, bufs)
+}
+
+// WriteBlocks issues one disk request writing len(bufs) contiguous blocks
+// starting at block, gathered from bufs.
+func (dev *Device) WriteBlocks(block int64, bufs [][]byte) error {
+	if err := dev.check(block, bufs); err != nil {
+		return err
+	}
+	lba := block * SectorsPerBlock
+	dev.lastLBA = lba + int64(len(bufs)*SectorsPerBlock)
+	return dev.dsk.WriteV(lba, bufs)
+}
+
+// ReadBlock reads a single block.
+func (dev *Device) ReadBlock(block int64, buf []byte) error {
+	return dev.ReadBlocks(block, [][]byte{buf})
+}
+
+// WriteBlock writes a single block.
+func (dev *Device) WriteBlock(block int64, buf []byte) error {
+	return dev.WriteBlocks(block, [][]byte{buf})
+}
+
+// Submit services a batch of requests: the scheduler picks the sweep
+// order from the current head position, then physically adjacent
+// same-direction requests are merged into single disk requests up to
+// MaxTransferBlocks. This is where delayed-write clustering happens —
+// for C-FFS, the dirty blocks of a group come out of the queue as one
+// 64 KB write.
+func (dev *Device) Submit(reqs []Req) error {
+	if len(reqs) == 0 {
+		return nil
+	}
+	items := make([]sched.Item, len(reqs))
+	for i := range reqs {
+		if err := dev.check(reqs[i].Block, reqs[i].Bufs); err != nil {
+			return err
+		}
+		items[i] = sched.Item{
+			LBA:    reqs[i].Block * SectorsPerBlock,
+			Sector: reqs[i].blocks() * SectorsPerBlock,
+		}
+	}
+	order := dev.sch.Order(items, dev.lastLBA)
+
+	for i := 0; i < len(order); {
+		first := &reqs[order[i]]
+		start := first.Block
+		write := first.Write
+		bufs := make([][]byte, 0, len(first.Bufs))
+		bufs = append(bufs, first.Bufs...)
+		next := start + int64(first.blocks())
+		j := i + 1
+		for j < len(order) {
+			r := &reqs[order[j]]
+			if r.Write != write || r.Block != next ||
+				len(bufs)+r.blocks() > MaxTransferBlocks {
+				break
+			}
+			bufs = append(bufs, r.Bufs...)
+			next += int64(r.blocks())
+			j++
+		}
+		var err error
+		if write {
+			err = dev.WriteBlocks(start, bufs)
+		} else {
+			err = dev.ReadBlocks(start, bufs)
+		}
+		if err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+func (dev *Device) check(block int64, bufs [][]byte) error {
+	if len(bufs) == 0 {
+		return fmt.Errorf("blockio: empty request at block %d", block)
+	}
+	for _, b := range bufs {
+		if len(b) != BlockSize {
+			return fmt.Errorf("blockio: buffer of %d bytes, want %d", len(b), BlockSize)
+		}
+	}
+	if block < 0 || block+int64(len(bufs)) > dev.Blocks() {
+		return fmt.Errorf("blockio: request [%d,%d) outside device of %d blocks",
+			block, block+int64(len(bufs)), dev.Blocks())
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package blockio
+
+import (
+	"bytes"
+	"testing"
+
+	"cffs/internal/disk"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+)
+
+func newDev(t *testing.T, s sched.Scheduler) *Device {
+	t.Helper()
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDevice(d, s)
+}
+
+func block(fill byte) []byte {
+	return bytes.Repeat([]byte{fill}, BlockSize)
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	dev := newDev(t, sched.CLook{})
+	w := block(0x5A)
+	if err := dev.WriteBlock(100, w); err != nil {
+		t.Fatal(err)
+	}
+	g := make([]byte, BlockSize)
+	if err := dev.ReadBlock(100, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g, w) {
+		t.Fatal("block round trip corrupted data")
+	}
+}
+
+func TestScatterGatherIsOneRequest(t *testing.T) {
+	dev := newDev(t, sched.CLook{})
+	bufs := [][]byte{block(1), block(2), block(3), block(4)}
+	if err := dev.WriteBlocks(50, bufs); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Disk().Stats().Requests; got != 1 {
+		t.Fatalf("4-block gather write used %d requests, want 1", got)
+	}
+	got := [][]byte{make([]byte, BlockSize), make([]byte, BlockSize),
+		make([]byte, BlockSize), make([]byte, BlockSize)}
+	if err := dev.ReadBlocks(50, got); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Disk().Stats().Requests; got != 2 {
+		t.Fatalf("4-block scatter read used %d extra requests, want 1", got-1)
+	}
+	for i := range bufs {
+		if !bytes.Equal(got[i], bufs[i]) {
+			t.Fatalf("block %d corrupted", i)
+		}
+	}
+}
+
+func TestSubmitMergesAdjacent(t *testing.T) {
+	dev := newDev(t, sched.CLook{})
+	reqs := []Req{
+		{Write: true, Block: 12, Bufs: [][]byte{block(3)}},
+		{Write: true, Block: 10, Bufs: [][]byte{block(1)}},
+		{Write: true, Block: 11, Bufs: [][]byte{block(2)}},
+		{Write: true, Block: 500, Bufs: [][]byte{block(9)}},
+	}
+	if err := dev.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	// 10,11,12 merge into one request; 500 stands alone.
+	if got := dev.Disk().Stats().Requests; got != 2 {
+		t.Fatalf("Submit issued %d requests, want 2", got)
+	}
+	g := make([]byte, BlockSize)
+	for blk, fill := range map[int64]byte{10: 1, 11: 2, 12: 3, 500: 9} {
+		if err := dev.ReadBlock(blk, g); err != nil {
+			t.Fatal(err)
+		}
+		if g[0] != fill || g[BlockSize-1] != fill {
+			t.Fatalf("block %d holds %d, want %d", blk, g[0], fill)
+		}
+	}
+}
+
+func TestSubmitRespectsTransferCap(t *testing.T) {
+	dev := newDev(t, sched.CLook{})
+	var reqs []Req
+	for i := int64(0); i < 2*MaxTransferBlocks; i++ {
+		reqs = append(reqs, Req{Write: true, Block: 1000 + i, Bufs: [][]byte{block(byte(i))}})
+	}
+	if err := dev.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Disk().Stats().Requests; got != 2 {
+		t.Fatalf("32 adjacent blocks issued %d requests, want 2 (64KB cap)", got)
+	}
+}
+
+func TestSubmitDoesNotMergeAcrossDirection(t *testing.T) {
+	dev := newDev(t, sched.CLook{})
+	// Pre-write so reads have defined content.
+	if err := dev.WriteBlocks(20, [][]byte{block(7), block(8)}); err != nil {
+		t.Fatal(err)
+	}
+	dev.Disk().ResetStats()
+	rbuf := make([]byte, BlockSize)
+	reqs := []Req{
+		{Write: false, Block: 20, Bufs: [][]byte{rbuf}},
+		{Write: true, Block: 21, Bufs: [][]byte{block(9)}},
+	}
+	if err := dev.Submit(reqs); err != nil {
+		t.Fatal(err)
+	}
+	s := dev.Disk().Stats()
+	if s.Requests != 2 || s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("mixed-direction merge: %+v", s)
+	}
+	if rbuf[0] != 7 {
+		t.Fatalf("read block holds %d, want 7", rbuf[0])
+	}
+}
+
+// C-LOOK should service a random batch substantially faster than FCFS —
+// the reason the paper's driver used it.
+func TestCLookBeatsFCFSOnRandomBatch(t *testing.T) {
+	run := func(s sched.Scheduler) int64 {
+		dev := newDev(t, s)
+		rng := sim.NewRNG(21)
+		var reqs []Req
+		for i := 0; i < 200; i++ {
+			reqs = append(reqs, Req{
+				Write: true,
+				Block: rng.Int63n(dev.Blocks() - 1),
+				Bufs:  [][]byte{block(byte(i))},
+			})
+		}
+		if err := dev.Submit(reqs); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Disk().Clock().Now()
+	}
+	fcfs := run(sched.FCFS{})
+	clook := run(sched.CLook{})
+	if clook >= fcfs*3/4 {
+		t.Fatalf("C-LOOK %.1fms vs FCFS %.1fms; expected a clear win",
+			float64(clook)/1e6, float64(fcfs)/1e6)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	dev := newDev(t, sched.CLook{})
+	if err := dev.WriteBlock(-1, block(0)); err == nil {
+		t.Fatal("negative block accepted")
+	}
+	if err := dev.WriteBlock(dev.Blocks(), block(0)); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	if err := dev.WriteBlocks(0, nil); err == nil {
+		t.Fatal("empty request accepted")
+	}
+	if err := dev.WriteBlocks(0, [][]byte{make([]byte, 100)}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if err := dev.Submit([]Req{{Write: true, Block: -5, Bufs: [][]byte{block(0)}}}); err == nil {
+		t.Fatal("Submit accepted invalid request")
+	}
+}
+
+func TestSubmitEmptyBatch(t *testing.T) {
+	dev := newDev(t, sched.CLook{})
+	if err := dev.Submit(nil); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Disk().Stats().Requests != 0 {
+		t.Fatal("empty batch touched the disk")
+	}
+}

@@ -1,0 +1,417 @@
+// Package cache implements the file block cache shared by both file
+// systems.
+//
+// Following the paper (Section 3), buffers are indexed two ways: by
+// physical disk address, like the original UNIX buffer cache, and by
+// logical (file, offset) identity, like the SunOS integrated page cache
+// [Gingell87, Moran87]. The dual index is what makes explicit grouping
+// cheap: when C-FFS reads a whole group because one of its blocks was
+// requested, the other blocks enter the cache under their physical
+// identity alone — no back-translation to file/offset is needed — and a
+// later logical access finds them by physical address after consulting
+// the owning inode.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"cffs/internal/blockio"
+)
+
+// ID is the logical identity of a cached block: a file and a block index
+// within it. Metadata blocks use reserved Ino values chosen by the file
+// system.
+type ID struct {
+	Ino    uint64
+	LBlock int64
+}
+
+// Buf is one cached block. Buffers returned by Read/Alloc are pinned;
+// callers must Release them when done. Data is exactly one block.
+type Buf struct {
+	Block int64 // physical block number
+	Data  []byte
+
+	id    ID
+	hasID bool
+	dirty bool
+	pins  int
+
+	c          *Cache
+	prev, next *Buf // LRU list links
+}
+
+// Dirty reports whether the buffer has unwritten modifications.
+func (b *Buf) Dirty() bool { return b.dirty }
+
+// ID returns the logical identity and whether one has been assigned.
+func (b *Buf) ID() (ID, bool) { return b.id, b.hasID }
+
+// Release unpins the buffer, making it evictable again.
+func (b *Buf) Release() {
+	if b.pins <= 0 {
+		panic(fmt.Sprintf("cache: release of unpinned block %d", b.Block))
+	}
+	b.pins--
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	WriteBacks int64 // blocks written by Sync/eviction/WriteSync
+}
+
+// Cache is a fixed-capacity write-back block cache over a block device.
+// It is single-threaded, like everything in the simulation.
+type Cache struct {
+	dev      *blockio.Device
+	capacity int
+
+	byPhys map[int64]*Buf
+	byID   map[ID]*Buf
+
+	// LRU list with sentinel: lru.next = most recent.
+	lru Buf
+
+	ndirty int
+	stats  Stats
+}
+
+// evictFlushBatch bounds how many of the oldest dirty buffers are pushed
+// out together when eviction hits a dirty tail — a stand-in for the
+// periodic update daemon, and the path that keeps delayed writes
+// clustered even under memory pressure.
+const evictFlushBatch = 64
+
+// New creates a cache of the given capacity in blocks.
+func New(dev *blockio.Device, capacity int) *Cache {
+	if capacity < 4 {
+		panic(fmt.Sprintf("cache: capacity %d too small", capacity))
+	}
+	c := &Cache{
+		dev:      dev,
+		capacity: capacity,
+		byPhys:   make(map[int64]*Buf),
+		byID:     make(map[ID]*Buf),
+	}
+	c.lru.next = &c.lru
+	c.lru.prev = &c.lru
+	return c
+}
+
+// Device returns the underlying block device.
+func (c *Cache) Device() *blockio.Device { return c.dev }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Len returns the number of resident blocks.
+func (c *Cache) Len() int { return len(c.byPhys) }
+
+// NDirty returns the number of dirty resident blocks.
+func (c *Cache) NDirty() int { return c.ndirty }
+
+func (c *Cache) touch(b *Buf) {
+	c.unlink(b)
+	b.next = c.lru.next
+	b.prev = &c.lru
+	c.lru.next.prev = b
+	c.lru.next = b
+}
+
+func (c *Cache) unlink(b *Buf) {
+	if b.prev != nil {
+		b.prev.next = b.next
+		b.next.prev = b.prev
+		b.prev, b.next = nil, nil
+	}
+}
+
+// Peek returns the resident buffer for a physical block without pinning
+// or disk I/O, or nil.
+func (c *Cache) Peek(phys int64) *Buf { return c.byPhys[phys] }
+
+// GetByID returns the resident buffer with the given logical identity,
+// pinned, or nil. This is the logical half of the dual index.
+func (c *Cache) GetByID(id ID) *Buf {
+	b := c.byID[id]
+	if b == nil {
+		return nil
+	}
+	b.pins++
+	c.touch(b)
+	c.stats.Hits++
+	return b
+}
+
+// Read returns the buffer for a physical block, pinned, reading it from
+// disk on a miss.
+func (c *Cache) Read(phys int64) (*Buf, error) {
+	if b := c.byPhys[phys]; b != nil {
+		b.pins++
+		c.touch(b)
+		c.stats.Hits++
+		return b, nil
+	}
+	c.stats.Misses++
+	b, err := c.insert(phys)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.dev.ReadBlock(phys, b.Data); err != nil {
+		return nil, err
+	}
+	b.pins++
+	return b, nil
+}
+
+// Alloc returns a buffer for a physical block without reading the disk:
+// the caller promises to initialize the full block (fresh allocations,
+// full overwrites). A resident buffer is returned as-is.
+func (c *Cache) Alloc(phys int64) (*Buf, error) {
+	if b := c.byPhys[phys]; b != nil {
+		b.pins++
+		c.touch(b)
+		c.stats.Hits++
+		return b, nil
+	}
+	b, err := c.insert(phys)
+	if err != nil {
+		return nil, err
+	}
+	b.pins++
+	return b, nil
+}
+
+// insert makes room and adds an unpinned, clean, zeroed buffer.
+func (c *Cache) insert(phys int64) (*Buf, error) {
+	for len(c.byPhys) >= c.capacity {
+		if err := c.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	b := &Buf{Block: phys, Data: make([]byte, blockio.BlockSize), c: c}
+	c.byPhys[phys] = b
+	c.touch(b)
+	return b, nil
+}
+
+// evictOne removes the least recently used unpinned buffer. If that
+// buffer is dirty, the oldest dirty buffers are flushed as one scheduled
+// batch first, so that eviction under write pressure still produces
+// clustered disk writes.
+func (c *Cache) evictOne() error {
+	var victim *Buf
+	for b := c.lru.prev; b != &c.lru; b = b.prev {
+		if b.pins == 0 {
+			victim = b
+			break
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("cache: all %d buffers pinned", len(c.byPhys))
+	}
+	if victim.dirty {
+		if err := c.flushOldestDirty(evictFlushBatch); err != nil {
+			return err
+		}
+		if victim.dirty {
+			return fmt.Errorf("cache: victim block %d still dirty after flush", victim.Block)
+		}
+	}
+	c.remove(victim)
+	c.stats.Evictions++
+	return nil
+}
+
+func (c *Cache) remove(b *Buf) {
+	c.unlink(b)
+	delete(c.byPhys, b.Block)
+	if b.hasID {
+		delete(c.byID, b.id)
+	}
+	if b.dirty {
+		c.ndirty--
+		b.dirty = false
+	}
+}
+
+// MarkDirty flags the buffer for delayed write-back.
+func (c *Cache) MarkDirty(b *Buf) {
+	if !b.dirty {
+		b.dirty = true
+		c.ndirty++
+	}
+}
+
+// SetID assigns (or reassigns) the logical identity of a buffer,
+// maintaining the logical index.
+func (c *Cache) SetID(b *Buf, id ID) {
+	if b.hasID {
+		if b.id == id {
+			return
+		}
+		delete(c.byID, b.id)
+	}
+	// A stale mapping for this identity (e.g. a reallocated block) is
+	// displaced; the physical index remains authoritative.
+	if old := c.byID[id]; old != nil {
+		old.hasID = false
+	}
+	b.id = id
+	b.hasID = true
+	c.byID[id] = b
+}
+
+// DropID removes a buffer's logical identity (file truncated or removed).
+func (c *Cache) DropID(b *Buf) {
+	if b.hasID {
+		delete(c.byID, b.id)
+		b.hasID = false
+	}
+}
+
+// WriteSync writes one buffer through to disk immediately and marks it
+// clean. This is the ordered synchronous metadata write of conventional
+// file systems — the operation embedded inodes exist to halve.
+func (c *Cache) WriteSync(b *Buf) error {
+	if err := c.dev.WriteBlock(b.Block, b.Data); err != nil {
+		return err
+	}
+	if b.dirty {
+		b.dirty = false
+		c.ndirty--
+	}
+	c.stats.WriteBacks++
+	return nil
+}
+
+// Invalidate drops a block from the cache even if dirty. File systems
+// call this when freeing blocks, so data of deleted files is never
+// written back — a large part of why delayed-write deletes are fast.
+func (c *Cache) Invalidate(phys int64) {
+	if b := c.byPhys[phys]; b != nil {
+		if b.pins > 0 {
+			panic(fmt.Sprintf("cache: invalidate of pinned block %d", phys))
+		}
+		c.remove(b)
+	}
+}
+
+// ReadRun ensures blocks [start, start+count) are resident, issuing the
+// fewest possible disk requests: each maximal run of missing blocks is
+// one scatter/gather read. Resident blocks (clean or dirty) are left
+// untouched. This is the group-read primitive of explicit grouping.
+//
+// The buffers of a run are pinned while the run is assembled so that
+// inserting the tail cannot evict the head; to keep that safe on tiny
+// caches, runs longer than half the capacity are split.
+func (c *Cache) ReadRun(start int64, count int) error {
+	i := 0
+	maxRun := c.capacity / 2
+	if maxRun < 1 {
+		maxRun = 1
+	}
+	for i < count {
+		if c.byPhys[start+int64(i)] != nil {
+			i++
+			continue
+		}
+		j := i
+		for j < count && j-i < maxRun && c.byPhys[start+int64(j)] == nil {
+			j++
+		}
+		n := j - i
+		bufs := make([][]byte, n)
+		newbufs := make([]*Buf, n)
+		for k := 0; k < n; k++ {
+			b, err := c.insert(start + int64(i+k))
+			if err != nil {
+				for _, nb := range newbufs[:k] {
+					nb.pins--
+				}
+				return err
+			}
+			b.pins++
+			newbufs[k] = b
+			bufs[k] = b.Data
+		}
+		c.stats.Misses += int64(n)
+		err := c.dev.ReadBlocks(start+int64(i), bufs)
+		for _, nb := range newbufs {
+			nb.pins--
+		}
+		if err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// Sync writes back every dirty buffer as one scheduled, merged batch.
+func (c *Cache) Sync() error {
+	return c.flushDirty(func(*Buf) bool { return true })
+}
+
+// flushOldestDirty flushes up to limit dirty buffers, oldest first.
+func (c *Cache) flushOldestDirty(limit int) error {
+	marked := 0
+	victims := make(map[*Buf]bool)
+	for b := c.lru.prev; b != &c.lru && marked < limit; b = b.prev {
+		if b.dirty {
+			victims[b] = true
+			marked++
+		}
+	}
+	return c.flushDirty(func(b *Buf) bool { return victims[b] })
+}
+
+// flushDirty writes back dirty buffers selected by keep, in one Submit.
+func (c *Cache) flushDirty(want func(*Buf) bool) error {
+	var bufs []*Buf
+	for b := c.lru.next; b != &c.lru; b = b.next {
+		if b.dirty && want(b) {
+			bufs = append(bufs, b)
+		}
+	}
+	if len(bufs) == 0 {
+		return nil
+	}
+	sort.Slice(bufs, func(i, j int) bool { return bufs[i].Block < bufs[j].Block })
+	reqs := make([]blockio.Req, len(bufs))
+	for i, b := range bufs {
+		reqs[i] = blockio.Req{Write: true, Block: b.Block, Bufs: [][]byte{b.Data}}
+	}
+	if err := c.dev.Submit(reqs); err != nil {
+		return err
+	}
+	for _, b := range bufs {
+		b.dirty = false
+		c.ndirty--
+		c.stats.WriteBacks++
+	}
+	return nil
+}
+
+// Flush writes back all dirty data and then empties the cache. The
+// benchmark harness calls this between phases so each phase starts cold,
+// as the paper's methodology requires ("we forcefully write back all
+// dirty blocks before considering the measurement complete").
+func (c *Cache) Flush() error {
+	if err := c.Sync(); err != nil {
+		return err
+	}
+	for b := c.lru.next; b != &c.lru; {
+		next := b.next
+		if b.pins > 0 {
+			return fmt.Errorf("cache: Flush with pinned block %d", b.Block)
+		}
+		c.remove(b)
+		b = next
+	}
+	return nil
+}

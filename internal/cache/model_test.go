@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/disk"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+)
+
+// Model-based test: a long random sequence of cache operations is
+// checked against a trivially-correct model of what each block should
+// contain — on disk and as observed through the cache — plus the
+// cache's own structural invariants after every step.
+func TestCacheModel(t *testing.T) {
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := blockio.NewDevice(d, sched.CLook{})
+	const capacity = 24
+	c := New(dev, capacity)
+
+	const nblocks = 64 // working set > capacity so eviction churns
+	rng := sim.NewRNG(2024)
+
+	// The model: what a reader must observe per block, and what must be
+	// on disk after a sync.
+	observed := make([][]byte, nblocks) // nil = zeroes
+	expectByte := func(blk int64) byte {
+		if observed[blk] == nil {
+			return 0
+		}
+		return observed[blk][0]
+	}
+
+	checkInvariants := func(step int) {
+		if c.Len() > capacity {
+			t.Fatalf("step %d: cache holds %d > capacity %d", step, c.Len(), capacity)
+		}
+		if c.NDirty() < 0 || c.NDirty() > c.Len() {
+			t.Fatalf("step %d: dirty count %d out of range (len %d)", step, c.NDirty(), c.Len())
+		}
+	}
+
+	for step := 0; step < 20000; step++ {
+		blk := rng.Int63n(nblocks)
+		switch op := rng.Intn(100); {
+		case op < 40: // read and verify
+			b, err := c.Read(blk)
+			if err != nil {
+				t.Fatalf("step %d: read %d: %v", step, blk, err)
+			}
+			if b.Data[0] != expectByte(blk) {
+				t.Fatalf("step %d: block %d reads %#x, model says %#x", step, blk, b.Data[0], expectByte(blk))
+			}
+			b.Release()
+		case op < 70: // write (delayed)
+			b, err := c.Read(blk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := byte(rng.Intn(255) + 1)
+			for i := range b.Data {
+				b.Data[i] = v
+			}
+			c.MarkDirty(b)
+			b.Release()
+			observed[blk] = []byte{v}
+		case op < 80: // write-through
+			b, err := c.Alloc(blk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := byte(rng.Intn(255) + 1)
+			for i := range b.Data {
+				b.Data[i] = v
+			}
+			if err := c.WriteSync(b); err != nil {
+				t.Fatal(err)
+			}
+			b.Release()
+			observed[blk] = []byte{v}
+		case op < 85: // invalidate: cached state reverts to disk contents
+			c.Invalidate(blk)
+			// The model must now expect whatever the disk holds; read it
+			// raw to find out.
+			raw := make([]byte, blockio.BlockSize)
+			if err := dev.ReadBlock(blk, raw); err != nil {
+				t.Fatal(err)
+			}
+			observed[blk] = []byte{raw[0]}
+		case op < 90: // scatter read of a run
+			n := 1 + rng.Intn(8)
+			if blk+int64(n) > nblocks {
+				n = int(nblocks - blk)
+			}
+			if err := c.ReadRun(blk, n); err != nil {
+				t.Fatal(err)
+			}
+			// Residency after ReadRun is best-effort under eviction
+			// pressure (it is a cache), but whatever is resident must
+			// hold the right bytes — a clobbered dirty block or a
+			// misplaced scatter target would show up here.
+			for k := 0; k < n; k++ {
+				if b := c.Peek(blk + int64(k)); b != nil {
+					if b.Data[0] != expectByte(blk+int64(k)) {
+						t.Fatalf("step %d: ReadRun block %d holds %#x, model %#x",
+							step, blk+int64(k), b.Data[0], expectByte(blk+int64(k)))
+					}
+				}
+			}
+		case op < 95: // sync everything
+			if err := c.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if c.NDirty() != 0 {
+				t.Fatalf("step %d: dirty blocks remain after Sync", step)
+			}
+		default: // flush: cache empties, disk must equal the model
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if c.Len() != 0 {
+				t.Fatalf("step %d: cache not empty after Flush", step)
+			}
+			probe := rng.Int63n(nblocks)
+			raw := make([]byte, blockio.BlockSize)
+			if err := dev.ReadBlock(probe, raw); err != nil {
+				t.Fatal(err)
+			}
+			if raw[0] != expectByte(probe) {
+				t.Fatalf("step %d: after Flush disk block %d holds %#x, model %#x",
+					step, probe, raw[0], expectByte(probe))
+			}
+		}
+		checkInvariants(step)
+	}
+
+	// Final settle: everything to disk, verify the full model.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for blk := int64(0); blk < nblocks; blk++ {
+		raw := make([]byte, blockio.BlockSize)
+		if err := dev.ReadBlock(blk, raw); err != nil {
+			t.Fatal(err)
+		}
+		if raw[0] != expectByte(blk) {
+			t.Fatalf("final: disk block %d holds %#x, model %#x", blk, raw[0], expectByte(blk))
+		}
+	}
+}
+
+// The dual index must never disagree with itself: a buffer reachable by
+// ID must be the same buffer reachable by physical address.
+func TestCacheDualIndexConsistency(t *testing.T) {
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(blockio.NewDevice(d, sched.CLook{}), 16)
+	rng := sim.NewRNG(5)
+	ids := make(map[ID]int64)
+	for step := 0; step < 5000; step++ {
+		phys := rng.Int63n(40)
+		b, err := c.Read(phys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := ID{Ino: uint64(rng.Intn(6)), LBlock: int64(rng.Intn(6))}
+		c.SetID(b, id)
+		ids[id] = phys
+		b.Release()
+		// Spot-check a known identity.
+		for probe, want := range ids {
+			got := c.GetByID(probe)
+			if got != nil {
+				if got.Block != want {
+					// The identity may have been legitimately reassigned to
+					// another block since; it must then match the *current*
+					// registration, which SetID keeps unique.
+					if gid, ok := got.ID(); !ok || gid != probe {
+						t.Fatalf("step %d: buffer for %v has identity %v", step, probe, gid)
+					}
+				}
+				got.Release()
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+
+	"cffs/internal/cache"
+	"cffs/internal/layout"
+	"cffs/internal/vfs"
+)
+
+// Block allocation.
+//
+// The disk is divided into allocation groups (the FFS cylinder-group
+// analogue). Each group's header block holds a block bitmap and a table
+// of *group descriptors* — one per aligned 16-block extent of the data
+// area — recording which directory owns the extent and which of its
+// blocks hold grouped small-file data. Claiming, filling, and dissolving
+// these extents is the allocator half of explicit grouping.
+
+// groupDesc is a decoded group descriptor.
+type groupDesc struct {
+	Owner uint32 // external ino of the owning directory; 0 = unclaimed
+	Used  uint16 // bitmap of grouped blocks within the extent
+}
+
+func (g groupDesc) full() bool { return g.Used == 1<<GroupBlocks-1 }
+
+// blockBitmap views an AG header's block bitmap.
+func (fs *FS) blockBitmap(hdr *cache.Buf) layout.Bitmap {
+	return layout.NewBitmap(hdr.Data[agBmapOff:], fs.sb.AGBlocks)
+}
+
+func readDesc(hdr *cache.Buf, k int) groupDesc {
+	le := leBytes{hdr.Data}
+	return groupDesc{Owner: le.u32(agDescOff + k*8), Used: le.u16(agDescOff + k*8 + 4)}
+}
+
+func writeDesc(hdr *cache.Buf, k int, d groupDesc) {
+	le := leBytes{hdr.Data}
+	le.pu32(agDescOff+k*8, d.Owner)
+	le.pu16(agDescOff+k*8+4, d.Used)
+}
+
+// agOf returns the allocation group containing a physical block, or -1
+// for the reserved region (superblock + inode map).
+func (fs *FS) agOf(phys int64) int {
+	off := phys - int64(1+mapBlocks)
+	if off < 0 {
+		return -1
+	}
+	ag := int(off / int64(fs.sb.AGBlocks))
+	if ag >= fs.sb.NAG {
+		return -1
+	}
+	return ag
+}
+
+// locateGroup maps a physical block to its group extent: the AG, the
+// descriptor index, and the extent's first block. ok is false for
+// blocks outside any group extent (headers, tail slack, reserved area).
+func (fs *FS) locateGroup(phys int64) (ag, k int, start int64, ok bool) {
+	ag = fs.agOf(phys)
+	if ag < 0 {
+		return 0, 0, 0, false
+	}
+	off := phys - fs.sb.dataStart(ag)
+	if off < 0 {
+		return 0, 0, 0, false
+	}
+	k = int(off / GroupBlocks)
+	if k >= fs.sb.groupsPerAG() {
+		return 0, 0, 0, false
+	}
+	return ag, k, fs.sb.dataStart(ag) + int64(k)*GroupBlocks, true
+}
+
+// groupID packs (ag, k) into the inode Group field (+1 so 0 means none).
+func (fs *FS) groupID(ag, k int) uint32 { return uint32(ag*fs.sb.groupsPerAG()+k) + 1 }
+
+// groupByID unpacks a Group field value.
+func (fs *FS) groupByID(id uint32) (ag, k int, ok bool) {
+	if id == 0 {
+		return 0, 0, false
+	}
+	v := int(id - 1)
+	ag, k = v/fs.sb.groupsPerAG(), v%fs.sb.groupsPerAG()
+	if ag >= fs.sb.NAG {
+		return 0, 0, false
+	}
+	return ag, k, true
+}
+
+// allocScattered claims one free block using conventional placement:
+// hashed start within the preferred AG's data area (unrelated files land
+// apart — locality without adjacency), scanning other AGs on pressure.
+func (fs *FS) allocScattered(prefAG int, ino vfs.Ino) (int64, error) {
+	return fs.allocFrom(prefAG, func(hdr *cache.Buf, ag int) int {
+		bm := fs.blockBitmap(hdr)
+		span := fs.sb.AGBlocks - 1
+		from := 1 + int(mix64(uint64(ino))%uint64(span))
+		return bm.FindClear(from)
+	})
+}
+
+// allocNear claims the block at pref if free, else the nearest free
+// block after it (file-internal clustering for large files). A
+// preference past the end of the last allocation group (the previous
+// block was the group's final one) falls back to a scan of that group.
+func (fs *FS) allocNear(pref int64) (int64, error) {
+	ag := fs.agOf(pref)
+	if ag < 0 {
+		ag = fs.sb.NAG - 1
+		pref = -1
+	}
+	return fs.allocFrom(ag, func(hdr *cache.Buf, cur int) int {
+		bm := fs.blockBitmap(hdr)
+		from := 1
+		if cur == ag {
+			from = int(pref - fs.sb.agStart(ag))
+			if from < 1 || from >= fs.sb.AGBlocks {
+				from = 1
+			}
+		}
+		return bm.FindClear(from)
+	})
+}
+
+// allocFrom scans AGs starting at prefAG, applying pick to each header
+// until it yields a block index.
+func (fs *FS) allocFrom(prefAG int, pick func(hdr *cache.Buf, ag int) int) (int64, error) {
+	for i := 0; i < fs.sb.NAG; i++ {
+		ag := (prefAG + i) % fs.sb.NAG
+		hdr, err := fs.c.Read(fs.sb.agStart(ag))
+		if err != nil {
+			return 0, err
+		}
+		idx := pick(hdr, ag)
+		if idx <= 0 { // index 0 is the header itself
+			hdr.Release()
+			continue
+		}
+		bm := fs.blockBitmap(hdr)
+		bm.Set(idx)
+		fs.c.MarkDirty(hdr)
+		hdr.Release()
+		return fs.sb.agStart(ag) + int64(idx), nil
+	}
+	return 0, fmt.Errorf("cffs: %w", vfs.ErrNoSpace)
+}
+
+// allocGrouped claims a block for a small file inside a group owned by
+// directory owner, preferring the file's own current group, then the
+// directory's, then any group of the directory with space, then a fresh
+// extent near prefAG. It returns the block and the group id it came
+// from; on a fully grouped-out disk it falls back to scattered
+// placement with group id 0.
+func (fs *FS) allocGrouped(owner uint32, fileGroup uint32, ino vfs.Ino, prefAG int) (int64, uint32, error) {
+	// 1. The file's current group.
+	if phys, id, err := fs.tryGroup(fileGroup, owner); err != nil || phys != 0 {
+		return phys, id, err
+	}
+	// 2. The owning directory's current group hint.
+	din, err := fs.getInode(vfs.Ino(owner))
+	if err == nil && din.Alive() {
+		if phys, id, err := fs.tryGroup(din.Group, owner); err != nil || phys != 0 {
+			return phys, id, err
+		}
+	}
+	// 3. Any group owned by the directory with a free slot, in the AG of
+	// the directory's hint (cheap scan of one header's descriptors). A
+	// candidate can still come up empty — conventional allocations may
+	// squat on its unclaimed slots — so keep scanning on failure.
+	if ag, _, ok := fs.groupByID(din.Group); ok {
+		prefAG = ag
+	}
+	hdr, err := fs.c.Read(fs.sb.agStart(prefAG))
+	if err != nil {
+		return 0, 0, err
+	}
+	var candidates []int
+	for k := 0; k < fs.sb.groupsPerAG(); k++ {
+		d := readDesc(hdr, k)
+		if d.Owner == owner && !d.full() {
+			candidates = append(candidates, k)
+		}
+	}
+	hdr.Release()
+	for _, k := range candidates {
+		phys, id, err := fs.claimInGroup(prefAG, k, owner)
+		if err != nil || phys != 0 {
+			return phys, id, err
+		}
+	}
+	// 4. A fresh extent near the directory.
+	for i := 0; i < fs.sb.NAG; i++ {
+		ag := (prefAG + i) % fs.sb.NAG
+		hdr, err := fs.c.Read(fs.sb.agStart(ag))
+		if err != nil {
+			return 0, 0, err
+		}
+		bm := fs.blockBitmap(hdr)
+		idx := fs.findExtent(bm)
+		if idx < 0 {
+			hdr.Release()
+			continue
+		}
+		k := (idx - 1) / GroupBlocks
+		writeDesc(hdr, k, groupDesc{Owner: owner})
+		fs.c.MarkDirty(hdr)
+		hdr.Release()
+		phys, id, err := fs.claimInGroup(ag, k, owner)
+		if err != nil || phys != 0 {
+			return phys, id, err
+		}
+	}
+	// 5. No groupable space anywhere: scattered fallback.
+	phys, err := fs.allocScattered(prefAG, ino)
+	return phys, 0, err
+}
+
+// findExtent locates the first fully free group extent in a bitmap
+// (extent k covers bits [1+k*16, 1+(k+1)*16)).
+func (fs *FS) findExtent(bm layout.Bitmap) int {
+	for k := 0; k < fs.sb.groupsPerAG(); k++ {
+		base := 1 + k*GroupBlocks
+		free := true
+		for i := 0; i < GroupBlocks; i++ {
+			if bm.IsSet(base + i) {
+				free = false
+				break
+			}
+		}
+		if free {
+			return base
+		}
+	}
+	return -1
+}
+
+// tryGroup allocates from group id if it is owned by owner and has
+// space. A zero return with nil error means "try elsewhere".
+func (fs *FS) tryGroup(id, owner uint32) (int64, uint32, error) {
+	ag, k, ok := fs.groupByID(id)
+	if !ok {
+		return 0, 0, nil
+	}
+	hdr, err := fs.c.Read(fs.sb.agStart(ag))
+	if err != nil {
+		return 0, 0, err
+	}
+	d := readDesc(hdr, k)
+	hdr.Release()
+	if d.Owner != owner || d.full() {
+		return 0, 0, nil
+	}
+	return fs.claimInGroup(ag, k, owner)
+}
+
+// claimInGroup takes the lowest free slot of extent (ag, k): sequential
+// fills give physically adjacent files, the property the whole design
+// is after.
+func (fs *FS) claimInGroup(ag, k int, owner uint32) (int64, uint32, error) {
+	hdr, err := fs.c.Read(fs.sb.agStart(ag))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer hdr.Release()
+	d := readDesc(hdr, k)
+	if d.Owner != owner {
+		return 0, 0, fmt.Errorf("cffs: group (%d,%d) owner changed under allocation", ag, k)
+	}
+	bm := fs.blockBitmap(hdr)
+	base := 1 + k*GroupBlocks
+	for i := 0; i < GroupBlocks; i++ {
+		if d.Used&(1<<i) == 0 && !bm.IsSet(base+i) {
+			d.Used |= 1 << i
+			bm.Set(base + i)
+			writeDesc(hdr, k, d)
+			fs.c.MarkDirty(hdr)
+			return fs.sb.agStart(ag) + int64(base+i), fs.groupID(ag, k), nil
+		}
+	}
+	// All free slots were taken by scattered allocations squatting in
+	// the extent; report no space in this group.
+	d.Used = 1<<GroupBlocks - 1
+	writeDesc(hdr, k, d)
+	fs.c.MarkDirty(hdr)
+	return 0, 0, nil
+}
+
+// freeBlock releases a block, maintaining the group descriptor when the
+// block was grouped, and drops any cached copy.
+func (fs *FS) freeBlock(phys int64) error {
+	ag := fs.agOf(phys)
+	if ag < 0 {
+		return fmt.Errorf("cffs: free of reserved block %d", phys)
+	}
+	hdr, err := fs.c.Read(fs.sb.agStart(ag))
+	if err != nil {
+		return err
+	}
+	defer hdr.Release()
+	bm := fs.blockBitmap(hdr)
+	idx := int(phys - fs.sb.agStart(ag))
+	if idx == 0 {
+		return fmt.Errorf("cffs: free of AG header %d", phys)
+	}
+	if !bm.IsSet(idx) {
+		return fmt.Errorf("cffs: double free of block %d", phys)
+	}
+	bm.Clear(idx)
+	if _, k, start, ok := fs.locateGroup(phys); ok {
+		d := readDesc(hdr, k)
+		bit := uint16(1) << (phys - start)
+		if d.Owner != 0 && d.Used&bit != 0 {
+			d.Used &^= bit
+			if d.Used == 0 {
+				d.Owner = 0 // group dissolved
+			}
+			writeDesc(hdr, k, d)
+		}
+	}
+	fs.c.MarkDirty(hdr)
+	fs.c.Invalidate(phys)
+	return nil
+}
+
+// groupSpan returns the physical span [start, start+n) of grouped blocks
+// of the group containing phys, for a group read. ok is false when phys
+// is not part of a claimed group.
+func (fs *FS) groupSpan(phys int64) (int64, int, bool) {
+	ag, k, start, ok := fs.locateGroup(phys)
+	if !ok {
+		return 0, 0, false
+	}
+	hdr, err := fs.c.Read(fs.sb.agStart(ag))
+	if err != nil {
+		return 0, 0, false
+	}
+	d := readDesc(hdr, k)
+	hdr.Release()
+	if d.Owner == 0 || d.Used == 0 {
+		return 0, 0, false
+	}
+	// Only blocks that are actually part of the group participate in
+	// group reads; conventional allocations squatting inside the extent
+	// (e.g. the tail of a large file) are not the group's responsibility.
+	if d.Used&(1<<(phys-start)) == 0 {
+		return 0, 0, false
+	}
+	lo, hi := -1, -1
+	for i := 0; i < GroupBlocks; i++ {
+		if d.Used&(1<<i) != 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	return start + int64(lo), hi - lo + 1, true
+}
+
+// mix64 is the splitmix64 finalizer, used for scattered placement.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// FreeBlocks counts free blocks (tests and df-style tools).
+func (fs *FS) FreeBlocks() (int64, error) {
+	var total int64
+	for ag := 0; ag < fs.sb.NAG; ag++ {
+		hdr, err := fs.c.Read(fs.sb.agStart(ag))
+		if err != nil {
+			return 0, err
+		}
+		total += int64(fs.blockBitmap(hdr).CountClear())
+		hdr.Release()
+	}
+	return total, nil
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+
+	"cffs/internal/blockio"
+	"cffs/internal/cache"
+	"cffs/internal/fsck"
+	"cffs/internal/layout"
+	"cffs/internal/vfs"
+)
+
+// Check is the offline consistency checker for C-FFS images. It finds
+// every inode by walking the directory hierarchy from the root — the
+// recovery strategy the paper describes for embedded inodes — and
+// rebuilds the allocation state, comparing it against what is on disk:
+//
+//   - every block claimed by exactly one owner (file, directory,
+//     indirect block, or metadata);
+//   - block bitmaps match reachability (no lost or double-used blocks);
+//   - group descriptors consistent: used bits only on allocated blocks,
+//     owners that are live directories or emptied-out leftovers;
+//   - link counts match the number of names found;
+//   - "." and ".." entries well-formed;
+//   - external inodes all reachable (no orphans).
+//
+// With repair set, bitmaps, group descriptors, and link counts are
+// rewritten from the walk and the image is synced.
+func Check(dev *blockio.Device, repair bool) (*fsck.Report, error) {
+	fs, err := Mount(dev, Options{})
+	if err != nil {
+		return nil, err
+	}
+	r := &fsck.Report{}
+	sh := newCheckState(fs, r)
+
+	// Metadata: superblock, inode map, AG headers, inode-file blocks.
+	sh.claim(0, "superblock")
+	for b := int64(1); b <= mapBlocks; b++ {
+		sh.claim(b, "inode map")
+	}
+	for ag := 0; ag < fs.sb.NAG; ag++ {
+		sh.claim(fs.sb.agStart(ag), fmt.Sprintf("ag %d header", ag))
+	}
+	for fb := 0; fb < fs.sb.ExtBlocks; fb++ {
+		phys, _, err := fs.extLoc(fb * extInosPerBlock)
+		if err != nil {
+			return nil, err
+		}
+		sh.claim(phys, fmt.Sprintf("inode-file block %d", fb))
+	}
+
+	if err := sh.walkDir(RootIno, RootIno, "/"); err != nil {
+		return nil, err
+	}
+	sh.finish()
+	if repair && !r.Clean() {
+		if err := sh.repair(); err != nil {
+			return nil, err
+		}
+	}
+	r.UsedBlocks = len(sh.used)
+	return r, nil
+}
+
+// checkState carries the walk.
+type checkState struct {
+	fs      *FS
+	r       *fsck.Report
+	used    map[int64]string // block -> first owner description
+	extSeen map[int]int      // external idx -> names found
+	extLink map[int]int      // external idx -> on-disk nlink
+	visited map[int]bool     // directories walked (by external idx)
+}
+
+func newCheckState(fs *FS, r *fsck.Report) *checkState {
+	return &checkState{
+		fs:      fs,
+		r:       r,
+		used:    make(map[int64]string),
+		extSeen: make(map[int]int),
+		extLink: make(map[int]int),
+		visited: make(map[int]bool),
+	}
+}
+
+func (s *checkState) claim(block int64, owner string) {
+	if prev, ok := s.used[block]; ok {
+		s.r.Problems = append(s.r.Problems,
+			fmt.Sprintf("block %d claimed by both %s and %s", block, prev, owner))
+		return
+	}
+	s.used[block] = owner
+}
+
+func (s *checkState) has(block int64) bool {
+	_, ok := s.used[block]
+	return ok
+}
+
+// walkDir checks one directory and recurses into subdirectories.
+func (s *checkState) walkDir(dir, parent vfs.Ino, path string) error {
+	idx := extIdx(dir)
+	if s.visited[idx] {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: directory cycle at inode %d", path, idx))
+		return nil
+	}
+	s.visited[idx] = true
+	s.r.Dirs++
+
+	in, err := s.fs.getInode(dir)
+	if err != nil {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: unreadable inode: %v", path, err))
+		return nil
+	}
+	if in.Type != vfs.TypeDir {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: not a directory (type %v)", path, in.Type))
+		return nil
+	}
+	s.extLink[idx] = int(in.Nlink)
+	s.claimFileBlocks(&in, dir, path)
+
+	var dotOK, dotdotOK bool
+	_, err = s.fs.forEachSlot(&in, dir, func(_ *cache.Buf, e slotEntry, used bool) bool {
+		if !used {
+			return false
+		}
+		switch e.name {
+		case ".":
+			dotOK = !e.embedded && e.ref == uint32(dir)
+		case "..":
+			dotdotOK = !e.embedded && e.ref == uint32(parent)
+		default:
+			s.checkEntry(dir, e, path)
+		}
+		return false
+	})
+	if err != nil {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: walk failed: %v", path, err))
+		return nil
+	}
+	if !dotOK {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bad or missing \".\"", path))
+	}
+	if !dotdotOK {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bad or missing \"..\"", path))
+	}
+	// Recurse after the slot scan so buffers are not pinned during it.
+	ents, err := s.fs.dirList(&in, dir)
+	if err != nil {
+		return err
+	}
+	nsub := 0
+	for _, e := range ents {
+		if e.Type == vfs.TypeDir {
+			nsub++
+			if err := s.walkDir(e.Ino, dir, path+e.Name+"/"); err != nil {
+				return err
+			}
+		}
+	}
+	if int(in.Nlink) != 2+nsub {
+		s.r.Problems = append(s.r.Problems,
+			fmt.Sprintf("%s: nlink %d, expected %d", path, in.Nlink, 2+nsub))
+	}
+	return nil
+}
+
+// checkEntry validates one live non-dot entry.
+func (s *checkState) checkEntry(dir vfs.Ino, e slotEntry, path string) {
+	name := path + e.name
+	if e.embedded {
+		ino := e.ino()
+		in, err := s.fs.getInode(ino)
+		if err != nil || !in.Alive() {
+			s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: unreadable embedded inode", name))
+			return
+		}
+		if in.Type != vfs.TypeReg {
+			s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: embedded inode of type %v", name, in.Type))
+		}
+		if in.Nlink != 1 {
+			s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: embedded inode with nlink %d", name, in.Nlink))
+		}
+		s.r.Files++
+		s.claimFileBlocks(&in, ino, name)
+		return
+	}
+	idx := int(e.ref) - 1
+	s.extSeen[idx]++
+	if e.ftype == vfs.TypeDir {
+		return // walked by caller
+	}
+	if s.extSeen[idx] > 1 {
+		return // blocks already claimed via the first name
+	}
+	in, err := s.fs.getInode(vfs.Ino(e.ref))
+	if err != nil || !in.Alive() {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: dangling external inode %d", name, e.ref))
+		return
+	}
+	s.extLink[idx] = int(in.Nlink)
+	s.r.Files++
+	s.claimFileBlocks(&in, vfs.Ino(e.ref), name)
+}
+
+// claimFileBlocks claims every block reachable from an inode.
+func (s *checkState) claimFileBlocks(in *layout.Inode, ino vfs.Ino, name string) {
+	nblocks := (in.Size + blockio.BlockSize - 1) / blockio.BlockSize
+	counted := uint32(0)
+	for lb := int64(0); lb < nblocks; lb++ {
+		phys, err := s.fs.bmap(in, ino, lb, false)
+		if err != nil {
+			s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bmap(%d): %v", name, lb, err))
+			return
+		}
+		if phys != 0 {
+			s.claim(phys, name)
+			counted++
+		}
+	}
+	if in.Indir != 0 {
+		s.claim(int64(in.Indir), name+" (indirect)")
+		counted++
+	}
+	if in.DIndir != 0 {
+		s.claim(int64(in.DIndir), name+" (double indirect)")
+		counted++
+		db, err := s.fs.c.Read(int64(in.DIndir))
+		if err == nil {
+			le := leBytes{db.Data}
+			for k := 0; k < layout.PtrsPerBlock; k++ {
+				if p := le.u32(k * 4); p != 0 {
+					s.claim(int64(p), name+" (indirect level 2)")
+					counted++
+				}
+			}
+			db.Release()
+		}
+	}
+	if counted != in.NBlocks {
+		s.r.Problems = append(s.r.Problems,
+			fmt.Sprintf("%s: NBlocks %d, found %d", name, in.NBlocks, counted))
+	}
+}
+
+// finish compares the rebuilt state against the on-disk bitmaps, group
+// descriptors, and external inode liveness.
+func (s *checkState) finish() {
+	fs, r := s.fs, s.r
+	// External inode liveness vs names found.
+	for idx := 0; idx < fs.sb.ExtBlocks*extInosPerBlock; idx++ {
+		live := fs.extFree[idx/64]&(1<<(idx%64)) != 0
+		seen := s.extSeen[idx] > 0 || s.visited[idx]
+		switch {
+		case live && !seen:
+			r.Problems = append(r.Problems, fmt.Sprintf("orphan external inode %d", idx))
+		case !live && seen:
+			r.Problems = append(r.Problems, fmt.Sprintf("referenced external inode %d is dead", idx))
+		}
+		if seen && !s.visited[idx] {
+			if want, got := s.extSeen[idx], s.extLink[idx]; want != got {
+				r.Problems = append(r.Problems,
+					fmt.Sprintf("external inode %d: nlink %d, found %d names", idx, got, want))
+			}
+		}
+	}
+	// Bitmaps and group descriptors.
+	for ag := 0; ag < fs.sb.NAG; ag++ {
+		hdr, err := fs.c.Read(fs.sb.agStart(ag))
+		if err != nil {
+			r.Problems = append(r.Problems, fmt.Sprintf("ag %d: unreadable header: %v", ag, err))
+			continue
+		}
+		bm := fs.blockBitmap(hdr)
+		for i := 0; i < fs.sb.AGBlocks; i++ {
+			phys := fs.sb.agStart(ag) + int64(i)
+			if phys >= fs.sb.NBlocks {
+				break
+			}
+			inUse := s.has(phys)
+			marked := bm.IsSet(i)
+			if inUse && !marked {
+				r.Problems = append(r.Problems, fmt.Sprintf("block %d in use but free in bitmap", phys))
+			}
+			if !inUse && marked {
+				r.Problems = append(r.Problems, fmt.Sprintf("block %d lost (marked but unreferenced)", phys))
+			}
+		}
+		for k := 0; k < fs.sb.groupsPerAG(); k++ {
+			d := readDesc(hdr, k)
+			if d.Owner == 0 && d.Used != 0 {
+				r.Problems = append(r.Problems, fmt.Sprintf("ag %d group %d: used bits without owner", ag, k))
+				continue
+			}
+			if d.Owner != 0 && d.Used == 0 {
+				r.Problems = append(r.Problems, fmt.Sprintf("ag %d group %d: empty group still owned", ag, k))
+			}
+			start := fs.sb.dataStart(ag) + int64(k)*GroupBlocks
+			for i := 0; i < GroupBlocks; i++ {
+				if d.Used&(1<<i) != 0 && !s.has(start+int64(i)) {
+					r.Problems = append(r.Problems,
+						fmt.Sprintf("ag %d group %d: grouped block %d unreferenced", ag, k, start+int64(i)))
+				}
+			}
+		}
+		hdr.Release()
+	}
+}
+
+// repair rewrites bitmaps, descriptors, and link counts from the walk.
+func (s *checkState) repair() error {
+	fs, r := s.fs, s.r
+	for ag := 0; ag < fs.sb.NAG; ag++ {
+		hdr, err := fs.c.Read(fs.sb.agStart(ag))
+		if err != nil {
+			return err
+		}
+		bm := fs.blockBitmap(hdr)
+		for i := 0; i < fs.sb.AGBlocks; i++ {
+			phys := fs.sb.agStart(ag) + int64(i)
+			if phys >= fs.sb.NBlocks {
+				break
+			}
+			if s.has(phys) != bm.IsSet(i) {
+				if s.has(phys) {
+					bm.Set(i)
+				} else {
+					bm.Clear(i)
+				}
+				r.RepairsMade++
+			}
+		}
+		// Drop group state not backed by referenced blocks.
+		for k := 0; k < fs.sb.groupsPerAG(); k++ {
+			d := readDesc(hdr, k)
+			start := fs.sb.dataStart(ag) + int64(k)*GroupBlocks
+			fixed := d
+			for i := 0; i < GroupBlocks; i++ {
+				if d.Used&(1<<i) != 0 && !s.has(start+int64(i)) {
+					fixed.Used &^= 1 << i
+				}
+			}
+			if fixed.Used == 0 {
+				fixed.Owner = 0
+			}
+			if fixed != d {
+				writeDesc(hdr, k, fixed)
+				r.RepairsMade++
+			}
+		}
+		fs.c.MarkDirty(hdr)
+		hdr.Release()
+	}
+	return fs.c.Sync()
+}

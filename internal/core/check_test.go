@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/layout"
+	"cffs/internal/vfs"
+)
+
+// populate builds a small tree with files, subdirectories, a hard link,
+// and a large file, then syncs.
+func populate(t *testing.T, fs *FS) {
+	t.Helper()
+	for i := 0; i < 10; i++ {
+		if err := vfs.WriteFile(fs, fmt.Sprintf("/file%d", i), make([]byte, 1024*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := vfs.MkdirAll(fs, "/sub/deeper"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/sub/deeper/leaf", make([]byte, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/big", make([]byte, 20*blockio.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	ino, err := vfs.Walk(fs, "/file0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link(fs.Root(), "hardlink", ino); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCleanAllConfigs(t *testing.T) {
+	for _, cfg := range []Options{
+		{},
+		{EmbedInodes: true},
+		{Grouping: true},
+		{EmbedInodes: true, Grouping: true},
+	} {
+		cfg.Mode = ModeDelayed
+		fs := newCFFS(t, cfg)
+		populate(t, fs)
+		rep, err := Check(fs.Device(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Clean() {
+			t.Fatalf("%s: fresh image not clean: %v", cfg.Config(), rep.Problems)
+		}
+		if rep.Files != 12 || rep.Dirs != 3 {
+			t.Fatalf("%s: found %d files %d dirs, want 12/3", cfg.Config(), rep.Files, rep.Dirs)
+		}
+	}
+}
+
+func TestCheckDetectsLostBlock(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Grouping: true, Mode: ModeDelayed})
+	populate(t, fs)
+	// Mark a free block as allocated directly in an AG bitmap.
+	hdrBlock := fs.sb.agStart(0)
+	raw := make([]byte, blockio.BlockSize)
+	if err := fs.Device().ReadBlock(hdrBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	bm := layout.NewBitmap(raw[agBmapOff:], fs.sb.AGBlocks)
+	victim := bm.FindClear(100)
+	if victim < 0 {
+		t.Fatal("no free block to corrupt")
+	}
+	bm.Set(victim)
+	if err := fs.Device().WriteBlock(hdrBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("lost block not detected")
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "lost") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no lost-block problem in %v", rep.Problems)
+	}
+	// Repair and re-check.
+	if _, err := Check(fs.Device(), true); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("image not clean after repair: %v", rep.Problems)
+	}
+}
+
+func TestCheckDetectsMissingBitmapBit(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Grouping: true, Mode: ModeDelayed})
+	populate(t, fs)
+	// Find an allocated data block via a file inode and clear its bit.
+	ino, err := vfs.Walk(fs, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := fs.getLiveInode(ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := int64(in.Direct[0])
+	ag := fs.agOf(phys)
+	hdrBlock := fs.sb.agStart(ag)
+	raw := make([]byte, blockio.BlockSize)
+	if err := fs.Device().ReadBlock(hdrBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	layout.NewBitmap(raw[agBmapOff:], fs.sb.AGBlocks).Clear(int(phys - hdrBlock))
+	if err := fs.Device().WriteBlock(hdrBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("in-use-but-free block not detected")
+	}
+}
+
+func TestCheckDetectsOrphanExternalInode(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Mode: ModeDelayed})
+	populate(t, fs)
+	// Plant a live inode in a free external slot, bypassing the FS.
+	phys, _, err := fs.extLoc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, blockio.BlockSize)
+	if err := fs.Device().ReadBlock(phys, raw); err != nil {
+		t.Fatal(err)
+	}
+	slot := -1
+	for s := 0; s < extInosPerBlock; s++ {
+		var in layout.Inode
+		in.Decode(raw[s*layout.InodeSize:])
+		if !in.Alive() {
+			slot = s
+			break
+		}
+	}
+	if slot < 0 {
+		t.Skip("no free slot in first inode-file block")
+	}
+	orphan := layout.Inode{Type: vfs.TypeReg, Nlink: 1}
+	orphan.Encode(raw[slot*layout.InodeSize:])
+	if err := fs.Device().WriteBlock(phys, raw); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "orphan") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("orphan inode not detected: %v", rep.Problems)
+	}
+}
+
+func TestCheckDetectsStaleGroupDescriptor(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Grouping: true, Mode: ModeDelayed})
+	populate(t, fs)
+	// Claim a group descriptor with used bits pointing at free blocks.
+	hdrBlock := fs.sb.agStart(fs.sb.NAG - 1)
+	raw := make([]byte, blockio.BlockSize)
+	if err := fs.Device().ReadBlock(hdrBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	le := leBytes{raw}
+	k := fs.sb.groupsPerAG() - 1
+	le.pu32(agDescOff+k*8, 1)     // owner: root
+	le.pu16(agDescOff+k*8+4, 0x5) // two used bits, blocks not allocated
+	if err := fs.Device().WriteBlock(hdrBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("bad group descriptor not detected")
+	}
+	if _, err := Check(fs.Device(), true); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ = Check(fs.Device(), false)
+	if !rep.Clean() {
+		t.Fatalf("descriptor not repaired: %v", rep.Problems)
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Mode: ModeDelayed})
+	populate(t, fs)
+	rep, err := Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary()
+	if !strings.Contains(s, "clean") || !strings.Contains(s, "12 files") {
+		t.Fatalf("Summary = %q", s)
+	}
+}

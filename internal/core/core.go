@@ -1,0 +1,403 @@
+// Package core implements C-FFS, the co-locating fast file system of
+// Ganger & Kaashoek (USENIX 1997): embedded inodes and explicit grouping.
+//
+// Embedded inodes: the inode of a single-link regular file lives inside
+// its directory, in the same 256-byte entry slot as its name — and never
+// crossing a sector boundary, so the name/inode pair is updated
+// atomically by a single disk write. Directories and multi-link files
+// keep externalized inodes in a growable inode file (like the BSD-LFS
+// IFILE). One disk request fetches a directory's names *and* all of its
+// embedded inodes.
+//
+// Explicit grouping: data blocks of small files named by the same
+// directory are allocated inside a physically contiguous, aligned group
+// of 16 blocks (64 KB) and moved between memory and disk as one request:
+// reading any block of a group brings in the whole group (scattered into
+// the cache by physical address), and delayed writes to a group leave
+// the queue as one clustered write.
+//
+// Both techniques are independent Options flags, giving the paper's
+// four-way comparison grid: conventional (both off), embedded-only,
+// grouping-only, and C-FFS (both on) — all sharing every other line of
+// this package.
+package core
+
+import (
+	"fmt"
+
+	"cffs/internal/blockio"
+	"cffs/internal/cache"
+	"cffs/internal/layout"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+)
+
+// Magic identifies a C-FFS superblock.
+const Magic = 0x0CFF_5C01
+
+// Mode selects the metadata integrity strategy (same semantics as the
+// baseline: ModeSync orders metadata with synchronous writes, ModeDelayed
+// emulates soft updates with delayed writes, as the paper's Figure 6
+// does).
+type Mode int
+
+const (
+	ModeSync Mode = iota
+	ModeDelayed
+)
+
+func (m Mode) String() string {
+	if m == ModeSync {
+		return "sync"
+	}
+	return "delayed"
+}
+
+const (
+	// mapBlocks is the size of the inode-map region: each map block
+	// holds 1024 pointers to inode-file blocks, each of which holds 32
+	// inodes, so 8 map blocks address 256Ki external inodes.
+	mapBlocks = 8
+
+	// GroupBlocks is the explicit-grouping group size: 16 blocks =
+	// 64 KB, matching the paper and the driver's transfer cap.
+	GroupBlocks = 16
+
+	// agHeaderOff* lay out the allocation-group header block.
+	agBmapOff = 64  // block bitmap
+	agDescOff = 320 // group descriptor table (8 bytes per group)
+)
+
+// Options configures mkfs/mount. EmbedInodes and Grouping are persisted
+// in the superblock at mkfs time; Mount verifies they match.
+type Options struct {
+	EmbedInodes bool
+	Grouping    bool
+	// Immediate stores files that fit the inode's spare bytes
+	// (layout.InlineSize) inside the inode itself — immediate files
+	// [Mullender84], the earlier co-location technique the paper
+	// relates to. With embedding on, a tiny file then lives entirely
+	// inside its directory block. Reads understand inline data
+	// regardless of this flag; the flag gates its creation.
+	Immediate bool
+	// Readahead, when positive, prefetches up to this many physically
+	// contiguous blocks of a file on a read miss (one scatter request).
+	// The paper's prototype "currently does not support prefetching";
+	// this is the natural extension for large-file reads, where grouping
+	// deliberately does nothing.
+	Readahead int
+	// AdaptiveGroupRead fetches a whole group only on the second recent
+	// touch of that group; the first touch reads one block. Directory
+	// scans still get group reads (from the second file on), while
+	// uniformly random traffic — where fetching 64 KB per 4 KB wanted
+	// thrashes the cache — degrades gracefully to per-block reads. The
+	// paper moves groups "as a unit ... in most cases"; this is one such
+	// policy. Off by default to keep the paper-faithful behaviour.
+	AdaptiveGroupRead bool
+	Mode              Mode
+	CacheBlocks       int // buffer cache capacity; default 2048 (8 MB)
+	AGBlocks          int // blocks per allocation group; default 2048 (8 MB)
+}
+
+func (o *Options) fill() error {
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 2048
+	}
+	if o.AGBlocks == 0 {
+		o.AGBlocks = 2048
+	}
+	if o.AGBlocks < 64 || o.AGBlocks > 16384 {
+		return fmt.Errorf("cffs: AGBlocks %d outside [64,16384]", o.AGBlocks)
+	}
+	return nil
+}
+
+// Config returns the paper's name for an option combination.
+func (o Options) Config() string {
+	switch {
+	case o.EmbedInodes && o.Grouping:
+		return "C-FFS"
+	case o.EmbedInodes:
+		return "embedded-only"
+	case o.Grouping:
+		return "grouping-only"
+	}
+	return "conventional"
+}
+
+// super is the on-disk superblock (block 0).
+type super struct {
+	NBlocks   int64
+	AGBlocks  int
+	NAG       int
+	ExtBlocks int // allocated inode-file blocks
+	Embed     bool
+	Grouping  bool
+}
+
+func (s *super) agStart(ag int) int64 { return int64(1+mapBlocks) + int64(ag)*int64(s.AGBlocks) }
+
+// dataStart is the first groupable block of an allocation group (right
+// after its header block).
+func (s *super) dataStart(ag int) int64 { return s.agStart(ag) + 1 }
+
+// groupsPerAG is how many aligned group extents fit the data area.
+func (s *super) groupsPerAG() int { return (s.AGBlocks - 1) / GroupBlocks }
+
+func (s *super) encode(p []byte) {
+	le := leBytes{p}
+	le.pu32(0, Magic)
+	le.pu64(8, uint64(s.NBlocks))
+	le.pu32(16, uint32(s.AGBlocks))
+	le.pu32(20, uint32(s.NAG))
+	le.pu32(24, uint32(s.ExtBlocks))
+	var flags uint32
+	if s.Embed {
+		flags |= 1
+	}
+	if s.Grouping {
+		flags |= 2
+	}
+	le.pu32(28, flags)
+}
+
+func (s *super) decode(p []byte) error {
+	le := leBytes{p}
+	if le.u32(0) != Magic {
+		return fmt.Errorf("cffs: bad superblock magic %#x", le.u32(0))
+	}
+	s.NBlocks = int64(le.u64(8))
+	s.AGBlocks = int(le.u32(16))
+	s.NAG = int(le.u32(20))
+	s.ExtBlocks = int(le.u32(24))
+	flags := le.u32(28)
+	s.Embed = flags&1 != 0
+	s.Grouping = flags&2 != 0
+	return nil
+}
+
+// leBytes is a little-endian accessor over a byte slice.
+type leBytes struct{ p []byte }
+
+func (b leBytes) pu16(off int, v uint16) {
+	b.p[off] = byte(v)
+	b.p[off+1] = byte(v >> 8)
+}
+func (b leBytes) u16(off int) uint16 {
+	return uint16(b.p[off]) | uint16(b.p[off+1])<<8
+}
+func (b leBytes) pu32(off int, v uint32) {
+	b.pu16(off, uint16(v))
+	b.pu16(off+2, uint16(v>>16))
+}
+func (b leBytes) u32(off int) uint32 {
+	return uint32(b.u16(off)) | uint32(b.u16(off+2))<<16
+}
+func (b leBytes) pu64(off int, v uint64) {
+	b.pu32(off, uint32(v))
+	b.pu32(off+4, uint32(v>>32))
+}
+func (b leBytes) u64(off int) uint64 {
+	return uint64(b.u32(off)) | uint64(b.u32(off+4))<<32
+}
+
+// FS is a mounted C-FFS.
+type FS struct {
+	dev  *blockio.Device
+	c    *cache.Cache
+	clk  *sim.Clock
+	sb   super
+	opts Options
+
+	extFree    []uint64 // in-memory free bitmap over external inode slots
+	extBlkPhys []int64  // physical location of each inode-file block
+	sbDirty    bool     // superblock fields changed since last writeSuper
+	dirRotor   int      // next allocation group for a new directory
+
+	// Adaptive group-read recency window (see Options.AdaptiveGroupRead).
+	recentGroups map[uint32]bool
+	recentOrder  []uint32
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+var _ vfs.Flusher = (*FS)(nil)
+
+// RootIno is the root directory's inode number (external slot 0).
+const RootIno vfs.Ino = 1
+
+// Mkfs initializes a C-FFS on the device and returns it mounted.
+func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	nblocks := dev.Blocks()
+	nag := int((nblocks - int64(1+mapBlocks)) / int64(opts.AGBlocks))
+	if nag < 1 {
+		return nil, fmt.Errorf("cffs: device of %d blocks too small", nblocks)
+	}
+	fs := &FS{
+		dev:  dev,
+		c:    cache.New(dev, opts.CacheBlocks),
+		clk:  dev.Disk().Clock(),
+		opts: opts,
+		sb: super{
+			NBlocks:  nblocks,
+			AGBlocks: opts.AGBlocks,
+			NAG:      nag,
+			Embed:    opts.EmbedInodes,
+			Grouping: opts.Grouping,
+		},
+	}
+	// Zero the inode map.
+	for blk := int64(1); blk <= mapBlocks; blk++ {
+		b, err := fs.c.Alloc(blk)
+		if err != nil {
+			return nil, err
+		}
+		for i := range b.Data {
+			b.Data[i] = 0
+		}
+		fs.c.MarkDirty(b)
+		b.Release()
+	}
+	// Allocation-group headers: the header block itself is allocated.
+	for ag := 0; ag < nag; ag++ {
+		hdr, err := fs.c.Alloc(fs.sb.agStart(ag))
+		if err != nil {
+			return nil, err
+		}
+		for i := range hdr.Data {
+			hdr.Data[i] = 0
+		}
+		fs.blockBitmap(hdr).Set(0)
+		fs.c.MarkDirty(hdr)
+		hdr.Release()
+	}
+	// Root directory at external slot 0.
+	rootIdx, err := fs.allocExtInode(0)
+	if err != nil {
+		return nil, err
+	}
+	if rootIdx != 0 {
+		return nil, fmt.Errorf("cffs: root allocated ext slot %d, want 0", rootIdx)
+	}
+	root := layout.Inode{Type: vfs.TypeDir, Nlink: 2, Mtime: fs.clk.Now()}
+	if err := fs.initDirData(&root, RootIno, RootIno); err != nil {
+		return nil, err
+	}
+	if err := fs.putInode(RootIno, &root, false); err != nil {
+		return nil, err
+	}
+	fs.sbDirty = true
+	if err := fs.writeSuper(); err != nil {
+		return nil, err
+	}
+	if err := fs.c.Sync(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Mount opens an existing C-FFS. The EmbedInodes/Grouping options are
+// taken from the superblock; Mode and cache size from opts.
+func Mount(dev *blockio.Device, opts Options) (*FS, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		dev:  dev,
+		c:    cache.New(dev, opts.CacheBlocks),
+		clk:  dev.Disk().Clock(),
+		opts: opts,
+	}
+	sb, err := fs.c.Read(0)
+	if err != nil {
+		return nil, err
+	}
+	err = fs.sb.decode(sb.Data)
+	sb.Release()
+	if err != nil {
+		return nil, err
+	}
+	fs.opts.EmbedInodes = fs.sb.Embed
+	fs.opts.Grouping = fs.sb.Grouping
+	if err := fs.scanExtInodes(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// writeSuper rewrites the cached superblock (delayed). It is a no-op
+// unless a superblock field actually changed — a cold Sync must not pay
+// a seek to block 0 for nothing.
+func (fs *FS) writeSuper() error {
+	if !fs.sbDirty {
+		return nil
+	}
+	b, err := fs.c.Read(0)
+	if err != nil {
+		return err
+	}
+	defer b.Release()
+	fs.sb.encode(b.Data)
+	fs.c.MarkDirty(b)
+	fs.sbDirty = false
+	return nil
+}
+
+// Root implements vfs.FileSystem.
+func (fs *FS) Root() vfs.Ino { return RootIno }
+
+// Options returns the active configuration.
+func (fs *FS) Options() Options { return fs.opts }
+
+// Cache returns the buffer cache.
+func (fs *FS) Cache() *cache.Cache { return fs.c }
+
+// Device returns the block device.
+func (fs *FS) Device() *blockio.Device { return fs.dev }
+
+// Sync implements vfs.FileSystem.
+func (fs *FS) Sync() error {
+	if err := fs.writeSuper(); err != nil {
+		return err
+	}
+	return fs.c.Sync()
+}
+
+// Flush implements vfs.Flusher.
+func (fs *FS) Flush() error {
+	if err := fs.writeSuper(); err != nil {
+		return err
+	}
+	return fs.c.Flush()
+}
+
+// Close implements vfs.FileSystem.
+func (fs *FS) Close() error { return fs.Sync() }
+
+// syncMeta writes a metadata buffer through in ModeSync, or leaves it
+// delayed in ModeDelayed.
+func (fs *FS) syncMeta(b *cache.Buf) error {
+	fs.c.MarkDirty(b)
+	if fs.opts.Mode == ModeSync {
+		return fs.c.WriteSync(b)
+	}
+	return nil
+}
+
+// DebugLoc reports where an inode's first data block and the inode
+// itself live on disk; experiment diagnostics only.
+func (fs *FS) DebugLoc(ino vfs.Ino) (dataBlock, inodeBlock int64) {
+	in, err := fs.getInode(ino)
+	if err != nil {
+		return -1, -1
+	}
+	b, _, err := fs.inodeBuf(ino)
+	if err != nil {
+		return int64(in.Direct[0]), -1
+	}
+	phys := b.Block
+	b.Release()
+	return int64(in.Direct[0]), phys
+}

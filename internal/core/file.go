@@ -1,0 +1,200 @@
+package core
+
+import (
+	"cffs/internal/blockio"
+	"cffs/internal/cache"
+	"cffs/internal/layout"
+	"cffs/internal/vfs"
+)
+
+// File data I/O. The read path implements the group read: a cache miss
+// on any grouped block fetches the whole allocated span of its group in
+// one disk request, scattering every block into the cache by physical
+// address (no back-translation — the dual-indexed cache absorbs them,
+// and later logical accesses find them via the owning inodes). Writes
+// are delayed; grouped blocks leave the write queue as one clustered
+// request because they are physically adjacent.
+
+// ReadAt implements vfs.FileSystem.
+func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	in, err := fs.getLiveInode(ino)
+	if err != nil {
+		return 0, err
+	}
+	if in.Type == vfs.TypeDir {
+		return 0, vfs.ErrIsDir
+	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	if off >= in.Size {
+		return 0, nil
+	}
+	if max := in.Size - off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	if isInline(&in) {
+		// Immediate file: the contents live in the inode itself.
+		return copy(p, in.Inline[off:in.Size]), nil
+	}
+	read := 0
+	for read < len(p) {
+		lb := (off + int64(read)) / blockio.BlockSize
+		bo := int((off + int64(read)) % blockio.BlockSize)
+		n := blockio.BlockSize - bo
+		if n > len(p)-read {
+			n = len(p) - read
+		}
+		phys, err := fs.bmap(&in, ino, lb, false)
+		if err != nil {
+			return read, err
+		}
+		if phys == 0 {
+			for i := 0; i < n; i++ {
+				p[read+i] = 0
+			}
+		} else {
+			b, err := fs.readFileBlock(&in, ino, lb, phys)
+			if err != nil {
+				return read, err
+			}
+			fs.c.SetID(b, cache.ID{Ino: uint64(ino), LBlock: lb})
+			copy(p[read:read+n], b.Data[bo:])
+			b.Release()
+		}
+		read += n
+	}
+	return read, nil
+}
+
+// WriteAt implements vfs.FileSystem.
+func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	in, err := fs.getLiveInode(ino)
+	if err != nil {
+		return 0, err
+	}
+	if in.Type == vfs.TypeDir {
+		return 0, vfs.ErrIsDir
+	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	end := off + int64(len(p))
+	if fs.opts.Immediate && end <= layout.InlineSize && in.NBlocks == 0 && in.Direct[0] == 0 {
+		// The whole file fits the inode: no data blocks at all. With
+		// embedded inodes this makes a tiny file's create+data a single
+		// directory-block write.
+		copy(in.Inline[off:], p)
+		if end > in.Size {
+			in.Size = end
+		}
+		in.Mtime = fs.clk.Now()
+		return len(p), fs.putInode(ino, &in, false)
+	}
+	if isInline(&in) {
+		// Outgrowing (or bypassing) the inline form: spill to a block.
+		if err := fs.spillInline(&in, ino); err != nil {
+			return 0, err
+		}
+	}
+	written := 0
+	for written < len(p) {
+		pos := off + int64(written)
+		lb := pos / blockio.BlockSize
+		bo := int(pos % blockio.BlockSize)
+		n := blockio.BlockSize - bo
+		if n > len(p)-written {
+			n = len(p) - written
+		}
+		prior, err := fs.bmap(&in, ino, lb, false)
+		if err != nil {
+			return written, err
+		}
+		phys, err := fs.bmap(&in, ino, lb, true)
+		if err != nil {
+			return written, err
+		}
+		var b *cache.Buf
+		fullBlock := bo == 0 && n == blockio.BlockSize
+		if fullBlock || prior == 0 {
+			b, err = fs.c.Alloc(phys)
+			if err == nil && !fullBlock {
+				for i := range b.Data {
+					b.Data[i] = 0
+				}
+			}
+		} else {
+			b, err = fs.readBlockGrouped(phys)
+		}
+		if err != nil {
+			return written, err
+		}
+		copy(b.Data[bo:bo+n], p[written:written+n])
+		fs.c.SetID(b, cache.ID{Ino: uint64(ino), LBlock: lb})
+		fs.c.MarkDirty(b)
+		b.Release()
+		written += n
+		if pos+int64(n) > in.Size {
+			in.Size = pos + int64(n)
+		}
+	}
+	in.Mtime = fs.clk.Now()
+	return written, fs.putInode(ino, &in, false)
+}
+
+// readFileBlock fetches one file data block, applying the group-read
+// policy for grouped blocks and, for ungrouped ones, sequential
+// readahead: on a miss, up to Options.Readahead physically contiguous
+// blocks of the same file come in with one scatter request.
+func (fs *FS) readFileBlock(in *layout.Inode, ino vfs.Ino, lb, phys int64) (*cache.Buf, error) {
+	if fs.opts.Readahead > 0 && fs.c.Peek(phys) == nil {
+		if _, _, ok := fs.groupSpan(phys); !ok {
+			run := int64(1)
+			fileBlocks := (in.Size + blockio.BlockSize - 1) / blockio.BlockSize
+			for run < int64(fs.opts.Readahead) && lb+run < fileBlocks {
+				np, err := fs.bmap(in, ino, lb+run, false)
+				if err != nil || np != phys+run {
+					break
+				}
+				run++
+			}
+			if run > 1 {
+				if err := fs.c.ReadRun(phys, int(run)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return fs.readBlockGrouped(phys)
+}
+
+// isInline reports whether a regular file's contents are stored in the
+// inode's spare bytes (immediate file).
+func isInline(in *layout.Inode) bool {
+	return in.Type == vfs.TypeReg && in.Size > 0 &&
+		in.Size <= layout.InlineSize && in.NBlocks == 0 && in.Direct[0] == 0
+}
+
+// spillInline moves an immediate file's data into a freshly allocated
+// first block, clearing the inline area. The caller holds the inode and
+// writes it back.
+func (fs *FS) spillInline(in *layout.Inode, ino vfs.Ino) error {
+	phys, err := fs.bmap(in, ino, 0, true)
+	if err != nil {
+		return err
+	}
+	b, err := fs.c.Alloc(phys)
+	if err != nil {
+		return err
+	}
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+	copy(b.Data, in.Inline[:in.Size])
+	fs.c.MarkDirty(b)
+	b.Release()
+	for i := range in.Inline {
+		in.Inline[i] = 0
+	}
+	return nil
+}

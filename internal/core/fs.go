@@ -1,0 +1,536 @@
+package core
+
+import (
+	"fmt"
+
+	"cffs/internal/layout"
+	"cffs/internal/vfs"
+)
+
+// Namespace operations. With embedded inodes, a create or delete of a
+// single-link regular file touches exactly one metadata block — the
+// directory block holding both the name and the inode — so ModeSync pays
+// one ordered write where the conventional scheme pays two.
+
+// Lookup implements vfs.FileSystem.
+func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return 0, err
+	}
+	b, e, err := fs.dirLookup(&din, dir, name)
+	if err != nil {
+		return 0, err
+	}
+	b.Release()
+	return e.ino(), nil
+}
+
+// dirInode fetches an inode and checks it is a directory.
+func (fs *FS) dirInode(dir vfs.Ino) (layout.Inode, error) {
+	din, err := fs.getLiveInode(dir)
+	if err != nil {
+		return din, err
+	}
+	if din.Type != vfs.TypeDir {
+		return din, fmt.Errorf("cffs: inode %#x: %w", uint64(dir), vfs.ErrNotDir)
+	}
+	return din, nil
+}
+
+// Create implements vfs.FileSystem.
+func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
+	if err := checkName(name); err != nil {
+		return 0, err
+	}
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return 0, err
+	}
+	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
+		b.Release()
+		return 0, fmt.Errorf("cffs: create %q: %w", name, vfs.ErrExist)
+	}
+	now := fs.clk.Now()
+	in := layout.Inode{Type: vfs.TypeReg, Nlink: 1, Mtime: now, Parent: uint32(dir)}
+
+	if fs.opts.EmbedInodes {
+		// One ordered write: name and inode land together.
+		b, slot, err := fs.dirFindFree(&din, dir)
+		if err != nil {
+			return 0, err
+		}
+		writeSlotEmbedded(b.Data, slot.slot*slotSize, name, &in)
+		if err := fs.syncMeta(b); err != nil {
+			b.Release()
+			return 0, err
+		}
+		b.Release()
+		din.Mtime = now
+		if err := fs.putInode(dir, &din, false); err != nil {
+			return 0, err
+		}
+		return embedIno(slot.block, slot.slot), nil
+	}
+
+	// Conventional two ordered writes: inode first, then the name.
+	idx, err := fs.allocExtInode(fs.homeAG(&din, dir))
+	if err != nil {
+		return 0, err
+	}
+	ino := vfs.Ino(idx + 1)
+	if err := fs.putInode(ino, &in, true); err != nil {
+		return 0, err
+	}
+	b, slot, err := fs.dirFindFree(&din, dir)
+	if err != nil {
+		return 0, err
+	}
+	writeSlotExternal(b.Data, slot.slot*slotSize, name, ino, vfs.TypeReg)
+	if err := fs.syncMeta(b); err != nil {
+		b.Release()
+		return 0, err
+	}
+	b.Release()
+	din.Mtime = now
+	return ino, fs.putInode(dir, &din, false)
+}
+
+// Mkdir implements vfs.FileSystem. Directory inodes are always external
+// (they are pointed to by "." and ".." and may be multiply referenced).
+func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
+	if err := checkName(name); err != nil {
+		return 0, err
+	}
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return 0, err
+	}
+	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
+		b.Release()
+		return 0, fmt.Errorf("cffs: mkdir %q: %w", name, vfs.ErrExist)
+	}
+	idx, err := fs.allocExtInode(fs.pickDirAG())
+	if err != nil {
+		return 0, err
+	}
+	ino := vfs.Ino(idx + 1)
+	now := fs.clk.Now()
+	in := layout.Inode{Type: vfs.TypeDir, Nlink: 2, Mtime: now, Parent: uint32(dir)}
+	if err := fs.initDirData(&in, ino, dir); err != nil {
+		return 0, err
+	}
+	if fs.opts.Mode == ModeSync {
+		// Child block before child inode before parent entry.
+		phys, err := fs.bmap(&in, ino, 0, false)
+		if err != nil {
+			return 0, err
+		}
+		cb, err := fs.c.Read(phys)
+		if err != nil {
+			return 0, err
+		}
+		if err := fs.c.WriteSync(cb); err != nil {
+			cb.Release()
+			return 0, err
+		}
+		cb.Release()
+	}
+	if err := fs.putInode(ino, &in, true); err != nil {
+		return 0, err
+	}
+	b, slot, err := fs.dirFindFree(&din, dir)
+	if err != nil {
+		return 0, err
+	}
+	writeSlotExternal(b.Data, slot.slot*slotSize, name, ino, vfs.TypeDir)
+	if err := fs.syncMeta(b); err != nil {
+		b.Release()
+		return 0, err
+	}
+	b.Release()
+	din.Nlink++
+	din.Mtime = now
+	return ino, fs.putInode(dir, &din, false)
+}
+
+// externalize moves an embedded inode into the inode file, rewriting its
+// directory entry as an external reference. Multi-link files need a
+// location-independent inode; this is the paper's escape hatch.
+func (fs *FS) externalize(old vfs.Ino) (vfs.Ino, error) {
+	in, err := fs.getLiveInode(old)
+	if err != nil {
+		return 0, err
+	}
+	block, slot := embedLoc(old)
+	b, err := fs.c.Read(block)
+	if err != nil {
+		return 0, err
+	}
+	e := readSlot(b.Data, slot*slotSize, block, slot)
+	b.Release()
+
+	idx, err := fs.allocExtInode(int(mix64(uint64(in.Parent)) % uint64(fs.sb.NAG)))
+	if err != nil {
+		return 0, err
+	}
+	ino := vfs.Ino(idx + 1)
+	// External copy reaches disk before the entry stops embedding it.
+	if err := fs.putInode(ino, &in, true); err != nil {
+		return 0, err
+	}
+	b, err = fs.c.Read(block)
+	if err != nil {
+		return 0, err
+	}
+	writeSlotExternal(b.Data, slot*slotSize, e.name, ino, in.Type)
+	if err := fs.syncMeta(b); err != nil {
+		b.Release()
+		return 0, err
+	}
+	b.Release()
+	return ino, nil
+}
+
+// Link implements vfs.FileSystem.
+func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return err
+	}
+	tin, err := fs.getLiveInode(target)
+	if err != nil {
+		return err
+	}
+	if tin.Type == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
+		b.Release()
+		return fmt.Errorf("cffs: link %q: %w", name, vfs.ErrExist)
+	}
+	if isEmbedded(target) {
+		target, err = fs.externalize(target)
+		if err != nil {
+			return err
+		}
+		tin, err = fs.getLiveInode(target)
+		if err != nil {
+			return err
+		}
+	}
+	tin.Nlink++
+	if err := fs.putInode(target, &tin, true); err != nil {
+		return err
+	}
+	// Re-read the parent: externalize may have grown or dirtied it.
+	din, err = fs.dirInode(dir)
+	if err != nil {
+		return err
+	}
+	b, slot, err := fs.dirFindFree(&din, dir)
+	if err != nil {
+		return err
+	}
+	writeSlotExternal(b.Data, slot.slot*slotSize, name, target, vfs.TypeReg)
+	if err := fs.syncMeta(b); err != nil {
+		b.Release()
+		return err
+	}
+	b.Release()
+	din.Mtime = fs.clk.Now()
+	return fs.putInode(dir, &din, false)
+}
+
+// Unlink implements vfs.FileSystem.
+func (fs *FS) Unlink(dir vfs.Ino, name string) error {
+	if name == "." || name == ".." {
+		return vfs.ErrInvalid
+	}
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return err
+	}
+	b, e, err := fs.dirLookup(&din, dir, name)
+	if err != nil {
+		return err
+	}
+	if e.ftype == vfs.TypeDir {
+		b.Release()
+		return vfs.ErrIsDir
+	}
+
+	if e.embedded {
+		// Free the data (bitmap updates are delayed writes), then kill
+		// name and inode together with a single ordered write.
+		var in layout.Inode
+		in.Decode(b.Data[e.slot*slotSize+slotInodeOff:])
+		b.Release()
+		if err := fs.truncate(&in, e.ino(), 0); err != nil {
+			return err
+		}
+		b, err = fs.c.Read(e.block)
+		if err != nil {
+			return err
+		}
+		clearSlot(b.Data, e.slot*slotSize)
+		if err := fs.syncMeta(b); err != nil {
+			b.Release()
+			return err
+		}
+		b.Release()
+		din.Mtime = fs.clk.Now()
+		return fs.putInode(dir, &din, false)
+	}
+
+	// External: conventional two ordered writes.
+	clearSlot(b.Data, e.slot*slotSize)
+	if err := fs.syncMeta(b); err != nil {
+		b.Release()
+		return err
+	}
+	b.Release()
+	din.Mtime = fs.clk.Now()
+	if err := fs.putInode(dir, &din, false); err != nil {
+		return err
+	}
+	ino := e.ino()
+	tin, err := fs.getLiveInode(ino)
+	if err != nil {
+		return err
+	}
+	tin.Nlink--
+	if tin.Nlink > 0 {
+		return fs.putInode(ino, &tin, true)
+	}
+	if err := fs.truncate(&tin, ino, 0); err != nil {
+		return err
+	}
+	tin = layout.Inode{}
+	if err := fs.putInode(ino, &tin, true); err != nil {
+		return err
+	}
+	fs.freeExtInode(extIdx(ino))
+	return nil
+}
+
+// Rmdir implements vfs.FileSystem.
+func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
+	if name == "." || name == ".." {
+		return vfs.ErrInvalid
+	}
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return err
+	}
+	b, e, err := fs.dirLookup(&din, dir, name)
+	if err != nil {
+		return err
+	}
+	b.Release()
+	if e.ftype != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	ino := e.ino()
+	cin, err := fs.getLiveInode(ino)
+	if err != nil {
+		return err
+	}
+	empty, err := fs.dirIsEmpty(&cin, ino)
+	if err != nil {
+		return err
+	}
+	if !empty {
+		return vfs.ErrNotEmpty
+	}
+	b, err = fs.c.Read(e.block)
+	if err != nil {
+		return err
+	}
+	clearSlot(b.Data, e.slot*slotSize)
+	if err := fs.syncMeta(b); err != nil {
+		b.Release()
+		return err
+	}
+	b.Release()
+	din.Nlink--
+	din.Mtime = fs.clk.Now()
+	if err := fs.putInode(dir, &din, false); err != nil {
+		return err
+	}
+	if err := fs.truncate(&cin, ino, 0); err != nil {
+		return err
+	}
+	cin = layout.Inode{}
+	if err := fs.putInode(ino, &cin, true); err != nil {
+		return err
+	}
+	fs.freeExtInode(extIdx(ino))
+	return nil
+}
+
+// Rename implements vfs.FileSystem. An embedded inode physically moves
+// with its entry, so the file's Ino changes; callers re-Lookup, exactly
+// as the cache's dual indexing anticipates.
+func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+	if sname == "." || sname == ".." {
+		return vfs.ErrInvalid
+	}
+	if err := checkName(dname); err != nil {
+		return err
+	}
+	sin, err := fs.dirInode(sdir)
+	if err != nil {
+		return err
+	}
+	b, se, err := fs.dirLookup(&sin, sdir, sname)
+	if err != nil {
+		return err
+	}
+	var embeddedCopy layout.Inode
+	if se.embedded {
+		embeddedCopy.Decode(b.Data[se.slot*slotSize+slotInodeOff:])
+	}
+	b.Release()
+	din, err := fs.dirInode(ddir)
+	if err != nil {
+		return err
+	}
+	if b, de, err := fs.dirLookup(&din, ddir, dname); err == nil {
+		b.Release()
+		if de.block == se.block && de.slot == se.slot {
+			return nil // renaming onto itself
+		}
+		if de.ftype == vfs.TypeDir {
+			return vfs.ErrIsDir
+		}
+		if err := fs.Unlink(ddir, dname); err != nil {
+			return err
+		}
+		din, err = fs.dirInode(ddir)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Install the destination entry first: two names briefly, never zero.
+	nb, slot, err := fs.dirFindFree(&din, ddir)
+	if err != nil {
+		return err
+	}
+	if se.embedded {
+		embeddedCopy.Parent = uint32(ddir)
+		writeSlotEmbedded(nb.Data, slot.slot*slotSize, dname, &embeddedCopy)
+	} else {
+		writeSlotExternal(nb.Data, slot.slot*slotSize, dname, vfs.Ino(se.ref), se.ftype)
+	}
+	if err := fs.syncMeta(nb); err != nil {
+		nb.Release()
+		return err
+	}
+	nb.Release()
+	din.Mtime = fs.clk.Now()
+	if err := fs.putInode(ddir, &din, false); err != nil {
+		return err
+	}
+
+	// Remove the source entry.
+	if sdir == ddir {
+		sin, err = fs.dirInode(sdir)
+		if err != nil {
+			return err
+		}
+	}
+	rb, err := fs.c.Read(se.block)
+	if err != nil {
+		return err
+	}
+	clearSlot(rb.Data, se.slot*slotSize)
+	if err := fs.syncMeta(rb); err != nil {
+		rb.Release()
+		return err
+	}
+	rb.Release()
+	sin.Mtime = fs.clk.Now()
+	if err := fs.putInode(sdir, &sin, false); err != nil {
+		return err
+	}
+
+	// A directory changing parents repoints ".." and the link counts.
+	if se.ftype == vfs.TypeDir && sdir != ddir {
+		child := vfs.Ino(se.ref)
+		cin, err := fs.getLiveInode(child)
+		if err != nil {
+			return err
+		}
+		cb, dd, err := fs.dirLookup(&cin, child, "..")
+		if err != nil {
+			return err
+		}
+		writeSlotExternal(cb.Data, dd.slot*slotSize, "..", ddir, vfs.TypeDir)
+		fs.c.MarkDirty(cb)
+		cb.Release()
+		cin.Parent = uint32(ddir)
+		if err := fs.putInode(child, &cin, false); err != nil {
+			return err
+		}
+		sin.Nlink--
+		if err := fs.putInode(sdir, &sin, false); err != nil {
+			return err
+		}
+		din, err = fs.dirInode(ddir)
+		if err != nil {
+			return err
+		}
+		din.Nlink++
+		if err := fs.putInode(ddir, &din, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDir implements vfs.FileSystem. With embedded inodes the entries'
+// inodes arrive in the same blocks — a Stat after ReadDir is free of
+// disk I/O, which is what accelerates attribute-scan workloads.
+func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return nil, err
+	}
+	return fs.dirList(&din, dir)
+}
+
+// Stat implements vfs.FileSystem.
+func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
+	in, err := fs.getLiveInode(ino)
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	return vfs.Stat{
+		Ino:    ino,
+		Type:   in.Type,
+		Nlink:  uint32(in.Nlink),
+		Size:   in.Size,
+		Blocks: int64(in.NBlocks),
+		Mtime:  in.Mtime,
+	}, nil
+}
+
+// Truncate implements vfs.FileSystem.
+func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
+	in, err := fs.getLiveInode(ino)
+	if err != nil {
+		return err
+	}
+	if in.Type == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	if err := fs.truncate(&in, ino, size); err != nil {
+		return err
+	}
+	return fs.putInode(ino, &in, false)
+}

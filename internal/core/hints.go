@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"cffs/internal/vfs"
+)
+
+// Application-directed grouping — the extension the paper sketches in
+// its discussion (Section 6): "a file system that groups files based on
+// application hints when they are available and name space
+// relationships when they are not", motivated by the hypertext-document
+// example of [Kaashoek96].
+//
+// GroupWith redirects the grouping (and conventional-locality) owner of
+// a regular file from its naming directory to another directory: blocks
+// the file allocates afterwards are placed in that directory's groups,
+// so files that one application request touches together — a page and
+// its images, a message and its attachments — move to and from the disk
+// together even when the namespace scatters them.
+
+// GroupWith sets dir as the grouping owner of file. It affects only
+// future allocations: call it between Create and the first WriteAt for
+// full effect. Already-allocated blocks stay where they are (the paper's
+// C-FFS never relocates on policy changes either). The file itself may
+// live anywhere in the namespace; dir must be an existing directory.
+func (fs *FS) GroupWith(file, dir vfs.Ino) error {
+	if isEmbedded(dir) {
+		return fmt.Errorf("cffs: GroupWith owner: %w", vfs.ErrNotDir)
+	}
+	din, err := fs.getLiveInode(dir)
+	if err != nil {
+		return err
+	}
+	if din.Type != vfs.TypeDir {
+		return fmt.Errorf("cffs: GroupWith owner %#x: %w", uint64(dir), vfs.ErrNotDir)
+	}
+	in, err := fs.getLiveInode(file)
+	if err != nil {
+		return err
+	}
+	if in.Type != vfs.TypeReg {
+		return fmt.Errorf("cffs: GroupWith target %#x: %w", uint64(file), vfs.ErrIsDir)
+	}
+	if in.Parent == uint32(dir) {
+		return nil
+	}
+	in.Parent = uint32(dir)
+	in.Group = 0 // next allocation picks a group owned by the hint target
+	return fs.putInode(file, &in, false)
+}
+
+// GroupOwner reports the current grouping owner of a file (its naming
+// directory unless redirected by GroupWith) and whether any of its
+// blocks are currently placed in one of the owner's groups.
+func (fs *FS) GroupOwner(file vfs.Ino) (vfs.Ino, bool, error) {
+	in, err := fs.getLiveInode(file)
+	if err != nil {
+		return 0, false, err
+	}
+	return vfs.Ino(in.Parent), in.Group != 0, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"cffs/internal/vfs"
+)
+
+// Files hinted to a common owner must end up physically adjacent even
+// though their names live in different directories, and reading one
+// must group-read the others.
+func TestGroupWithCoLocatesAcrossDirectories(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Grouping: true, Mode: ModeDelayed})
+	owner, err := fs.Mkdir(fs.Root(), "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scatter the files across unrelated directories.
+	var inos []vfs.Ino
+	for i := 0; i < 6; i++ {
+		d, err := fs.Mkdir(fs.Root(), fmt.Sprintf("elsewhere%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ino, err := fs.Create(d, "asset")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.GroupWith(ino, owner); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.WriteAt(ino, bytes.Repeat([]byte{byte(i)}, 1024), 0); err != nil {
+			t.Fatal(err)
+		}
+		inos = append(inos, ino)
+	}
+	// All data blocks must share one group extent.
+	var first int64
+	for i, ino := range inos {
+		in, err := fs.getLiveInode(ino)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = int64(in.Direct[0])
+			continue
+		}
+		_, _, start0, _ := fs.locateGroup(first)
+		_, _, startI, ok := fs.locateGroup(int64(in.Direct[0]))
+		if !ok || startI != start0 {
+			t.Fatalf("asset %d at block %d outside the hinted group (start %d)", i, in.Direct[0], start0)
+		}
+		owner, grouped, err := fs.GroupOwner(ino)
+		if err != nil || !grouped {
+			t.Fatalf("asset %d not grouped: %v", i, err)
+		}
+		if owner == 0 {
+			t.Fatal("owner lost")
+		}
+	}
+
+	// Cold data: flush, warm the namespace metadata, then check that one
+	// group read serves every hinted asset's data.
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]vfs.Ino, 6)
+	for i := range handles {
+		ino, err := vfs.Walk(fs, fmt.Sprintf("/elsewhere%d/asset", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = ino
+	}
+	buf := make([]byte, 1024)
+	if _, err := fs.ReadAt(handles[0], buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Device().Disk().Stats().Reads
+	for i := 1; i < 6; i++ {
+		if _, err := fs.ReadAt(handles[i], buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Fatalf("asset %d corrupted", i)
+		}
+	}
+	if extra := fs.Device().Disk().Stats().Reads - before; extra != 0 {
+		t.Fatalf("hinted siblings cost %d extra data reads; want 0", extra)
+	}
+}
+
+func TestGroupWithValidation(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Grouping: true, Mode: ModeDelayed})
+	f, err := fs.Create(fs.Root(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Create(fs.Root(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fs.Mkdir(fs.Root(), "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.GroupWith(f, g); !errors.Is(err, vfs.ErrNotDir) {
+		t.Fatalf("GroupWith(file, file) = %v, want ErrNotDir", err)
+	}
+	if err := fs.GroupWith(d, fs.Root()); !errors.Is(err, vfs.ErrIsDir) {
+		t.Fatalf("GroupWith(dir, ...) = %v, want ErrIsDir", err)
+	}
+	if err := fs.GroupWith(f, fs.Root()); err != nil {
+		t.Fatalf("no-op hint to naming directory: %v", err)
+	}
+	if err := fs.GroupWith(f, d); err != nil {
+		t.Fatal(err)
+	}
+	owner, grouped, err := fs.GroupOwner(f)
+	if err != nil || owner != d || grouped {
+		t.Fatalf("GroupOwner = (%v, %v, %v), want (%v, false, nil)", owner, grouped, err, d)
+	}
+	// The image stays consistent with hints in play.
+	if _, err := fs.WriteAt(f, make([]byte, 2048), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("hinted image not clean: %v", rep.Problems)
+	}
+}

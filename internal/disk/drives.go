@@ -1,0 +1,166 @@
+package disk
+
+import "fmt"
+
+// Spec is the full parameter set describing one drive model. Times are in
+// seconds, rates in bytes/second.
+type Spec struct {
+	Name string
+	Year int
+
+	Geom Geometry
+	RPM  float64
+
+	// Seek curve inputs (read seeks). Published drive sheets quote these
+	// three points; the simulator fits the full distance curve to them.
+	SeekSingle float64 // single-cylinder (track-to-track) seek
+	SeekAvg    float64 // average seek over random pairs
+	SeekMax    float64 // full-stroke seek
+
+	// WriteSettle is the extra settle time added to every write seek
+	// (the parenthesized deltas in the paper's Table 1).
+	WriteSettle float64
+
+	HeadSwitch float64 // time to switch active head within a cylinder
+	Overhead   float64 // per-request controller/command overhead
+
+	BusRate float64 // host transfer rate (SCSI bus), bytes/sec
+
+	// On-board segmented read-ahead cache.
+	CacheSegments   int // number of independent segments (0 disables)
+	CacheSegSectors int // prefetch window per segment, in sectors
+}
+
+// Validate checks the spec for internal consistency.
+func (s *Spec) Validate() error {
+	if s.RPM <= 0 {
+		return fmt.Errorf("disk %s: RPM %g", s.Name, s.RPM)
+	}
+	if s.BusRate <= 0 {
+		return fmt.Errorf("disk %s: bus rate %g", s.Name, s.BusRate)
+	}
+	if s.Overhead < 0 || s.HeadSwitch < 0 || s.WriteSettle < 0 {
+		return fmt.Errorf("disk %s: negative time constant", s.Name)
+	}
+	if s.CacheSegments < 0 || s.CacheSegSectors < 0 {
+		return fmt.Errorf("disk %s: negative cache parameter", s.Name)
+	}
+	return s.Geom.finish()
+}
+
+// RevTime returns the rotation period in seconds.
+func (s *Spec) RevTime() float64 { return 60.0 / s.RPM }
+
+// MediaRate returns the capacity-weighted mean media transfer rate in
+// bytes/second (sectors pass under the head once per revolution).
+func (s *Spec) MediaRate() float64 {
+	return s.Geom.MeanSPT() * SectorSize / s.RevTime()
+}
+
+// The drive catalog. The three 1996 drives reproduce the paper's Table 1
+// (single/average/maximum seeks and write-settle deltas are the published
+// numbers quoted in the paper; geometry and rates are reconstructed from
+// the same era's data sheets to match the paper's qualitative claims,
+// e.g. that the HP C3653 has twice the sectors per track of the older HP
+// C2247). The ST31200 is the paper's Table 2 testbed drive.
+
+// HPC3653 is the Hewlett-Packard C3653 of Table 1.
+func HPC3653() Spec {
+	return Spec{
+		Name: "HP C3653", Year: 1996,
+		Geom: Geometry{
+			Heads: 8,
+			Zones: []Zone{{1600, 192}, {1600, 176}, {1600, 160}, {1600, 144}},
+		},
+		RPM:        5400,
+		SeekSingle: 0.0009, SeekAvg: 0.0087, SeekMax: 0.0165,
+		WriteSettle:   0.0008,
+		HeadSwitch:    0.0008,
+		Overhead:      0.0003,
+		BusRate:       20e6,
+		CacheSegments: 4, CacheSegSectors: 384,
+	}
+}
+
+// SeagateBarracuda4LP is the Seagate Barracuda 4LP of Table 1.
+func SeagateBarracuda4LP() Spec {
+	return Spec{
+		Name: "Seagate Barracuda 4LP", Year: 1996,
+		Geom: Geometry{
+			Heads: 8,
+			Zones: []Zone{{1322, 176}, {1322, 160}, {1322, 144}, {1322, 128}},
+		},
+		RPM:        7200,
+		SeekSingle: 0.0006, SeekAvg: 0.0080, SeekMax: 0.0190,
+		WriteSettle:   0.0015,
+		HeadSwitch:    0.0007,
+		Overhead:      0.0003,
+		BusRate:       20e6,
+		CacheSegments: 4, CacheSegSectors: 384,
+	}
+}
+
+// QuantumAtlasII is the Quantum Atlas II of Table 1.
+func QuantumAtlasII() Spec {
+	return Spec{
+		Name: "Quantum Atlas II", Year: 1996,
+		Geom: Geometry{
+			Heads: 10,
+			Zones: []Zone{{1491, 184}, {1491, 168}, {1491, 152}, {1491, 136}},
+		},
+		RPM:        7200,
+		SeekSingle: 0.0010, SeekAvg: 0.0079, SeekMax: 0.0180,
+		WriteSettle:   0.0010,
+		HeadSwitch:    0.0008,
+		Overhead:      0.0003,
+		BusRate:       20e6,
+		CacheSegments: 4, CacheSegSectors: 384,
+	}
+}
+
+// SeagateST31200 is the paper's testbed drive (Table 2): a 1993-era 1 GB
+// 5411 RPM SCSI-2 drive.
+func SeagateST31200() Spec {
+	return Spec{
+		Name: "Seagate ST31200", Year: 1993,
+		Geom: Geometry{
+			Heads: 9,
+			Zones: []Zone{{675, 92}, {675, 84}, {675, 76}, {675, 68}},
+		},
+		RPM:        5411,
+		SeekSingle: 0.0017, SeekAvg: 0.0104, SeekMax: 0.0210,
+		WriteSettle:   0.0010,
+		HeadSwitch:    0.0010,
+		Overhead:      0.0007,
+		BusRate:       10e6,
+		CacheSegments: 2, CacheSegSectors: 256,
+	}
+}
+
+// Catalog returns every drive model known to the simulator.
+func Catalog() []Spec {
+	return []Spec{SeagateST31200(), HPC3653(), SeagateBarracuda4LP(), QuantumAtlasII()}
+}
+
+// SpecByName looks a drive up by name, returning it validated (with
+// derived geometry computed); it returns an error listing the available
+// models if the name is unknown.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			if err := s.Validate(); err != nil {
+				return Spec{}, err
+			}
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("disk: unknown drive %q (have %v)", name, driveNames())
+}
+
+func driveNames() []string {
+	var names []string
+	for _, s := range Catalog() {
+		names = append(names, s.Name)
+	}
+	return names
+}

@@ -1,0 +1,142 @@
+package disk
+
+import (
+	"testing"
+
+	"cffs/internal/sim"
+)
+
+// Physical-fidelity tests: properties any real disk exhibits that the
+// experiments implicitly rely on.
+
+// Host-paced sequential reads: without the on-board cache each request
+// arrives after the target sector has passed under the head and pays
+// nearly a full revolution — the rotational-miss problem read-ahead
+// caches exist to solve. With the cache, the same pattern runs at bus
+// speed. Both behaviours are physical facts the experiments depend on.
+func TestSequentialReadsAndTheReadAheadCache(t *testing.T) {
+	spec := SeagateST31200()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	revNs := spec.RevTime() * 1e9
+	run := func(cacheOn bool) float64 {
+		d, err := NewMem(spec, sim.NewClock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetCacheEnabled(cacheOn)
+		d.Access(1000, 8, false)
+		var total int64
+		const n = 50
+		for i := 0; i < n; i++ {
+			total += d.Access(1000+8*int64(i+1), 8, false)
+		}
+		return float64(total) / n
+	}
+	raw := run(false)
+	if raw < revNs/2 {
+		t.Fatalf("uncached host-paced sequential reads cost %.2fms each; should suffer rotational misses (~%.2fms)",
+			raw/1e6, revNs/1e6)
+	}
+	cached := run(true)
+	if cached > revNs/4 {
+		t.Fatalf("cached sequential reads cost %.2fms each; the read-ahead cache should serve them at bus speed",
+			cached/1e6)
+	}
+}
+
+// Re-reading the same sector must cost about one full revolution: the
+// sector just passed under the head.
+func TestSameSectorRereadCostsARevolution(t *testing.T) {
+	d, err := NewMem(SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetCacheEnabled(false)
+	spec := d.Spec()
+	revNs := spec.RevTime() * 1e9
+	d.Access(5000, 8, false)
+	var total float64
+	const n = 20
+	for i := 0; i < n; i++ {
+		total += float64(d.Access(5000, 8, true)) // writes: no cache path
+	}
+	per := total / n
+	if per < 0.7*revNs || per > 1.5*revNs {
+		t.Fatalf("same-sector rewrite costs %.2fms, expected ~1 revolution (%.2fms)",
+			per/1e6, revNs/1e6)
+	}
+}
+
+// Outer zones hold more sectors per track, so sequential transfers are
+// faster there than in the innermost zone.
+func TestZonedBandwidth(t *testing.T) {
+	spec := SeagateST31200()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rate := func(lba int64) float64 {
+		d, err := NewMem(spec, sim.NewClock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetCacheEnabled(false)
+		const sectors = 4096 // 2 MB
+		ns := d.Access(lba, sectors, false)
+		return float64(sectors*SectorSize) / (float64(ns) / 1e9)
+	}
+	outer := rate(1024)
+	inner := rate(spec.Geom.Sectors() - 8192)
+	if outer <= inner {
+		t.Fatalf("outer zone %.2f MB/s <= inner %.2f MB/s; zoning inverted", outer/1e6, inner/1e6)
+	}
+	if ratio := outer / inner; ratio < 1.15 {
+		t.Fatalf("zone rate ratio %.2f; expected a clear outer-zone advantage", ratio)
+	}
+}
+
+// Seek time must grow with distance: a cross-disk access costs more
+// than a neighboring-cylinder access.
+func TestSeekDistanceMonotonicInPractice(t *testing.T) {
+	d, err := NewMem(SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetCacheEnabled(false)
+	// Average over several trials to wash out rotational luck.
+	const n = 30
+	var short, long float64
+	for i := 0; i < n; i++ {
+		d.Access(0, 8, false)
+		short += float64(d.Access(d.Sectors()/64, 8, false))
+		d.Access(0, 8, false)
+		long += float64(d.Access(d.Sectors()-64, 8, false))
+	}
+	if long <= short {
+		t.Fatalf("full-stroke access %.2fms <= short access %.2fms", long/n/1e6, short/n/1e6)
+	}
+}
+
+// The write-settle penalty must make random writes slower than random
+// reads on average.
+func TestWriteSettlePenalty(t *testing.T) {
+	d, err := NewMem(SeagateBarracuda4LP(), sim.NewClock()) // 1.5ms settle
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetCacheEnabled(false)
+	rng := sim.NewRNG(6)
+	var reads, writes int64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		lba := rng.Int63n(d.Sectors() - 8)
+		reads += d.Access(lba, 8, false)
+		lba = rng.Int63n(d.Sectors() - 8)
+		writes += d.Access(lba, 8, true)
+	}
+	if writes <= reads {
+		t.Fatalf("random writes (%.2fms) not slower than reads (%.2fms) despite settle",
+			float64(writes)/n/1e6, float64(reads)/n/1e6)
+	}
+}

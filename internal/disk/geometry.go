@@ -1,0 +1,138 @@
+// Package disk implements a detailed simulated disk drive.
+//
+// The simulator substitutes for the Seagate ST31200 (and the three 1996
+// drives of the paper's Table 1) that the original C-FFS evaluation ran
+// against. It models the properties that matter to the paper's argument:
+// positioning costs that are paid per request (seek, rotational latency,
+// controller overhead) versus transfer costs that are paid per byte
+// (media rate, bus rate), plus zoned geometry, head/track switching, and
+// a segmented on-board read-ahead cache.
+//
+// Every access advances a shared sim.Clock by the computed service time,
+// so simulated throughput falls out of the same accounting the paper's
+// wall-clock measurements used.
+package disk
+
+import "fmt"
+
+// SectorSize is the size of one disk sector in bytes. All drives in the
+// catalog use 512-byte sectors, as did every drive the paper discusses.
+const SectorSize = 512
+
+// Zone describes one recording zone: a run of cylinders that all share a
+// sectors-per-track count. Outer zones pack more sectors per track, which
+// is why media transfer rate varies across the disk surface.
+type Zone struct {
+	Cyls int // number of cylinders in the zone
+	SPT  int // sectors per track within the zone
+}
+
+// Geometry describes the physical layout of a drive.
+type Geometry struct {
+	Heads int    // surfaces (tracks per cylinder)
+	Zones []Zone // outermost zone first
+
+	totalCyls    int
+	totalSectors int64
+	zoneFirstCyl []int   // first cylinder index of each zone
+	zoneFirstLBA []int64 // first LBA of each zone
+}
+
+// finish computes the derived lookup tables. It must be called once after
+// the Heads and Zones fields are set; NewDisk does this for catalog specs.
+func (g *Geometry) finish() error {
+	if g.Heads <= 0 {
+		return fmt.Errorf("disk: geometry has %d heads", g.Heads)
+	}
+	if len(g.Zones) == 0 {
+		return fmt.Errorf("disk: geometry has no zones")
+	}
+	g.zoneFirstCyl = make([]int, len(g.Zones))
+	g.zoneFirstLBA = make([]int64, len(g.Zones))
+	cyl := 0
+	var lba int64
+	for i, z := range g.Zones {
+		if z.Cyls <= 0 || z.SPT <= 0 {
+			return fmt.Errorf("disk: zone %d has cyls=%d spt=%d", i, z.Cyls, z.SPT)
+		}
+		g.zoneFirstCyl[i] = cyl
+		g.zoneFirstLBA[i] = lba
+		cyl += z.Cyls
+		lba += int64(z.Cyls) * int64(g.Heads) * int64(z.SPT)
+	}
+	g.totalCyls = cyl
+	g.totalSectors = lba
+	return nil
+}
+
+// Cylinders returns the total cylinder count.
+func (g *Geometry) Cylinders() int { return g.totalCyls }
+
+// Sectors returns the total sector count (the drive's capacity in LBAs).
+func (g *Geometry) Sectors() int64 { return g.totalSectors }
+
+// Bytes returns the formatted capacity in bytes.
+func (g *Geometry) Bytes() int64 { return g.totalSectors * SectorSize }
+
+// Chs is a physical position: cylinder, head, and logical sector index on
+// the track (0-based, before skew is applied).
+type Chs struct {
+	Cyl    int
+	Head   int
+	Sector int
+	SPT    int // sectors per track at this cylinder, for convenience
+	Zone   int
+}
+
+// Locate maps an LBA to its physical position. It panics on an
+// out-of-range LBA: callers sit above a block layer that validates
+// bounds, so an out-of-range address here is always an internal bug.
+func (g *Geometry) Locate(lba int64) Chs {
+	if lba < 0 || lba >= g.totalSectors {
+		panic(fmt.Sprintf("disk: LBA %d out of range [0,%d)", lba, g.totalSectors))
+	}
+	// Zones are few (2-8); linear scan is clearer than binary search and
+	// never shows up in profiles.
+	zi := len(g.Zones) - 1
+	for i := 1; i < len(g.Zones); i++ {
+		if lba < g.zoneFirstLBA[i] {
+			zi = i - 1
+			break
+		}
+	}
+	z := g.Zones[zi]
+	off := lba - g.zoneFirstLBA[zi]
+	perCyl := int64(g.Heads) * int64(z.SPT)
+	cyl := g.zoneFirstCyl[zi] + int(off/perCyl)
+	rem := off % perCyl
+	return Chs{
+		Cyl:    cyl,
+		Head:   int(rem / int64(z.SPT)),
+		Sector: int(rem % int64(z.SPT)),
+		SPT:    z.SPT,
+		Zone:   zi,
+	}
+}
+
+// ZoneAt returns the zone index containing the given cylinder.
+func (g *Geometry) ZoneAt(cyl int) int {
+	zi := len(g.Zones) - 1
+	for i := 1; i < len(g.Zones); i++ {
+		if cyl < g.zoneFirstCyl[i] {
+			zi = i - 1
+			break
+		}
+	}
+	return zi
+}
+
+// MeanSPT returns the capacity-weighted mean sectors per track, used for
+// back-of-envelope bandwidth summaries in experiment output.
+func (g *Geometry) MeanSPT() float64 {
+	var sect, tracks int64
+	for _, z := range g.Zones {
+		sect += int64(z.Cyls) * int64(g.Heads) * int64(z.SPT)
+		tracks += int64(z.Cyls) * int64(g.Heads)
+	}
+	return float64(sect) / float64(tracks)
+}

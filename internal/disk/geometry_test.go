@@ -1,0 +1,116 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testGeom(t *testing.T) Geometry {
+	t.Helper()
+	g := Geometry{
+		Heads: 4,
+		Zones: []Zone{{10, 100}, {10, 80}, {10, 60}},
+	}
+	if err := g.finish(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeometryTotals(t *testing.T) {
+	g := testGeom(t)
+	wantSectors := int64(10*4*100 + 10*4*80 + 10*4*60)
+	if g.Sectors() != wantSectors {
+		t.Fatalf("Sectors() = %d, want %d", g.Sectors(), wantSectors)
+	}
+	if g.Cylinders() != 30 {
+		t.Fatalf("Cylinders() = %d, want 30", g.Cylinders())
+	}
+	if g.Bytes() != wantSectors*SectorSize {
+		t.Fatalf("Bytes() = %d", g.Bytes())
+	}
+}
+
+func TestGeometryLocateBoundaries(t *testing.T) {
+	g := testGeom(t)
+	cases := []struct {
+		lba  int64
+		want Chs
+	}{
+		{0, Chs{Cyl: 0, Head: 0, Sector: 0, SPT: 100, Zone: 0}},
+		{99, Chs{Cyl: 0, Head: 0, Sector: 99, SPT: 100, Zone: 0}},
+		{100, Chs{Cyl: 0, Head: 1, Sector: 0, SPT: 100, Zone: 0}},
+		{400, Chs{Cyl: 1, Head: 0, Sector: 0, SPT: 100, Zone: 0}},
+		{4000, Chs{Cyl: 10, Head: 0, Sector: 0, SPT: 80, Zone: 1}},
+		{4000 + 3200, Chs{Cyl: 20, Head: 0, Sector: 0, SPT: 60, Zone: 2}},
+		{g.Sectors() - 1, Chs{Cyl: 29, Head: 3, Sector: 59, SPT: 60, Zone: 2}},
+	}
+	for _, c := range cases {
+		if got := g.Locate(c.lba); got != c.want {
+			t.Errorf("Locate(%d) = %+v, want %+v", c.lba, got, c.want)
+		}
+	}
+}
+
+// Locate must be a bijection onto valid CHS positions: mapping the
+// position back to an LBA recovers the input for every address.
+func TestGeometryLocateRoundTrip(t *testing.T) {
+	g := testGeom(t)
+	back := func(c Chs) int64 {
+		lba := g.zoneFirstLBA[c.Zone]
+		cylsIn := int64(c.Cyl - g.zoneFirstCyl[c.Zone])
+		return lba + cylsIn*int64(g.Heads)*int64(c.SPT) + int64(c.Head)*int64(c.SPT) + int64(c.Sector)
+	}
+	f := func(raw uint32) bool {
+		lba := int64(raw) % g.Sectors()
+		return back(g.Locate(lba)) == lba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryLocatePanicsOutOfRange(t *testing.T) {
+	g := testGeom(t)
+	for _, lba := range []int64{-1, g.Sectors()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Locate(%d) did not panic", lba)
+				}
+			}()
+			g.Locate(lba)
+		}()
+	}
+}
+
+func TestGeometryZoneAt(t *testing.T) {
+	g := testGeom(t)
+	for cyl, want := range map[int]int{0: 0, 9: 0, 10: 1, 19: 1, 20: 2, 29: 2} {
+		if got := g.ZoneAt(cyl); got != want {
+			t.Errorf("ZoneAt(%d) = %d, want %d", cyl, got, want)
+		}
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Geometry{
+		{Heads: 0, Zones: []Zone{{1, 1}}},
+		{Heads: 2, Zones: nil},
+		{Heads: 2, Zones: []Zone{{0, 10}}},
+		{Heads: 2, Zones: []Zone{{10, 0}}},
+	}
+	for i, g := range bad {
+		if err := g.finish(); err == nil {
+			t.Errorf("case %d: invalid geometry accepted", i)
+		}
+	}
+}
+
+func TestGeometryMeanSPT(t *testing.T) {
+	g := testGeom(t)
+	want := (100.0 + 80.0 + 60.0) / 3.0 // equal track counts per zone
+	if got := g.MeanSPT(); got != want {
+		t.Fatalf("MeanSPT() = %g, want %g", got, want)
+	}
+}

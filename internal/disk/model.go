@@ -1,0 +1,359 @@
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"cffs/internal/sim"
+)
+
+// Disk is a simulated disk drive: a mechanical timing model over a byte
+// Store, advancing a shared simulated clock on every access.
+//
+// Disk is not safe for concurrent use; the simulation is single-threaded
+// by design (simulated time has a single owner).
+type Disk struct {
+	spec  Spec
+	curve seekCurve
+	clock *sim.Clock
+	store Store
+
+	revNs     float64 // nanoseconds per revolution
+	secNs     []float64
+	trackSkew []int // per zone, sectors
+	cylSkew   []int // per zone, sectors
+
+	curCyl  int
+	curHead int
+
+	cacheOn bool
+	segs    []segment // on-board read-ahead segments, MRU first
+
+	stats Stats
+	trace *[]TraceEntry
+}
+
+// segment is one on-board cache segment holding LBAs [start, end).
+type segment struct{ start, end int64 }
+
+// New builds a simulated disk from a spec, clock and backing store. The
+// store must be at least spec.Geom.Bytes() long (NewMem sizes it exactly).
+func New(spec Spec, clock *sim.Clock, store Store) (*Disk, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	curve, err := fitSeekCurve(spec.SeekSingle, spec.SeekAvg, spec.SeekMax, spec.Geom.Cylinders())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	d := &Disk{
+		spec:    spec,
+		curve:   curve,
+		clock:   clock,
+		store:   store,
+		revNs:   spec.RevTime() * 1e9,
+		cacheOn: spec.CacheSegments > 0,
+	}
+	for zi, z := range spec.Geom.Zones {
+		secNs := d.revNs / float64(z.SPT)
+		d.secNs = append(d.secNs, secNs)
+		d.trackSkew = append(d.trackSkew, skewSectors(spec.HeadSwitch*1e9, secNs, z.SPT))
+		d.cylSkew = append(d.cylSkew, skewSectors(curve.at(1)*1e9, secNs, z.SPT))
+		_ = zi
+	}
+	return d, nil
+}
+
+// NewMem builds a disk over a fresh in-memory store sized to the drive.
+func NewMem(spec Spec, clock *sim.Clock) (*Disk, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return New(spec, clock, NewMemStore(spec.Geom.Bytes()))
+}
+
+// skewSectors returns how many sectors of angular offset are needed to
+// hide a switch of the given duration.
+func skewSectors(switchNs, secNs float64, spt int) int {
+	s := int(math.Ceil(switchNs / secNs))
+	if s >= spt {
+		s = spt - 1
+	}
+	return s
+}
+
+// Spec returns the drive's parameter set.
+func (d *Disk) Spec() Spec { return d.spec }
+
+// Sectors returns the drive capacity in sectors.
+func (d *Disk) Sectors() int64 { return d.spec.Geom.Sectors() }
+
+// Clock returns the simulated clock the disk advances.
+func (d *Disk) Clock() *sim.Clock { return d.clock }
+
+// Stats returns a copy of the accumulated counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the counters (the head position and cache are kept).
+func (d *Disk) ResetStats() { d.stats = Stats{} }
+
+// SetCacheEnabled turns the on-board read-ahead cache on or off; the
+// model explorer disables it to measure raw mechanical access times.
+func (d *Disk) SetCacheEnabled(on bool) {
+	d.cacheOn = on && d.spec.CacheSegments > 0
+	d.segs = nil
+}
+
+// Access performs the timing-only part of a request: it advances the
+// clock by the service time of an nsect-sector access at lba and returns
+// that service time in nanoseconds. Read/Write/ReadV/WriteV call this and
+// then move the bytes.
+func (d *Disk) Access(lba int64, nsect int, write bool) int64 {
+	if nsect <= 0 {
+		panic(fmt.Sprintf("disk: access of %d sectors", nsect))
+	}
+	if lba < 0 || lba+int64(nsect) > d.Sectors() {
+		panic(fmt.Sprintf("disk: access [%d,%d) outside drive of %d sectors", lba, lba+int64(nsect), d.Sectors()))
+	}
+	var svcNs int64
+	if !write && d.cacheHit(lba, nsect) {
+		// Satisfied from the on-board buffer at bus rate.
+		bus := float64(nsect) * SectorSize / d.spec.BusRate * 1e9
+		svcNs = int64(d.spec.Overhead*1e9 + bus)
+		d.stats.CacheHits++
+		d.stats.TransferNanos += svcNs
+	} else {
+		svcNs = d.mechanical(lba, nsect, write)
+	}
+	if write {
+		d.cacheInvalidate(lba, nsect)
+		d.stats.Writes++
+		d.stats.SectorsWrite += int64(nsect)
+	} else {
+		d.cacheInstall(lba, nsect)
+		d.stats.Reads++
+		d.stats.SectorsRead += int64(nsect)
+	}
+	d.stats.Requests++
+	d.stats.BusyNanos += svcNs
+	if d.trace != nil {
+		*d.trace = append(*d.trace, TraceEntry{LBA: lba, Count: nsect, Write: write, Nanos: svcNs})
+	}
+	d.clock.Advance(svcNs)
+	return svcNs
+}
+
+// mechanical computes a full media access: overhead + seek + head switch
+// + rotational latency + transfer (with track/cylinder crossings).
+func (d *Disk) mechanical(lba int64, nsect int, write bool) int64 {
+	loc := d.spec.Geom.Locate(lba)
+
+	overheadNs := d.spec.Overhead * 1e9
+
+	dist := loc.Cyl - d.curCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	seekS := d.curve.at(dist)
+	if write && dist > 0 {
+		seekS += d.spec.WriteSettle
+	}
+	posNs := seekS * 1e9
+	if loc.Head != d.curHead {
+		// Head selection overlaps the seek; only the longer matters.
+		hs := d.spec.HeadSwitch * 1e9
+		if hs > posNs {
+			posNs = hs
+		}
+	}
+
+	// Rotational latency: the platter keeps spinning in simulated time,
+	// so the angular position is simply a function of the clock.
+	arrival := float64(d.clock.Now()) + overheadNs + posNs
+	angleNow := math.Mod(arrival, d.revNs) / d.revNs
+	phys := d.physSector(loc)
+	angleTarget := float64(phys) / float64(loc.SPT)
+	frac := angleTarget - angleNow
+	if frac < 0 {
+		frac++
+	}
+	rotNs := frac * d.revNs
+
+	// Transfer, walking track and cylinder boundaries. Skews are chosen
+	// to hide switch times, but the skew gap itself still passes under
+	// the head, so each crossing costs its skew in sector times.
+	transferNs := 0.0
+	cur := loc
+	remaining := nsect
+	for remaining > 0 {
+		secNs := d.secNs[cur.Zone]
+		onTrack := cur.SPT - cur.Sector
+		if onTrack > remaining {
+			onTrack = remaining
+		}
+		transferNs += float64(onTrack) * secNs
+		remaining -= onTrack
+		cur.Sector += onTrack
+		if remaining > 0 {
+			cur.Sector = 0
+			if cur.Head+1 < d.spec.Geom.Heads {
+				cur.Head++
+				transferNs += float64(d.trackSkew[cur.Zone]) * secNs
+			} else {
+				cur.Head = 0
+				cur.Cyl++
+				cur.Zone = d.spec.Geom.ZoneAt(cur.Cyl)
+				cur.SPT = d.spec.Geom.Zones[cur.Zone].SPT
+				transferNs += float64(d.cylSkew[cur.Zone]) * d.secNs[cur.Zone]
+			}
+		}
+	}
+
+	d.curCyl, d.curHead = cur.Cyl, cur.Head
+
+	d.stats.SeekNanos += int64(posNs)
+	d.stats.RotateNanos += int64(rotNs)
+	d.stats.TransferNanos += int64(transferNs)
+	return int64(overheadNs + posNs + rotNs + transferNs)
+}
+
+// physSector maps a logical on-track sector index to its angular slot,
+// applying cumulative track and cylinder skew.
+func (d *Disk) physSector(loc Chs) int {
+	skew := loc.Cyl*d.cylSkew[loc.Zone] + loc.Head*d.trackSkew[loc.Zone]
+	return (loc.Sector + skew) % loc.SPT
+}
+
+// cacheHit reports whether a read is fully contained in a segment.
+func (d *Disk) cacheHit(lba int64, nsect int) bool {
+	if !d.cacheOn {
+		return false
+	}
+	end := lba + int64(nsect)
+	for i, s := range d.segs {
+		if lba >= s.start && end <= s.end {
+			// Move to MRU position.
+			copy(d.segs[1:i+1], d.segs[:i])
+			d.segs[0] = s
+			return true
+		}
+	}
+	return false
+}
+
+// cacheInstall records a read-ahead segment covering the request plus the
+// prefetch window. The drive fills the window during otherwise-idle time,
+// so the prefetched sectors cost nothing here; a later sequential read
+// finds them at bus rate. This reproduces the behaviour the paper relies
+// on ("the disk prefetches sequential disk data into its on-board cache").
+func (d *Disk) cacheInstall(lba int64, nsect int) {
+	if !d.cacheOn {
+		return
+	}
+	end := lba + int64(nsect) + int64(d.spec.CacheSegSectors)
+	if end > d.Sectors() {
+		end = d.Sectors()
+	}
+	seg := segment{start: lba, end: end}
+	// Drop overlapping segments, insert at MRU, trim to segment count.
+	kept := d.segs[:0]
+	for _, s := range d.segs {
+		if s.end <= seg.start || s.start >= seg.end {
+			kept = append(kept, s)
+		}
+	}
+	d.segs = append([]segment{seg}, kept...)
+	if len(d.segs) > d.spec.CacheSegments {
+		d.segs = d.segs[:d.spec.CacheSegments]
+	}
+}
+
+// cacheInvalidate drops any segment overlapping a written range (the
+// catalog drives are write-through with no write caching, the safe and
+// typical configuration of the era).
+func (d *Disk) cacheInvalidate(lba int64, nsect int) {
+	if len(d.segs) == 0 {
+		return
+	}
+	end := lba + int64(nsect)
+	kept := d.segs[:0]
+	for _, s := range d.segs {
+		if s.end <= lba || s.start >= end {
+			kept = append(kept, s)
+		}
+	}
+	d.segs = kept
+}
+
+// Read performs a timed read of len(buf) bytes (a sector multiple) at lba.
+func (d *Disk) Read(lba int64, buf []byte) error {
+	n := sectorCount(len(buf))
+	d.Access(lba, n, false)
+	return d.store.ReadAt(buf, lba*SectorSize)
+}
+
+// Write performs a timed write of len(buf) bytes (a sector multiple) at lba.
+func (d *Disk) Write(lba int64, buf []byte) error {
+	n := sectorCount(len(buf))
+	d.Access(lba, n, true)
+	return d.store.WriteAt(buf, lba*SectorSize)
+}
+
+// ReadV performs one timed read of a physically contiguous range starting
+// at lba, scattering the data into bufs in order. This is the
+// scatter/gather path explicit grouping depends on: one request, many
+// cache blocks.
+func (d *Disk) ReadV(lba int64, bufs [][]byte) error {
+	total := 0
+	for _, b := range bufs {
+		total += sectorCount(len(b))
+	}
+	d.Access(lba, total, false)
+	off := lba * SectorSize
+	for _, b := range bufs {
+		if err := d.store.ReadAt(b, off); err != nil {
+			return err
+		}
+		off += int64(len(b))
+	}
+	return nil
+}
+
+// WriteV performs one timed write of a physically contiguous range
+// starting at lba, gathering the data from bufs in order.
+func (d *Disk) WriteV(lba int64, bufs [][]byte) error {
+	total := 0
+	for _, b := range bufs {
+		total += sectorCount(len(b))
+	}
+	d.Access(lba, total, true)
+	off := lba * SectorSize
+	for _, b := range bufs {
+		if err := d.store.WriteAt(b, off); err != nil {
+			return err
+		}
+		off += int64(len(b))
+	}
+	return nil
+}
+
+// Close releases the backing store.
+func (d *Disk) Close() error { return d.store.Close() }
+
+func sectorCount(bytes int) int {
+	if bytes <= 0 || bytes%SectorSize != 0 {
+		panic(fmt.Sprintf("disk: transfer of %d bytes is not a positive sector multiple", bytes))
+	}
+	return bytes / SectorSize
+}
+
+// TraceEntry records one serviced request for diagnostics.
+type TraceEntry struct {
+	LBA   int64
+	Count int
+	Write bool
+	Nanos int64
+}
+
+// SetTrace enables (or disables, with nil) request tracing into buf.
+func (d *Disk) SetTrace(buf *[]TraceEntry) { d.trace = buf }

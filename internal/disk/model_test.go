@@ -1,0 +1,290 @@
+package disk
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"cffs/internal/sim"
+)
+
+func newTestDisk(t *testing.T) *Disk {
+	t.Helper()
+	d, err := NewMem(SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiskReadWriteRoundTrip(t *testing.T) {
+	d := newTestDisk(t)
+	data := make([]byte, 8*SectorSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := d.Write(1000, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := d.Read(1000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back different data than written")
+	}
+}
+
+func TestDiskAdvancesClock(t *testing.T) {
+	d := newTestDisk(t)
+	before := d.Clock().Now()
+	d.Access(500, 8, false)
+	if d.Clock().Now() <= before {
+		t.Fatal("access did not advance the simulated clock")
+	}
+}
+
+// A random 4 KB read should cost roughly overhead + average seek + half a
+// revolution + transfer. This anchors the whole simulation: if this is
+// off, every experiment above it is meaningless.
+func TestDiskRandomAccessTimeMatchesFirstPrinciples(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			d, err := NewMem(spec, sim.NewClock())
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.SetCacheEnabled(false)
+			rng := sim.NewRNG(42)
+			const n = 3000
+			var total int64
+			for i := 0; i < n; i++ {
+				lba := rng.Int63n(d.Sectors() - 8)
+				total += d.Access(lba, 8, false)
+			}
+			gotMs := float64(total) / n / 1e6
+			wantMs := (spec.Overhead + spec.SeekAvg + spec.RevTime()/2 +
+				4096/spec.MediaRate()) * 1e3
+			if rel := math.Abs(gotMs-wantMs) / wantMs; rel > 0.15 {
+				t.Errorf("mean random 4KB access %.2fms, first-principles %.2fms (%.0f%% off)",
+					gotMs, wantMs, rel*100)
+			}
+		})
+	}
+}
+
+// Sequential reads after an initial read must hit the on-board cache and
+// be served at bus rate, far faster than a mechanical access.
+func TestDiskReadAheadCache(t *testing.T) {
+	d := newTestDisk(t)
+	first := d.Access(2000, 8, false)
+	second := d.Access(2008, 8, false)
+	if second >= first/4 {
+		t.Fatalf("sequential read cost %.2fms vs initial %.2fms; cache not working",
+			float64(second)/1e6, float64(first)/1e6)
+	}
+	if d.Stats().CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", d.Stats().CacheHits)
+	}
+}
+
+func TestDiskWriteInvalidatesCache(t *testing.T) {
+	d := newTestDisk(t)
+	d.Access(2000, 8, false) // installs [2000, 2008+prefetch)
+	d.Access(2004, 8, true)  // overlapping write must invalidate
+	hitsBefore := d.Stats().CacheHits
+	d.Access(2008, 8, false)
+	if d.Stats().CacheHits != hitsBefore {
+		t.Fatal("read after overlapping write hit a stale cache segment")
+	}
+}
+
+func TestDiskCacheDisabled(t *testing.T) {
+	d := newTestDisk(t)
+	d.SetCacheEnabled(false)
+	d.Access(2000, 8, false)
+	d.Access(2008, 8, false)
+	if d.Stats().CacheHits != 0 {
+		t.Fatal("disabled cache still produced hits")
+	}
+}
+
+func TestDiskCacheSegmentEviction(t *testing.T) {
+	d := newTestDisk(t) // ST31200 has 2 segments
+	d.Access(1000, 8, false)
+	d.Access(100000, 8, false)
+	d.Access(200000, 8, false) // evicts the LRU segment at 1000
+	hits := d.Stats().CacheHits
+	d.Access(1000, 8, false)
+	if d.Stats().CacheHits != hits {
+		t.Fatal("evicted segment still hit")
+	}
+	d.Access(200000, 8, false)
+	if d.Stats().CacheHits != hits+1 {
+		t.Fatal("recently installed segment did not hit")
+	}
+}
+
+// A large transfer must amortize positioning: bytes/second for a 256 KB
+// read must be several times that of 4 KB reads. This is the paper's
+// Figure 2 in miniature, and the entire premise of explicit grouping.
+func TestDiskBigTransfersAmortizePositioning(t *testing.T) {
+	d := newTestDisk(t)
+	d.SetCacheEnabled(false)
+	rng := sim.NewRNG(9)
+	rate := func(nsect int) float64 {
+		var total int64
+		const n = 500
+		for i := 0; i < n; i++ {
+			lba := rng.Int63n(d.Sectors() - int64(nsect))
+			total += d.Access(lba, nsect, false)
+		}
+		bytes := float64(nsect) * SectorSize * n
+		return bytes / (float64(total) / 1e9)
+	}
+	small := rate(2)   // 1 KB
+	large := rate(512) // 256 KB
+	if large < 5*small {
+		t.Fatalf("256KB random reads %.2f MB/s vs 1KB %.2f MB/s; want >= 5x", large/1e6, small/1e6)
+	}
+}
+
+func TestDiskStatsAccounting(t *testing.T) {
+	d := newTestDisk(t)
+	d.Access(100, 8, false)
+	d.Access(200, 4, true)
+	s := d.Stats()
+	if s.Requests != 2 || s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("request counts wrong: %+v", s)
+	}
+	if s.SectorsRead != 8 || s.SectorsWrite != 4 {
+		t.Fatalf("sector counts wrong: %+v", s)
+	}
+	if s.SectorsMoved() != 12 || s.BytesMoved() != 12*SectorSize {
+		t.Fatalf("moved totals wrong: %+v", s)
+	}
+	if s.BusyNanos <= 0 {
+		t.Fatal("no busy time accumulated")
+	}
+	d.ResetStats()
+	if d.Stats().Requests != 0 {
+		t.Fatal("ResetStats did not clear counters")
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Requests: 10, Reads: 6, Writes: 4, SectorsRead: 60, SectorsWrite: 40, BusyNanos: 1000}
+	b := Stats{Requests: 4, Reads: 2, Writes: 2, SectorsRead: 20, SectorsWrite: 20, BusyNanos: 300}
+	got := a.Sub(b)
+	if got.Requests != 6 || got.Reads != 4 || got.Writes != 2 || got.SectorsRead != 40 ||
+		got.SectorsWrite != 20 || got.BusyNanos != 700 {
+		t.Fatalf("Sub = %+v", got)
+	}
+}
+
+func TestDiskVectoredIO(t *testing.T) {
+	d := newTestDisk(t)
+	a := bytes.Repeat([]byte{0xAA}, 2*SectorSize)
+	b := bytes.Repeat([]byte{0xBB}, SectorSize)
+	c := bytes.Repeat([]byte{0xCC}, SectorSize)
+	if err := d.WriteV(5000, [][]byte{a, b, c}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Requests; got != 1 {
+		t.Fatalf("WriteV issued %d requests, want 1", got)
+	}
+	ga := make([]byte, len(a))
+	gb := make([]byte, len(b))
+	gc := make([]byte, len(c))
+	if err := d.ReadV(5000, [][]byte{ga, gb, gc}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().Requests; got != 2 {
+		t.Fatalf("ReadV issued %d extra requests, want 1", got-1)
+	}
+	if !bytes.Equal(ga, a) || !bytes.Equal(gb, b) || !bytes.Equal(gc, c) {
+		t.Fatal("vectored round trip corrupted data")
+	}
+}
+
+func TestDiskAccessPanicsOnBadArgs(t *testing.T) {
+	d := newTestDisk(t)
+	for _, c := range []struct {
+		lba   int64
+		nsect int
+	}{{-1, 1}, {0, 0}, {d.Sectors(), 1}, {d.Sectors() - 1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Access(%d,%d) did not panic", c.lba, c.nsect)
+				}
+			}()
+			d.Access(c.lba, c.nsect, false)
+		}()
+	}
+}
+
+func TestDiskUnalignedTransferPanics(t *testing.T) {
+	d := newTestDisk(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned transfer did not panic")
+		}
+	}()
+	d.Read(0, make([]byte, 100))
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	fs, err := OpenFileStore(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	w := []byte("hello, image")
+	if err := fs.WriteAt(w, 4096); err != nil {
+		t.Fatal(err)
+	}
+	g := make([]byte, len(w))
+	if err := fs.ReadAt(g, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g, w) {
+		t.Fatal("file store round trip failed")
+	}
+}
+
+func TestMemStoreBounds(t *testing.T) {
+	m := NewMemStore(1024)
+	if err := m.ReadAt(make([]byte, 16), 1020); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := m.WriteAt(make([]byte, 16), -1); err == nil {
+		t.Fatal("negative-offset write accepted")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, err := SpecByName("Seagate ST31200"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Fatal("unknown drive accepted")
+	}
+}
+
+func TestSpecSummaries(t *testing.T) {
+	s := SeagateST31200()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MediaRate() < 2e6 || s.MediaRate() > 6e6 {
+		t.Fatalf("ST31200 media rate %.1f MB/s implausible for a 1993 drive", s.MediaRate()/1e6)
+	}
+	rev := s.RevTime()
+	if rev < 0.010 || rev > 0.012 {
+		t.Fatalf("ST31200 revolution %.2fms implausible for 5411 RPM", rev*1e3)
+	}
+}

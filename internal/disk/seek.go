@@ -1,0 +1,95 @@
+package disk
+
+import (
+	"fmt"
+	"math"
+)
+
+// seekCurve models seek time as a function of cylinder distance with the
+// classic concave form
+//
+//	seek(d) = p + q*sqrt(d) + r*d   (d >= 1; seek(0) = 0)
+//
+// fitted through three published data points: the single-cylinder seek,
+// the average seek (taken at the mean random seek distance, one third of
+// the cylinder count), and the full-stroke maximum seek. This is the same
+// family of curves used by DiskSim-style simulators [Worthington95]: the
+// sqrt term captures the acceleration-limited region that dominates short
+// seeks, and the linear term captures the coast region of long seeks.
+type seekCurve struct {
+	p, q, r float64 // coefficients, in seconds
+	maxDist int     // cylinders-1, for validation
+}
+
+// fitSeekCurve solves the 3x3 linear system through
+// (1, single), (cyls/3, avg), (cyls-1, max), all times in seconds.
+func fitSeekCurve(single, avg, max float64, cyls int) (seekCurve, error) {
+	if cyls < 16 {
+		return seekCurve{}, fmt.Errorf("disk: too few cylinders (%d) to fit a seek curve", cyls)
+	}
+	if !(single > 0 && avg > single && max > avg) {
+		return seekCurve{}, fmt.Errorf("disk: seek points must satisfy 0 < single(%g) < avg(%g) < max(%g)", single, avg, max)
+	}
+	d1, d2, d3 := 1.0, float64(cyls)/3.0, float64(cyls-1)
+	// Solve  [1 sqrt(di) di] [p q r]^T = ti  by Cramer's rule.
+	a := [3][3]float64{
+		{1, math.Sqrt(d1), d1},
+		{1, math.Sqrt(d2), d2},
+		{1, math.Sqrt(d3), d3},
+	}
+	t := [3]float64{single, avg, max}
+	det := det3(a)
+	if math.Abs(det) < 1e-18 {
+		return seekCurve{}, fmt.Errorf("disk: degenerate seek fit")
+	}
+	var coef [3]float64
+	for col := 0; col < 3; col++ {
+		m := a
+		for row := 0; row < 3; row++ {
+			m[row][col] = t[row]
+		}
+		coef[col] = det3(m) / det
+	}
+	c := seekCurve{p: coef[0], q: coef[1], r: coef[2], maxDist: cyls - 1}
+	// The fit must be positive and monotone over the full stroke;
+	// published triples for real drives always are, so a violation means
+	// a bad catalog entry.
+	prev := 0.0
+	for d := 1; d <= cyls-1; d += 1 + d/16 {
+		v := c.at(d)
+		if v <= 0 || v+1e-9 < prev {
+			return seekCurve{}, fmt.Errorf("disk: seek fit not monotone positive at distance %d (%.4gms)", d, v*1e3)
+		}
+		prev = v
+	}
+	return c, nil
+}
+
+func det3(m [3][3]float64) float64 {
+	return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+}
+
+// at returns the seek time in seconds for a move of d cylinders.
+func (c seekCurve) at(d int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	fd := float64(d)
+	return c.p + c.q*math.Sqrt(fd) + c.r*fd
+}
+
+// expected returns the mean seek time over uniformly random start/end
+// cylinder pairs, evaluated by direct summation over the distance
+// distribution P(d) = 2(C-d)/C^2. Tests use this to check that the fitted
+// curve reproduces the published average seek to within a few percent.
+func (c seekCurve) expected() float64 {
+	C := float64(c.maxDist + 1)
+	var sum float64
+	for d := 1; d <= c.maxDist; d++ {
+		p := 2 * (C - float64(d)) / (C * C)
+		sum += p * c.at(d)
+	}
+	return sum
+}

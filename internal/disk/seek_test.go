@@ -1,0 +1,93 @@
+package disk
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeekCurveHitsPublishedPoints(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if err := spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			cyls := spec.Geom.Cylinders()
+			c, err := fitSeekCurve(spec.SeekSingle, spec.SeekAvg, spec.SeekMax, cyls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.at(1); math.Abs(got-spec.SeekSingle) > 1e-9 {
+				t.Errorf("seek(1) = %gms, want %gms", got*1e3, spec.SeekSingle*1e3)
+			}
+			if got := c.at(cyls / 3); math.Abs(got-spec.SeekAvg) > 5e-5 {
+				t.Errorf("seek(C/3) = %gms, want %gms", got*1e3, spec.SeekAvg*1e3)
+			}
+			if got := c.at(cyls - 1); math.Abs(got-spec.SeekMax) > 1e-9 {
+				t.Errorf("seek(max) = %gms, want %gms", got*1e3, spec.SeekMax*1e3)
+			}
+		})
+	}
+}
+
+// The fitted curve's true expectation over random seeks must land close
+// to the data sheet's quoted average: the fit anchors the mean distance,
+// and the concavity correction should be small.
+func TestSeekCurveExpectedNearAverage(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec.Validate()
+		c, err := fitSeekCurve(spec.SeekSingle, spec.SeekAvg, spec.SeekMax, spec.Geom.Cylinders())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := c.expected()
+		if rel := math.Abs(exp-spec.SeekAvg) / spec.SeekAvg; rel > 0.12 {
+			t.Errorf("%s: E[seek] = %.2fms vs quoted avg %.2fms (%.0f%% off)",
+				spec.Name, exp*1e3, spec.SeekAvg*1e3, rel*100)
+		}
+	}
+}
+
+func TestSeekCurveMonotone(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec.Validate()
+		c, err := fitSeekCurve(spec.SeekSingle, spec.SeekAvg, spec.SeekMax, spec.Geom.Cylinders())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0.0
+		for d := 1; d <= c.maxDist; d += 7 {
+			v := c.at(d)
+			if v < prev {
+				t.Fatalf("%s: seek(%d)=%g < seek(%d)=%g", spec.Name, d, v, d-7, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSeekCurveZeroDistance(t *testing.T) {
+	c, err := fitSeekCurve(0.001, 0.008, 0.018, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.at(0) != 0 {
+		t.Fatalf("seek(0) = %g, want 0", c.at(0))
+	}
+}
+
+func TestSeekCurveRejectsBadInputs(t *testing.T) {
+	cases := []struct{ single, avg, max float64 }{
+		{0, 0.008, 0.018},     // non-positive single
+		{0.009, 0.008, 0.018}, // single >= avg
+		{0.001, 0.019, 0.018}, // avg >= max
+	}
+	for i, c := range cases {
+		if _, err := fitSeekCurve(c.single, c.avg, c.max, 5000); err == nil {
+			t.Errorf("case %d: bad seek points accepted", i)
+		}
+	}
+	if _, err := fitSeekCurve(0.001, 0.008, 0.018, 4); err == nil {
+		t.Error("tiny cylinder count accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package disk
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Store is the byte backing of a simulated disk: it holds the data, while
+// the Disk model computes the time. Offsets are in bytes.
+//
+// A Store must return full-length reads; short reads are errors.
+type Store interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Close() error
+}
+
+// memChunkBits sizes MemStore's allocation unit (256 KB chunks).
+const memChunkBits = 18
+
+// MemStore keeps the disk image in memory. Simulated drives are several
+// gigabytes, but experiments touch a small fraction of that, so the image
+// is sparse: chunks materialize on first write and unwritten regions read
+// back as zeros.
+type MemStore struct {
+	size   int64
+	chunks map[int64][]byte
+}
+
+// NewMemStore creates an in-memory image of the given size.
+func NewMemStore(size int64) *MemStore {
+	return &MemStore{size: size, chunks: make(map[int64][]byte)}
+}
+
+// ReadAt implements Store.
+func (m *MemStore) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > m.size {
+		return fmt.Errorf("disk: memstore read [%d,%d) outside image of %d bytes", off, off+int64(len(p)), m.size)
+	}
+	for len(p) > 0 {
+		ci, co := off>>memChunkBits, off&((1<<memChunkBits)-1)
+		n := (1 << memChunkBits) - int(co)
+		if n > len(p) {
+			n = len(p)
+		}
+		if c := m.chunks[ci]; c != nil {
+			copy(p[:n], c[co:])
+		} else {
+			for i := 0; i < n; i++ {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// WriteAt implements Store.
+func (m *MemStore) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > m.size {
+		return fmt.Errorf("disk: memstore write [%d,%d) outside image of %d bytes", off, off+int64(len(p)), m.size)
+	}
+	for len(p) > 0 {
+		ci, co := off>>memChunkBits, off&((1<<memChunkBits)-1)
+		n := (1 << memChunkBits) - int(co)
+		if n > len(p) {
+			n = len(p)
+		}
+		c := m.chunks[ci]
+		if c == nil {
+			c = make([]byte, 1<<memChunkBits)
+			m.chunks[ci] = c
+		}
+		copy(c[co:], p[:n])
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error { return nil }
+
+// FileStore backs the disk image with a file, so mkfs/fsck-style tools
+// can operate on persistent images.
+type FileStore struct {
+	f    *os.File
+	size int64
+}
+
+// OpenFileStore opens (or creates) an image file of exactly size bytes.
+func OpenFileStore(path string, size int64) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileStore{f: f, size: size}, nil
+}
+
+// ReadAt implements Store.
+func (s *FileStore) ReadAt(p []byte, off int64) error {
+	n, err := s.f.ReadAt(p, off)
+	if err == io.EOF && n == len(p) {
+		err = nil
+	}
+	if err != nil {
+		return fmt.Errorf("disk: filestore read at %d: %w", off, err)
+	}
+	return nil
+}
+
+// WriteAt implements Store.
+func (s *FileStore) WriteAt(p []byte, off int64) error {
+	if _, err := s.f.WriteAt(p, off); err != nil {
+		return fmt.Errorf("disk: filestore write at %d: %w", off, err)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }

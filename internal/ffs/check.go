@@ -1,0 +1,264 @@
+package ffs
+
+import (
+	"fmt"
+
+	"cffs/internal/blockio"
+	"cffs/internal/cache"
+	"cffs/internal/fsck"
+	"cffs/internal/layout"
+	"cffs/internal/vfs"
+)
+
+// Check is the offline consistency checker for baseline FFS images
+// (the classic FSCK role [McKusick94]): it walks the namespace from the
+// root, rebuilds block and inode bitmaps, and verifies link counts and
+// directory structure. With repair set, the bitmaps are rewritten from
+// the walk.
+func Check(dev *blockio.Device, repair bool) (*fsck.Report, error) {
+	fs, err := Mount(dev, Options{})
+	if err != nil {
+		return nil, err
+	}
+	r := &fsck.Report{}
+	s := &ffsCheck{
+		fs:      fs,
+		r:       r,
+		used:    make(map[int64]string),
+		inoSeen: make(map[vfs.Ino]int),
+		inoLink: make(map[vfs.Ino]int),
+		visited: make(map[vfs.Ino]bool),
+	}
+	s.claim(0, "superblock")
+	for cg := 0; cg < fs.sb.NCG; cg++ {
+		start := fs.sb.cgStart(cg)
+		s.claim(start, fmt.Sprintf("cg %d header", cg))
+		for b := int64(1); b <= int64(fs.sb.inodeBlocksPerCG()); b++ {
+			s.claim(start+b, fmt.Sprintf("cg %d inode table", cg))
+		}
+	}
+	if err := s.walkDir(RootIno, RootIno, "/"); err != nil {
+		return nil, err
+	}
+	s.finish()
+	if repair && !r.Clean() {
+		if err := s.repair(); err != nil {
+			return nil, err
+		}
+	}
+	r.UsedBlocks = len(s.used)
+	return r, nil
+}
+
+type ffsCheck struct {
+	fs      *FS
+	r       *fsck.Report
+	used    map[int64]string
+	inoSeen map[vfs.Ino]int
+	inoLink map[vfs.Ino]int
+	visited map[vfs.Ino]bool
+}
+
+func (s *ffsCheck) claim(block int64, owner string) {
+	if prev, ok := s.used[block]; ok {
+		s.r.Problems = append(s.r.Problems,
+			fmt.Sprintf("block %d claimed by both %s and %s", block, prev, owner))
+		return
+	}
+	s.used[block] = owner
+}
+
+func (s *ffsCheck) walkDir(dir, parent vfs.Ino, path string) error {
+	if s.visited[dir] {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: directory cycle at inode %d", path, dir))
+		return nil
+	}
+	s.visited[dir] = true
+	s.r.Dirs++
+	in, err := s.fs.getInode(dir)
+	if err != nil || in.Type != vfs.TypeDir {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bad directory inode %d", path, dir))
+		return nil
+	}
+	s.inoLink[dir] = int(in.Nlink)
+	s.claimFileBlocks(&in, dir, path)
+
+	var dotOK, dotdotOK bool
+	var subdirs []vfs.DirEntry
+	_, err = s.fs.forEachDirent(&in, dir, func(_ *cache.Buf, e dirent) bool {
+		if e.ino == 0 {
+			return false
+		}
+		switch e.name {
+		case ".":
+			dotOK = vfs.Ino(e.ino) == dir
+		case "..":
+			dotdotOK = vfs.Ino(e.ino) == parent
+		default:
+			ino := vfs.Ino(e.ino)
+			s.inoSeen[ino]++
+			if e.ftype == vfs.TypeDir {
+				subdirs = append(subdirs, vfs.DirEntry{Name: e.name, Ino: ino})
+			} else if s.inoSeen[ino] == 1 {
+				fin, err := s.fs.getInode(ino)
+				if err != nil || !fin.Alive() {
+					s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s%s: dangling inode %d", path, e.name, ino))
+				} else {
+					s.inoLink[ino] = int(fin.Nlink)
+					s.r.Files++
+					s.claimFileBlocks(&fin, ino, path+e.name)
+				}
+			}
+		}
+		return false
+	})
+	if err != nil {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: walk failed: %v", path, err))
+		return nil
+	}
+	if !dotOK || !dotdotOK {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bad \".\" or \"..\"", path))
+	}
+	for _, e := range subdirs {
+		if err := s.walkDir(e.Ino, dir, path+e.Name+"/"); err != nil {
+			return err
+		}
+	}
+	if int(in.Nlink) != 2+len(subdirs) {
+		s.r.Problems = append(s.r.Problems,
+			fmt.Sprintf("%s: nlink %d, expected %d", path, in.Nlink, 2+len(subdirs)))
+	}
+	return nil
+}
+
+func (s *ffsCheck) claimFileBlocks(in *layout.Inode, ino vfs.Ino, name string) {
+	nblocks := (in.Size + blockio.BlockSize - 1) / blockio.BlockSize
+	counted := uint32(0)
+	for lb := int64(0); lb < nblocks; lb++ {
+		phys, err := s.fs.bmap(in, ino, lb, false)
+		if err != nil {
+			s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bmap(%d): %v", name, lb, err))
+			return
+		}
+		if phys != 0 {
+			s.claim(phys, name)
+			counted++
+		}
+	}
+	if in.Indir != 0 {
+		s.claim(int64(in.Indir), name+" (indirect)")
+		counted++
+	}
+	if in.DIndir != 0 {
+		s.claim(int64(in.DIndir), name+" (double indirect)")
+		counted++
+		db, err := s.fs.c.Read(int64(in.DIndir))
+		if err == nil {
+			le := leBytes{db.Data}
+			for k := 0; k < layout.PtrsPerBlock; k++ {
+				if p := le.u32(k * 4); p != 0 {
+					s.claim(int64(p), name+" (indirect level 2)")
+					counted++
+				}
+			}
+			db.Release()
+		}
+	}
+	if counted != in.NBlocks {
+		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: NBlocks %d, found %d", name, in.NBlocks, counted))
+	}
+}
+
+func (s *ffsCheck) finish() {
+	fs, r := s.fs, s.r
+	for ino := vfs.Ino(1); int64(ino) <= int64(fs.sb.NCG)*int64(fs.sb.InodesPerCG); ino++ {
+		in, err := fs.getInode(ino)
+		if err != nil {
+			continue
+		}
+		referenced := s.inoSeen[ino] > 0 || s.visited[ino]
+		if in.Alive() && !referenced {
+			r.Problems = append(r.Problems, fmt.Sprintf("orphan inode %d", ino))
+		}
+		if !in.Alive() && referenced {
+			r.Problems = append(r.Problems, fmt.Sprintf("referenced inode %d is dead", ino))
+		}
+		if referenced && !s.visited[ino] && s.inoSeen[ino] != s.inoLink[ino] {
+			r.Problems = append(r.Problems,
+				fmt.Sprintf("inode %d: nlink %d, found %d names", ino, s.inoLink[ino], s.inoSeen[ino]))
+		}
+	}
+	for cg := 0; cg < fs.sb.NCG; cg++ {
+		hdr, err := fs.c.Read(fs.sb.cgStart(cg))
+		if err != nil {
+			r.Problems = append(r.Problems, fmt.Sprintf("cg %d: unreadable header: %v", cg, err))
+			continue
+		}
+		bm := fs.blockBitmap(hdr)
+		ibm := fs.inodeBitmap(hdr)
+		for i := 0; i < fs.sb.CGBlocks; i++ {
+			phys := fs.sb.cgStart(cg) + int64(i)
+			if phys >= fs.sb.NBlocks {
+				break
+			}
+			_, inUse := s.used[phys]
+			if inUse && !bm.IsSet(i) {
+				r.Problems = append(r.Problems, fmt.Sprintf("block %d in use but free in bitmap", phys))
+			}
+			if !inUse && bm.IsSet(i) {
+				r.Problems = append(r.Problems, fmt.Sprintf("block %d lost (marked but unreferenced)", phys))
+			}
+		}
+		for i := 0; i < fs.sb.InodesPerCG; i++ {
+			ino := vfs.Ino(cg*fs.sb.InodesPerCG + i + 1)
+			referenced := s.inoSeen[ino] > 0 || s.visited[ino]
+			if referenced != ibm.IsSet(i) {
+				r.Problems = append(r.Problems,
+					fmt.Sprintf("inode %d bitmap bit %v, reachability %v", ino, ibm.IsSet(i), referenced))
+			}
+		}
+		hdr.Release()
+	}
+}
+
+func (s *ffsCheck) repair() error {
+	fs, r := s.fs, s.r
+	for cg := 0; cg < fs.sb.NCG; cg++ {
+		hdr, err := fs.c.Read(fs.sb.cgStart(cg))
+		if err != nil {
+			return err
+		}
+		bm := fs.blockBitmap(hdr)
+		ibm := fs.inodeBitmap(hdr)
+		for i := 0; i < fs.sb.CGBlocks; i++ {
+			phys := fs.sb.cgStart(cg) + int64(i)
+			if phys >= fs.sb.NBlocks {
+				break
+			}
+			_, inUse := s.used[phys]
+			if inUse != bm.IsSet(i) {
+				if inUse {
+					bm.Set(i)
+				} else {
+					bm.Clear(i)
+				}
+				r.RepairsMade++
+			}
+		}
+		for i := 0; i < fs.sb.InodesPerCG; i++ {
+			ino := vfs.Ino(cg*fs.sb.InodesPerCG + i + 1)
+			referenced := s.inoSeen[ino] > 0 || s.visited[ino]
+			if referenced != ibm.IsSet(i) {
+				if referenced {
+					ibm.Set(i)
+				} else {
+					ibm.Clear(i)
+				}
+				r.RepairsMade++
+			}
+		}
+		fs.c.MarkDirty(hdr)
+		hdr.Release()
+	}
+	return fs.c.Sync()
+}

@@ -1,0 +1,124 @@
+package ffs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/layout"
+	"cffs/internal/vfs"
+)
+
+func populateFFS(t *testing.T, fs *FS) {
+	t.Helper()
+	for i := 0; i < 8; i++ {
+		if err := vfs.WriteFile(fs, fmt.Sprintf("/f%d", i), make([]byte, 2048)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := vfs.MkdirAll(fs, "/d/e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(fs, "/d/e/leaf", make([]byte, 30*blockio.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	ino, err := vfs.Walk(fs, "/f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link(fs.Root(), "ln", ino); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFSCheckClean(t *testing.T) {
+	fs := newFFS(t, Options{Mode: ModeDelayed})
+	populateFFS(t, fs)
+	rep, err := Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("fresh image not clean: %v", rep.Problems)
+	}
+	if rep.Files != 9 || rep.Dirs != 3 {
+		t.Fatalf("found %d files %d dirs, want 9/3", rep.Files, rep.Dirs)
+	}
+}
+
+func TestFFSCheckDetectsAndRepairsBitmapDamage(t *testing.T) {
+	fs := newFFS(t, Options{Mode: ModeDelayed})
+	populateFFS(t, fs)
+	hdrBlock := fs.sb.cgStart(0)
+	raw := make([]byte, blockio.BlockSize)
+	if err := fs.Device().ReadBlock(hdrBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	bm := layout.NewBitmap(raw[cgBmapOff:], fs.sb.CGBlocks)
+	victim := bm.FindClear(500)
+	bm.Set(victim)
+	if err := fs.Device().WriteBlock(hdrBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("bitmap damage not detected")
+	}
+	if _, err := Check(fs.Device(), true); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("not clean after repair: %v", rep.Problems)
+	}
+}
+
+func TestFFSCheckDetectsOrphanInode(t *testing.T) {
+	fs := newFFS(t, Options{Mode: ModeDelayed})
+	populateFFS(t, fs)
+	// Mark a free inode live in both the table and the bitmap but
+	// reference it from nowhere.
+	hdrBlock := fs.sb.cgStart(0)
+	raw := make([]byte, blockio.BlockSize)
+	if err := fs.Device().ReadBlock(hdrBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	ibm := layout.NewBitmap(raw[cgBmapOff+(fs.sb.CGBlocks+7)/8:], fs.sb.InodesPerCG)
+	idx := ibm.FindClear(0)
+	ibm.Set(idx)
+	if err := fs.Device().WriteBlock(hdrBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	tblBlock := fs.sb.cgStart(0) + 1 + int64(idx/layout.InodesPerBlock)
+	if err := fs.Device().ReadBlock(tblBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	orphan := layout.Inode{Type: vfs.TypeReg, Nlink: 1}
+	orphan.Encode(raw[(idx%layout.InodesPerBlock)*layout.InodeSize:])
+	if err := fs.Device().WriteBlock(tblBlock, raw); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "orphan") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("orphan not detected: %v", rep.Problems)
+	}
+}

@@ -1,0 +1,94 @@
+package ffs
+
+import (
+	"fmt"
+	"testing"
+
+	"cffs/internal/vfs"
+)
+
+// Crash consistency for the baseline: conventional ordered synchronous
+// writes must leave every completed create named and every completed
+// delete gone, with fsck able to rebuild the (delayed-write) bitmaps.
+func TestCrashAfterSyncCreates(t *testing.T) {
+	fs := newFFS(t, Options{Mode: ModeSync})
+	dev := fs.Device()
+
+	if _, err := vfs.MkdirAll(fs, "/base"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := vfs.WriteFile(fs, fmt.Sprintf("/base/old%02d", i), make([]byte, 2048)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := vfs.Walk(fs, "/base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created []string
+	for i := 0; i < 200; i++ { // enough to grow the directory
+		name := fmt.Sprintf("new%03d", i)
+		ino, err := fs.Create(base, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.WriteAt(ino, make([]byte, 512), 0); err != nil {
+			t.Fatal(err)
+		}
+		created = append(created, name)
+	}
+	var deleted []string
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("old%02d", i)
+		if err := fs.Unlink(base, name); err != nil {
+			t.Fatal(err)
+		}
+		deleted = append(deleted, name)
+	}
+	// CRASH: abandon the dirty cache.
+
+	if _, err := Check(dev, true); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(dev, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		max := len(rep.Problems)
+		if max > 5 {
+			max = 5
+		}
+		t.Fatalf("image not repairable after crash: %v", rep.Problems[:max])
+	}
+
+	fs2, err := Mount(dev, Options{Mode: ModeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2, err := vfs.Walk(fs2, "/base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range created {
+		if _, err := fs2.Lookup(base2, name); err != nil {
+			t.Errorf("created file %s lost in crash: %v", name, err)
+		}
+	}
+	for _, name := range deleted {
+		if _, err := fs2.Lookup(base2, name); err == nil {
+			t.Errorf("deleted file %s resurrected by crash", name)
+		}
+	}
+	if err := vfs.WriteFile(fs2, "/base/post-crash", []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+package ffs
+
+import (
+	"fmt"
+
+	"cffs/internal/blockio"
+	"cffs/internal/cache"
+	"cffs/internal/layout"
+	"cffs/internal/vfs"
+)
+
+// Directory format: classic FFS variable-length entries packed into
+// directory blocks. Each record is
+//
+//	ino(4) reclen(2) namelen(1) ftype(1) name... (padded to 4)
+//
+// and records tile the whole block: free space is carried as slack in
+// the previous record's reclen (or as a record with ino 0 at the block
+// head). Entries never span blocks.
+
+const direntHdr = 8
+
+func direntSize(namelen int) int { return (direntHdr + namelen + 3) &^ 3 }
+
+// dirent is a decoded directory record.
+type dirent struct {
+	ino    uint32
+	reclen int
+	ftype  vfs.FileType
+	name   string
+	off    int // byte offset within the block
+}
+
+// used returns the space the live entry occupies (excluding slack).
+func (e *dirent) used() int { return direntSize(len(e.name)) }
+
+// decodeDirent reads the record at off.
+func decodeDirent(p []byte, off int) (dirent, error) {
+	if off+direntHdr > len(p) {
+		return dirent{}, fmt.Errorf("ffs: dirent header at %d overruns block", off)
+	}
+	le := leBytes{p}
+	e := dirent{
+		ino:    le.u32(off),
+		reclen: int(uint16(le.u32(off+4)) & 0xffff),
+		ftype:  vfs.FileType(p[off+7]),
+		off:    off,
+	}
+	nl := int(p[off+6])
+	if e.reclen < direntSize(nl) || off+e.reclen > len(p) || e.reclen%4 != 0 {
+		return dirent{}, fmt.Errorf("ffs: corrupt dirent at %d (reclen %d, namelen %d)", off, e.reclen, nl)
+	}
+	e.name = string(p[off+direntHdr : off+direntHdr+nl])
+	return e, nil
+}
+
+// encodeDirent writes a record at off.
+func encodeDirent(p []byte, off int, ino uint32, reclen int, ftype vfs.FileType, name string) {
+	le := leBytes{p}
+	le.pu32(off, ino)
+	p[off+4] = byte(reclen)
+	p[off+5] = byte(reclen >> 8)
+	p[off+6] = byte(len(name))
+	p[off+7] = byte(ftype)
+	copy(p[off+direntHdr:], name)
+	// Zero name padding for deterministic images.
+	for i := off + direntHdr + len(name); i < off+direntSize(len(name)) && i < len(p); i++ {
+		p[i] = 0
+	}
+}
+
+// initDirBlock formats an empty directory block: one free record
+// covering everything.
+func initDirBlock(p []byte) {
+	encodeDirent(p, 0, 0, blockio.BlockSize, vfs.TypeInvalid, "")
+}
+
+// initDirData writes the initial "." and ".." entries of a new
+// directory into its first data block.
+func (fs *FS) initDirData(in *layout.Inode, self, parent vfs.Ino) error {
+	phys, err := fs.bmap(in, self, 0, true)
+	if err != nil {
+		return err
+	}
+	b, err := fs.c.Alloc(phys)
+	if err != nil {
+		return err
+	}
+	defer b.Release()
+	initDirBlock(b.Data)
+	dot := direntSize(1)
+	encodeDirent(b.Data, 0, uint32(self), dot, vfs.TypeDir, ".")
+	encodeDirent(b.Data, dot, uint32(parent), blockio.BlockSize-dot, vfs.TypeDir, "..")
+	fs.c.MarkDirty(b)
+	in.Size = blockio.BlockSize
+	return nil
+}
+
+// forEachDirent walks every record (live and free) of a directory,
+// calling fn with the block buffer and decoded entry. fn returning true
+// stops the walk with the buffer pinned and returned to the caller.
+func (fs *FS) forEachDirent(in *layout.Inode, dir vfs.Ino, fn func(b *cache.Buf, e dirent) bool) (*cache.Buf, error) {
+	nblocks := in.Size / blockio.BlockSize
+	for lb := int64(0); lb < nblocks; lb++ {
+		phys, err := fs.bmap(in, dir, lb, false)
+		if err != nil {
+			return nil, err
+		}
+		if phys == 0 {
+			return nil, fmt.Errorf("ffs: directory %d has a hole at block %d", dir, lb)
+		}
+		b, err := fs.c.Read(phys)
+		if err != nil {
+			return nil, err
+		}
+		for off := 0; off < blockio.BlockSize; {
+			e, err := decodeDirent(b.Data, off)
+			if err != nil {
+				b.Release()
+				return nil, err
+			}
+			if fn(b, e) {
+				return b, nil
+			}
+			off += e.reclen
+		}
+		b.Release()
+	}
+	return nil, nil
+}
+
+// dirLookup finds a live entry by name; the returned buffer is pinned.
+func (fs *FS) dirLookup(in *layout.Inode, dir vfs.Ino, name string) (*cache.Buf, dirent, error) {
+	var found dirent
+	b, err := fs.forEachDirent(in, dir, func(_ *cache.Buf, e dirent) bool {
+		if e.ino != 0 && e.name == name {
+			found = e
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return nil, dirent{}, err
+	}
+	if b == nil {
+		return nil, dirent{}, fmt.Errorf("ffs: %q in dir %d: %w", name, dir, vfs.ErrNotExist)
+	}
+	return b, found, nil
+}
+
+// dirAdd inserts a live entry, growing the directory by one block when
+// no slot fits. The caller supplies the parent inode and writes it back.
+// The modified block is returned pinned for the caller to order its
+// write (sync or delayed).
+func (fs *FS) dirAdd(in *layout.Inode, dir vfs.Ino, name string, ino vfs.Ino, ftype vfs.FileType) (*cache.Buf, error) {
+	if len(name) == 0 || len(name) > vfs.MaxNameLen {
+		return nil, fmt.Errorf("ffs: name %q: %w", name, vfs.ErrNameTooLong)
+	}
+	need := direntSize(len(name))
+	var slotOff, slotLen int
+	b, err := fs.forEachDirent(in, dir, func(_ *cache.Buf, e dirent) bool {
+		if e.ino == 0 && e.reclen >= need {
+			slotOff, slotLen = e.off, e.reclen
+			return true
+		}
+		if e.ino != 0 && e.reclen-e.used() >= need {
+			slotOff, slotLen = e.off, e.reclen
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		// Grow by one block. Under synchronous metadata the fresh block
+		// and the directory inode reaching it must be durable before an
+		// entry lands in the block, or a crash orphans the entry.
+		lb := in.Size / blockio.BlockSize
+		phys, err := fs.bmap(in, dir, lb, true)
+		if err != nil {
+			return nil, err
+		}
+		b, err = fs.c.Alloc(phys)
+		if err != nil {
+			return nil, err
+		}
+		initDirBlock(b.Data)
+		in.Size += blockio.BlockSize
+		in.Mtime = fs.clk.Now()
+		if fs.opts.Mode == ModeSync {
+			if err := fs.c.WriteSync(b); err != nil {
+				b.Release()
+				return nil, err
+			}
+			if err := fs.putInode(dir, in, true); err != nil {
+				b.Release()
+				return nil, err
+			}
+		} else {
+			fs.c.MarkDirty(b)
+		}
+		slotOff, slotLen = 0, blockio.BlockSize
+	}
+	e, err := decodeDirent(b.Data, slotOff)
+	if err != nil {
+		b.Release()
+		return nil, err
+	}
+	if e.ino == 0 {
+		encodeDirent(b.Data, slotOff, uint32(ino), slotLen, ftype, name)
+	} else {
+		// Split the slack off the live entry.
+		usedLen := e.used()
+		encodeDirent(b.Data, slotOff, e.ino, usedLen, e.ftype, e.name)
+		encodeDirent(b.Data, slotOff+usedLen, uint32(ino), slotLen-usedLen, ftype, name)
+	}
+	in.Mtime = fs.clk.Now()
+	return b, nil
+}
+
+// dirRemove deletes a live entry by name, merging its space into the
+// preceding record (or marking it free at block head). The modified
+// block is returned pinned.
+func (fs *FS) dirRemove(in *layout.Inode, dir vfs.Ino, name string) (*cache.Buf, dirent, error) {
+	var prev, target dirent
+	var havePrev bool
+	b, err := fs.forEachDirent(in, dir, func(_ *cache.Buf, e dirent) bool {
+		if e.ino != 0 && e.name == name {
+			target = e
+			return true
+		}
+		prev, havePrev = e, true
+		return false
+	})
+	if err != nil {
+		return nil, dirent{}, err
+	}
+	if b == nil {
+		return nil, dirent{}, fmt.Errorf("ffs: %q in dir %d: %w", name, dir, vfs.ErrNotExist)
+	}
+	if target.off > 0 && havePrev && prev.off+prev.reclen == target.off {
+		// Merge into predecessor.
+		encodeDirent(b.Data, prev.off, prev.ino, prev.reclen+target.reclen, prev.ftype, prev.name)
+	} else {
+		encodeDirent(b.Data, target.off, 0, target.reclen, vfs.TypeInvalid, "")
+	}
+	in.Mtime = fs.clk.Now()
+	return b, target, nil
+}
+
+// dirIsEmpty reports whether the directory holds only "." and "..".
+func (fs *FS) dirIsEmpty(in *layout.Inode, dir vfs.Ino) (bool, error) {
+	empty := true
+	b, err := fs.forEachDirent(in, dir, func(_ *cache.Buf, e dirent) bool {
+		if e.ino != 0 && e.name != "." && e.name != ".." {
+			empty = false
+			return true
+		}
+		return false
+	})
+	if b != nil {
+		b.Release()
+	}
+	return empty, err
+}
+
+// dirList collects the live entries, excluding "." and "..".
+func (fs *FS) dirList(in *layout.Inode, dir vfs.Ino) ([]vfs.DirEntry, error) {
+	var ents []vfs.DirEntry
+	_, err := fs.forEachDirent(in, dir, func(_ *cache.Buf, e dirent) bool {
+		if e.ino != 0 && e.name != "." && e.name != ".." {
+			ents = append(ents, vfs.DirEntry{Name: e.name, Ino: vfs.Ino(e.ino), Type: e.ftype})
+		}
+		return false
+	})
+	return ents, err
+}

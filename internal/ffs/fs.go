@@ -1,0 +1,410 @@
+package ffs
+
+import (
+	"fmt"
+
+	"cffs/internal/layout"
+	"cffs/internal/vfs"
+)
+
+// Namespace operations. In ModeSync these follow the conventional
+// synchronous-write sequencing [Ganger94]: an inode is initialized on
+// disk before the directory entry naming it (create), and a directory
+// entry is removed on disk before its inode is freed (delete). Each such
+// arrow is one synchronous write — the cost embedded inodes remove.
+
+// Lookup implements vfs.FileSystem.
+func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
+	din, err := fs.getLiveInode(dir)
+	if err != nil {
+		return 0, err
+	}
+	if din.Type != vfs.TypeDir {
+		return 0, fmt.Errorf("ffs: inode %d: %w", dir, vfs.ErrNotDir)
+	}
+	b, e, err := fs.dirLookup(&din, dir, name)
+	if err != nil {
+		return 0, err
+	}
+	b.Release()
+	return vfs.Ino(e.ino), nil
+}
+
+// Create implements vfs.FileSystem.
+func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
+	din, err := fs.getLiveInode(dir)
+	if err != nil {
+		return 0, err
+	}
+	if din.Type != vfs.TypeDir {
+		return 0, vfs.ErrNotDir
+	}
+	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
+		b.Release()
+		return 0, fmt.Errorf("ffs: create %q: %w", name, vfs.ErrExist)
+	}
+	ino, err := fs.allocInode(fs.cgOfIno(dir))
+	if err != nil {
+		return 0, err
+	}
+	in := layout.Inode{Type: vfs.TypeReg, Nlink: 1, Mtime: fs.clk.Now()}
+	// Ordering point 1: the initialized inode reaches disk before the
+	// name that references it.
+	if err := fs.putInode(ino, &in, true); err != nil {
+		return 0, err
+	}
+	b, err := fs.dirAdd(&din, dir, name, ino, vfs.TypeReg)
+	if err != nil {
+		return 0, err
+	}
+	// Ordering point 2: the directory entry.
+	if err := fs.syncMeta(b); err != nil {
+		b.Release()
+		return 0, err
+	}
+	b.Release()
+	return ino, fs.putInode(dir, &din, false)
+}
+
+// Mkdir implements vfs.FileSystem.
+func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
+	din, err := fs.getLiveInode(dir)
+	if err != nil {
+		return 0, err
+	}
+	if din.Type != vfs.TypeDir {
+		return 0, vfs.ErrNotDir
+	}
+	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
+		b.Release()
+		return 0, fmt.Errorf("ffs: mkdir %q: %w", name, vfs.ErrExist)
+	}
+	ino, err := fs.allocInode(fs.pickDirCG())
+	if err != nil {
+		return 0, err
+	}
+	in := layout.Inode{Type: vfs.TypeDir, Nlink: 2, Mtime: fs.clk.Now()}
+	if err := fs.initDirData(&in, ino, dir); err != nil {
+		return 0, err
+	}
+	// Child block, then child inode, then parent entry — the mkdir
+	// ordering chain.
+	if fs.opts.Mode == ModeSync {
+		phys, err := fs.bmap(&in, ino, 0, false)
+		if err != nil {
+			return 0, err
+		}
+		cb, err := fs.c.Read(phys)
+		if err != nil {
+			return 0, err
+		}
+		if err := fs.c.WriteSync(cb); err != nil {
+			cb.Release()
+			return 0, err
+		}
+		cb.Release()
+	}
+	if err := fs.putInode(ino, &in, true); err != nil {
+		return 0, err
+	}
+	b, err := fs.dirAdd(&din, dir, name, ino, vfs.TypeDir)
+	if err != nil {
+		return 0, err
+	}
+	if err := fs.syncMeta(b); err != nil {
+		b.Release()
+		return 0, err
+	}
+	b.Release()
+	din.Nlink++ // ".." of the child
+	return ino, fs.putInode(dir, &din, false)
+}
+
+// Link implements vfs.FileSystem.
+func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
+	din, err := fs.getLiveInode(dir)
+	if err != nil {
+		return err
+	}
+	if din.Type != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	tin, err := fs.getLiveInode(target)
+	if err != nil {
+		return err
+	}
+	if tin.Type == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
+		b.Release()
+		return fmt.Errorf("ffs: link %q: %w", name, vfs.ErrExist)
+	}
+	tin.Nlink++
+	// The incremented link count must be stable before the new name.
+	if err := fs.putInode(target, &tin, true); err != nil {
+		return err
+	}
+	b, err := fs.dirAdd(&din, dir, name, target, vfs.TypeReg)
+	if err != nil {
+		return err
+	}
+	if err := fs.syncMeta(b); err != nil {
+		b.Release()
+		return err
+	}
+	b.Release()
+	return fs.putInode(dir, &din, false)
+}
+
+// Unlink implements vfs.FileSystem.
+func (fs *FS) Unlink(dir vfs.Ino, name string) error {
+	din, err := fs.getLiveInode(dir)
+	if err != nil {
+		return err
+	}
+	if din.Type != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	if name == "." || name == ".." {
+		return vfs.ErrInvalid
+	}
+	b, e, err := fs.dirLookup(&din, dir, name)
+	if err != nil {
+		return err
+	}
+	if e.ftype == vfs.TypeDir {
+		b.Release()
+		return vfs.ErrIsDir
+	}
+	b.Release()
+	b, _, err = fs.dirRemove(&din, dir, name)
+	if err != nil {
+		return err
+	}
+	// Ordering point 1: the name disappears before the inode dies.
+	if err := fs.syncMeta(b); err != nil {
+		b.Release()
+		return err
+	}
+	b.Release()
+	if err := fs.putInode(dir, &din, false); err != nil {
+		return err
+	}
+
+	ino := vfs.Ino(e.ino)
+	tin, err := fs.getLiveInode(ino)
+	if err != nil {
+		return err
+	}
+	tin.Nlink--
+	if tin.Nlink > 0 {
+		return fs.putInode(ino, &tin, true)
+	}
+	if err := fs.truncate(&tin, ino, 0); err != nil {
+		return err
+	}
+	// Ordering point 2: the cleared inode.
+	tin = layout.Inode{}
+	if err := fs.putInode(ino, &tin, true); err != nil {
+		return err
+	}
+	return fs.freeInode(ino)
+}
+
+// Rmdir implements vfs.FileSystem.
+func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
+	din, err := fs.getLiveInode(dir)
+	if err != nil {
+		return err
+	}
+	if din.Type != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	if name == "." || name == ".." {
+		return vfs.ErrInvalid
+	}
+	b, e, err := fs.dirLookup(&din, dir, name)
+	if err != nil {
+		return err
+	}
+	b.Release()
+	if e.ftype != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	ino := vfs.Ino(e.ino)
+	cin, err := fs.getLiveInode(ino)
+	if err != nil {
+		return err
+	}
+	empty, err := fs.dirIsEmpty(&cin, ino)
+	if err != nil {
+		return err
+	}
+	if !empty {
+		return vfs.ErrNotEmpty
+	}
+	b, _, err = fs.dirRemove(&din, dir, name)
+	if err != nil {
+		return err
+	}
+	if err := fs.syncMeta(b); err != nil {
+		b.Release()
+		return err
+	}
+	b.Release()
+	din.Nlink--
+	if err := fs.putInode(dir, &din, false); err != nil {
+		return err
+	}
+	if err := fs.truncate(&cin, ino, 0); err != nil {
+		return err
+	}
+	cin = layout.Inode{}
+	if err := fs.putInode(ino, &cin, true); err != nil {
+		return err
+	}
+	return fs.freeInode(ino)
+}
+
+// Rename implements vfs.FileSystem. Only regular files can be replaced.
+func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+	if sname == "." || sname == ".." || dname == "." || dname == ".." {
+		return vfs.ErrInvalid
+	}
+	sin, err := fs.getLiveInode(sdir)
+	if err != nil {
+		return err
+	}
+	b, se, err := fs.dirLookup(&sin, sdir, sname)
+	if err != nil {
+		return err
+	}
+	b.Release()
+	din, err := fs.getLiveInode(ddir)
+	if err != nil {
+		return err
+	}
+	if b, de, err := fs.dirLookup(&din, ddir, dname); err == nil {
+		b.Release()
+		if de.ftype == vfs.TypeDir {
+			return vfs.ErrIsDir
+		}
+		if err := fs.Unlink(ddir, dname); err != nil {
+			return err
+		}
+		din, err = fs.getLiveInode(ddir)
+		if err != nil {
+			return err
+		}
+	}
+	// Add the new name first (a moment with two names is safe; a moment
+	// with zero is not).
+	nb, err := fs.dirAdd(&din, ddir, dname, vfs.Ino(se.ino), se.ftype)
+	if err != nil {
+		return err
+	}
+	if err := fs.syncMeta(nb); err != nil {
+		nb.Release()
+		return err
+	}
+	nb.Release()
+	if err := fs.putInode(ddir, &din, false); err != nil {
+		return err
+	}
+	if sdir == ddir {
+		sin, err = fs.getLiveInode(sdir)
+		if err != nil {
+			return err
+		}
+	}
+	rb, _, err := fs.dirRemove(&sin, sdir, sname)
+	if err != nil {
+		return err
+	}
+	if err := fs.syncMeta(rb); err != nil {
+		rb.Release()
+		return err
+	}
+	rb.Release()
+	if err := fs.putInode(sdir, &sin, false); err != nil {
+		return err
+	}
+	// Directories changing parents must repoint "..".
+	if se.ftype == vfs.TypeDir && sdir != ddir {
+		cin, err := fs.getLiveInode(vfs.Ino(se.ino))
+		if err != nil {
+			return err
+		}
+		cb, _, err := fs.dirRemove(&cin, vfs.Ino(se.ino), "..")
+		if err != nil {
+			return err
+		}
+		cb.Release()
+		cb, err = fs.dirAdd(&cin, vfs.Ino(se.ino), "..", ddir, vfs.TypeDir)
+		if err != nil {
+			return err
+		}
+		fs.c.MarkDirty(cb)
+		cb.Release()
+		if err := fs.putInode(vfs.Ino(se.ino), &cin, false); err != nil {
+			return err
+		}
+		sin.Nlink--
+		if err := fs.putInode(sdir, &sin, false); err != nil {
+			return err
+		}
+		din, err = fs.getLiveInode(ddir)
+		if err != nil {
+			return err
+		}
+		din.Nlink++
+		if err := fs.putInode(ddir, &din, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDir implements vfs.FileSystem.
+func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
+	din, err := fs.getLiveInode(dir)
+	if err != nil {
+		return nil, err
+	}
+	if din.Type != vfs.TypeDir {
+		return nil, vfs.ErrNotDir
+	}
+	return fs.dirList(&din, dir)
+}
+
+// Stat implements vfs.FileSystem.
+func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
+	in, err := fs.getLiveInode(ino)
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	return vfs.Stat{
+		Ino:    ino,
+		Type:   in.Type,
+		Nlink:  uint32(in.Nlink),
+		Size:   in.Size,
+		Blocks: int64(in.NBlocks),
+		Mtime:  in.Mtime,
+	}, nil
+}
+
+// Truncate implements vfs.FileSystem.
+func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
+	in, err := fs.getLiveInode(ino)
+	if err != nil {
+		return err
+	}
+	if in.Type == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	if err := fs.truncate(&in, ino, size); err != nil {
+		return err
+	}
+	return fs.putInode(ino, &in, false)
+}

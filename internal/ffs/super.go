@@ -1,0 +1,270 @@
+// Package ffs implements the conventional baseline: a McKusick-style
+// fast file system with cylinder groups, statically allocated inode
+// tables, allocation bitmaps, and FFS placement policy (inodes near
+// their directory, data near its inode — locality, but no adjacency).
+//
+// It exists so the paper's comparison has a genuinely independent
+// conventional implementation: the C-FFS package can also be configured
+// with both techniques off, and the two are cross-checked in tests.
+package ffs
+
+import (
+	"fmt"
+
+	"cffs/internal/blockio"
+	"cffs/internal/cache"
+	"cffs/internal/layout"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+)
+
+// Magic identifies an FFS superblock.
+const Magic = 0x0019_9701
+
+// Mode selects the metadata integrity strategy.
+type Mode int
+
+const (
+	// ModeSync orders create/delete metadata with synchronous writes,
+	// like 1990s FFS. This is the paper's default configuration.
+	ModeSync Mode = iota
+	// ModeDelayed uses delayed writes for all metadata, emulating soft
+	// updates the same way the paper's Figure 6 does.
+	ModeDelayed
+)
+
+func (m Mode) String() string {
+	if m == ModeSync {
+		return "sync"
+	}
+	return "delayed"
+}
+
+// Options configures mkfs/mount.
+type Options struct {
+	Mode        Mode
+	CacheBlocks int // buffer cache capacity; default 2048 (8 MB)
+	CGBlocks    int // blocks per cylinder group; default 2048 (8 MB)
+	InodesPerCG int // static inodes per group; default 512
+}
+
+func (o *Options) fill() error {
+	if o.CacheBlocks == 0 {
+		o.CacheBlocks = 2048
+	}
+	if o.CGBlocks == 0 {
+		o.CGBlocks = 2048
+	}
+	if o.InodesPerCG == 0 {
+		o.InodesPerCG = 512
+	}
+	if o.CGBlocks < 64 || o.CGBlocks > 16384 {
+		return fmt.Errorf("ffs: CGBlocks %d outside [64,16384]", o.CGBlocks)
+	}
+	if o.InodesPerCG < layout.InodesPerBlock || o.InodesPerCG > 2048 ||
+		o.InodesPerCG%layout.InodesPerBlock != 0 {
+		return fmt.Errorf("ffs: InodesPerCG %d invalid", o.InodesPerCG)
+	}
+	if o.InodesPerCG/layout.InodesPerBlock+1 >= o.CGBlocks/2 {
+		return fmt.Errorf("ffs: inode table would consume half the group")
+	}
+	return nil
+}
+
+// super is the on-disk superblock (block 0).
+type super struct {
+	NBlocks     int64
+	CGBlocks    int
+	NCG         int
+	InodesPerCG int
+}
+
+func (s *super) inodeBlocksPerCG() int { return s.InodesPerCG / layout.InodesPerBlock }
+func (s *super) cgStart(cg int) int64  { return 1 + int64(cg)*int64(s.CGBlocks) }
+func (s *super) dataStart(cg int) int64 {
+	return s.cgStart(cg) + 1 + int64(s.inodeBlocksPerCG())
+}
+
+func (s *super) encode(p []byte) {
+	le := leBytes{p}
+	le.pu32(0, Magic)
+	le.pu64(8, uint64(s.NBlocks))
+	le.pu32(16, uint32(s.CGBlocks))
+	le.pu32(20, uint32(s.NCG))
+	le.pu32(24, uint32(s.InodesPerCG))
+}
+
+func (s *super) decode(p []byte) error {
+	le := leBytes{p}
+	if le.u32(0) != Magic {
+		return fmt.Errorf("ffs: bad superblock magic %#x", le.u32(0))
+	}
+	s.NBlocks = int64(le.u64(8))
+	s.CGBlocks = int(le.u32(16))
+	s.NCG = int(le.u32(20))
+	s.InodesPerCG = int(le.u32(24))
+	return nil
+}
+
+// leBytes is a tiny little-endian accessor to keep encode/decode terse.
+type leBytes struct{ p []byte }
+
+func (b leBytes) pu32(off int, v uint32) {
+	b.p[off] = byte(v)
+	b.p[off+1] = byte(v >> 8)
+	b.p[off+2] = byte(v >> 16)
+	b.p[off+3] = byte(v >> 24)
+}
+func (b leBytes) u32(off int) uint32 {
+	return uint32(b.p[off]) | uint32(b.p[off+1])<<8 | uint32(b.p[off+2])<<16 | uint32(b.p[off+3])<<24
+}
+func (b leBytes) pu64(off int, v uint64) {
+	b.pu32(off, uint32(v))
+	b.pu32(off+4, uint32(v>>32))
+}
+func (b leBytes) u64(off int) uint64 {
+	return uint64(b.u32(off)) | uint64(b.u32(off+4))<<32
+}
+
+// Cylinder-group header block layout: block bitmap at cgBmapOff, inode
+// bitmap after it.
+const cgBmapOff = 64
+
+// FS is the mounted file system.
+type FS struct {
+	dev  *blockio.Device
+	c    *cache.Cache
+	clk  *sim.Clock
+	sb   super
+	opts Options
+
+	dirRotor int // next cylinder group for a new directory
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+var _ vfs.Flusher = (*FS)(nil)
+
+// Mkfs initializes an FFS on the device and returns it mounted.
+func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	nblocks := dev.Blocks()
+	ncg := int((nblocks - 1) / int64(opts.CGBlocks))
+	if ncg < 1 {
+		return nil, fmt.Errorf("ffs: device of %d blocks too small for one %d-block group", nblocks, opts.CGBlocks)
+	}
+	fs := &FS{
+		dev:  dev,
+		c:    cache.New(dev, opts.CacheBlocks),
+		clk:  dev.Disk().Clock(),
+		opts: opts,
+		sb: super{
+			NBlocks:     nblocks,
+			CGBlocks:    opts.CGBlocks,
+			NCG:         ncg,
+			InodesPerCG: opts.InodesPerCG,
+		},
+	}
+	// Superblock.
+	sb, err := fs.c.Alloc(0)
+	if err != nil {
+		return nil, err
+	}
+	fs.sb.encode(sb.Data)
+	fs.c.MarkDirty(sb)
+	sb.Release()
+	// Cylinder group headers: mark the header and inode-table blocks as
+	// allocated; clear the rest.
+	reserved := 1 + fs.sb.inodeBlocksPerCG()
+	for cg := 0; cg < ncg; cg++ {
+		hdr, err := fs.c.Alloc(fs.sb.cgStart(cg))
+		if err != nil {
+			return nil, err
+		}
+		bm := fs.blockBitmap(hdr)
+		for i := 0; i < reserved; i++ {
+			bm.Set(i)
+		}
+		fs.c.MarkDirty(hdr)
+		hdr.Release()
+	}
+	// Root directory: inode 1 in cylinder group 0.
+	rootIno, err := fs.allocInode(0)
+	if err != nil {
+		return nil, err
+	}
+	if rootIno != RootIno {
+		return nil, fmt.Errorf("ffs: root allocated ino %d, want %d", rootIno, RootIno)
+	}
+	now := fs.clk.Now()
+	root := layout.Inode{Type: vfs.TypeDir, Nlink: 2, Mtime: now}
+	if err := fs.initDirData(&root, rootIno, rootIno); err != nil {
+		return nil, err
+	}
+	if err := fs.putInode(rootIno, &root, false); err != nil {
+		return nil, err
+	}
+	if err := fs.c.Sync(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Mount opens an existing FFS.
+func Mount(dev *blockio.Device, opts Options) (*FS, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		dev:  dev,
+		c:    cache.New(dev, opts.CacheBlocks),
+		clk:  dev.Disk().Clock(),
+		opts: opts,
+	}
+	sb, err := fs.c.Read(0)
+	if err != nil {
+		return nil, err
+	}
+	defer sb.Release()
+	if err := fs.sb.decode(sb.Data); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// RootIno is the root directory's inode number.
+const RootIno vfs.Ino = 1
+
+// Root implements vfs.FileSystem.
+func (fs *FS) Root() vfs.Ino { return RootIno }
+
+// Mode returns the metadata integrity mode.
+func (fs *FS) Mode() Mode { return fs.opts.Mode }
+
+// Cache returns the buffer cache (benchmarks inspect its stats).
+func (fs *FS) Cache() *cache.Cache { return fs.c }
+
+// Device returns the block device.
+func (fs *FS) Device() *blockio.Device { return fs.dev }
+
+// Sync implements vfs.FileSystem.
+func (fs *FS) Sync() error { return fs.c.Sync() }
+
+// Flush implements vfs.Flusher: write everything back and empty the
+// cache, so the next access pattern starts cold.
+func (fs *FS) Flush() error { return fs.c.Flush() }
+
+// Close implements vfs.FileSystem.
+func (fs *FS) Close() error { return fs.c.Sync() }
+
+// syncMeta writes a metadata buffer through immediately in ModeSync and
+// leaves it delayed in ModeDelayed. It is the single point where the two
+// integrity strategies differ.
+func (fs *FS) syncMeta(b *cache.Buf) error {
+	fs.c.MarkDirty(b)
+	if fs.opts.Mode == ModeSync {
+		return fs.c.WriteSync(b)
+	}
+	return nil
+}

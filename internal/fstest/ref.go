@@ -1,0 +1,259 @@
+package fstest
+
+import (
+	"fmt"
+	"sort"
+
+	"cffs/internal/vfs"
+)
+
+// Ref is a trivially-correct in-memory reference implementation of
+// vfs.FileSystem, used as the oracle for randomized model checking of
+// the real file systems and for testing the path helpers.
+// Ref is a minimal in-memory FileSystem used to test the path helpers
+// independently of the real implementations.
+type Ref struct {
+	next  vfs.Ino
+	nodes map[vfs.Ino]*refNode
+}
+
+type refNode struct {
+	typ      vfs.FileType
+	data     []byte
+	nlink    uint32
+	children map[string]vfs.Ino
+}
+
+func NewRef() *Ref {
+	fs := &Ref{next: 2, nodes: map[vfs.Ino]*refNode{
+		1: {typ: vfs.TypeDir, nlink: 2, children: map[string]vfs.Ino{}},
+	}}
+	return fs
+}
+
+func (m *Ref) node(ino vfs.Ino) (*refNode, error) {
+	n := m.nodes[ino]
+	if n == nil {
+		return nil, vfs.ErrNotExist
+	}
+	return n, nil
+}
+
+func (m *Ref) dir(ino vfs.Ino) (*refNode, error) {
+	n, err := m.node(ino)
+	if err != nil {
+		return nil, err
+	}
+	if n.typ != vfs.TypeDir {
+		return nil, vfs.ErrNotDir
+	}
+	return n, nil
+}
+
+func (m *Ref) Root() vfs.Ino { return 1 }
+
+func (m *Ref) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
+	d, err := m.dir(dir)
+	if err != nil {
+		return 0, err
+	}
+	ino, ok := d.children[name]
+	if !ok {
+		return 0, fmt.Errorf("lookup %q: %w", name, vfs.ErrNotExist)
+	}
+	return ino, nil
+}
+
+func (m *Ref) create(dir vfs.Ino, name string, typ vfs.FileType) (vfs.Ino, error) {
+	d, err := m.dir(dir)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := d.children[name]; ok {
+		return 0, fmt.Errorf("create %q: %w", name, vfs.ErrExist)
+	}
+	ino := m.next
+	m.next++
+	n := &refNode{typ: typ, nlink: 1}
+	if typ == vfs.TypeDir {
+		n.nlink = 2
+		n.children = map[string]vfs.Ino{}
+	}
+	m.nodes[ino] = n
+	d.children[name] = ino
+	if typ == vfs.TypeDir {
+		d.nlink++ // the child's ".."
+	}
+	return ino, nil
+}
+
+func (m *Ref) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
+	return m.create(dir, name, vfs.TypeReg)
+}
+func (m *Ref) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
+	return m.create(dir, name, vfs.TypeDir)
+}
+
+func (m *Ref) Link(dir vfs.Ino, name string, target vfs.Ino) error {
+	d, err := m.dir(dir)
+	if err != nil {
+		return err
+	}
+	if _, ok := d.children[name]; ok {
+		return vfs.ErrExist
+	}
+	n, err := m.node(target)
+	if err != nil {
+		return err
+	}
+	if n.typ == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	n.nlink++
+	d.children[name] = target
+	return nil
+}
+
+func (m *Ref) Unlink(dir vfs.Ino, name string) error {
+	d, err := m.dir(dir)
+	if err != nil {
+		return err
+	}
+	ino, ok := d.children[name]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	n := m.nodes[ino]
+	if n.typ == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	delete(d.children, name)
+	n.nlink--
+	if n.nlink == 0 {
+		delete(m.nodes, ino)
+	}
+	return nil
+}
+
+func (m *Ref) Rmdir(dir vfs.Ino, name string) error {
+	d, err := m.dir(dir)
+	if err != nil {
+		return err
+	}
+	ino, ok := d.children[name]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	n := m.nodes[ino]
+	if n.typ != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	if len(n.children) > 0 {
+		return vfs.ErrNotEmpty
+	}
+	delete(d.children, name)
+	delete(m.nodes, ino)
+	d.nlink--
+	return nil
+}
+
+func (m *Ref) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+	sd, err := m.dir(sdir)
+	if err != nil {
+		return err
+	}
+	dd, err := m.dir(ddir)
+	if err != nil {
+		return err
+	}
+	ino, ok := sd.children[sname]
+	if !ok {
+		return vfs.ErrNotExist
+	}
+	if old, ok := dd.children[dname]; ok {
+		if m.nodes[old].typ == vfs.TypeDir {
+			return vfs.ErrIsDir
+		}
+		if err := m.Unlink(ddir, dname); err != nil {
+			return err
+		}
+	}
+	delete(sd.children, sname)
+	dd.children[dname] = ino
+	if m.nodes[ino].typ == vfs.TypeDir && sd != dd {
+		sd.nlink--
+		dd.nlink++
+	}
+	return nil
+}
+
+func (m *Ref) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
+	d, err := m.dir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var ents []vfs.DirEntry
+	for name, ino := range d.children {
+		ents = append(ents, vfs.DirEntry{Name: name, Ino: ino, Type: m.nodes[ino].typ})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+	return ents, nil
+}
+
+func (m *Ref) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	n, err := m.node(ino)
+	if err != nil {
+		return 0, err
+	}
+	if n.typ == vfs.TypeDir {
+		return 0, vfs.ErrIsDir
+	}
+	if off >= int64(len(n.data)) {
+		return 0, nil
+	}
+	return copy(p, n.data[off:]), nil
+}
+
+func (m *Ref) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	n, err := m.node(ino)
+	if err != nil {
+		return 0, err
+	}
+	if n.typ == vfs.TypeDir {
+		return 0, vfs.ErrIsDir
+	}
+	end := off + int64(len(p))
+	if end > int64(len(n.data)) {
+		grown := make([]byte, end)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	copy(n.data[off:], p)
+	return len(p), nil
+}
+
+func (m *Ref) Truncate(ino vfs.Ino, size int64) error {
+	n, err := m.node(ino)
+	if err != nil {
+		return err
+	}
+	if int64(len(n.data)) > size {
+		n.data = n.data[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	return nil
+}
+
+func (m *Ref) Stat(ino vfs.Ino) (vfs.Stat, error) {
+	n, err := m.node(ino)
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	return vfs.Stat{Ino: ino, Type: n.typ, Nlink: n.nlink, Size: int64(len(n.data))}, nil
+}
+
+func (m *Ref) Sync() error  { return nil }
+func (m *Ref) Close() error { return nil }

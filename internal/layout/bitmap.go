@@ -1,0 +1,110 @@
+package layout
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bitmap is an allocation bitmap over a byte slice, typically aliasing a
+// cached metadata block so that flipping a bit dirties exactly the bytes
+// that go to disk.
+type Bitmap struct {
+	bits  []byte
+	nbits int
+}
+
+// NewBitmap wraps a byte slice as a bitmap of nbits bits. The slice must
+// be large enough; it is aliased, not copied.
+func NewBitmap(p []byte, nbits int) Bitmap {
+	if nbits < 0 || (nbits+7)/8 > len(p) {
+		panic(fmt.Sprintf("layout: bitmap of %d bits over %d bytes", nbits, len(p)))
+	}
+	return Bitmap{bits: p, nbits: nbits}
+}
+
+// Len returns the number of bits.
+func (b Bitmap) Len() int { return b.nbits }
+
+// IsSet reports whether bit i is set.
+func (b Bitmap) IsSet(i int) bool {
+	b.check(i)
+	return b.bits[i/8]&(1<<(i%8)) != 0
+}
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) {
+	b.check(i)
+	b.bits[i/8] |= 1 << (i % 8)
+}
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i int) {
+	b.check(i)
+	b.bits[i/8] &^= 1 << (i % 8)
+}
+
+// FindClear returns the index of the first clear bit at or after from,
+// wrapping around once, or -1 if every bit is set. FFS-style allocators
+// use the wrap to implement rotor and hashed-start placement.
+func (b Bitmap) FindClear(from int) int {
+	if b.nbits == 0 {
+		return -1
+	}
+	if from < 0 || from >= b.nbits {
+		from = 0
+	}
+	for k := 0; k < b.nbits; k++ {
+		i := from + k
+		if i >= b.nbits {
+			i -= b.nbits
+		}
+		if !b.IsSet(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// FindClearRun returns the index of the first run of n consecutive clear
+// bits starting at or after from (no wrap, aligned to align), or -1.
+// Explicit grouping uses this to claim whole aligned group extents.
+func (b Bitmap) FindClearRun(from, n, align int) int {
+	if n <= 0 || align <= 0 {
+		panic("layout: FindClearRun with non-positive n or align")
+	}
+	start := ((from + align - 1) / align) * align
+	for ; start+n <= b.nbits; start += align {
+		ok := true
+		for i := 0; i < n; i++ {
+			if b.IsSet(start + i) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return start
+		}
+	}
+	return -1
+}
+
+// CountClear returns the number of clear bits.
+func (b Bitmap) CountClear() int {
+	set := 0
+	full := b.nbits / 8
+	for i := 0; i < full; i++ {
+		set += bits.OnesCount8(b.bits[i])
+	}
+	for i := full * 8; i < b.nbits; i++ {
+		if b.IsSet(i) {
+			set++
+		}
+	}
+	return b.nbits - set
+}
+
+func (b Bitmap) check(i int) {
+	if i < 0 || i >= b.nbits {
+		panic(fmt.Sprintf("layout: bit %d out of %d", i, b.nbits))
+	}
+}

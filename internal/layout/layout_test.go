@@ -1,0 +1,183 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cffs/internal/vfs"
+)
+
+func TestInodeEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(nlink uint16, size, mtime int64, nblocks, group, parent, d0, d5, ind, dind uint32, inline [8]byte) bool {
+		if size < 0 {
+			size = -size
+		}
+		in := Inode{
+			Type: vfs.TypeReg, Nlink: nlink, Size: size, Mtime: mtime,
+			NBlocks: nblocks, Group: group, Parent: parent, Indir: ind, DIndir: dind,
+		}
+		in.Direct[0] = d0
+		in.Direct[5] = d5
+		copy(in.Inline[:], inline[:])
+		copy(in.Inline[InlineSize-4:], inline[:4])
+		var buf [InodeSize]byte
+		in.Encode(buf[:])
+		var out Inode
+		out.Decode(buf[:])
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInodeZeroIsDead(t *testing.T) {
+	var buf [InodeSize]byte
+	var in Inode
+	in.Decode(buf[:])
+	if in.Alive() {
+		t.Fatal("zeroed inode reports alive")
+	}
+	in.Type = vfs.TypeDir
+	if !in.Alive() {
+		t.Fatal("directory inode reports dead")
+	}
+}
+
+func TestInodeEncodeClearsSpare(t *testing.T) {
+	buf := make([]byte, InodeSize)
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	in := Inode{Type: vfs.TypeReg, Nlink: 1}
+	in.Encode(buf)
+	var out Inode
+	out.Decode(buf)
+	if out != in {
+		t.Fatalf("stale bytes leaked into decode: %+v vs %+v", out, in)
+	}
+}
+
+func TestInodeSizeDividesBlock(t *testing.T) {
+	if 4096%InodeSize != 0 || 512%InodeSize != 0 {
+		t.Fatal("inode size must divide both the sector and the block")
+	}
+	if InodesPerBlock != 32 {
+		t.Fatalf("InodesPerBlock = %d", InodesPerBlock)
+	}
+}
+
+func TestBitmapSetClear(t *testing.T) {
+	p := make([]byte, 8)
+	b := NewBitmap(p, 64)
+	for _, i := range []int{0, 1, 7, 8, 33, 63} {
+		b.Set(i)
+		if !b.IsSet(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if got := b.CountClear(); got != 64-6 {
+		t.Fatalf("CountClear = %d, want 58", got)
+	}
+	b.Clear(33)
+	if b.IsSet(33) {
+		t.Fatal("bit 33 still set after clear")
+	}
+}
+
+func TestBitmapFindClearWraps(t *testing.T) {
+	b := NewBitmap(make([]byte, 2), 16)
+	for i := 4; i < 16; i++ {
+		b.Set(i)
+	}
+	if got := b.FindClear(10); got != 0 {
+		t.Fatalf("FindClear(10) = %d, want wrap to 0", got)
+	}
+	b.Set(0)
+	if got := b.FindClear(0); got != 1 {
+		t.Fatalf("FindClear(0) = %d, want 1", got)
+	}
+	for i := 1; i < 4; i++ {
+		b.Set(i)
+	}
+	if got := b.FindClear(0); got != -1 {
+		t.Fatalf("FindClear on full bitmap = %d, want -1", got)
+	}
+}
+
+func TestBitmapFindClearRunAligned(t *testing.T) {
+	b := NewBitmap(make([]byte, 16), 128)
+	b.Set(17) // dirties the second 16-aligned window
+	got := b.FindClearRun(0, 16, 16)
+	if got != 0 {
+		t.Fatalf("FindClearRun = %d, want 0", got)
+	}
+	b.Set(3)
+	got = b.FindClearRun(0, 16, 16)
+	if got != 32 {
+		t.Fatalf("FindClearRun with 0 and 17 dirty = %d, want 32", got)
+	}
+	// Starting point is honored and aligned up.
+	got = b.FindClearRun(33, 16, 16)
+	if got != 48 {
+		t.Fatalf("FindClearRun(from 33) = %d, want 48", got)
+	}
+	// No room case.
+	full := NewBitmap(make([]byte, 2), 16)
+	for i := 0; i < 16; i++ {
+		full.Set(i)
+	}
+	if got := full.FindClearRun(0, 4, 4); got != -1 {
+		t.Fatalf("FindClearRun on full = %d", got)
+	}
+}
+
+func TestBitmapAliasesStorage(t *testing.T) {
+	p := make([]byte, 4)
+	b := NewBitmap(p, 32)
+	b.Set(9)
+	if p[1] != 0x02 {
+		t.Fatalf("backing byte = %#x, want 0x02 — bitmap must alias, not copy", p[1])
+	}
+}
+
+func TestBitmapBoundsPanic(t *testing.T) {
+	b := NewBitmap(make([]byte, 1), 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range bit access did not panic")
+		}
+	}()
+	b.Set(8)
+}
+
+func TestMaxFileBlocks(t *testing.T) {
+	want := 12 + 1024 + 1024*1024
+	if MaxFileBlocks != want {
+		t.Fatalf("MaxFileBlocks = %d, want %d", MaxFileBlocks, want)
+	}
+}
+
+func TestInlineSizeInvariants(t *testing.T) {
+	// The inline area must be the inode's tail and leave the pointer
+	// fields untouched: encode an inode with full inline data and verify
+	// the pointers survive.
+	var in Inode
+	in.Type = vfs.TypeReg
+	in.Direct[11] = 0xDEADBEEF
+	in.Indir = 0xFEEDFACE
+	in.DIndir = 0xCAFED00D
+	for i := range in.Inline {
+		in.Inline[i] = byte(i + 1)
+	}
+	var buf [InodeSize]byte
+	in.Encode(buf[:])
+	var out Inode
+	out.Decode(buf[:])
+	if out != in {
+		t.Fatal("inline data corrupted pointer fields")
+	}
+	if InlineSize < 32 {
+		t.Fatalf("InlineSize = %d; immediate files need meaningful room", InlineSize)
+	}
+}

@@ -1,0 +1,365 @@
+package lfs
+
+import (
+	"fmt"
+
+	"cffs/internal/blockio"
+	"cffs/internal/fsck"
+	"cffs/internal/layout"
+	"cffs/internal/vfs"
+)
+
+// Namespace operations. Everything is delayed-write: durability comes
+// from Sync's checkpoint, which is the LFS model.
+
+// Lookup implements vfs.FileSystem.
+func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return 0, err
+	}
+	e, err := fs.dirLookup(din, name)
+	if err != nil {
+		return 0, err
+	}
+	return vfs.Ino(e.ino), nil
+}
+
+func (fs *FS) dirInode(dir vfs.Ino) (*layout.Inode, error) {
+	din, err := fs.getLiveInode(dir)
+	if err != nil {
+		return nil, err
+	}
+	if din.Type != vfs.TypeDir {
+		return nil, fmt.Errorf("lfs: inode %d: %w", dir, vfs.ErrNotDir)
+	}
+	return din, nil
+}
+
+func checkName(name string) error {
+	if len(name) == 0 || name == "." || name == ".." {
+		return vfs.ErrInvalid
+	}
+	if len(name) > vfs.MaxNameLen {
+		return fmt.Errorf("lfs: name %q: %w", name, vfs.ErrNameTooLong)
+	}
+	return nil
+}
+
+// Create implements vfs.FileSystem.
+func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
+	if err := checkName(name); err != nil {
+		return 0, err
+	}
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := fs.dirLookup(din, name); err == nil {
+		return 0, fmt.Errorf("lfs: create %q: %w", name, vfs.ErrExist)
+	}
+	ino, err := fs.allocIno()
+	if err != nil {
+		return 0, err
+	}
+	in := &layout.Inode{Type: vfs.TypeReg, Nlink: 1, Mtime: fs.clk.Now()}
+	fs.inodes[ino] = in
+	fs.dirty[ino] = true
+	fs.imap[int(ino)-1] = 0
+	if err := fs.dirAdd(din, dir, name, ino, vfs.TypeReg); err != nil {
+		return 0, err
+	}
+	din.Mtime = fs.clk.Now()
+	fs.dirty[dir] = true
+	return ino, nil
+}
+
+// Mkdir implements vfs.FileSystem.
+func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
+	if err := checkName(name); err != nil {
+		return 0, err
+	}
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := fs.dirLookup(din, name); err == nil {
+		return 0, fmt.Errorf("lfs: mkdir %q: %w", name, vfs.ErrExist)
+	}
+	ino, err := fs.allocIno()
+	if err != nil {
+		return 0, err
+	}
+	in := &layout.Inode{Type: vfs.TypeDir, Nlink: 2, Mtime: fs.clk.Now()}
+	fs.inodes[ino] = in
+	fs.dirty[ino] = true
+	if err := fs.initDirData(in, ino, dir); err != nil {
+		return 0, err
+	}
+	if err := fs.dirAdd(din, dir, name, ino, vfs.TypeDir); err != nil {
+		return 0, err
+	}
+	din.Nlink++
+	din.Mtime = fs.clk.Now()
+	fs.dirty[dir] = true
+	return ino, nil
+}
+
+// Link implements vfs.FileSystem.
+func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
+	if err := checkName(name); err != nil {
+		return err
+	}
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return err
+	}
+	tin, err := fs.getLiveInode(target)
+	if err != nil {
+		return err
+	}
+	if tin.Type == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	if _, err := fs.dirLookup(din, name); err == nil {
+		return fmt.Errorf("lfs: link %q: %w", name, vfs.ErrExist)
+	}
+	if err := fs.dirAdd(din, dir, name, target, vfs.TypeReg); err != nil {
+		return err
+	}
+	tin.Nlink++
+	fs.dirty[target] = true
+	din.Mtime = fs.clk.Now()
+	fs.dirty[dir] = true
+	return nil
+}
+
+// Unlink implements vfs.FileSystem.
+func (fs *FS) Unlink(dir vfs.Ino, name string) error {
+	if name == "." || name == ".." {
+		return vfs.ErrInvalid
+	}
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return err
+	}
+	e, err := fs.dirLookup(din, name)
+	if err != nil {
+		return err
+	}
+	if e.ftype == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	if _, err := fs.dirRemove(din, dir, name); err != nil {
+		return err
+	}
+	ino := vfs.Ino(e.ino)
+	tin, err := fs.getLiveInode(ino)
+	if err != nil {
+		return err
+	}
+	tin.Nlink--
+	if tin.Nlink > 0 {
+		fs.dirty[ino] = true
+		return nil
+	}
+	if err := fs.truncate(tin, ino, 0); err != nil {
+		return err
+	}
+	fs.freeIno(ino)
+	return nil
+}
+
+// Rmdir implements vfs.FileSystem.
+func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
+	if name == "." || name == ".." {
+		return vfs.ErrInvalid
+	}
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return err
+	}
+	e, err := fs.dirLookup(din, name)
+	if err != nil {
+		return err
+	}
+	if e.ftype != vfs.TypeDir {
+		return vfs.ErrNotDir
+	}
+	ino := vfs.Ino(e.ino)
+	cin, err := fs.getLiveInode(ino)
+	if err != nil {
+		return err
+	}
+	empty, err := fs.dirIsEmpty(cin)
+	if err != nil {
+		return err
+	}
+	if !empty {
+		return vfs.ErrNotEmpty
+	}
+	if _, err := fs.dirRemove(din, dir, name); err != nil {
+		return err
+	}
+	din.Nlink--
+	fs.dirty[dir] = true
+	if err := fs.truncate(cin, ino, 0); err != nil {
+		return err
+	}
+	fs.freeIno(ino)
+	return nil
+}
+
+// Rename implements vfs.FileSystem.
+func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+	if sname == "." || sname == ".." {
+		return vfs.ErrInvalid
+	}
+	if err := checkName(dname); err != nil {
+		return err
+	}
+	sin, err := fs.dirInode(sdir)
+	if err != nil {
+		return err
+	}
+	se, err := fs.dirLookup(sin, sname)
+	if err != nil {
+		return err
+	}
+	din, err := fs.dirInode(ddir)
+	if err != nil {
+		return err
+	}
+	if de, err := fs.dirLookup(din, dname); err == nil {
+		if de.ino == se.ino && sdir == ddir && sname == dname {
+			return nil
+		}
+		if de.ftype == vfs.TypeDir {
+			return vfs.ErrIsDir
+		}
+		if err := fs.Unlink(ddir, dname); err != nil {
+			return err
+		}
+	}
+	if err := fs.dirAdd(din, ddir, dname, vfs.Ino(se.ino), se.ftype); err != nil {
+		return err
+	}
+	if _, err := fs.dirRemove(sin, sdir, sname); err != nil {
+		return err
+	}
+	din.Mtime = fs.clk.Now()
+	fs.dirty[ddir] = true
+	fs.dirty[sdir] = true
+	if se.ftype == vfs.TypeDir && sdir != ddir {
+		child := vfs.Ino(se.ino)
+		cin, err := fs.getLiveInode(child)
+		if err != nil {
+			return err
+		}
+		if _, err := fs.dirRemove(cin, child, ".."); err != nil {
+			return err
+		}
+		if err := fs.dirAdd(cin, child, "..", ddir, vfs.TypeDir); err != nil {
+			return err
+		}
+		fs.dirty[child] = true
+		sin.Nlink--
+		din.Nlink++
+	}
+	return nil
+}
+
+// ReadDir implements vfs.FileSystem.
+func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
+	din, err := fs.dirInode(dir)
+	if err != nil {
+		return nil, err
+	}
+	return fs.dirList(din)
+}
+
+// Stat implements vfs.FileSystem.
+func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
+	in, err := fs.getLiveInode(ino)
+	if err != nil {
+		return vfs.Stat{}, err
+	}
+	return vfs.Stat{
+		Ino:    ino,
+		Type:   in.Type,
+		Nlink:  uint32(in.Nlink),
+		Size:   in.Size,
+		Blocks: int64(in.NBlocks),
+		Mtime:  in.Mtime,
+	}, nil
+}
+
+// Truncate implements vfs.FileSystem.
+func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
+	in, err := fs.getLiveInode(ino)
+	if err != nil {
+		return err
+	}
+	if in.Type == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	return fs.truncate(in, ino, size)
+}
+
+// FreeBlocks reports reclaimable log capacity (dead blocks plus free
+// segments), for df-style tools and the aging controller.
+func (fs *FS) FreeBlocks() (int64, error) {
+	live := int64(len(fs.owners))
+	total := int64(fs.nsegs) * SegBlocks
+	return total - live, nil
+}
+
+// Check mounts the image (which walks the whole namespace rebuilding
+// liveness) and cross-verifies the rebuilt accounting: segment usage
+// must equal the per-segment count of owned blocks, and every owned
+// block must fall inside a valid segment. It is the LFS analogue of the
+// other file systems' fsck.
+func Check(dev *blockio.Device, _ bool) (*fsck.Report, error) {
+	fs, err := Mount(dev, Options{})
+	if err != nil {
+		return nil, err
+	}
+	r := &fsck.Report{}
+	counts := make([]int, fs.nsegs)
+	for addr := range fs.owners {
+		seg := fs.segOf(addr)
+		if seg < 0 || seg >= fs.nsegs {
+			r.Problems = append(r.Problems, fmt.Sprintf("live block %d outside the log", addr))
+			continue
+		}
+		counts[seg]++
+	}
+	for s, want := range counts {
+		if fs.usage[s] != want {
+			r.Problems = append(r.Problems,
+				fmt.Sprintf("segment %d usage %d, recount %d", s, fs.usage[s], want))
+		}
+	}
+	for idx, e := range fs.imap {
+		if e == 0 {
+			continue
+		}
+		addr, _ := imapAddr(e)
+		if _, ok := fs.owners[addr]; !ok {
+			r.Problems = append(r.Problems,
+				fmt.Sprintf("inode %d's block %d not accounted live", idx+1, addr))
+		}
+		in, err := fs.getInode(vfs.Ino(idx + 1))
+		if err != nil || !in.Alive() {
+			r.Problems = append(r.Problems, fmt.Sprintf("imap entry %d points at a dead inode", idx+1))
+			continue
+		}
+		if in.Type == vfs.TypeDir {
+			r.Dirs++
+		} else {
+			r.Files++
+		}
+	}
+	r.UsedBlocks = len(fs.owners)
+	return r, nil
+}

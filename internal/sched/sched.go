@@ -1,0 +1,80 @@
+// Package sched provides disk request schedulers. The paper's testbed
+// driver (taken from NetBSD) used C-LOOK [Worthington94]; FCFS is kept as
+// the baseline for the scheduler ablation.
+package sched
+
+import "sort"
+
+// Item is one schedulable request: a starting LBA and a length.
+type Item struct {
+	LBA    int64
+	Sector int // length in sectors (informational; C-LOOK orders by LBA)
+}
+
+// Scheduler orders a batch of requests given the current head position
+// (as an LBA). Implementations return a permutation of indexes into the
+// batch; the driver services requests in that order.
+type Scheduler interface {
+	Name() string
+	Order(items []Item, headLBA int64) []int
+}
+
+// FCFS services requests in arrival order.
+type FCFS struct{}
+
+// Name implements Scheduler.
+func (FCFS) Name() string { return "fcfs" }
+
+// Order implements Scheduler.
+func (FCFS) Order(items []Item, _ int64) []int {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// CLook implements the C-LOOK (circular look) policy: service requests in
+// ascending LBA order starting from the first request at or beyond the
+// head position, then wrap to the lowest-addressed remaining requests.
+// One-directional sweeps avoid the starvation and variance of SCAN while
+// keeping seeks short, which is why 1990s Unix drivers used it.
+type CLook struct{}
+
+// Name implements Scheduler.
+func (CLook) Name() string { return "clook" }
+
+// Order implements Scheduler.
+func (CLook) Order(items []Item, headLBA int64) []int {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return items[order[a]].LBA < items[order[b]].LBA
+	})
+	// Find the first request at or beyond the head and rotate the sweep
+	// to start there.
+	split := len(order)
+	for i, idx := range order {
+		if items[idx].LBA >= headLBA {
+			split = i
+			break
+		}
+	}
+	rotated := make([]int, 0, len(order))
+	rotated = append(rotated, order[split:]...)
+	rotated = append(rotated, order[:split]...)
+	return rotated
+}
+
+// ByName returns the named scheduler ("clook" or "fcfs").
+func ByName(name string) (Scheduler, bool) {
+	switch name {
+	case "clook":
+		return CLook{}, true
+	case "fcfs":
+		return FCFS{}, true
+	}
+	return nil, false
+}

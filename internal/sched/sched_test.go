@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cffs/internal/sim"
+)
+
+func lbas(items []Item, order []int) []int64 {
+	out := make([]int64, len(order))
+	for i, idx := range order {
+		out[i] = items[idx].LBA
+	}
+	return out
+}
+
+func TestFCFSPreservesOrder(t *testing.T) {
+	items := []Item{{LBA: 9}, {LBA: 3}, {LBA: 7}}
+	got := lbas(items, FCFS{}.Order(items, 100))
+	want := []int64{9, 3, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FCFS order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCLookSweepsUpFromHead(t *testing.T) {
+	items := []Item{{LBA: 10}, {LBA: 200}, {LBA: 50}, {LBA: 150}, {LBA: 40}}
+	got := lbas(items, CLook{}.Order(items, 45))
+	want := []int64{50, 150, 200, 10, 40}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CLOOK order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCLookHeadBeyondAll(t *testing.T) {
+	items := []Item{{LBA: 10}, {LBA: 20}}
+	got := lbas(items, CLook{}.Order(items, 1000))
+	if got[0] != 10 || got[1] != 20 {
+		t.Fatalf("CLOOK wrap order %v, want [10 20]", got)
+	}
+}
+
+func TestCLookHeadAtZero(t *testing.T) {
+	items := []Item{{LBA: 30}, {LBA: 10}, {LBA: 20}}
+	got := lbas(items, CLook{}.Order(items, 0))
+	if got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("CLOOK order %v, want ascending", got)
+	}
+}
+
+// Any schedule must be a permutation: every request serviced exactly once.
+func TestOrderIsPermutation(t *testing.T) {
+	rng := sim.NewRNG(13)
+	f := func(n uint8, head uint16) bool {
+		count := int(n)%64 + 1
+		items := make([]Item, count)
+		for i := range items {
+			items[i] = Item{LBA: rng.Int63n(1 << 20), Sector: 8}
+		}
+		for _, s := range []Scheduler{FCFS{}, CLook{}} {
+			order := s.Order(items, int64(head))
+			if len(order) != count {
+				return false
+			}
+			seen := make([]bool, count)
+			for _, idx := range order {
+				if idx < 0 || idx >= count || seen[idx] {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// C-LOOK must never seek backwards except at the single wrap point.
+func TestCLookSingleWrap(t *testing.T) {
+	rng := sim.NewRNG(77)
+	for trial := 0; trial < 100; trial++ {
+		items := make([]Item, 40)
+		for i := range items {
+			items[i] = Item{LBA: rng.Int63n(1 << 24)}
+		}
+		head := rng.Int63n(1 << 24)
+		seq := lbas(items, CLook{}.Order(items, head))
+		wraps := 0
+		for i := 1; i < len(seq); i++ {
+			if seq[i] < seq[i-1] {
+				wraps++
+			}
+		}
+		if wraps > 1 {
+			t.Fatalf("trial %d: %d backward moves in C-LOOK schedule %v", trial, wraps, seq)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if s, ok := ByName("clook"); !ok || s.Name() != "clook" {
+		t.Fatal("clook lookup failed")
+	}
+	if s, ok := ByName("fcfs"); !ok || s.Name() != "fcfs" {
+		t.Fatal("fcfs lookup failed")
+	}
+	if _, ok := ByName("elevator"); ok {
+		t.Fatal("unknown scheduler accepted")
+	}
+}

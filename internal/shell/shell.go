@@ -1,0 +1,369 @@
+// Package shell implements the command interpreter behind cmd/cfsh: a
+// small, scriptable shell for inspecting and editing file-system images
+// (ls, tree, cat, put, get, mkdir, rm, mv, ln, stat, df, sync). It
+// operates on any vfs.FileSystem, so the same commands work on C-FFS
+// and baseline-FFS images.
+package shell
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"cffs/internal/blockio"
+	"cffs/internal/vfs"
+)
+
+// Shell interprets commands against a mounted file system.
+type Shell struct {
+	fs  vfs.FileSystem
+	dev *blockio.Device // optional, for df/iostat
+	cwd string
+	out io.Writer
+}
+
+// New builds a shell. dev may be nil (df/iostat then report an error).
+func New(fs vfs.FileSystem, dev *blockio.Device, out io.Writer) *Shell {
+	return &Shell{fs: fs, dev: dev, cwd: "/", out: out}
+}
+
+// Cwd returns the current directory.
+func (sh *Shell) Cwd() string { return sh.cwd }
+
+// Run executes one command line. It returns io.EOF for "exit"/"quit";
+// command failures are reported as errors without terminating.
+func (sh *Shell) Run(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+		return nil
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "exit", "quit":
+		return io.EOF
+	case "help":
+		return sh.help()
+	case "pwd":
+		fmt.Fprintln(sh.out, sh.cwd)
+		return nil
+	case "cd":
+		return sh.cd(args)
+	case "ls":
+		return sh.ls(args)
+	case "tree":
+		return sh.tree(args)
+	case "cat":
+		return sh.cat(args)
+	case "write":
+		return sh.write(args)
+	case "put":
+		return sh.put(args)
+	case "get":
+		return sh.get(args)
+	case "mkdir":
+		return sh.mkdir(args)
+	case "rm":
+		return sh.rm(args)
+	case "rmdir":
+		return sh.rmdir(args)
+	case "mv":
+		return sh.mv(args)
+	case "ln":
+		return sh.ln(args)
+	case "stat":
+		return sh.stat(args)
+	case "df":
+		return sh.df()
+	case "iostat":
+		return sh.iostat()
+	case "sync":
+		return sh.fs.Sync()
+	default:
+		return fmt.Errorf("unknown command %q (try help)", cmd)
+	}
+}
+
+func (sh *Shell) help() error {
+	fmt.Fprint(sh.out, `commands:
+  ls [path]          list a directory
+  tree [path]        recursive listing
+  cat <path>         print file contents
+  write <path> <text...>  write text to a file
+  put <host> <path>  copy a host file into the image
+  get <path> <host>  copy an image file out to the host
+  mkdir <path>       create a directory (with parents)
+  rm <path>          remove a file or empty directory
+  rmdir <path>       remove a directory tree
+  mv <src> <dst>     rename/move
+  ln <target> <name> hard link
+  stat <path>        file metadata
+  df                 free space
+  iostat             disk request counters
+  cd / pwd / sync / exit
+`)
+	return nil
+}
+
+// resolve makes an argument absolute against the cwd.
+func (sh *Shell) resolve(p string) string {
+	if strings.HasPrefix(p, "/") {
+		return p
+	}
+	// Handle "." and ".." lexically.
+	comps := vfs.SplitPath(sh.cwd + "/" + p)
+	var stack []string
+	for _, c := range comps {
+		if c == ".." {
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+			continue
+		}
+		stack = append(stack, c)
+	}
+	return "/" + strings.Join(stack, "/")
+}
+
+func one(args []string, what string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: %s", what)
+	}
+	return args[0], nil
+}
+
+func (sh *Shell) cd(args []string) error {
+	target := "/"
+	if len(args) == 1 {
+		target = sh.resolve(args[0])
+	} else if len(args) > 1 {
+		return fmt.Errorf("usage: cd [path]")
+	}
+	ino, err := vfs.Walk(sh.fs, target)
+	if err != nil {
+		return err
+	}
+	st, err := sh.fs.Stat(ino)
+	if err != nil {
+		return err
+	}
+	if st.Type != vfs.TypeDir {
+		return fmt.Errorf("cd %s: %w", target, vfs.ErrNotDir)
+	}
+	sh.cwd = target
+	return nil
+}
+
+func (sh *Shell) ls(args []string) error {
+	target := sh.cwd
+	if len(args) == 1 {
+		target = sh.resolve(args[0])
+	} else if len(args) > 1 {
+		return fmt.Errorf("usage: ls [path]")
+	}
+	ino, err := vfs.Walk(sh.fs, target)
+	if err != nil {
+		return err
+	}
+	st, err := sh.fs.Stat(ino)
+	if err != nil {
+		return err
+	}
+	if st.Type != vfs.TypeDir {
+		sh.printEntry(st, target)
+		return nil
+	}
+	ents, err := sh.fs.ReadDir(ino)
+	if err != nil {
+		return err
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+	for _, e := range ents {
+		est, err := sh.fs.Stat(e.Ino)
+		if err != nil {
+			return err
+		}
+		sh.printEntry(est, e.Name)
+	}
+	return nil
+}
+
+func (sh *Shell) printEntry(st vfs.Stat, name string) {
+	kind := "-"
+	if st.Type == vfs.TypeDir {
+		kind = "d"
+	}
+	fmt.Fprintf(sh.out, "%s %2d %10d  %s\n", kind, st.Nlink, st.Size, name)
+}
+
+func (sh *Shell) tree(args []string) error {
+	target := sh.cwd
+	if len(args) == 1 {
+		target = sh.resolve(args[0])
+	}
+	fmt.Fprintln(sh.out, target)
+	return vfs.WalkTree(sh.fs, target, func(p string, st vfs.Stat) error {
+		depth := strings.Count(strings.TrimPrefix(p, strings.TrimRight(target, "/")), "/")
+		indent := strings.Repeat("  ", depth)
+		name := p[strings.LastIndex(p, "/")+1:]
+		if st.Type == vfs.TypeDir {
+			fmt.Fprintf(sh.out, "%s%s/\n", indent, name)
+		} else {
+			fmt.Fprintf(sh.out, "%s%s (%d)\n", indent, name, st.Size)
+		}
+		return nil
+	})
+}
+
+func (sh *Shell) cat(args []string) error {
+	p, err := one(args, "cat <path>")
+	if err != nil {
+		return err
+	}
+	data, err := vfs.ReadFile(sh.fs, sh.resolve(p))
+	if err != nil {
+		return err
+	}
+	_, err = sh.out.Write(data)
+	return err
+}
+
+func (sh *Shell) write(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: write <path> <text...>")
+	}
+	return vfs.WriteFile(sh.fs, sh.resolve(args[0]), []byte(strings.Join(args[1:], " ")+"\n"))
+}
+
+func (sh *Shell) put(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: put <hostfile> <path>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	return vfs.WriteFile(sh.fs, sh.resolve(args[1]), data)
+}
+
+func (sh *Shell) get(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: get <path> <hostfile>")
+	}
+	data, err := vfs.ReadFile(sh.fs, sh.resolve(args[0]))
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(args[1], data, 0o644)
+}
+
+func (sh *Shell) mkdir(args []string) error {
+	p, err := one(args, "mkdir <path>")
+	if err != nil {
+		return err
+	}
+	_, err = vfs.MkdirAll(sh.fs, sh.resolve(p))
+	return err
+}
+
+func (sh *Shell) rm(args []string) error {
+	p, err := one(args, "rm <path>")
+	if err != nil {
+		return err
+	}
+	return vfs.Remove(sh.fs, sh.resolve(p))
+}
+
+func (sh *Shell) rmdir(args []string) error {
+	p, err := one(args, "rmdir <path>")
+	if err != nil {
+		return err
+	}
+	return vfs.RemoveAll(sh.fs, sh.resolve(p))
+}
+
+func (sh *Shell) mv(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: mv <src> <dst>")
+	}
+	sdir, sname, err := vfs.WalkDir(sh.fs, sh.resolve(args[0]))
+	if err != nil {
+		return err
+	}
+	ddir, dname, err := vfs.WalkDir(sh.fs, sh.resolve(args[1]))
+	if err != nil {
+		return err
+	}
+	// mv into an existing directory keeps the source name.
+	if ino, err := sh.fs.Lookup(ddir, dname); err == nil {
+		if st, err := sh.fs.Stat(ino); err == nil && st.Type == vfs.TypeDir {
+			ddir, dname = ino, sname
+		}
+	}
+	return sh.fs.Rename(sdir, sname, ddir, dname)
+}
+
+func (sh *Shell) ln(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: ln <target> <name>")
+	}
+	target, err := vfs.Walk(sh.fs, sh.resolve(args[0]))
+	if err != nil {
+		return err
+	}
+	dir, name, err := vfs.WalkDir(sh.fs, sh.resolve(args[1]))
+	if err != nil {
+		return err
+	}
+	return sh.fs.Link(dir, name, target)
+}
+
+func (sh *Shell) stat(args []string) error {
+	p, err := one(args, "stat <path>")
+	if err != nil {
+		return err
+	}
+	full := sh.resolve(p)
+	ino, err := vfs.Walk(sh.fs, full)
+	if err != nil {
+		return err
+	}
+	st, err := sh.fs.Stat(ino)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "%s: ino=%#x type=%v size=%d blocks=%d nlink=%d\n",
+		full, uint64(st.Ino), st.Type, st.Size, st.Blocks, st.Nlink)
+	return nil
+}
+
+// freeCounter matches both file systems' free-space reporting.
+type freeCounter interface {
+	FreeBlocks() (int64, error)
+}
+
+func (sh *Shell) df() error {
+	fc, ok := sh.fs.(freeCounter)
+	if !ok || sh.dev == nil {
+		return fmt.Errorf("df: file system does not report free space")
+	}
+	free, err := fc.FreeBlocks()
+	if err != nil {
+		return err
+	}
+	total := sh.dev.Blocks()
+	fmt.Fprintf(sh.out, "%d blocks, %d free (%.1f%% used)\n",
+		total, free, 100*float64(total-free)/float64(total))
+	return nil
+}
+
+func (sh *Shell) iostat() error {
+	if sh.dev == nil {
+		return fmt.Errorf("iostat: no device attached")
+	}
+	s := sh.dev.Disk().Stats()
+	fmt.Fprintf(sh.out, "requests=%d reads=%d writes=%d bytes=%d cachehits=%d busy=%.3fs\n",
+		s.Requests, s.Reads, s.Writes, s.BytesMoved(), s.CacheHits, float64(s.BusyNanos)/1e9)
+	return nil
+}

@@ -1,0 +1,169 @@
+package shell
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+)
+
+func newShell(t *testing.T) (*Shell, *bytes.Buffer) {
+	t.Helper()
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := blockio.NewDevice(d, sched.CLook{})
+	fs, err := core.Mkfs(dev, core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	return New(fs, dev, &out), &out
+}
+
+func run(t *testing.T, sh *Shell, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		if err := sh.Run(l); err != nil {
+			t.Fatalf("%q: %v", l, err)
+		}
+	}
+}
+
+func TestShellBasicSession(t *testing.T) {
+	sh, out := newShell(t)
+	run(t, sh,
+		"mkdir /docs/notes",
+		"write /docs/notes/a.txt hello from the shell",
+		"cd /docs/notes",
+		"pwd",
+		"ls",
+		"cat a.txt",
+		"stat a.txt",
+		"sync",
+	)
+	s := out.String()
+	for _, want := range []string{"/docs/notes", "a.txt", "hello from the shell", "type=file"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("session output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestShellRelativePaths(t *testing.T) {
+	sh, out := newShell(t)
+	run(t, sh,
+		"mkdir /a/b/c",
+		"cd /a/b",
+		"write c/file.txt deep",
+		"cd c",
+		"cat ../c/file.txt",
+		"cd ..",
+		"pwd",
+	)
+	s := out.String()
+	if !strings.Contains(s, "deep") {
+		t.Fatalf("relative cat failed:\n%s", s)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(s), "/a/b") {
+		t.Fatalf("cd .. landed at %q", strings.TrimSpace(s))
+	}
+}
+
+func TestShellMvLnRm(t *testing.T) {
+	sh, out := newShell(t)
+	run(t, sh,
+		"mkdir /x",
+		"mkdir /y",
+		"write /x/f one",
+		"mv /x/f /y", // move into directory keeps name
+		"ln /y/f /y/alias",
+		"stat /y/alias",
+		"rm /y/f",
+		"cat /y/alias",
+		"rmdir /x",
+	)
+	s := out.String()
+	if !strings.Contains(s, "nlink=2") {
+		t.Fatalf("link count missing:\n%s", s)
+	}
+	if !strings.Contains(s, "one") {
+		t.Fatalf("alias unreadable after rm of original:\n%s", s)
+	}
+	if err := sh.Run("ls /x"); err == nil {
+		t.Fatal("rmdir did not remove /x")
+	}
+}
+
+func TestShellPutGet(t *testing.T) {
+	sh, _ := newShell(t)
+	dir := t.TempDir()
+	host := filepath.Join(dir, "in.bin")
+	data := bytes.Repeat([]byte("payload!"), 1000)
+	if err := os.WriteFile(host, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outFile := filepath.Join(dir, "out.bin")
+	run(t, sh,
+		"put "+host+" /in.bin",
+		"get /in.bin "+outFile,
+	)
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("put/get round trip corrupted data")
+	}
+}
+
+func TestShellTreeDfIostat(t *testing.T) {
+	sh, out := newShell(t)
+	run(t, sh,
+		"mkdir /t/sub",
+		"write /t/sub/leaf.txt x",
+		"tree /t",
+		"df",
+		"iostat",
+	)
+	s := out.String()
+	for _, want := range []string{"sub/", "leaf.txt", "free", "requests="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestShellErrorsAndExit(t *testing.T) {
+	sh, _ := newShell(t)
+	if err := sh.Run("cat /missing"); err == nil {
+		t.Fatal("cat of missing file succeeded")
+	}
+	if err := sh.Run("frobnicate"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := sh.Run("cd /missing"); err == nil {
+		t.Fatal("cd to missing dir succeeded")
+	}
+	if err := sh.Run("exit"); err != io.EOF {
+		t.Fatalf("exit returned %v, want io.EOF", err)
+	}
+	if err := sh.Run(""); err != nil {
+		t.Fatal("blank line errored")
+	}
+	if err := sh.Run("# comment"); err != nil {
+		t.Fatal("comment errored")
+	}
+	if err := sh.Run("help"); err != nil {
+		t.Fatal(err)
+	}
+}

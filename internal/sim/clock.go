@@ -1,0 +1,56 @@
+// Package sim provides the simulated time base and deterministic random
+// numbers used by every component in this repository.
+//
+// All file systems here run against a simulated disk: wall-clock time is
+// irrelevant, and "time" in every experiment is the simulated service time
+// accumulated on a Clock. Components share one *Clock so that disk
+// positioning (which depends on when a request arrives) is consistent
+// across the whole stack.
+package sim
+
+import "fmt"
+
+// Clock is a simulated clock. The zero value is a clock at time zero.
+//
+// Time is kept in nanoseconds as an int64, like time.Duration, which gives
+// roughly 292 simulated years of range — far beyond any experiment here.
+type Clock struct {
+	now int64 // nanoseconds since simulation start
+}
+
+// NewClock returns a clock starting at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time in nanoseconds.
+func (c *Clock) Now() int64 { return c.now }
+
+// Seconds returns the current simulated time in seconds.
+func (c *Clock) Seconds() float64 { return float64(c.now) / 1e9 }
+
+// Advance moves the clock forward by d nanoseconds. It panics if d is
+// negative: simulated time never flows backwards, and a negative advance
+// always indicates a bug in a service-time computation.
+func (c *Clock) Advance(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %d", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to absolute time t. Moving to a time
+// in the past is a no-op; the clock is monotonic.
+func (c *Clock) AdvanceTo(t int64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero. Only benchmarks use this, between
+// phases that should be timed independently.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Duration formats a nanosecond count as seconds with millisecond
+// precision, for human-readable experiment output.
+func Duration(ns int64) string {
+	return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d, want 0", c.Now())
+	}
+	c.Advance(1500)
+	c.Advance(0)
+	if got := c.Now(); got != 1500 {
+		t.Fatalf("Now() = %d, want 1500", got)
+	}
+	if got := c.Seconds(); got != 1.5e-6 {
+		t.Fatalf("Seconds() = %g, want 1.5e-6", got)
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.AdvanceTo(100)
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo(100): now %d", c.Now())
+	}
+	c.AdvanceTo(50) // monotonic: must not rewind
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo(50) rewound clock to %d", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(42)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset left clock at %d", c.Now())
+	}
+}
+
+func TestDurationFormat(t *testing.T) {
+	if got := Duration(1_234_000_000); got != "1.234s" {
+		t.Fatalf("Duration = %q", got)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, n := range counts {
+		if n < 500 {
+			t.Fatalf("value %d appeared only %d/10000 times; generator badly skewed", v, n)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	f := func(_ uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm not a permutation: saw %d twice or out of range", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

@@ -1,0 +1,113 @@
+// Package trace analyzes disk request traces captured from the
+// simulator (disk.SetTrace). It reduces a request stream to the
+// quantities the paper reasons about: how many requests, how large, how
+// far apart — making the mechanism behind a throughput number visible.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cffs/internal/disk"
+)
+
+// Profile summarizes a request stream.
+type Profile struct {
+	Requests   int
+	Reads      int
+	Writes     int
+	Sectors    int64
+	TotalNanos int64
+
+	// Request-size histogram, bucketed by power-of-two KB.
+	SizeBuckets map[int]int // bucket key = KB (1,2,4,...)
+
+	// Inter-request distance (absolute LBA gap between consecutive
+	// requests), summarized.
+	MedianGap int64
+	P90Gap    int64
+	Adjacent  int // requests starting exactly where the previous ended
+}
+
+// Analyze reduces a trace.
+func Analyze(entries []disk.TraceEntry) Profile {
+	p := Profile{SizeBuckets: make(map[int]int)}
+	var gaps []int64
+	var prevEnd int64 = -1
+	for _, e := range entries {
+		p.Requests++
+		if e.Write {
+			p.Writes++
+		} else {
+			p.Reads++
+		}
+		p.Sectors += int64(e.Count)
+		p.TotalNanos += e.Nanos
+		kb := (e.Count * disk.SectorSize) / 1024
+		bucket := 1
+		for bucket < kb {
+			bucket *= 2
+		}
+		p.SizeBuckets[bucket]++
+		if prevEnd >= 0 {
+			gap := e.LBA - prevEnd
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap == 0 {
+				p.Adjacent++
+			}
+			gaps = append(gaps, gap)
+		}
+		prevEnd = e.LBA + int64(e.Count)
+	}
+	if len(gaps) > 0 {
+		sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+		p.MedianGap = gaps[len(gaps)/2]
+		p.P90Gap = gaps[len(gaps)*9/10]
+	}
+	return p
+}
+
+// MeanRequestKB returns the average request size in KB.
+func (p Profile) MeanRequestKB() float64 {
+	if p.Requests == 0 {
+		return 0
+	}
+	return float64(p.Sectors) * disk.SectorSize / 1024 / float64(p.Requests)
+}
+
+// MeanServiceMs returns the average request service time.
+func (p Profile) MeanServiceMs() float64 {
+	if p.Requests == 0 {
+		return 0
+	}
+	return float64(p.TotalNanos) / float64(p.Requests) / 1e6
+}
+
+// Bandwidth returns achieved MB/s over the busy time.
+func (p Profile) Bandwidth() float64 {
+	if p.TotalNanos == 0 {
+		return 0
+	}
+	return float64(p.Sectors) * disk.SectorSize / (float64(p.TotalNanos) / 1e9) / 1e6
+}
+
+// Render writes a human-readable report.
+func (p Profile) Render(w io.Writer, label string) {
+	fmt.Fprintf(w, "%s: %d requests (%d reads, %d writes), %.1f KB mean, %.2f ms mean, %.2f MB/s busy\n",
+		label, p.Requests, p.Reads, p.Writes, p.MeanRequestKB(), p.MeanServiceMs(), p.Bandwidth())
+	fmt.Fprintf(w, "  locality: %d adjacent starts, median gap %d sectors, p90 gap %d sectors\n",
+		p.Adjacent, p.MedianGap, p.P90Gap)
+	var buckets []int
+	for b := range p.SizeBuckets {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	fmt.Fprint(w, "  sizes:")
+	for _, b := range buckets {
+		fmt.Fprintf(w, " %dKB:%d", b, p.SizeBuckets[b])
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cffs/internal/disk"
+)
+
+func entry(lba int64, sectors int, write bool, ms float64) disk.TraceEntry {
+	return disk.TraceEntry{LBA: lba, Count: sectors, Write: write, Nanos: int64(ms * 1e6)}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	p := Analyze([]disk.TraceEntry{
+		entry(0, 8, false, 10),      // 4 KB read
+		entry(8, 8, true, 5),        // adjacent 4 KB write
+		entry(1000, 128, false, 20), // 64 KB read far away
+	})
+	if p.Requests != 3 || p.Reads != 2 || p.Writes != 1 {
+		t.Fatalf("counts: %+v", p)
+	}
+	if p.Sectors != 144 {
+		t.Fatalf("sectors = %d", p.Sectors)
+	}
+	if p.Adjacent != 1 {
+		t.Fatalf("adjacent = %d, want 1", p.Adjacent)
+	}
+	if p.SizeBuckets[4] != 2 || p.SizeBuckets[64] != 1 {
+		t.Fatalf("size buckets: %v", p.SizeBuckets)
+	}
+	if got := p.MeanRequestKB(); got != 24 {
+		t.Fatalf("mean request %.1f KB, want 24", got)
+	}
+	if got := p.MeanServiceMs(); got < 11.6 || got > 11.7 {
+		t.Fatalf("mean service %.2f ms", got)
+	}
+}
+
+func TestAnalyzeGaps(t *testing.T) {
+	p := Analyze([]disk.TraceEntry{
+		entry(0, 8, false, 1),
+		entry(8, 8, false, 1),     // gap 0
+		entry(108, 8, false, 1),   // gap 92
+		entry(10116, 8, false, 1), // gap 10000
+	})
+	if p.MedianGap != 92 {
+		t.Fatalf("median gap = %d, want 92", p.MedianGap)
+	}
+	if p.P90Gap != 10000 {
+		t.Fatalf("p90 gap = %d, want 10000", p.P90Gap)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	p := Analyze(nil)
+	if p.Requests != 0 || p.MeanRequestKB() != 0 || p.Bandwidth() != 0 || p.MeanServiceMs() != 0 {
+		t.Fatalf("empty trace produced non-zero profile: %+v", p)
+	}
+}
+
+func TestRender(t *testing.T) {
+	p := Analyze([]disk.TraceEntry{entry(0, 8, false, 10)})
+	var buf bytes.Buffer
+	p.Render(&buf, "test")
+	out := buf.String()
+	for _, want := range []string{"test:", "1 requests", "4KB:1", "locality"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cffs/internal/disk"
+	"cffs/internal/vfs"
+)
+
+// Application workloads (paper Section 4.4): software-development
+// activity over a source tree. Each returns the simulated seconds it
+// took and the disk activity, with write-back included, mirroring how
+// the paper measures elapsed application time.
+
+// AppResult is one application benchmark outcome.
+type AppResult struct {
+	Name    string
+	Seconds float64
+	Disk    disk.Stats
+}
+
+// timedApp wraps a workload body with the measurement protocol: cold
+// cache at entry, dirty data forced out before the clock stops.
+func timedApp(fs vfs.FileSystem, name string, body func() error) (AppResult, error) {
+	dev, err := deviceOf(fs)
+	if err != nil {
+		return AppResult{}, err
+	}
+	if err := flush(fs); err != nil {
+		return AppResult{}, err
+	}
+	clk := dev.Disk().Clock()
+	start := clk.Now()
+	s0 := dev.Disk().Stats()
+	if err := body(); err != nil {
+		return AppResult{}, fmt.Errorf("%s: %w", name, err)
+	}
+	if err := fs.Sync(); err != nil {
+		return AppResult{}, err
+	}
+	return AppResult{
+		Name:    name,
+		Seconds: float64(clk.Now()-start) / 1e9,
+		Disk:    dev.Disk().Stats().Sub(s0),
+	}, nil
+}
+
+// CopyTree recursively copies src to dst (cp -r): read every file,
+// create and write its twin.
+func CopyTree(fs vfs.FileSystem, src, dst string) (AppResult, error) {
+	return timedApp(fs, "copy", func() error {
+		if _, err := vfs.MkdirAll(fs, dst); err != nil {
+			return err
+		}
+		return vfs.WalkTree(fs, src, func(path string, st vfs.Stat) error {
+			rel := strings.TrimPrefix(path, src)
+			if st.Type == vfs.TypeDir {
+				_, err := vfs.MkdirAll(fs, dst+rel)
+				return err
+			}
+			data, err := vfs.ReadFile(fs, path)
+			if err != nil {
+				return err
+			}
+			return vfs.WriteFile(fs, dst+rel, data)
+		})
+	})
+}
+
+// Archive packs the tree into one large file (tar c): small-file reads,
+// large sequential write. The format is a simple length-prefixed stream
+// that Unarchive can restore.
+func Archive(fs vfs.FileSystem, src, dest string) (AppResult, error) {
+	return timedApp(fs, "archive", func() error {
+		var out []byte
+		var hdr [8]byte
+		err := vfs.WalkTree(fs, src, func(path string, st vfs.Stat) error {
+			rel := strings.TrimPrefix(path, src)
+			kind := byte(0)
+			if st.Type == vfs.TypeDir {
+				kind = 1
+			}
+			binary.LittleEndian.PutUint32(hdr[0:], uint32(len(rel)))
+			binary.LittleEndian.PutUint32(hdr[4:], uint32(st.Size))
+			out = append(out, kind)
+			out = append(out, hdr[:]...)
+			out = append(out, rel...)
+			if st.Type == vfs.TypeReg {
+				data, err := vfs.ReadFile(fs, path)
+				if err != nil {
+					return err
+				}
+				out = append(out, data...)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return vfs.WriteFile(fs, dest, out)
+	})
+}
+
+// Unarchive restores an Archive stream under dst (tar x): one large
+// sequential read, many small-file creates and writes.
+func Unarchive(fs vfs.FileSystem, archivePath, dst string) (AppResult, error) {
+	return timedApp(fs, "unarchive", func() error {
+		blob, err := vfs.ReadFile(fs, archivePath)
+		if err != nil {
+			return err
+		}
+		if _, err := vfs.MkdirAll(fs, dst); err != nil {
+			return err
+		}
+		for off := 0; off < len(blob); {
+			if off+9 > len(blob) {
+				return fmt.Errorf("truncated archive at %d", off)
+			}
+			kind := blob[off]
+			nameLen := int(binary.LittleEndian.Uint32(blob[off+1:]))
+			size := int(binary.LittleEndian.Uint32(blob[off+5:]))
+			off += 9
+			if off+nameLen > len(blob) {
+				return fmt.Errorf("truncated name at %d", off)
+			}
+			rel := string(blob[off : off+nameLen])
+			off += nameLen
+			if kind == 1 {
+				if _, err := vfs.MkdirAll(fs, dst+rel); err != nil {
+					return err
+				}
+				continue
+			}
+			if off+size > len(blob) {
+				return fmt.Errorf("truncated data at %d", off)
+			}
+			if err := vfs.WriteFile(fs, dst+rel, blob[off:off+size]); err != nil {
+				return err
+			}
+			off += size
+		}
+		return nil
+	})
+}
+
+// AttrScan stats every file and directory in the tree (du / ls -lR):
+// pure metadata traffic, the workload embedded inodes help most.
+func AttrScan(fs vfs.FileSystem, root string) (AppResult, error) {
+	return timedApp(fs, "attrscan", func() error {
+		var total int64
+		if err := vfs.WalkTree(fs, root, func(path string, st vfs.Stat) error {
+			total += st.Size
+			return nil
+		}); err != nil {
+			return err
+		}
+		if total == 0 {
+			return fmt.Errorf("attrscan found an empty tree")
+		}
+		return nil
+	})
+}
+
+// Search reads every regular file in full, scanning for a byte pattern
+// (grep -r): small-file read bandwidth.
+func Search(fs vfs.FileSystem, root string, needle []byte) (AppResult, error) {
+	return timedApp(fs, "search", func() error {
+		matches := 0
+		err := vfs.WalkTree(fs, root, func(path string, st vfs.Stat) error {
+			if st.Type != vfs.TypeReg {
+				return nil
+			}
+			data, err := vfs.ReadFile(fs, path)
+			if err != nil {
+				return err
+			}
+			if idx := indexBytes(data, needle); idx >= 0 {
+				matches++
+			}
+			return nil
+		})
+		_ = matches
+		return err
+	})
+}
+
+func indexBytes(h, n []byte) int {
+	if len(n) == 0 || len(h) < len(n) {
+		return -1
+	}
+outer:
+	for i := 0; i+len(n) <= len(h); i++ {
+		for j := range n {
+			if h[i+j] != n[j] {
+				continue outer
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+// Compile simulates a build: every .c file is read and a .o file of
+// about 60% of its size is written next to it; finally all .o files are
+// read back and a single linked binary is written at root/a.out.
+func Compile(fs vfs.FileSystem, root string) (AppResult, error) {
+	return timedApp(fs, "compile", func() error {
+		var sources []string
+		if err := vfs.WalkTree(fs, root, func(path string, st vfs.Stat) error {
+			if st.Type == vfs.TypeReg && strings.HasSuffix(path, ".c") {
+				sources = append(sources, path)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		sort.Strings(sources)
+		var objects []string
+		for _, src := range sources {
+			data, err := vfs.ReadFile(fs, src)
+			if err != nil {
+				return err
+			}
+			objSize := len(data) * 6 / 10
+			if objSize == 0 {
+				objSize = 1
+			}
+			obj := strings.TrimSuffix(src, ".c") + ".o"
+			if err := vfs.WriteFile(fs, obj, pattern(uint64(len(data)), objSize)); err != nil {
+				return err
+			}
+			objects = append(objects, obj)
+		}
+		var binary []byte
+		for _, obj := range objects {
+			data, err := vfs.ReadFile(fs, obj)
+			if err != nil {
+				return err
+			}
+			binary = append(binary, data...)
+		}
+		return vfs.WriteFile(fs, root+"/a.out", binary)
+	})
+}
+
+// Clean removes build products (.o files and a.out), like make clean:
+// a delete-heavy metadata workload.
+func Clean(fs vfs.FileSystem, root string) (AppResult, error) {
+	return timedApp(fs, "clean", func() error {
+		var victims []string
+		if err := vfs.WalkTree(fs, root, func(path string, st vfs.Stat) error {
+			if st.Type == vfs.TypeReg &&
+				(strings.HasSuffix(path, ".o") || strings.HasSuffix(path, "/a.out")) {
+				victims = append(victims, path)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		for _, v := range victims {
+			if err := vfs.Remove(fs, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// RemoveTree deletes the whole tree (rm -r).
+func RemoveTree(fs vfs.FileSystem, root string) (AppResult, error) {
+	return timedApp(fs, "remove", func() error {
+		return vfs.RemoveAll(fs, root)
+	})
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+
+	"cffs/internal/disk"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+)
+
+// Postmark is a PostMark-style mixed small-file transaction benchmark
+// (Katcher's 1997 mail/news/web-commerce workload, contemporaneous with
+// the paper): build an initial pool of small files, run a stream of
+// transactions — each a read or append paired with a create or delete —
+// then tear the pool down. It exercises steady-state churn rather than
+// the four clean phases of the Rosenblum benchmark.
+type PostmarkConfig struct {
+	InitialFiles int // pool size, default 2500
+	Transactions int // default 5000
+	Dirs         int // subdirectories, default 50
+	MinSize      int // default 512
+	MaxSize      int // default 16384
+	Seed         uint64
+}
+
+func (c *PostmarkConfig) fill() {
+	if c.InitialFiles == 0 {
+		c.InitialFiles = 2500
+	}
+	if c.Transactions == 0 {
+		c.Transactions = 5000
+	}
+	if c.Dirs == 0 {
+		c.Dirs = 50
+	}
+	if c.MinSize == 0 {
+		c.MinSize = 512
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 16384
+	}
+}
+
+// PostmarkResult reports the run.
+type PostmarkResult struct {
+	Seconds        float64 // simulated, transactions phase only
+	TransactionsPS float64
+	Reads          int
+	Appends        int
+	Creates        int
+	Deletes        int
+	Disk           disk.Stats
+}
+
+// RunPostmark executes the benchmark on an empty file system.
+func RunPostmark(fs vfs.FileSystem, cfg PostmarkConfig) (PostmarkResult, error) {
+	var res PostmarkResult
+	cfg.fill()
+	dev, err := deviceOf(fs)
+	if err != nil {
+		return res, err
+	}
+	rng := sim.NewRNG(cfg.Seed + 0x905)
+	clk := dev.Disk().Clock()
+
+	dirs := make([]vfs.Ino, cfg.Dirs)
+	for i := range dirs {
+		d, err := fs.Mkdir(fs.Root(), fmt.Sprintf("pm%03d", i))
+		if err != nil {
+			return res, err
+		}
+		dirs[i] = d
+	}
+	size := func() int { return cfg.MinSize + rng.Intn(cfg.MaxSize-cfg.MinSize+1) }
+
+	type pmFile struct {
+		dir  vfs.Ino
+		name string
+	}
+	var pool []pmFile
+	seq := 0
+	create := func() error {
+		dir := dirs[rng.Intn(len(dirs))]
+		name := fmt.Sprintf("pmf%07d", seq)
+		seq++
+		ino, err := fs.Create(dir, name)
+		if err != nil {
+			return err
+		}
+		if _, err := fs.WriteAt(ino, pattern(rng.Uint64(), size()), 0); err != nil {
+			return err
+		}
+		pool = append(pool, pmFile{dir, name})
+		return nil
+	}
+
+	// Pool construction (untimed, like PostMark's setup phase).
+	for i := 0; i < cfg.InitialFiles; i++ {
+		if err := create(); err != nil {
+			return res, fmt.Errorf("postmark setup: %w", err)
+		}
+	}
+	if err := flush(fs); err != nil {
+		return res, err
+	}
+
+	// Transactions.
+	start := clk.Now()
+	s0 := dev.Disk().Stats()
+	buf := make([]byte, cfg.MaxSize)
+	for tx := 0; tx < cfg.Transactions; tx++ {
+		// Half 1: read or append an existing file.
+		f := pool[rng.Intn(len(pool))]
+		ino, err := fs.Lookup(f.dir, f.name)
+		if err != nil {
+			return res, fmt.Errorf("postmark lookup %s: %w", f.name, err)
+		}
+		if rng.Intn(2) == 0 {
+			st, err := fs.Stat(ino)
+			if err != nil {
+				return res, err
+			}
+			if int(st.Size) > len(buf) {
+				buf = make([]byte, st.Size) // appends grow files past MaxSize
+			}
+			if _, err := fs.ReadAt(ino, buf[:st.Size], 0); err != nil {
+				return res, err
+			}
+			res.Reads++
+		} else {
+			st, err := fs.Stat(ino)
+			if err != nil {
+				return res, err
+			}
+			if _, err := fs.WriteAt(ino, pattern(rng.Uint64(), 512+rng.Intn(3584)), st.Size); err != nil {
+				return res, err
+			}
+			res.Appends++
+		}
+		// Half 2: create or delete.
+		if rng.Intn(2) == 0 || len(pool) < 2 {
+			if err := create(); err != nil {
+				return res, err
+			}
+			res.Creates++
+		} else {
+			pick := rng.Intn(len(pool))
+			victim := pool[pick]
+			pool[pick] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			if err := fs.Unlink(victim.dir, victim.name); err != nil {
+				return res, fmt.Errorf("postmark delete %s: %w", victim.name, err)
+			}
+			res.Deletes++
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return res, err
+	}
+	res.Seconds = float64(clk.Now()-start) / 1e9
+	res.TransactionsPS = float64(cfg.Transactions) / res.Seconds
+	res.Disk = dev.Disk().Stats().Sub(s0)
+	return res, nil
+}

@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/ffs"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+)
+
+func newCFFS(t *testing.T, opts core.Options) vfs.FileSystem {
+	t.Helper()
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := core.Mkfs(blockio.NewDevice(d, sched.CLook{}), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestSmallFilePhases(t *testing.T) {
+	fs := newCFFS(t, core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed})
+	res, err := RunSmallFile(fs, SmallFileConfig{NumFiles: 400, Dirs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d phases, want 4", len(res))
+	}
+	wantNames := []string{"create", "read", "overwrite", "delete"}
+	for i, r := range res {
+		if r.Name != wantNames[i] {
+			t.Fatalf("phase %d = %q, want %q", i, r.Name, wantNames[i])
+		}
+		if r.Seconds <= 0 {
+			t.Fatalf("phase %s took no simulated time", r.Name)
+		}
+		if r.FilesPerSec() <= 0 {
+			t.Fatalf("phase %s throughput not positive", r.Name)
+		}
+		if r.Disk.Requests <= 0 {
+			t.Fatalf("phase %s did no disk I/O", r.Name)
+		}
+	}
+	// The read phase of a cold cache must actually read.
+	if res[1].Disk.Reads == 0 {
+		t.Fatal("read phase issued no reads")
+	}
+}
+
+// The benchmark must leave the file system empty (all files deleted),
+// and a fsck of the image must come back clean.
+func TestSmallFileLeavesCleanImage(t *testing.T) {
+	fs := newCFFS(t, core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed})
+	if _, err := RunSmallFile(fs, SmallFileConfig{NumFiles: 200, Dirs: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfs := fs.(*core.FS)
+	rep, err := core.Check(cfs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("image not clean after benchmark: %v", rep.Problems[:min(5, len(rep.Problems))])
+	}
+	if rep.Files != 0 {
+		t.Fatalf("benchmark left %d files behind", rep.Files)
+	}
+}
+
+func TestGenerateTreeDistribution(t *testing.T) {
+	fs := newCFFS(t, core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed})
+	if _, err := vfs.MkdirAll(fs, "/src"); err != nil {
+		t.Fatal(err)
+	}
+	spec := TreeSpec{Depth: 3, DirsPerDir: 3, FilesPerDir: 15, Seed: 7}
+	st, err := GenerateTree(fs, "/src", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != spec.NumFiles() {
+		t.Fatalf("generated %d files, spec promises %d", st.Files, spec.NumFiles())
+	}
+	frac := float64(st.Under8K) / float64(st.Files)
+	if frac < 0.70 || frac > 0.88 {
+		t.Fatalf("%.0f%% of files under 8KB; want ~79%%", frac*100)
+	}
+	// Verify the tree is really on the file system.
+	count := 0
+	if err := vfs.WalkTree(fs, "/src", func(p string, s vfs.Stat) error {
+		if s.Type == vfs.TypeReg {
+			count++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != st.Files {
+		t.Fatalf("tree walk found %d files, generator reports %d", count, st.Files)
+	}
+}
+
+func TestApplicationsRunAndAreConsistent(t *testing.T) {
+	fs := newCFFS(t, core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed})
+	if _, err := vfs.MkdirAll(fs, "/proj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateTree(fs, "/proj", TreeSpec{Depth: 2, DirsPerDir: 3, FilesPerDir: 8, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	copyRes, err := CopyTree(fs, "/proj", "/proj2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if copyRes.Seconds <= 0 {
+		t.Fatal("copy took no time")
+	}
+	// The copy must be byte-identical.
+	if err := vfs.WalkTree(fs, "/proj", func(p string, s vfs.Stat) error {
+		if s.Type != vfs.TypeReg {
+			return nil
+		}
+		a, err := vfs.ReadFile(fs, p)
+		if err != nil {
+			return err
+		}
+		b, err := vfs.ReadFile(fs, "/proj2"+strings.TrimPrefix(p, "/proj"))
+		if err != nil {
+			return err
+		}
+		if string(a) != string(b) {
+			t.Fatalf("copy of %s differs", p)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Archive(fs, "/proj", "/proj.ar"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unarchive(fs, "/proj.ar", "/restored"); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := vfs.ReadFile(fs, "/proj/mod01.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := vfs.ReadFile(fs, "/restored/mod01.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) != string(rest) {
+		t.Fatal("unarchive did not restore file contents")
+	}
+
+	if _, err := AttrScan(fs, "/proj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Search(fs, "/proj", []byte{0x42, 0x17}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(fs, "/proj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vfs.Walk(fs, "/proj/a.out"); err != nil {
+		t.Fatal("compile did not produce a.out")
+	}
+	if _, err := Clean(fs, "/proj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vfs.Walk(fs, "/proj/a.out"); err == nil {
+		t.Fatal("clean left a.out behind")
+	}
+	if _, err := RemoveTree(fs, "/proj2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vfs.Walk(fs, "/proj2"); err == nil {
+		t.Fatal("remove left the tree behind")
+	}
+}
+
+// The operation stream must be identical across file systems: same
+// files, same bytes, so timing differences are purely layout policy.
+func TestWorkloadsRunOnFFSBaseline(t *testing.T) {
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ffs.Mkfs(blockio.NewDevice(d, sched.CLook{}), ffs.Options{Mode: ffs.ModeDelayed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSmallFile(fs, SmallFileConfig{NumFiles: 200, Dirs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatal("phases missing on FFS")
+	}
+	if _, err := vfs.MkdirAll(fs, "/t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateTree(fs, "/t", TreeSpec{Depth: 2, DirsPerDir: 2, FilesPerDir: 6, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(fs, "/t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPostmarkRuns(t *testing.T) {
+	fs := newCFFS(t, core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed})
+	res, err := RunPostmark(fs, PostmarkConfig{InitialFiles: 200, Transactions: 400, Dirs: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TransactionsPS <= 0 || res.Seconds <= 0 {
+		t.Fatalf("postmark produced no throughput: %+v", res)
+	}
+	if res.Reads+res.Appends != 400 || res.Creates+res.Deletes != 400 {
+		t.Fatalf("transaction accounting off: %+v", res)
+	}
+	if res.Disk.Requests == 0 {
+		t.Fatal("postmark did no disk I/O")
+	}
+	// The churned image must still be consistent.
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Check(fs.(*core.FS).Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		n := len(rep.Problems)
+		if n > 5 {
+			n = 5
+		}
+		t.Fatalf("postmark image not clean: %v", rep.Problems[:n])
+	}
+}
+
+func TestPostmarkDeterministic(t *testing.T) {
+	run := func() PostmarkResult {
+		fs := newCFFS(t, core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed})
+		res, err := RunPostmark(fs, PostmarkConfig{InitialFiles: 150, Transactions: 300, Dirs: 6, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
