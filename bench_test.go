@@ -344,3 +344,17 @@ func BenchmarkLFSComparison(b *testing.B) {
 		b.ReportMetric(cell(b, row[3]), row[0]+"-read-bydir-files/s")
 	}
 }
+
+// BenchmarkConcurrency regenerates the goroutine-scaling table: the
+// same op budget at 1/4/16 concurrent clients on one C-FFS. The metric
+// reported is the 16-client wall-clock throughput of each mix; the run
+// itself is also the deadlock gate the CI benchmark-smoke job relies
+// on.
+func BenchmarkConcurrency(b *testing.B) {
+	tables := runExperiment(b, "concurrency")
+	for _, row := range tables[0].Rows {
+		if row[1] == "16" {
+			b.ReportMetric(cell(b, row[6]), row[0]+"-kops/s")
+		}
+	}
+}

@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{"immediate", "Extension: immediate files [Mullender84]", Immediate},
 		{"readahead", "Extension: sequential prefetching", Readahead},
 		{"postmark", "PostMark-style transaction churn", Postmark},
+		{"concurrency", "Goroutine scaling: concurrent clients on one C-FFS", Concurrency},
 		{"profile", "Read-phase request profile (the mechanism made visible)", ProfileExp},
 		{"lfs", "LFS comparison: log order vs namespace order [Rosenblum92]", LFSExp},
 		{"softupdates", "Metadata integrity cost in isolation [Ganger94]", SoftUpdates},

@@ -8,6 +8,7 @@ package blockio
 
 import (
 	"fmt"
+	"sync"
 
 	"cffs/internal/disk"
 	"cffs/internal/sched"
@@ -36,10 +37,15 @@ type Req struct {
 
 func (r *Req) blocks() int { return len(r.Bufs) }
 
-// Device is a block device over a simulated disk.
+// Device is a block device over a simulated disk. It is safe for
+// concurrent use: single-block transfers serialize at the disk, and a
+// queued batch (Submit) holds the device lock for its whole sweep so the
+// scheduler's C-LOOK order is not interleaved with other traffic.
 type Device struct {
-	dsk     *disk.Disk
-	sch     sched.Scheduler
+	dsk *disk.Disk
+	sch sched.Scheduler
+
+	mu      sync.Mutex // guards lastLBA and batch submission
 	lastLBA int64
 }
 
@@ -60,6 +66,13 @@ func (dev *Device) Scheduler() sched.Scheduler { return dev.sch }
 // ReadBlocks issues one disk request reading len(bufs) contiguous blocks
 // starting at block, scattering them into bufs.
 func (dev *Device) ReadBlocks(block int64, bufs [][]byte) error {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return dev.readBlocks(block, bufs)
+}
+
+// readBlocks is ReadBlocks with dev.mu held.
+func (dev *Device) readBlocks(block int64, bufs [][]byte) error {
 	if err := dev.check(block, bufs); err != nil {
 		return err
 	}
@@ -71,6 +84,13 @@ func (dev *Device) ReadBlocks(block int64, bufs [][]byte) error {
 // WriteBlocks issues one disk request writing len(bufs) contiguous blocks
 // starting at block, gathered from bufs.
 func (dev *Device) WriteBlocks(block int64, bufs [][]byte) error {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	return dev.writeBlocks(block, bufs)
+}
+
+// writeBlocks is WriteBlocks with dev.mu held.
+func (dev *Device) writeBlocks(block int64, bufs [][]byte) error {
 	if err := dev.check(block, bufs); err != nil {
 		return err
 	}
@@ -99,6 +119,8 @@ func (dev *Device) Submit(reqs []Req) error {
 	if len(reqs) == 0 {
 		return nil
 	}
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
 	items := make([]sched.Item, len(reqs))
 	for i := range reqs {
 		if err := dev.check(reqs[i].Block, reqs[i].Bufs); err != nil {
@@ -131,9 +153,9 @@ func (dev *Device) Submit(reqs []Req) error {
 		}
 		var err error
 		if write {
-			err = dev.WriteBlocks(start, bufs)
+			err = dev.writeBlocks(start, bufs)
 		} else {
-			err = dev.ReadBlocks(start, bufs)
+			err = dev.readBlocks(start, bufs)
 		}
 		if err != nil {
 			return err

@@ -10,11 +10,35 @@
 // identity alone — no back-translation to file/offset is needed — and a
 // later logical access finds them by physical address after consulting
 // the owning inode.
+//
+// # Concurrency
+//
+// The cache is safe for concurrent use. Locking is fine-grained:
+//
+//   - the physical index is split into shards, each with its own lock;
+//   - the logical index has one lock (idMu);
+//   - the LRU list, dirty accounting and dirty flags share one lock
+//     (stateMu);
+//   - per-buffer pin counts are atomic, and each buffer carries a ready
+//     channel so concurrent misses on the same block single-flight the
+//     disk read.
+//
+// The lock order is shard → idMu → stateMu; disk I/O is issued with no
+// cache lock held. Pins are only acquired under a shard lock or idMu, so
+// an evictor holding a buffer's shard lock plus idMu and observing zero
+// pins knows no new pin can race it.
+//
+// Callers may read the Data of a shared pinned buffer concurrently, but
+// mutating Data requires the caller to exclude every other user of that
+// block — C-FFS does so with its file-system-level writer lock (see the
+// lock hierarchy in internal/core).
 package cache
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cffs/internal/blockio"
 )
@@ -33,27 +57,47 @@ type Buf struct {
 	Block int64 // physical block number
 	Data  []byte
 
-	id    ID
-	hasID bool
-	dirty bool
-	pins  int
+	id    ID   // guarded by Cache.idMu
+	hasID bool // guarded by Cache.idMu
+
+	dirty bool // guarded by Cache.stateMu
+	gone  bool // guarded by Cache.stateMu; removed from the cache
+
+	pins    atomic.Int32
+	lastUse atomic.Int64 // Cache.useTick value at the last touch
+
+	loadErr error         // written before ready is closed
+	ready   chan struct{} // closed once Data is loaded (or the load failed)
 
 	c          *Cache
-	prev, next *Buf // LRU list links
+	prev, next *Buf // LRU list links, guarded by Cache.stateMu
 }
 
 // Dirty reports whether the buffer has unwritten modifications.
-func (b *Buf) Dirty() bool { return b.dirty }
+func (b *Buf) Dirty() bool {
+	b.c.stateMu.Lock()
+	defer b.c.stateMu.Unlock()
+	return b.dirty
+}
 
 // ID returns the logical identity and whether one has been assigned.
-func (b *Buf) ID() (ID, bool) { return b.id, b.hasID }
+func (b *Buf) ID() (ID, bool) {
+	b.c.idMu.Lock()
+	defer b.c.idMu.Unlock()
+	return b.id, b.hasID
+}
 
 // Release unpins the buffer, making it evictable again.
 func (b *Buf) Release() {
-	if b.pins <= 0 {
+	if b.pins.Add(-1) < 0 {
 		panic(fmt.Sprintf("cache: release of unpinned block %d", b.Block))
 	}
-	b.pins--
+}
+
+// wait blocks until the buffer's load completes and reports its outcome.
+func (b *Buf) wait() error {
+	<-b.ready
+	return b.loadErr
 }
 
 // Stats counts cache activity.
@@ -64,20 +108,43 @@ type Stats struct {
 	WriteBacks int64 // blocks written by Sync/eviction/WriteSync
 }
 
+// nShards is the physical-index shard count. Adjacent blocks land in
+// different shards, so a group read's insertions spread across locks.
+const nShards = 16
+
+// shard is one slice of the physical index.
+type shard struct {
+	mu     sync.Mutex
+	byPhys map[int64]*Buf
+}
+
 // Cache is a fixed-capacity write-back block cache over a block device.
-// It is single-threaded, like everything in the simulation.
+// It is safe for concurrent use; see the package comment for the locking
+// design. Under concurrent insertion the capacity is a soft bound:
+// in-flight loads may transiently overshoot it by the number of
+// concurrent missers.
 type Cache struct {
 	dev      *blockio.Device
 	capacity int
 
-	byPhys map[int64]*Buf
-	byID   map[ID]*Buf
+	shards [nShards]shard
 
+	idMu sync.Mutex // guards byID and Buf.id/hasID
+	byID map[ID]*Buf
+
+	// stateMu guards the LRU list, ndirty, and Buf.dirty/gone.
 	// LRU list with sentinel: lru.next = most recent.
-	lru Buf
+	stateMu sync.Mutex
+	lru     Buf
+	ndirty  int
 
-	ndirty int
-	stats  Stats
+	n       atomic.Int64 // resident blocks
+	useTick atomic.Int64 // advances on every touch; drives the re-link skip
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	writeBacks atomic.Int64
 }
 
 // evictFlushBatch bounds how many of the oldest dirty buffers are pushed
@@ -85,6 +152,11 @@ type Cache struct {
 // periodic update daemon, and the path that keeps delayed writes
 // clustered even under memory pressure.
 const evictFlushBatch = 64
+
+// evictRetries bounds how often an evictor re-picks a victim after
+// losing a race (the victim got pinned, flushed-and-redirtied, or
+// removed by a concurrent evictor) before giving up.
+const evictRetries = 64
 
 // New creates a cache of the given capacity in blocks.
 func New(dev *blockio.Device, capacity int) *Cache {
@@ -94,35 +166,66 @@ func New(dev *blockio.Device, capacity int) *Cache {
 	c := &Cache{
 		dev:      dev,
 		capacity: capacity,
-		byPhys:   make(map[int64]*Buf),
 		byID:     make(map[ID]*Buf),
+	}
+	for i := range c.shards {
+		c.shards[i].byPhys = make(map[int64]*Buf)
 	}
 	c.lru.next = &c.lru
 	c.lru.prev = &c.lru
 	return c
 }
 
+func (c *Cache) shard(phys int64) *shard { return &c.shards[uint64(phys)%nShards] }
+
 // Device returns the underlying block device.
 func (c *Cache) Device() *blockio.Device { return c.dev }
 
 // Stats returns a copy of the counters.
-func (c *Cache) Stats() Stats { return c.stats }
-
-// Len returns the number of resident blocks.
-func (c *Cache) Len() int { return len(c.byPhys) }
-
-// NDirty returns the number of dirty resident blocks.
-func (c *Cache) NDirty() int { return c.ndirty }
-
-func (c *Cache) touch(b *Buf) {
-	c.unlink(b)
-	b.next = c.lru.next
-	b.prev = &c.lru
-	c.lru.next.prev = b
-	c.lru.next = b
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		WriteBacks: c.writeBacks.Load(),
+	}
 }
 
-func (c *Cache) unlink(b *Buf) {
+// Len returns the number of resident blocks.
+func (c *Cache) Len() int { return int(c.n.Load()) }
+
+// NDirty returns the number of dirty resident blocks.
+func (c *Cache) NDirty() int {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.ndirty
+}
+
+// touch moves a buffer to the most-recent end of the LRU list. The move
+// is amortized: a buffer touched again within the last capacity/8
+// touches is already near the MRU end, and skipping its re-link keeps
+// the hot read path off stateMu — under concurrent cache-hit reads the
+// global LRU lock is otherwise the first serialization point. Fresh
+// buffers (lastUse zero) always link, so single-touch access patterns
+// see exact LRU.
+func (c *Cache) touch(b *Buf) {
+	tick := c.useTick.Add(1)
+	if last := b.lastUse.Swap(tick); last != 0 && tick-last <= int64(c.capacity/8) {
+		return
+	}
+	c.stateMu.Lock()
+	if !b.gone {
+		c.unlinkLocked(b)
+		b.next = c.lru.next
+		b.prev = &c.lru
+		c.lru.next.prev = b
+		c.lru.next = b
+	}
+	c.stateMu.Unlock()
+}
+
+// unlinkLocked removes a buffer from the LRU list; stateMu is held.
+func (c *Cache) unlinkLocked(b *Buf) {
 	if b.prev != nil {
 		b.prev.next = b.next
 		b.next.prev = b.prev
@@ -130,41 +233,80 @@ func (c *Cache) unlink(b *Buf) {
 	}
 }
 
+// newBuf builds an unpublished buffer for phys.
+func (c *Cache) newBuf(phys int64) *Buf {
+	return &Buf{
+		Block: phys,
+		Data:  make([]byte, blockio.BlockSize),
+		c:     c,
+		ready: make(chan struct{}),
+	}
+}
+
 // Peek returns the resident buffer for a physical block without pinning
-// or disk I/O, or nil.
-func (c *Cache) Peek(phys int64) *Buf { return c.byPhys[phys] }
+// or disk I/O, or nil. The result is a residency hint: without a pin (or
+// external exclusion) the buffer may be evicted at any time, and it may
+// still be loading.
+func (c *Cache) Peek(phys int64) *Buf {
+	s := c.shard(phys)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byPhys[phys]
+}
 
 // GetByID returns the resident buffer with the given logical identity,
 // pinned, or nil. This is the logical half of the dual index.
 func (c *Cache) GetByID(id ID) *Buf {
+	c.idMu.Lock()
 	b := c.byID[id]
 	if b == nil {
+		c.idMu.Unlock()
 		return nil
 	}
-	b.pins++
+	b.pins.Add(1)
+	c.idMu.Unlock()
 	c.touch(b)
-	c.stats.Hits++
+	if err := b.wait(); err != nil {
+		b.Release()
+		return nil
+	}
+	c.hits.Add(1)
 	return b
 }
 
 // Read returns the buffer for a physical block, pinned, reading it from
-// disk on a miss.
+// disk on a miss. Concurrent misses on the same block issue one disk
+// read; the losers wait for the winner's load.
 func (c *Cache) Read(phys int64) (*Buf, error) {
-	if b := c.byPhys[phys]; b != nil {
-		b.pins++
+	s := c.shard(phys)
+	s.mu.Lock()
+	if b := s.byPhys[phys]; b != nil {
+		b.pins.Add(1)
+		s.mu.Unlock()
 		c.touch(b)
-		c.stats.Hits++
+		if err := b.wait(); err != nil {
+			b.Release()
+			return nil, err
+		}
+		c.hits.Add(1)
 		return b, nil
 	}
-	c.stats.Misses++
-	b, err := c.insert(phys)
-	if err != nil {
+	b := c.newBuf(phys)
+	b.pins.Add(1) // the caller's pin; also keeps the load unevictable
+	s.byPhys[phys] = b
+	c.n.Add(1)
+	s.mu.Unlock()
+	c.misses.Add(1)
+	c.touch(b)
+	if err := c.makeRoom(); err != nil {
+		c.fail(b, err)
 		return nil, err
 	}
 	if err := c.dev.ReadBlock(phys, b.Data); err != nil {
+		c.fail(b, err)
 		return nil, err
 	}
-	b.pins++
+	close(b.ready)
 	return b, nil
 }
 
@@ -172,84 +314,151 @@ func (c *Cache) Read(phys int64) (*Buf, error) {
 // the caller promises to initialize the full block (fresh allocations,
 // full overwrites). A resident buffer is returned as-is.
 func (c *Cache) Alloc(phys int64) (*Buf, error) {
-	if b := c.byPhys[phys]; b != nil {
-		b.pins++
+	s := c.shard(phys)
+	s.mu.Lock()
+	if b := s.byPhys[phys]; b != nil {
+		b.pins.Add(1)
+		s.mu.Unlock()
 		c.touch(b)
-		c.stats.Hits++
+		if err := b.wait(); err != nil {
+			b.Release()
+			return nil, err
+		}
+		c.hits.Add(1)
 		return b, nil
 	}
-	b, err := c.insert(phys)
-	if err != nil {
+	b := c.newBuf(phys)
+	close(b.ready) // zero-filled by construction; nothing to load
+	b.pins.Add(1)
+	s.byPhys[phys] = b
+	c.n.Add(1)
+	s.mu.Unlock()
+	c.touch(b)
+	if err := c.makeRoom(); err != nil {
+		c.forget(b)
+		b.Release()
 		return nil, err
 	}
-	b.pins++
 	return b, nil
 }
 
-// insert makes room and adds an unpinned, clean, zeroed buffer.
-func (c *Cache) insert(phys int64) (*Buf, error) {
-	for len(c.byPhys) >= c.capacity {
+// fail publishes a load error to any waiters and withdraws the buffer.
+func (c *Cache) fail(b *Buf, err error) {
+	b.loadErr = err
+	close(b.ready)
+	c.forget(b)
+	b.Release()
+}
+
+// forget force-removes a buffer from every structure regardless of pins;
+// outstanding holders keep a detached buffer that is no longer the
+// cache's copy of the block.
+func (c *Cache) forget(b *Buf) {
+	s := c.shard(b.Block)
+	s.mu.Lock()
+	c.idMu.Lock()
+	c.stateMu.Lock()
+	if s.byPhys[b.Block] == b {
+		c.removeLocked(s, b)
+	}
+	c.stateMu.Unlock()
+	c.idMu.Unlock()
+	s.mu.Unlock()
+}
+
+// makeRoom evicts until the cache is back within capacity.
+func (c *Cache) makeRoom() error {
+	for c.n.Load() > int64(c.capacity) {
 		if err := c.evictOne(); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	b := &Buf{Block: phys, Data: make([]byte, blockio.BlockSize), c: c}
-	c.byPhys[phys] = b
-	c.touch(b)
-	return b, nil
+	return nil
 }
 
 // evictOne removes the least recently used unpinned buffer. If that
 // buffer is dirty, the oldest dirty buffers are flushed as one scheduled
 // batch first, so that eviction under write pressure still produces
-// clustered disk writes.
+// clustered disk writes. Races with concurrent pinners, flushers, and
+// evictors are resolved by re-picking the victim.
 func (c *Cache) evictOne() error {
-	var victim *Buf
-	for b := c.lru.prev; b != &c.lru; b = b.prev {
-		if b.pins == 0 {
-			victim = b
-			break
+	for attempt := 0; attempt < evictRetries; attempt++ {
+		c.stateMu.Lock()
+		var victim *Buf
+		for b := c.lru.prev; b != &c.lru; b = b.prev {
+			if b.pins.Load() == 0 {
+				victim = b
+				break
+			}
+		}
+		if victim == nil {
+			c.stateMu.Unlock()
+			return fmt.Errorf("cache: all %d buffers pinned", c.n.Load())
+		}
+		dirty := victim.dirty
+		c.stateMu.Unlock()
+
+		if dirty {
+			if err := c.flushOldestDirty(evictFlushBatch); err != nil {
+				return err
+			}
+			continue // re-pick: the victim should now be clean
+		}
+
+		// Take the locks in order and re-validate: holding the shard
+		// lock and idMu blocks new pins on the victim.
+		s := c.shard(victim.Block)
+		s.mu.Lock()
+		c.idMu.Lock()
+		c.stateMu.Lock()
+		ok := s.byPhys[victim.Block] == victim &&
+			victim.pins.Load() == 0 && !victim.dirty
+		if ok {
+			c.removeLocked(s, victim)
+		}
+		c.stateMu.Unlock()
+		c.idMu.Unlock()
+		s.mu.Unlock()
+		if ok {
+			c.evictions.Add(1)
+			return nil
 		}
 	}
-	if victim == nil {
-		return fmt.Errorf("cache: all %d buffers pinned", len(c.byPhys))
-	}
-	if victim.dirty {
-		if err := c.flushOldestDirty(evictFlushBatch); err != nil {
-			return err
-		}
-		if victim.dirty {
-			return fmt.Errorf("cache: victim block %d still dirty after flush", victim.Block)
-		}
-	}
-	c.remove(victim)
-	c.stats.Evictions++
-	return nil
+	return fmt.Errorf("cache: eviction starved after %d attempts", evictRetries)
 }
 
-func (c *Cache) remove(b *Buf) {
-	c.unlink(b)
-	delete(c.byPhys, b.Block)
+// removeLocked detaches a buffer from the maps, the LRU list and the
+// dirty accounting. The buffer's shard lock, idMu and stateMu are held.
+func (c *Cache) removeLocked(s *shard, b *Buf) {
+	delete(s.byPhys, b.Block)
 	if b.hasID {
 		delete(c.byID, b.id)
+		b.hasID = false
 	}
+	c.unlinkLocked(b)
 	if b.dirty {
 		c.ndirty--
 		b.dirty = false
 	}
+	b.gone = true
+	c.n.Add(-1)
 }
 
 // MarkDirty flags the buffer for delayed write-back.
 func (c *Cache) MarkDirty(b *Buf) {
+	c.stateMu.Lock()
 	if !b.dirty {
 		b.dirty = true
 		c.ndirty++
 	}
+	c.stateMu.Unlock()
 }
 
 // SetID assigns (or reassigns) the logical identity of a buffer,
 // maintaining the logical index.
 func (c *Cache) SetID(b *Buf, id ID) {
+	c.idMu.Lock()
+	defer c.idMu.Unlock()
 	if b.hasID {
 		if b.id == id {
 			return
@@ -268,6 +477,8 @@ func (c *Cache) SetID(b *Buf, id ID) {
 
 // DropID removes a buffer's logical identity (file truncated or removed).
 func (c *Cache) DropID(b *Buf) {
+	c.idMu.Lock()
+	defer c.idMu.Unlock()
 	if b.hasID {
 		delete(c.byID, b.id)
 		b.hasID = false
@@ -281,11 +492,13 @@ func (c *Cache) WriteSync(b *Buf) error {
 	if err := c.dev.WriteBlock(b.Block, b.Data); err != nil {
 		return err
 	}
+	c.stateMu.Lock()
 	if b.dirty {
 		b.dirty = false
 		c.ndirty--
 	}
-	c.stats.WriteBacks++
+	c.stateMu.Unlock()
+	c.writeBacks.Add(1)
 	return nil
 }
 
@@ -293,12 +506,23 @@ func (c *Cache) WriteSync(b *Buf) error {
 // call this when freeing blocks, so data of deleted files is never
 // written back — a large part of why delayed-write deletes are fast.
 func (c *Cache) Invalidate(phys int64) {
-	if b := c.byPhys[phys]; b != nil {
-		if b.pins > 0 {
-			panic(fmt.Sprintf("cache: invalidate of pinned block %d", phys))
-		}
-		c.remove(b)
+	s := c.shard(phys)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.byPhys[phys]
+	if b == nil {
+		return
 	}
+	c.idMu.Lock()
+	c.stateMu.Lock()
+	if b.pins.Load() > 0 {
+		c.stateMu.Unlock()
+		c.idMu.Unlock()
+		panic(fmt.Sprintf("cache: invalidate of pinned block %d", phys))
+	}
+	c.removeLocked(s, b)
+	c.stateMu.Unlock()
+	c.idMu.Unlock()
 }
 
 // ReadRun ensures blocks [start, start+count) are resident, issuing the
@@ -308,44 +532,60 @@ func (c *Cache) Invalidate(phys int64) {
 //
 // The buffers of a run are pinned while the run is assembled so that
 // inserting the tail cannot evict the head; to keep that safe on tiny
-// caches, runs longer than half the capacity are split.
+// caches, runs longer than half the capacity are split. Blocks another
+// goroutine is already loading are left to that goroutine, splitting the
+// run around them.
 func (c *Cache) ReadRun(start int64, count int) error {
-	i := 0
 	maxRun := c.capacity / 2
 	if maxRun < 1 {
 		maxRun = 1
 	}
+	i := 0
 	for i < count {
-		if c.byPhys[start+int64(i)] != nil {
+		// Claim the next run of missing blocks with placeholders.
+		var claimed []*Buf
+		j := i
+		for j < count && j-i < maxRun {
+			phys := start + int64(j)
+			s := c.shard(phys)
+			s.mu.Lock()
+			if s.byPhys[phys] != nil {
+				s.mu.Unlock()
+				break
+			}
+			b := c.newBuf(phys)
+			b.pins.Add(1)
+			s.byPhys[phys] = b
+			c.n.Add(1)
+			s.mu.Unlock()
+			c.touch(b)
+			claimed = append(claimed, b)
+			j++
+		}
+		if len(claimed) == 0 {
 			i++
 			continue
 		}
-		j := i
-		for j < count && j-i < maxRun && c.byPhys[start+int64(j)] == nil {
-			j++
-		}
-		n := j - i
-		bufs := make([][]byte, n)
-		newbufs := make([]*Buf, n)
-		for k := 0; k < n; k++ {
-			b, err := c.insert(start + int64(i+k))
-			if err != nil {
-				for _, nb := range newbufs[:k] {
-					nb.pins--
-				}
-				return err
+		c.misses.Add(int64(len(claimed)))
+		fill := func(err error) error {
+			for _, b := range claimed {
+				c.fail(b, err)
 			}
-			b.pins++
-			newbufs[k] = b
+			return err
+		}
+		if err := c.makeRoom(); err != nil {
+			return fill(err)
+		}
+		bufs := make([][]byte, len(claimed))
+		for k, b := range claimed {
 			bufs[k] = b.Data
 		}
-		c.stats.Misses += int64(n)
-		err := c.dev.ReadBlocks(start+int64(i), bufs)
-		for _, nb := range newbufs {
-			nb.pins--
+		if err := c.dev.ReadBlocks(start+int64(i), bufs); err != nil {
+			return fill(err)
 		}
-		if err != nil {
-			return err
+		for _, b := range claimed {
+			close(b.ready)
+			b.Release()
 		}
 		i = j
 	}
@@ -359,25 +599,32 @@ func (c *Cache) Sync() error {
 
 // flushOldestDirty flushes up to limit dirty buffers, oldest first.
 func (c *Cache) flushOldestDirty(limit int) error {
-	marked := 0
 	victims := make(map[*Buf]bool)
+	c.stateMu.Lock()
+	marked := 0
 	for b := c.lru.prev; b != &c.lru && marked < limit; b = b.prev {
 		if b.dirty {
 			victims[b] = true
 			marked++
 		}
 	}
+	c.stateMu.Unlock()
 	return c.flushDirty(func(b *Buf) bool { return victims[b] })
 }
 
-// flushDirty writes back dirty buffers selected by keep, in one Submit.
+// flushDirty writes back dirty buffers selected by want, in one Submit.
+// The batch is collected under stateMu and submitted without cache
+// locks; concurrent flushers may write a block twice (harmless), and the
+// dirty check on completion keeps the accounting exact.
 func (c *Cache) flushDirty(want func(*Buf) bool) error {
 	var bufs []*Buf
+	c.stateMu.Lock()
 	for b := c.lru.next; b != &c.lru; b = b.next {
 		if b.dirty && want(b) {
 			bufs = append(bufs, b)
 		}
 	}
+	c.stateMu.Unlock()
 	if len(bufs) == 0 {
 		return nil
 	}
@@ -389,29 +636,42 @@ func (c *Cache) flushDirty(want func(*Buf) bool) error {
 	if err := c.dev.Submit(reqs); err != nil {
 		return err
 	}
+	c.stateMu.Lock()
 	for _, b := range bufs {
-		b.dirty = false
-		c.ndirty--
-		c.stats.WriteBacks++
+		if b.dirty {
+			b.dirty = false
+			c.ndirty--
+			c.writeBacks.Add(1)
+		}
 	}
+	c.stateMu.Unlock()
 	return nil
 }
 
 // Flush writes back all dirty data and then empties the cache. The
 // benchmark harness calls this between phases so each phase starts cold,
 // as the paper's methodology requires ("we forcefully write back all
-// dirty blocks before considering the measurement complete").
+// dirty blocks before considering the measurement complete"). Flush
+// requires a quiescent cache: it fails on any pinned buffer.
 func (c *Cache) Flush() error {
 	if err := c.Sync(); err != nil {
 		return err
 	}
-	for b := c.lru.next; b != &c.lru; {
-		next := b.next
-		if b.pins > 0 {
-			return fmt.Errorf("cache: Flush with pinned block %d", b.Block)
+	for si := range c.shards {
+		s := &c.shards[si]
+		s.mu.Lock()
+		for _, b := range s.byPhys {
+			if b.pins.Load() > 0 {
+				s.mu.Unlock()
+				return fmt.Errorf("cache: Flush with pinned block %d", b.Block)
+			}
+			c.idMu.Lock()
+			c.stateMu.Lock()
+			c.removeLocked(s, b)
+			c.stateMu.Unlock()
+			c.idMu.Unlock()
 		}
-		c.remove(b)
-		b = next
+		s.mu.Unlock()
 	}
 	return nil
 }

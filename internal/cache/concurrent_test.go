@@ -1,0 +1,312 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Concurrency stress tests for the cache's internal locking: overlapping
+// Read/Release, single-flight misses, racing ReadRun windows, dual-index
+// churn, and eviction under pressure. They are primarily -race fodder
+// (the CI pipeline runs them with the detector on), but they also assert
+// structural invariants that would break under lost updates.
+
+// TestConcurrentReadOverlap hammers Read/Release on a small overlapping
+// block range from many goroutines, with enough capacity that nothing
+// evicts: every goroutine must see the block's disk contents, and the
+// single-flight path must keep the physical index consistent.
+func TestConcurrentReadOverlap(t *testing.T) {
+	c := newCache(t, 64)
+	const blocks = 16
+	for i := int64(0); i < blocks; i++ {
+		fillDisk(t, c, 100+i, byte(i))
+	}
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				phys := 100 + int64((r*13+i)%blocks)
+				b, err := c.Read(phys)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if b.Data[7] != byte(phys-100) {
+					errs <- fmt.Errorf("block %d holds %x", phys, b.Data[7])
+					b.Release()
+					return
+				}
+				b.Release()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c.Len() > 64 {
+		t.Fatalf("cache over capacity: %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Misses > blocks {
+		// Single-flight plus no eviction: each block is read from disk
+		// at most once no matter how many goroutines miss on it.
+		t.Fatalf("%d misses for %d blocks", st.Misses, blocks)
+	}
+}
+
+// TestConcurrentSingleFlight specifically races many goroutines at one
+// cold block and counts disk requests.
+func TestConcurrentSingleFlight(t *testing.T) {
+	c := newCache(t, 16)
+	fillDisk(t, c, 7, 0x5A)
+	reqs0 := c.Device().Disk().Stats().Requests
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := c.Read(7)
+			if err != nil || b.Data[0] != 0x5A {
+				bad.Add(1)
+				return
+			}
+			b.Release()
+		}()
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatal("some readers saw bad data")
+	}
+	if got := c.Device().Disk().Stats().Requests - reqs0; got != 1 {
+		t.Fatalf("%d disk requests for one cold block, want 1", got)
+	}
+}
+
+// TestConcurrentWritersDisjoint gives each goroutine its own block range
+// to Alloc, mutate and MarkDirty (per the Data contract, mutation
+// requires per-block exclusivity) while a flusher goroutine runs Sync
+// concurrently. The final Sync must leave the cache fully clean with
+// every write accounted.
+func TestConcurrentWritersDisjoint(t *testing.T) {
+	c := newCache(t, 256)
+	const writers = 8
+	const perWriter = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(1000 + w*perWriter)
+			for i := 0; i < perWriter; i++ {
+				b, err := c.Alloc(base + int64(i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				b.Data[0] = byte(w)
+				b.Data[1] = byte(i)
+				c.MarkDirty(b)
+				b.Release()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := c.Sync(); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.NDirty(); n != 0 {
+		t.Fatalf("%d dirty blocks after final Sync", n)
+	}
+	// Every block must be on disk with its writer's stamp.
+	buf := make([]byte, 4096)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			phys := int64(1000 + w*perWriter + i)
+			if err := c.Device().ReadBlock(phys, buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf[0] != byte(w) || buf[1] != byte(i) {
+				t.Fatalf("block %d holds %x/%x, want %x/%x", phys, buf[0], buf[1], w, i)
+			}
+		}
+	}
+}
+
+// TestConcurrentReadRunOverlap races group reads over overlapping
+// windows with plain reads mixed in; claimed-placeholder handoff between
+// racing runs must never lose or duplicate a block.
+func TestConcurrentReadRunOverlap(t *testing.T) {
+	c := newCache(t, 128)
+	const span = 48
+	for i := int64(0); i < span; i++ {
+		fillDisk(t, c, 500+i, byte(i))
+	}
+	const runners = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, runners)
+	for r := 0; r < runners; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				start := 500 + int64((r*5+i)%(span-16))
+				if err := c.ReadRun(start, 16); err != nil {
+					errs <- err
+					return
+				}
+				phys := start + int64(i%16)
+				b, err := c.Read(phys)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if b.Data[3] != byte(phys-500) {
+					errs <- fmt.Errorf("block %d holds %x", phys, b.Data[3])
+					b.Release()
+					return
+				}
+				b.Release()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentDualIndex churns SetID/GetByID/DropID from multiple
+// goroutines, each owning a disjoint set of blocks and identities.
+func TestConcurrentDualIndex(t *testing.T) {
+	c := newCache(t, 128)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			phys := int64(2000 + w)
+			fillDisk(t, c, phys, byte(w))
+			for i := 0; i < 200; i++ {
+				b, err := c.Read(phys)
+				if err != nil {
+					errs <- err
+					return
+				}
+				id := ID{Ino: uint64(w + 1), LBlock: int64(i % 3)}
+				c.SetID(b, id)
+				b.Release()
+				g := c.GetByID(id)
+				if g == nil {
+					// Eviction is legal; the logical index only serves
+					// residents. But with capacity 128 and 8 blocks in
+					// play nothing should evict.
+					errs <- fmt.Errorf("worker %d lost identity at op %d", w, i)
+					return
+				}
+				if g.Block != phys {
+					errs <- fmt.Errorf("identity maps to block %d, want %d", g.Block, phys)
+					g.Release()
+					return
+				}
+				g.Release()
+				if i%50 == 49 {
+					c.DropID(b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentEvictionPressure reads a range four times the cache
+// capacity from many goroutines, with a dirty writer mixed in, so that
+// evictions (and eviction-forced flushes) race against reads constantly.
+func TestConcurrentEvictionPressure(t *testing.T) {
+	c := newCache(t, 32)
+	const span = 128
+	for i := int64(0); i < span; i++ {
+		fillDisk(t, c, i, byte(i))
+	}
+	const readers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				phys := int64((r*31 + i*7) % span)
+				b, err := c.Read(phys)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if b.Data[9] != byte(phys) {
+					errs <- fmt.Errorf("block %d holds %x", phys, b.Data[9])
+					b.Release()
+					return
+				}
+				b.Release()
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// One dirty writer on a private range, so evictions regularly
+		// trip over dirty LRU tails and batch-flush them.
+		for i := 0; i < 150; i++ {
+			phys := int64(5000 + i%20)
+			b, err := c.Alloc(phys)
+			if err != nil {
+				errs <- err
+				return
+			}
+			b.Data[0] = byte(i)
+			c.MarkDirty(b)
+			b.Release()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c.Len() > 32 {
+		t.Fatalf("cache settled over capacity: %d", c.Len())
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -370,8 +370,8 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// FreeBlocks counts free blocks (tests and df-style tools).
-func (fs *FS) FreeBlocks() (int64, error) {
+// countFree implements FreeBlocks; the FS lock is held.
+func (fs *FS) countFree() (int64, error) {
 	var total int64
 	for ag := 0; ag < fs.sb.NAG; ag++ {
 		hdr, err := fs.c.Read(fs.sb.agStart(ag))

@@ -223,7 +223,10 @@ func (fs *FS) readBlockGrouped(phys int64) (*cache.Buf, error) {
 }
 
 // groupReadWanted applies the adaptive policy: always, or only when the
-// block's group was touched recently (a scan is in progress).
+// block's group was touched recently (a scan is in progress). The
+// recency window is the one piece of FS state mutated on the read path,
+// so it has its own lock (adaptMu) rather than riding on the FS write
+// lock.
 func (fs *FS) groupReadWanted(phys int64) bool {
 	if !fs.opts.AdaptiveGroupRead {
 		return true
@@ -233,6 +236,8 @@ func (fs *FS) groupReadWanted(phys int64) bool {
 		return false
 	}
 	gid := fs.groupID(ag, k)
+	fs.adaptMu.Lock()
+	defer fs.adaptMu.Unlock()
 	if fs.recentGroups == nil {
 		fs.recentGroups = make(map[uint32]bool)
 	}

@@ -24,6 +24,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"cffs/internal/blockio"
 	"cffs/internal/cache"
@@ -201,7 +202,8 @@ func (b leBytes) u64(off int) uint64 {
 	return uint64(b.u32(off)) | uint64(b.u32(off+4))<<32
 }
 
-// FS is a mounted C-FFS.
+// FS is a mounted C-FFS. It is safe for concurrent use; see lock.go for
+// the lock hierarchy.
 type FS struct {
 	dev  *blockio.Device
 	c    *cache.Cache
@@ -209,12 +211,26 @@ type FS struct {
 	sb   super
 	opts Options
 
+	// mu is the FS-level lock: read operations (Lookup, ReadDir, Stat,
+	// ReadAt, ...) share it, mutating operations hold it exclusively.
+	// It protects every field below except the adaptive window, plus
+	// the Data of all cached metadata and file blocks against
+	// concurrent mutation.
+	mu sync.RWMutex
+
 	extFree    []uint64 // in-memory free bitmap over external inode slots
 	extBlkPhys []int64  // physical location of each inode-file block
 	sbDirty    bool     // superblock fields changed since last writeSuper
 	dirRotor   int      // next allocation group for a new directory
 
-	// Adaptive group-read recency window (see Options.AdaptiveGroupRead).
+	// dirLocks is a striped per-directory lock tier between mu and the
+	// cache's internal locks; see lock.go.
+	dirLocks [nDirStripes]sync.Mutex
+
+	// Adaptive group-read recency window (see
+	// Options.AdaptiveGroupRead), guarded by adaptMu because it is
+	// mutated on the read path, under mu held shared.
+	adaptMu      sync.Mutex
 	recentGroups map[uint32]bool
 	recentOrder  []uint32
 }
@@ -357,24 +373,21 @@ func (fs *FS) Cache() *cache.Cache { return fs.c }
 // Device returns the block device.
 func (fs *FS) Device() *blockio.Device { return fs.dev }
 
-// Sync implements vfs.FileSystem.
-func (fs *FS) Sync() error {
+// sync implements Sync; the FS write lock is held.
+func (fs *FS) sync() error {
 	if err := fs.writeSuper(); err != nil {
 		return err
 	}
 	return fs.c.Sync()
 }
 
-// Flush implements vfs.Flusher.
-func (fs *FS) Flush() error {
+// flush implements Flush; the FS write lock is held.
+func (fs *FS) flush() error {
 	if err := fs.writeSuper(); err != nil {
 		return err
 	}
 	return fs.c.Flush()
 }
-
-// Close implements vfs.FileSystem.
-func (fs *FS) Close() error { return fs.Sync() }
 
 // syncMeta writes a metadata buffer through in ModeSync, or leaves it
 // delayed in ModeDelayed.
@@ -386,9 +399,9 @@ func (fs *FS) syncMeta(b *cache.Buf) error {
 	return nil
 }
 
-// DebugLoc reports where an inode's first data block and the inode
+// debugLoc reports where an inode's first data block and the inode
 // itself live on disk; experiment diagnostics only.
-func (fs *FS) DebugLoc(ino vfs.Ino) (dataBlock, inodeBlock int64) {
+func (fs *FS) debugLoc(ino vfs.Ino) (dataBlock, inodeBlock int64) {
 	in, err := fs.getInode(ino)
 	if err != nil {
 		return -1, -1

@@ -15,8 +15,8 @@ import (
 // are delayed; grouped blocks leave the write queue as one clustered
 // request because they are physically adjacent.
 
-// ReadAt implements vfs.FileSystem.
-func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+// readAt implements ReadAt; the FS lock is held.
+func (fs *FS) readAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return 0, err
@@ -67,8 +67,8 @@ func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 	return read, nil
 }
 
-// WriteAt implements vfs.FileSystem.
-func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+// writeAt implements WriteAt; the FS write lock is held.
+func (fs *FS) writeAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return 0, err

@@ -12,8 +12,8 @@ import (
 // directory block holding both the name and the inode — so ModeSync pays
 // one ordered write where the conventional scheme pays two.
 
-// Lookup implements vfs.FileSystem.
-func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
+// lookup implements Lookup; the FS lock is held.
+func (fs *FS) lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
 	din, err := fs.dirInode(dir)
 	if err != nil {
 		return 0, err
@@ -38,8 +38,8 @@ func (fs *FS) dirInode(dir vfs.Ino) (layout.Inode, error) {
 	return din, nil
 }
 
-// Create implements vfs.FileSystem.
-func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
+// create implements Create; the FS write lock is held.
+func (fs *FS) create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if err := checkName(name); err != nil {
 		return 0, err
 	}
@@ -96,9 +96,9 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	return ino, fs.putInode(dir, &din, false)
 }
 
-// Mkdir implements vfs.FileSystem. Directory inodes are always external
+// mkdir implements Mkdir; the FS write lock is held. Directory inodes are always external
 // (they are pointed to by "." and ".." and may be multiply referenced).
-func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
+func (fs *FS) mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if err := checkName(name); err != nil {
 		return 0, err
 	}
@@ -192,8 +192,8 @@ func (fs *FS) externalize(old vfs.Ino) (vfs.Ino, error) {
 	return ino, nil
 }
 
-// Link implements vfs.FileSystem.
-func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
+// link implements Link; the FS write lock is held.
+func (fs *FS) link(dir vfs.Ino, name string, target vfs.Ino) error {
 	if err := checkName(name); err != nil {
 		return err
 	}
@@ -245,8 +245,8 @@ func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 	return fs.putInode(dir, &din, false)
 }
 
-// Unlink implements vfs.FileSystem.
-func (fs *FS) Unlink(dir vfs.Ino, name string) error {
+// unlink implements Unlink; the FS write lock is held.
+func (fs *FS) unlink(dir vfs.Ino, name string) error {
 	if name == "." || name == ".." {
 		return vfs.ErrInvalid
 	}
@@ -317,8 +317,8 @@ func (fs *FS) Unlink(dir vfs.Ino, name string) error {
 	return nil
 }
 
-// Rmdir implements vfs.FileSystem.
-func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
+// rmdir implements Rmdir; the FS write lock is held.
+func (fs *FS) rmdir(dir vfs.Ino, name string) error {
 	if name == "." || name == ".." {
 		return vfs.ErrInvalid
 	}
@@ -372,10 +372,10 @@ func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 	return nil
 }
 
-// Rename implements vfs.FileSystem. An embedded inode physically moves
+// rename implements Rename; the FS write lock is held. An embedded inode physically moves
 // with its entry, so the file's Ino changes; callers re-Lookup, exactly
 // as the cache's dual indexing anticipates.
-func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+func (fs *FS) rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
 	if sname == "." || sname == ".." {
 		return vfs.ErrInvalid
 	}
@@ -407,7 +407,7 @@ func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 		if de.ftype == vfs.TypeDir {
 			return vfs.ErrIsDir
 		}
-		if err := fs.Unlink(ddir, dname); err != nil {
+		if err := fs.unlink(ddir, dname); err != nil {
 			return err
 		}
 		din, err = fs.dirInode(ddir)
@@ -493,10 +493,10 @@ func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 	return nil
 }
 
-// ReadDir implements vfs.FileSystem. With embedded inodes the entries'
+// readDir implements ReadDir; the FS lock is held. With embedded inodes the entries'
 // inodes arrive in the same blocks — a Stat after ReadDir is free of
 // disk I/O, which is what accelerates attribute-scan workloads.
-func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
+func (fs *FS) readDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
 	din, err := fs.dirInode(dir)
 	if err != nil {
 		return nil, err
@@ -504,8 +504,8 @@ func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
 	return fs.dirList(&din, dir)
 }
 
-// Stat implements vfs.FileSystem.
-func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
+// stat implements Stat; the FS lock is held.
+func (fs *FS) stat(ino vfs.Ino) (vfs.Stat, error) {
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return vfs.Stat{}, err
@@ -520,8 +520,8 @@ func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
 	}, nil
 }
 
-// Truncate implements vfs.FileSystem.
-func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
+// truncateTo implements Truncate; the FS write lock is held.
+func (fs *FS) truncateTo(ino vfs.Ino, size int64) error {
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return err

@@ -19,12 +19,14 @@ import (
 // its images, a message and its attachments — move to and from the disk
 // together even when the namespace scatters them.
 
+// groupWith implements GroupWith; the FS write lock is held.
+//
 // GroupWith sets dir as the grouping owner of file. It affects only
 // future allocations: call it between Create and the first WriteAt for
 // full effect. Already-allocated blocks stay where they are (the paper's
 // C-FFS never relocates on policy changes either). The file itself may
 // live anywhere in the namespace; dir must be an existing directory.
-func (fs *FS) GroupWith(file, dir vfs.Ino) error {
+func (fs *FS) groupWith(file, dir vfs.Ino) error {
 	if isEmbedded(dir) {
 		return fmt.Errorf("cffs: GroupWith owner: %w", vfs.ErrNotDir)
 	}
@@ -50,10 +52,12 @@ func (fs *FS) GroupWith(file, dir vfs.Ino) error {
 	return fs.putInode(file, &in, false)
 }
 
+// groupOwner implements GroupOwner; the FS lock is held.
+//
 // GroupOwner reports the current grouping owner of a file (its naming
 // directory unless redirected by GroupWith) and whether any of its
 // blocks are currently placed in one of the owner's groups.
-func (fs *FS) GroupOwner(file vfs.Ino) (vfs.Ino, bool, error) {
+func (fs *FS) groupOwner(file vfs.Ino) (vfs.Ino, bool, error) {
 	in, err := fs.getLiveInode(file)
 	if err != nil {
 		return 0, false, err

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"cffs/internal/vfs"
+)
+
+// Concurrency control for C-FFS.
+//
+// Every vfs.FileSystem method is a thin locking wrapper here over an
+// unexported implementation; the implementations never call the public
+// entry points (Rename removes an existing destination with unlink, not
+// Unlink), so the lock is not re-entered.
+//
+// The lock hierarchy, outermost first:
+//
+//	FS lock (fs.mu)        reader/writer; readers are Lookup, ReadDir,
+//	                       Stat, ReadAt, GroupOwner, FreeBlocks,
+//	                       DebugLoc — everything that mutates no FS
+//	                       state and no block contents. All other
+//	                       operations are writers.
+//	directory lock         striped mutexes (fs.dirLocks), taken by
+//	                       namespace operations for the parent
+//	                       directory, in stripe order when a Rename
+//	                       spans two directories.
+//	adaptMu                the adaptive group-read window, the one FS
+//	                       field mutated on the (shared) read path.
+//	buffer cache locks     internal to internal/cache: shard → idMu →
+//	                       stateMu.
+//	device, disk, clock    internal to internal/blockio, internal/disk,
+//	                       internal/sim.
+//
+// Locks are only ever taken downwards in this order, and disk I/O is
+// issued below the cache's locks, so the hierarchy is deadlock-free.
+//
+// Why writer-exclusive at the FS level: cached block contents (Buf.Data)
+// are shared byte slices, and every mutating operation — including
+// delayed-write flushes forced by eviction — reads or writes them. The
+// exclusive writer lock is what licenses those unguarded Data accesses.
+// Read operations run concurrently with each other: cache hits
+// parallelize fully, and misses serialize only at the (single-armed)
+// simulated disk, which matches the hardware the model simulates. The
+// directory stripe tier is redundant for mutual exclusion today — the FS
+// writer lock already serializes writers — but it fixes the lock order
+// namespace sharding will need, and it is exercised (and checked for
+// ordering) under the race detector now.
+
+// nDirStripes is the size of the striped directory lock table.
+const nDirStripes = 64
+
+// lockDir locks the stripe of one directory and returns the unlock.
+func (fs *FS) lockDir(dir vfs.Ino) func() {
+	m := &fs.dirLocks[mix64(uint64(dir))%nDirStripes]
+	m.Lock()
+	return m.Unlock
+}
+
+// lockDirPair locks the stripes of two directories in stripe order,
+// deduplicating, and returns the unlock.
+func (fs *FS) lockDirPair(a, b vfs.Ino) func() {
+	sa := mix64(uint64(a)) % nDirStripes
+	sb := mix64(uint64(b)) % nDirStripes
+	if sa == sb {
+		return fs.lockDir(a)
+	}
+	if sb < sa {
+		sa, sb = sb, sa
+	}
+	fs.dirLocks[sa].Lock()
+	fs.dirLocks[sb].Lock()
+	return func() {
+		fs.dirLocks[sb].Unlock()
+		fs.dirLocks[sa].Unlock()
+	}
+}
+
+// Lookup implements vfs.FileSystem.
+func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.lookup(dir, name)
+}
+
+// Create implements vfs.FileSystem.
+func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	defer fs.lockDir(dir)()
+	return fs.create(dir, name)
+}
+
+// Mkdir implements vfs.FileSystem.
+func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	defer fs.lockDir(dir)()
+	return fs.mkdir(dir, name)
+}
+
+// Link implements vfs.FileSystem.
+func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	defer fs.lockDir(dir)()
+	return fs.link(dir, name, target)
+}
+
+// Unlink implements vfs.FileSystem.
+func (fs *FS) Unlink(dir vfs.Ino, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	defer fs.lockDir(dir)()
+	return fs.unlink(dir, name)
+}
+
+// Rmdir implements vfs.FileSystem.
+func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	defer fs.lockDir(dir)()
+	return fs.rmdir(dir, name)
+}
+
+// Rename implements vfs.FileSystem.
+func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	defer fs.lockDirPair(sdir, ddir)()
+	return fs.rename(sdir, sname, ddir, dname)
+}
+
+// ReadDir implements vfs.FileSystem.
+func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.readDir(dir)
+}
+
+// Stat implements vfs.FileSystem.
+func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.stat(ino)
+}
+
+// Truncate implements vfs.FileSystem.
+func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.truncateTo(ino, size)
+}
+
+// ReadAt implements vfs.FileSystem.
+func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.readAt(ino, p, off)
+}
+
+// WriteAt implements vfs.FileSystem.
+func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writeAt(ino, p, off)
+}
+
+// Sync implements vfs.FileSystem.
+func (fs *FS) Sync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.sync()
+}
+
+// Flush implements vfs.Flusher.
+func (fs *FS) Flush() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.flush()
+}
+
+// Close implements vfs.FileSystem.
+func (fs *FS) Close() error { return fs.Sync() }
+
+// FreeBlocks counts free blocks (tests and df-style tools).
+func (fs *FS) FreeBlocks() (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.countFree()
+}
+
+// GroupWith sets dir as the grouping owner of file; see groupWith for
+// the full contract.
+func (fs *FS) GroupWith(file, dir vfs.Ino) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.groupWith(file, dir)
+}
+
+// GroupOwner reports the current grouping owner of a file and whether
+// any of its blocks are placed in one of the owner's groups.
+func (fs *FS) GroupOwner(file vfs.Ino) (vfs.Ino, bool, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.groupOwner(file)
+}
+
+// DebugLoc reports where an inode's first data block and the inode
+// itself live on disk; experiment diagnostics only.
+func (fs *FS) DebugLoc(ino vfs.Ino) (dataBlock, inodeBlock int64) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.debugLoc(ino)
+}
+
+// Root, Options, Cache, and Device are immutable after mount and need no
+// lock; they are declared in core.go.

@@ -3,6 +3,7 @@ package disk
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"cffs/internal/sim"
 )
@@ -10,8 +11,11 @@ import (
 // Disk is a simulated disk drive: a mechanical timing model over a byte
 // Store, advancing a shared simulated clock on every access.
 //
-// Disk is not safe for concurrent use; the simulation is single-threaded
-// by design (simulated time has a single owner).
+// Disk is safe for concurrent use: a single mutex serializes every
+// request end to end (positioning model, statistics, trace, and the byte
+// transfer), which is also the physically honest model — a drive has one
+// arm and services one request at a time. Concurrent callers queue on
+// the mutex exactly as their requests would queue at the drive.
 type Disk struct {
 	spec  Spec
 	curve seekCurve
@@ -23,14 +27,19 @@ type Disk struct {
 	trackSkew []int // per zone, sectors
 	cylSkew   []int // per zone, sectors
 
+	// mu guards everything below (head position, cache segments, stats,
+	// trace) plus the backing store during transfers.
+	mu sync.Mutex
+
 	curCyl  int
 	curHead int
 
 	cacheOn bool
 	segs    []segment // on-board read-ahead segments, MRU first
 
-	stats Stats
-	trace *[]TraceEntry
+	stats     Stats
+	trace     *[]TraceEntry
+	traceFunc func(TraceEntry)
 }
 
 // segment is one on-board cache segment holding LBAs [start, end).
@@ -92,14 +101,24 @@ func (d *Disk) Sectors() int64 { return d.spec.Geom.Sectors() }
 func (d *Disk) Clock() *sim.Clock { return d.clock }
 
 // Stats returns a copy of the accumulated counters.
-func (d *Disk) Stats() Stats { return d.stats }
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // ResetStats zeroes the counters (the head position and cache are kept).
-func (d *Disk) ResetStats() { d.stats = Stats{} }
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
 
 // SetCacheEnabled turns the on-board read-ahead cache on or off; the
 // model explorer disables it to measure raw mechanical access times.
 func (d *Disk) SetCacheEnabled(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.cacheOn = on && d.spec.CacheSegments > 0
 	d.segs = nil
 }
@@ -109,6 +128,13 @@ func (d *Disk) SetCacheEnabled(on bool) {
 // that service time in nanoseconds. Read/Write/ReadV/WriteV call this and
 // then move the bytes.
 func (d *Disk) Access(lba int64, nsect int, write bool) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.access(lba, nsect, write)
+}
+
+// access is Access with d.mu held.
+func (d *Disk) access(lba int64, nsect int, write bool) int64 {
 	if nsect <= 0 {
 		panic(fmt.Sprintf("disk: access of %d sectors", nsect))
 	}
@@ -136,8 +162,14 @@ func (d *Disk) Access(lba int64, nsect int, write bool) int64 {
 	}
 	d.stats.Requests++
 	d.stats.BusyNanos += svcNs
-	if d.trace != nil {
-		*d.trace = append(*d.trace, TraceEntry{LBA: lba, Count: nsect, Write: write, Nanos: svcNs})
+	if d.trace != nil || d.traceFunc != nil {
+		e := TraceEntry{LBA: lba, Count: nsect, Write: write, Nanos: svcNs}
+		if d.trace != nil {
+			*d.trace = append(*d.trace, e)
+		}
+		if d.traceFunc != nil {
+			d.traceFunc(e)
+		}
 	}
 	d.clock.Advance(svcNs)
 	return svcNs
@@ -288,14 +320,18 @@ func (d *Disk) cacheInvalidate(lba int64, nsect int) {
 // Read performs a timed read of len(buf) bytes (a sector multiple) at lba.
 func (d *Disk) Read(lba int64, buf []byte) error {
 	n := sectorCount(len(buf))
-	d.Access(lba, n, false)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.access(lba, n, false)
 	return d.store.ReadAt(buf, lba*SectorSize)
 }
 
 // Write performs a timed write of len(buf) bytes (a sector multiple) at lba.
 func (d *Disk) Write(lba int64, buf []byte) error {
 	n := sectorCount(len(buf))
-	d.Access(lba, n, true)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.access(lba, n, true)
 	return d.store.WriteAt(buf, lba*SectorSize)
 }
 
@@ -308,7 +344,9 @@ func (d *Disk) ReadV(lba int64, bufs [][]byte) error {
 	for _, b := range bufs {
 		total += sectorCount(len(b))
 	}
-	d.Access(lba, total, false)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.access(lba, total, false)
 	off := lba * SectorSize
 	for _, b := range bufs {
 		if err := d.store.ReadAt(b, off); err != nil {
@@ -326,7 +364,9 @@ func (d *Disk) WriteV(lba int64, bufs [][]byte) error {
 	for _, b := range bufs {
 		total += sectorCount(len(b))
 	}
-	d.Access(lba, total, true)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.access(lba, total, true)
 	off := lba * SectorSize
 	for _, b := range bufs {
 		if err := d.store.WriteAt(b, off); err != nil {
@@ -338,7 +378,11 @@ func (d *Disk) WriteV(lba int64, bufs [][]byte) error {
 }
 
 // Close releases the backing store.
-func (d *Disk) Close() error { return d.store.Close() }
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.store.Close()
+}
 
 func sectorCount(bytes int) int {
 	if bytes <= 0 || bytes%SectorSize != 0 {
@@ -355,5 +399,21 @@ type TraceEntry struct {
 	Nanos int64
 }
 
-// SetTrace enables (or disables, with nil) request tracing into buf.
-func (d *Disk) SetTrace(buf *[]TraceEntry) { d.trace = buf }
+// SetTrace enables (or disables, with nil) request tracing into buf. The
+// buffer is appended to under the disk's request lock, but the caller
+// must not read it while requests may still be in flight; for concurrent
+// capture use SetTraceFunc with a trace.Collector instead.
+func (d *Disk) SetTrace(buf *[]TraceEntry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.trace = buf
+}
+
+// SetTraceFunc installs (or removes, with nil) a per-request trace sink,
+// invoked under the disk's request lock in service order. Sinks must be
+// fast and must not call back into the disk.
+func (d *Disk) SetTraceFunc(fn func(TraceEntry)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.traceFunc = fn
+}

@@ -8,24 +8,33 @@
 // across the whole stack.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Clock is a simulated clock. The zero value is a clock at time zero.
 //
 // Time is kept in nanoseconds as an int64, like time.Duration, which gives
 // roughly 292 simulated years of range — far beyond any experiment here.
+//
+// Clock is safe for concurrent use: service times from concurrent disk
+// requests accumulate atomically. Under concurrency the clock models
+// total busy time, not a per-request timeline — overlapping requests each
+// add their full service time, as if the (single-armed) disk served them
+// back to back, which is exactly how the disk model serializes them.
 type Clock struct {
-	now int64 // nanoseconds since simulation start
+	now atomic.Int64 // nanoseconds since simulation start
 }
 
 // NewClock returns a clock starting at time zero.
 func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current simulated time in nanoseconds.
-func (c *Clock) Now() int64 { return c.now }
+func (c *Clock) Now() int64 { return c.now.Load() }
 
 // Seconds returns the current simulated time in seconds.
-func (c *Clock) Seconds() float64 { return float64(c.now) / 1e9 }
+func (c *Clock) Seconds() float64 { return float64(c.Now()) / 1e9 }
 
 // Advance moves the clock forward by d nanoseconds. It panics if d is
 // negative: simulated time never flows backwards, and a negative advance
@@ -34,20 +43,26 @@ func (c *Clock) Advance(d int64) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative clock advance %d", d))
 	}
-	c.now += d
+	c.now.Add(d)
 }
 
 // AdvanceTo moves the clock forward to absolute time t. Moving to a time
 // in the past is a no-op; the clock is monotonic.
 func (c *Clock) AdvanceTo(t int64) {
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if t <= cur {
+			return
+		}
+		if c.now.CompareAndSwap(cur, t) {
+			return
+		}
 	}
 }
 
 // Reset rewinds the clock to zero. Only benchmarks use this, between
-// phases that should be timed independently.
-func (c *Clock) Reset() { c.now = 0 }
+// phases that should be timed independently; callers must be quiesced.
+func (c *Clock) Reset() { c.now.Store(0) }
 
 // Duration formats a nanosecond count as seconds with millisecond
 // precision, for human-readable experiment output.

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"sync"
+
+	"cffs/internal/disk"
+)
+
+// Collector is a concurrency-safe trace capture buffer. Install its Add
+// method with disk.SetTraceFunc to record requests while multiple
+// goroutines drive the file system; Snapshot and Profile may be called
+// at any time, including while collection is still running.
+//
+// The raw disk.SetTrace buffer is cheaper but has a single-owner
+// contract; Collector is the concurrent alternative the workload driver
+// and the race-detector tests use.
+type Collector struct {
+	mu      sync.Mutex
+	entries []disk.TraceEntry
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add records one request. It is safe for concurrent use and is the
+// shape disk.SetTraceFunc expects.
+func (c *Collector) Add(e disk.TraceEntry) {
+	c.mu.Lock()
+	c.entries = append(c.entries, e)
+	c.mu.Unlock()
+}
+
+// Len returns the number of recorded requests.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Snapshot returns a copy of the recorded requests in service order.
+func (c *Collector) Snapshot() []disk.TraceEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]disk.TraceEntry, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// Reset discards all recorded requests.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.entries = c.entries[:0]
+	c.mu.Unlock()
+}
+
+// Profile reduces the recorded requests with Analyze.
+func (c *Collector) Profile() Profile {
+	return Analyze(c.Snapshot())
+}

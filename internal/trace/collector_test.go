@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"cffs/internal/disk"
+	"cffs/internal/sim"
+)
+
+// TestCollectorConcurrent drives a disk from many goroutines with the
+// collector installed as the trace sink, which is exactly how the
+// concurrent workloads capture request streams. Every request must be
+// recorded exactly once, and Snapshot/Profile must be callable while
+// collection is still running.
+func TestCollectorConcurrent(t *testing.T) {
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	d.SetTraceFunc(col.Add)
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, disk.SectorSize)
+			for i := 0; i < perWorker; i++ {
+				lba := int64((w*perWorker + i) * 8)
+				if err := d.Read(lba, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					_ = col.Snapshot() // probe mid-collection
+					_ = col.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := col.Len(); got != workers*perWorker {
+		t.Fatalf("recorded %d requests, want %d", got, workers*perWorker)
+	}
+	p := col.Profile()
+	if p.Requests != workers*perWorker || p.Writes != 0 {
+		t.Fatalf("profile: %+v", p)
+	}
+	col.Reset()
+	if col.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}

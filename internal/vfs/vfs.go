@@ -73,6 +73,13 @@ const MaxNameLen = 110
 // FileSystem is the interface both file systems implement. All methods
 // are synchronous with respect to simulated time: any disk I/O they
 // trigger advances the shared clock before they return.
+//
+// Concurrency is per-implementation: the C-FFS core (internal/core) is
+// safe for concurrent use from multiple goroutines, while the ffs and
+// lfs comparison baselines are single-threaded. Callers racing on a
+// shared namespace must expect clean conflict outcomes — ErrExist from
+// a create that lost, ErrNotExist (or ErrInvalid, for a recycled
+// embedded Ino) from operating on a name another goroutine removed.
 type FileSystem interface {
 	// Root returns the root directory's Ino.
 	Root() Ino

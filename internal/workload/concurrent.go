@@ -1,0 +1,290 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cffs/internal/disk"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+)
+
+// Concurrent workload: N client goroutines issue create/read/overwrite/
+// delete operations against a shared set of directories, racing on a
+// deliberately small shared namespace. It is the stress workload behind
+// the race-detector tests and the goroutine-scaling benchmark.
+//
+// The driver requires a file system that is safe for concurrent use —
+// of the implementations in this repository that is C-FFS
+// (internal/core); the ffs and lfs comparison baselines are
+// single-threaded by design.
+
+// ConcurrentConfig parameterizes the concurrent workload.
+type ConcurrentConfig struct {
+	Clients      int  // goroutines, default 4
+	OpsPerClient int  // operations per goroutine, default 2000
+	Dirs         int  // shared directories, default 8
+	NamesPerDir  int  // shared file namespace per directory, default 32
+	FileSize     int  // bytes, default 1024
+	PctRead      int  // percent of ops that are reads, default 25; the rest split evenly
+	Prepopulate  bool // create every (dir, name) before the timed run
+	Seed         uint64
+}
+
+func (c *ConcurrentConfig) fill() {
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.OpsPerClient == 0 {
+		c.OpsPerClient = 2000
+	}
+	if c.Dirs == 0 {
+		c.Dirs = 8
+	}
+	if c.NamesPerDir == 0 {
+		c.NamesPerDir = 32
+	}
+	if c.FileSize == 0 {
+		c.FileSize = 1024
+	}
+	if c.PctRead == 0 {
+		c.PctRead = 25
+	}
+}
+
+// ConcurrentResult reports one concurrent run.
+type ConcurrentResult struct {
+	Clients   int
+	Ops       int64 // operations completed (including conflicted ones)
+	Creates   int64
+	Reads     int64
+	Writes    int64
+	Deletes   int64
+	Conflicts int64 // operations that lost a namespace race (ErrExist/ErrNotExist)
+
+	SimSeconds  float64 // simulated disk busy time
+	WallSeconds float64 // host wall-clock time for the whole run
+	Disk        disk.Stats
+}
+
+// OpsPerWallSec is the host-side throughput, the figure that scales (or
+// fails to) with the client count.
+func (r ConcurrentResult) OpsPerWallSec() float64 {
+	if r.WallSeconds == 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.WallSeconds
+}
+
+// RunConcurrent executes the workload against an already-mounted, empty
+// file system and syncs it afterwards. Operations that lose a namespace
+// race to another client — creating a name that appeared, or reading or
+// deleting one that vanished — are counted as conflicts, not failures;
+// any other error aborts the run.
+func RunConcurrent(fs vfs.FileSystem, cfg ConcurrentConfig) (ConcurrentResult, error) {
+	cfg.fill()
+	dev, err := deviceOf(fs)
+	if err != nil {
+		return ConcurrentResult{}, err
+	}
+	clk := dev.Disk().Clock()
+
+	dirs := make([]vfs.Ino, cfg.Dirs)
+	for i := range dirs {
+		d, err := fs.Mkdir(fs.Root(), fmt.Sprintf("cdir%03d", i))
+		if err != nil {
+			return ConcurrentResult{}, fmt.Errorf("concurrent setup: %w", err)
+		}
+		dirs[i] = d
+	}
+	if cfg.Prepopulate {
+		seed := pattern(cfg.Seed+7, cfg.FileSize)
+		for _, dir := range dirs {
+			for n := 0; n < cfg.NamesPerDir; n++ {
+				ino, err := fs.Create(dir, fmt.Sprintf("f%03d", n))
+				if err != nil {
+					return ConcurrentResult{}, fmt.Errorf("concurrent prepopulate: %w", err)
+				}
+				if _, err := fs.WriteAt(ino, seed, 0); err != nil {
+					return ConcurrentResult{}, err
+				}
+			}
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		return ConcurrentResult{}, err
+	}
+
+	res := ConcurrentResult{Clients: cfg.Clients}
+	simStart := clk.Now()
+	stats0 := dev.Disk().Stats()
+	wallStart := time.Now()
+
+	var (
+		ops, creates, reads, writes, deletes, conflicts atomic.Int64
+
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	aborted := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	// conflict reports whether err is an expected casualty of racing
+	// clients rather than a bug: the name appeared or vanished between
+	// our decision and our operation, or (for embedded inodes) the
+	// file's directory slot was recycled under a stale Ino.
+	conflict := func(err error) bool {
+		return errors.Is(err, vfs.ErrExist) || errors.Is(err, vfs.ErrNotExist) ||
+			errors.Is(err, vfs.ErrInvalid)
+	}
+
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := sim.NewRNG(cfg.Seed + uint64(client)*0x9E3779B9)
+			data := pattern(cfg.Seed+uint64(client), cfg.FileSize)
+			buf := make([]byte, cfg.FileSize)
+			for i := 0; i < cfg.OpsPerClient; i++ {
+				if i%64 == 0 && aborted() {
+					return
+				}
+				dir := dirs[rng.Intn(len(dirs))]
+				name := fmt.Sprintf("f%03d", rng.Intn(cfg.NamesPerDir))
+				ops.Add(1)
+				// PctRead% reads; the remaining budget splits evenly
+				// across create, overwrite and delete.
+				var op int
+				if r := rng.Intn(100); r < cfg.PctRead {
+					op = 1
+				} else {
+					op = []int{0, 2, 3}[rng.Intn(3)]
+				}
+				switch op {
+				case 0: // create (new name or racing loser)
+					if _, err := fs.Create(dir, name); err != nil {
+						if conflict(err) {
+							conflicts.Add(1)
+							continue
+						}
+						fail(fmt.Errorf("client %d create %s: %w", client, name, err))
+						return
+					}
+					creates.Add(1)
+				case 1: // read whatever is there
+					ino, err := fs.Lookup(dir, name)
+					if err == nil {
+						_, err = fs.ReadAt(ino, buf, 0)
+					}
+					if err != nil {
+						if conflict(err) {
+							conflicts.Add(1)
+							continue
+						}
+						fail(fmt.Errorf("client %d read %s: %w", client, name, err))
+						return
+					}
+					reads.Add(1)
+				case 2: // overwrite
+					ino, err := fs.Lookup(dir, name)
+					if err == nil {
+						_, err = fs.WriteAt(ino, data, 0)
+					}
+					if err != nil {
+						if conflict(err) {
+							conflicts.Add(1)
+							continue
+						}
+						fail(fmt.Errorf("client %d write %s: %w", client, name, err))
+						return
+					}
+					writes.Add(1)
+				case 3: // delete
+					if err := fs.Unlink(dir, name); err != nil {
+						if conflict(err) {
+							conflicts.Add(1)
+							continue
+						}
+						fail(fmt.Errorf("client %d delete %s: %w", client, name, err))
+						return
+					}
+					deletes.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return ConcurrentResult{}, firstErr
+	}
+	if err := fs.Sync(); err != nil {
+		return ConcurrentResult{}, err
+	}
+
+	res.Ops = ops.Load()
+	res.Creates = creates.Load()
+	res.Reads = reads.Load()
+	res.Writes = writes.Load()
+	res.Deletes = deletes.Load()
+	res.Conflicts = conflicts.Load()
+	res.SimSeconds = float64(clk.Now()-simStart) / 1e9
+	res.WallSeconds = time.Since(wallStart).Seconds()
+	res.Disk = dev.Disk().Stats().Sub(stats0)
+	return res, nil
+}
+
+// VerifyAfterConcurrent walks the workload's directories after a run and
+// checks that every surviving entry is well-formed: it can be Stat'ed,
+// read to its full recorded size, and its link count is positive. The
+// stress tests call this to show the racing clients left a consistent
+// tree behind.
+func VerifyAfterConcurrent(fs vfs.FileSystem, cfg ConcurrentConfig) (files int, err error) {
+	cfg.fill()
+	for i := 0; i < cfg.Dirs; i++ {
+		dir, err := fs.Lookup(fs.Root(), fmt.Sprintf("cdir%03d", i))
+		if err != nil {
+			return files, fmt.Errorf("verify: dir %d: %w", i, err)
+		}
+		ents, err := fs.ReadDir(dir)
+		if err != nil {
+			return files, fmt.Errorf("verify: readdir %d: %w", i, err)
+		}
+		for _, e := range ents {
+			if e.Name == "." || e.Name == ".." {
+				continue
+			}
+			st, err := fs.Stat(e.Ino)
+			if err != nil {
+				return files, fmt.Errorf("verify: stat %s: %w", e.Name, err)
+			}
+			if st.Nlink == 0 {
+				return files, fmt.Errorf("verify: %s has zero links", e.Name)
+			}
+			if st.Size > 0 {
+				buf := make([]byte, st.Size)
+				n, err := fs.ReadAt(e.Ino, buf, 0)
+				if err != nil {
+					return files, fmt.Errorf("verify: read %s: %w", e.Name, err)
+				}
+				if int64(n) != st.Size {
+					return files, fmt.Errorf("verify: %s: read %d of %d bytes", e.Name, n, st.Size)
+				}
+			}
+			files++
+		}
+	}
+	return files, nil
+}

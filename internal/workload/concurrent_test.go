@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"testing"
+
+	"cffs/internal/core"
+)
+
+func TestRunConcurrent(t *testing.T) {
+	fs := newCFFS(t, core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed})
+	cfg := ConcurrentConfig{
+		Clients:      8,
+		OpsPerClient: 400,
+		Dirs:         4,
+		NamesPerDir:  16,
+		FileSize:     2048,
+		Seed:         42,
+	}
+	res, err := RunConcurrent(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(cfg.Clients * cfg.OpsPerClient); res.Ops != want {
+		t.Fatalf("completed %d ops, want %d", res.Ops, want)
+	}
+	done := res.Creates + res.Reads + res.Writes + res.Deletes + res.Conflicts
+	if done != res.Ops {
+		t.Fatalf("op accounting: %d counted vs %d issued", done, res.Ops)
+	}
+	if res.Conflicts == 0 {
+		t.Fatal("shared-namespace run produced no conflicts; the clients are not actually racing")
+	}
+	if res.SimSeconds <= 0 || res.Disk.Requests == 0 {
+		t.Fatalf("run did no simulated disk work: %+v", res)
+	}
+	files, err := VerifyAfterConcurrent(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d ops (%d conflicts), %d files survive verification", res.Ops, res.Conflicts, files)
+}
+
+// TestRunConcurrentSingleClient checks the degenerate single-goroutine
+// case still drives all four op kinds and verifies cleanly — this is the
+// baseline row of the scaling benchmark.
+func TestRunConcurrentSingleClient(t *testing.T) {
+	fs := newCFFS(t, core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed})
+	cfg := ConcurrentConfig{Clients: 1, OpsPerClient: 600, Dirs: 2, Seed: 7}
+	res, err := RunConcurrent(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Creates == 0 || res.Reads == 0 || res.Writes == 0 || res.Deletes == 0 {
+		t.Fatalf("op mix incomplete: %+v", res)
+	}
+	if _, err := VerifyAfterConcurrent(fs, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
