@@ -5,16 +5,23 @@
 //
 //	cffsbench [-exp name] [-drive name] [-sched clook|fcfs] [-files N]
 //	          [-size bytes] [-dirs N] [-cache blocks] [-seed N] [-quick]
+//	          [-metrics-json path]
 //	cffsbench -list
 //
 // With no -exp, every experiment runs in sequence (the full run takes a
 // few minutes of real time; pass -quick for a fast pass).
+//
+// -metrics-json enables metrics capture and writes a machine-readable
+// report: with -exp the report goes to exactly the given path; without
+// -exp the path names a directory that receives one BENCH_<name>.json
+// per experiment.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"cffs/internal/bench"
 )
@@ -31,6 +38,7 @@ func main() {
 		cache = flag.Int("cache", 0, "buffer cache size in 4K blocks (default 2048)")
 		seed  = flag.Uint64("seed", 0, "workload seed (default 42)")
 		quick = flag.Bool("quick", false, "shrink workloads ~10x")
+		mjson = flag.String("metrics-json", "", "capture metrics and write a JSON report (file with -exp, directory otherwise)")
 	)
 	flag.Parse()
 
@@ -52,24 +60,55 @@ func main() {
 		Quick:       *quick,
 	}
 
-	if *exp == "" {
-		if err := bench.RunAll(os.Stdout, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "cffsbench:", err)
-			os.Exit(1)
+	if *mjson != "" {
+		if *exp != "" {
+			fatal(runReport(*exp, cfg, *mjson))
+			return
+		}
+		fatal(os.MkdirAll(*mjson, 0o755))
+		for _, e := range bench.Experiments() {
+			fatal(runReport(e.Name, cfg, filepath.Join(*mjson, "BENCH_"+e.Name+".json")))
 		}
 		return
 	}
+
+	if *exp == "" {
+		fatal(bench.RunAll(os.Stdout, cfg))
+		return
+	}
 	e, err := bench.ByName(*exp)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cffsbench:", err)
-		os.Exit(1)
-	}
+	fatal(err)
 	tables, err := e.Run(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cffsbench:", err)
-		os.Exit(1)
-	}
+	fatal(err)
 	for _, t := range tables {
 		t.Render(os.Stdout)
+	}
+}
+
+// runReport runs one experiment with metrics capture, renders its
+// tables to stdout, and writes the JSON report to path.
+func runReport(name string, cfg bench.Config, path string) error {
+	rep, err := bench.RunReport(name, cfg)
+	if err != nil {
+		return err
+	}
+	for _, t := range rep.Tables {
+		t.Render(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cffsbench:", err)
+		os.Exit(1)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"cffs/internal/disk"
 	"cffs/internal/ffs"
 	"cffs/internal/lfs"
+	"cffs/internal/obs"
 	"cffs/internal/sched"
 	"cffs/internal/shell"
 	"cffs/internal/sim"
@@ -51,14 +52,15 @@ func main() {
 
 	var magic [4]byte
 	fatal(store.ReadAt(magic[:], 0))
+	reg := obs.NewRegistry()
 	var fs vfs.FileSystem
 	switch binary.LittleEndian.Uint32(magic[:]) {
 	case core.Magic:
-		fs, err = core.Mount(dev, core.Options{Mode: core.ModeDelayed})
+		fs, err = core.Mount(dev, core.Options{Mode: core.ModeDelayed, Metrics: reg})
 	case ffs.Magic:
-		fs, err = ffs.Mount(dev, ffs.Options{Mode: ffs.ModeDelayed})
+		fs, err = ffs.Mount(dev, ffs.Options{Mode: ffs.ModeDelayed, Metrics: reg})
 	case lfs.Magic:
-		fs, err = lfs.Mount(dev, lfs.Options{})
+		fs, err = lfs.Mount(dev, lfs.Options{Metrics: reg})
 	default:
 		fmt.Fprintln(os.Stderr, "cfsh: unrecognized image; run mkfs first")
 		os.Exit(1)
@@ -67,6 +69,7 @@ func main() {
 	defer fs.Close()
 
 	sh := shell.New(fs, dev, os.Stdout)
+	sh.SetRegistry(reg)
 	if *script != "" {
 		for _, cmd := range strings.Split(*script, ";") {
 			if err := sh.Run(strings.TrimSpace(cmd)); err != nil {

@@ -7,6 +7,7 @@ import (
 	"cffs/internal/core"
 	"cffs/internal/disk"
 	"cffs/internal/ffs"
+	"cffs/internal/obs"
 	"cffs/internal/sched"
 	"cffs/internal/sim"
 	"cffs/internal/vfs"
@@ -26,6 +27,17 @@ type Config struct {
 
 	Seed  uint64
 	Quick bool // shrink workloads ~10x for fast runs
+
+	// Registry, when non-nil, is wired into every file system a variant
+	// builder mounts, so its counters cover the whole run. Experiments
+	// that compare variants give each its own registry instead; see
+	// Metrics on Config.
+	Registry *obs.Registry `json:"-"`
+
+	// Metrics, when non-nil, asks metrics-aware experiments to append
+	// one record per (variant, registry snapshot) as they run. The
+	// tables they return are unchanged.
+	Metrics *MetricsLog `json:"-"`
 }
 
 func (c Config) fill() Config {
@@ -101,6 +113,7 @@ func coreVariant(name string, embed, grouping bool) fsVariant {
 				Grouping:    grouping,
 				Mode:        mode,
 				CacheBlocks: c.CacheBlocks,
+				Metrics:     c.Registry,
 			})
 			if err != nil {
 				return nil, nil, err
@@ -123,7 +136,7 @@ func ffsVariant() fsVariant {
 			if mode == core.ModeDelayed {
 				m = ffs.ModeDelayed
 			}
-			fs, err := ffs.Mkfs(dev, ffs.Options{Mode: m, CacheBlocks: c.CacheBlocks})
+			fs, err := ffs.Mkfs(dev, ffs.Options{Mode: m, CacheBlocks: c.CacheBlocks, Metrics: c.Registry})
 			if err != nil {
 				return nil, nil, err
 			}

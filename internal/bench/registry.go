@@ -42,8 +42,12 @@ func Experiments() []Experiment {
 	return exps
 }
 
-// ByName finds an experiment.
+// ByName finds an experiment. "smallfile" is accepted as an alias for
+// "smallfile-sync", the paper's headline benchmark.
 func ByName(name string) (Experiment, error) {
+	if name == "smallfile" {
+		name = "smallfile-sync"
+	}
 	for _, e := range Experiments() {
 		if e.Name == name {
 			return e, nil

@@ -13,11 +13,11 @@ import (
 // Table is one reproduced table or figure, rendered as text rows (for a
 // figure, the rows are the plotted series).
 type Table struct {
-	ID      string // e.g. "table1", "fig4"
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"` // e.g. "table1", "fig4"
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"cffs/internal/disk"
+	"cffs/internal/obs"
 	"cffs/internal/sched"
 )
 
@@ -47,6 +48,12 @@ type Device struct {
 
 	mu      sync.Mutex // guards lastLBA and batch submission
 	lastLBA int64
+
+	// Submit merge observers; nil (no-op) until SetMetrics attaches a
+	// registry. issued/reqs is the driver's merge factor.
+	batches *obs.Counter // Submit calls
+	reqs    *obs.Counter // block requests handed to Submit
+	issued  *obs.Counter // merged disk requests actually issued
 }
 
 // NewDevice wraps a disk with a scheduler.
@@ -62,6 +69,18 @@ func (dev *Device) Disk() *disk.Disk { return dev.dsk }
 
 // Scheduler returns the active scheduler.
 func (dev *Device) Scheduler() sched.Scheduler { return dev.sch }
+
+// SetMetrics attaches a registry for the driver's merge counters:
+// blockio.submit.batches, blockio.submit.reqs, blockio.submit.issued.
+// Call it before concurrent use.
+func (dev *Device) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	dev.batches = r.Counter("blockio.submit.batches")
+	dev.reqs = r.Counter("blockio.submit.reqs")
+	dev.issued = r.Counter("blockio.submit.issued")
+}
 
 // ReadBlocks issues one disk request reading len(bufs) contiguous blocks
 // starting at block, scattering them into bufs.
@@ -121,6 +140,8 @@ func (dev *Device) Submit(reqs []Req) error {
 	}
 	dev.mu.Lock()
 	defer dev.mu.Unlock()
+	dev.batches.Inc()
+	dev.reqs.Add(int64(len(reqs)))
 	items := make([]sched.Item, len(reqs))
 	for i := range reqs {
 		if err := dev.check(reqs[i].Block, reqs[i].Bufs); err != nil {
@@ -151,6 +172,7 @@ func (dev *Device) Submit(reqs []Req) error {
 			next += int64(r.blocks())
 			j++
 		}
+		dev.issued.Inc()
 		var err error
 		if write {
 			err = dev.writeBlocks(start, bufs)

@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 
 	"cffs/internal/blockio"
+	"cffs/internal/obs"
 )
 
 // ID is the logical identity of a cached block: a file and a block index
@@ -65,6 +66,12 @@ type Buf struct {
 
 	pins    atomic.Int32
 	lastUse atomic.Int64 // Cache.useTick value at the last touch
+
+	// prefetched marks a block brought in by a group read (ReadRun)
+	// rather than on demand; the first hit consumes the mark as "used",
+	// eviction of a still-marked block counts as "unused". The ratio of
+	// the two is the group-read fill ratio.
+	prefetched atomic.Bool
 
 	loadErr error         // written before ready is closed
 	ready   chan struct{} // closed once Data is loaded (or the load failed)
@@ -145,6 +152,24 @@ type Cache struct {
 	misses     atomic.Int64
 	evictions  atomic.Int64
 	writeBacks atomic.Int64
+
+	// m holds optional obs instruments; every field is nil (a no-op
+	// recorder) until SetMetrics attaches a registry.
+	m cacheMetrics
+}
+
+// cacheMetrics is the cache's instrument set. obs instruments are
+// nil-safe, so an unset cacheMetrics records nothing.
+type cacheMetrics struct {
+	shardHits   [nShards]*obs.Counter
+	logicalHits *obs.Counter
+	misses      *obs.Counter
+	dedup       *obs.Counter
+	evictions   *obs.Counter
+	writeBacks  *obs.Counter
+	prefLoaded  *obs.Counter
+	prefUsed    *obs.Counter
+	prefUnused  *obs.Counter
 }
 
 // evictFlushBatch bounds how many of the oldest dirty buffers are pushed
@@ -177,6 +202,38 @@ func New(dev *blockio.Device, capacity int) *Cache {
 }
 
 func (c *Cache) shard(phys int64) *shard { return &c.shards[uint64(phys)%nShards] }
+
+// SetMetrics attaches a registry the cache records into: per-shard hit
+// counters (cache.hits.shard<i>), logical-index hits, misses,
+// single-flight dedupe count, evictions, write-backs and the group-read
+// prefetch fill counters. Call it at mount, before concurrent use.
+func (c *Cache) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	for i := range c.m.shardHits {
+		c.m.shardHits[i] = r.Counter(fmt.Sprintf("cache.hits.shard%02d", i))
+	}
+	c.m.logicalHits = r.Counter("cache.hits.logical")
+	c.m.misses = r.Counter("cache.misses")
+	c.m.dedup = r.Counter("cache.singleflight.dedup")
+	c.m.evictions = r.Counter("cache.evictions")
+	c.m.writeBacks = r.Counter("cache.writebacks")
+	c.m.prefLoaded = r.Counter("cache.prefetch.loaded")
+	c.m.prefUsed = r.Counter("cache.prefetch.used")
+	c.m.prefUnused = r.Counter("cache.prefetch.unused")
+}
+
+// hit records a hit on b found through the physical index.
+func (c *Cache) hit(b *Buf) {
+	c.hits.Add(1)
+	if c.m.misses != nil { // metrics attached
+		c.m.shardHits[uint64(b.Block)%nShards].Inc()
+		if b.prefetched.Swap(false) {
+			c.m.prefUsed.Inc()
+		}
+	}
+}
 
 // Device returns the underlying block device.
 func (c *Cache) Device() *blockio.Device { return c.dev }
@@ -271,6 +328,12 @@ func (c *Cache) GetByID(id ID) *Buf {
 		return nil
 	}
 	c.hits.Add(1)
+	if c.m.misses != nil {
+		c.m.logicalHits.Inc()
+		if b.prefetched.Swap(false) {
+			c.m.prefUsed.Inc()
+		}
+	}
 	return b
 }
 
@@ -283,12 +346,22 @@ func (c *Cache) Read(phys int64) (*Buf, error) {
 	if b := s.byPhys[phys]; b != nil {
 		b.pins.Add(1)
 		s.mu.Unlock()
+		if c.m.dedup != nil {
+			select {
+			case <-b.ready:
+			default:
+				// Another goroutine's load is still in flight; this
+				// caller is about to wait on it instead of issuing its
+				// own read — the single-flight save.
+				c.m.dedup.Inc()
+			}
+		}
 		c.touch(b)
 		if err := b.wait(); err != nil {
 			b.Release()
 			return nil, err
 		}
-		c.hits.Add(1)
+		c.hit(b)
 		return b, nil
 	}
 	b := c.newBuf(phys)
@@ -297,6 +370,7 @@ func (c *Cache) Read(phys int64) (*Buf, error) {
 	c.n.Add(1)
 	s.mu.Unlock()
 	c.misses.Add(1)
+	c.m.misses.Inc()
 	c.touch(b)
 	if err := c.makeRoom(); err != nil {
 		c.fail(b, err)
@@ -324,7 +398,7 @@ func (c *Cache) Alloc(phys int64) (*Buf, error) {
 			b.Release()
 			return nil, err
 		}
-		c.hits.Add(1)
+		c.hit(b)
 		return b, nil
 	}
 	b := c.newBuf(phys)
@@ -421,6 +495,7 @@ func (c *Cache) evictOne() error {
 		s.mu.Unlock()
 		if ok {
 			c.evictions.Add(1)
+			c.m.evictions.Inc()
 			return nil
 		}
 	}
@@ -439,6 +514,9 @@ func (c *Cache) removeLocked(s *shard, b *Buf) {
 	if b.dirty {
 		c.ndirty--
 		b.dirty = false
+	}
+	if b.prefetched.Swap(false) {
+		c.m.prefUnused.Inc()
 	}
 	b.gone = true
 	c.n.Add(-1)
@@ -499,6 +577,7 @@ func (c *Cache) WriteSync(b *Buf) error {
 	}
 	c.stateMu.Unlock()
 	c.writeBacks.Add(1)
+	c.m.writeBacks.Inc()
 	return nil
 }
 
@@ -567,6 +646,13 @@ func (c *Cache) ReadRun(start int64, count int) error {
 			continue
 		}
 		c.misses.Add(int64(len(claimed)))
+		c.m.misses.Add(int64(len(claimed)))
+		if c.m.prefLoaded != nil {
+			c.m.prefLoaded.Add(int64(len(claimed)))
+			for _, b := range claimed {
+				b.prefetched.Store(true)
+			}
+		}
 		fill := func(err error) error {
 			for _, b := range claimed {
 				c.fail(b, err)
@@ -642,6 +728,7 @@ func (c *Cache) flushDirty(want func(*Buf) bool) error {
 			b.dirty = false
 			c.ndirty--
 			c.writeBacks.Add(1)
+			c.m.writeBacks.Inc()
 		}
 	}
 	c.stateMu.Unlock()

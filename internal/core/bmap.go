@@ -214,6 +214,8 @@ func (fs *FS) indirBlock(ptrSlot *uint32, in *layout.Inode, ino vfs.Ino, lb, idx
 func (fs *FS) readBlockGrouped(phys int64) (*cache.Buf, error) {
 	if fs.opts.Grouping && fs.c.Peek(phys) == nil {
 		if start, count, ok := fs.groupSpan(phys); ok && fs.groupReadWanted(phys) {
+			fs.mGroupReads.Inc()
+			fs.mGroupBlocks.Add(int64(count))
 			if err := fs.c.ReadRun(start, count); err != nil {
 				return nil, err
 			}

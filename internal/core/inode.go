@@ -218,6 +218,7 @@ func (fs *FS) inodeBuf(ino vfs.Ino) (*cache.Buf, int, error) {
 			b.Release()
 			return nil, 0, fmt.Errorf("cffs: stale embedded ino %#x: %w", uint64(ino), vfs.ErrNotExist)
 		}
+		fs.mEmbHits.Inc()
 		return b, off + slotInodeOff, nil
 	}
 	phys, slot, err := fs.extLoc(extIdx(ino))
@@ -228,6 +229,7 @@ func (fs *FS) inodeBuf(ino vfs.Ino) (*cache.Buf, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	fs.mExtReads.Inc()
 	return b, slot * layout.InodeSize, nil
 }
 

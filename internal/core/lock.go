@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cffs/internal/obs"
 	"cffs/internal/vfs"
 )
 
@@ -75,6 +76,7 @@ func (fs *FS) lockDirPair(a, b vfs.Ino) func() {
 
 // Lookup implements vfs.FileSystem.
 func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
+	defer fs.trk.Begin(obs.OpLookup)()
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	return fs.lookup(dir, name)
@@ -82,6 +84,7 @@ func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
 
 // Create implements vfs.FileSystem.
 func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
+	defer fs.trk.Begin(obs.OpCreate)()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
@@ -90,6 +93,7 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 
 // Mkdir implements vfs.FileSystem.
 func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
+	defer fs.trk.Begin(obs.OpMkdir)()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
@@ -98,6 +102,7 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 
 // Link implements vfs.FileSystem.
 func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
+	defer fs.trk.Begin(obs.OpLink)()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
@@ -106,6 +111,7 @@ func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 
 // Unlink implements vfs.FileSystem.
 func (fs *FS) Unlink(dir vfs.Ino, name string) error {
+	defer fs.trk.Begin(obs.OpUnlink)()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
@@ -114,6 +120,7 @@ func (fs *FS) Unlink(dir vfs.Ino, name string) error {
 
 // Rmdir implements vfs.FileSystem.
 func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
+	defer fs.trk.Begin(obs.OpRmdir)()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
@@ -122,6 +129,7 @@ func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 
 // Rename implements vfs.FileSystem.
 func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+	defer fs.trk.Begin(obs.OpRename)()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDirPair(sdir, ddir)()
@@ -130,6 +138,7 @@ func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 
 // ReadDir implements vfs.FileSystem.
 func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
+	defer fs.trk.Begin(obs.OpReadDir)()
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	return fs.readDir(dir)
@@ -137,6 +146,7 @@ func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
 
 // Stat implements vfs.FileSystem.
 func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
+	defer fs.trk.Begin(obs.OpStat)()
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	return fs.stat(ino)
@@ -144,6 +154,7 @@ func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
 
 // Truncate implements vfs.FileSystem.
 func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
+	defer fs.trk.Begin(obs.OpTruncate)()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.truncateTo(ino, size)
@@ -151,6 +162,7 @@ func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
 
 // ReadAt implements vfs.FileSystem.
 func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	defer fs.trk.Begin(obs.OpReadAt)()
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	return fs.readAt(ino, p, off)
@@ -158,6 +170,7 @@ func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 
 // WriteAt implements vfs.FileSystem.
 func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	defer fs.trk.Begin(obs.OpWriteAt)()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.writeAt(ino, p, off)
@@ -165,6 +178,7 @@ func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 
 // Sync implements vfs.FileSystem.
 func (fs *FS) Sync() error {
+	defer fs.trk.Begin(obs.OpSync)()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.sync()
@@ -172,6 +186,7 @@ func (fs *FS) Sync() error {
 
 // Flush implements vfs.Flusher.
 func (fs *FS) Flush() error {
+	defer fs.trk.Begin(obs.OpFlush)()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.flush()

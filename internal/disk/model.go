@@ -37,9 +37,11 @@ type Disk struct {
 	cacheOn bool
 	segs    []segment // on-board read-ahead segments, MRU first
 
-	stats     Stats
-	trace     *[]TraceEntry
-	traceFunc func(TraceEntry)
+	stats       Stats
+	trace       *[]TraceEntry
+	traceFunc   func(TraceEntry)
+	opSource    func() (kind uint8, id uint64)
+	metricsFunc func(TraceEntry)
 }
 
 // segment is one on-board cache segment holding LBAs [start, end).
@@ -162,13 +164,19 @@ func (d *Disk) access(lba int64, nsect int, write bool) int64 {
 	}
 	d.stats.Requests++
 	d.stats.BusyNanos += svcNs
-	if d.trace != nil || d.traceFunc != nil {
+	if d.trace != nil || d.traceFunc != nil || d.metricsFunc != nil {
 		e := TraceEntry{LBA: lba, Count: nsect, Write: write, Nanos: svcNs}
+		if d.opSource != nil {
+			e.OpKind, e.OpID = d.opSource()
+		}
 		if d.trace != nil {
 			*d.trace = append(*d.trace, e)
 		}
 		if d.traceFunc != nil {
 			d.traceFunc(e)
+		}
+		if d.metricsFunc != nil {
+			d.metricsFunc(e)
 		}
 	}
 	d.clock.Advance(svcNs)
@@ -391,12 +399,19 @@ func sectorCount(bytes int) int {
 	return bytes / SectorSize
 }
 
-// TraceEntry records one serviced request for diagnostics.
+// TraceEntry records one serviced request for diagnostics. OpKind and
+// OpID attribute the request to the file-system operation that issued
+// it; they are raw values (not obs types) because the disk model stays
+// dependency-free — obs.NewDiskSink and the trace package give them
+// meaning. Both are zero when no op source is installed or no operation
+// is in scope (mkfs, background work).
 type TraceEntry struct {
-	LBA   int64
-	Count int
-	Write bool
-	Nanos int64
+	LBA    int64
+	Count  int
+	Write  bool
+	Nanos  int64
+	OpKind uint8
+	OpID   uint64
 }
 
 // SetTrace enables (or disables, with nil) request tracing into buf. The
@@ -416,4 +431,24 @@ func (d *Disk) SetTraceFunc(fn func(TraceEntry)) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.traceFunc = fn
+}
+
+// SetOpSource installs (or removes, with nil) the operation-context
+// source used to stamp OpKind/OpID onto trace entries. It is queried
+// under the disk's request lock, on the goroutine that issued the
+// request, once per request — obs.CurrentOpRaw is the intended source.
+func (d *Disk) SetOpSource(fn func() (kind uint8, id uint64)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.opSource = fn
+}
+
+// SetMetricsFunc installs (or removes, with nil) a metrics sink invoked
+// with each stamped entry under the disk's request lock. It is
+// independent of SetTrace/SetTraceFunc so metrics collection never
+// competes with trace capture (bench experiments use both at once).
+func (d *Disk) SetMetricsFunc(fn func(TraceEntry)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.metricsFunc = fn
 }

@@ -3,6 +3,7 @@ package ffs
 import (
 	"cffs/internal/blockio"
 	"cffs/internal/cache"
+	"cffs/internal/obs"
 	"cffs/internal/vfs"
 )
 
@@ -12,6 +13,7 @@ import (
 
 // ReadAt implements vfs.FileSystem.
 func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	defer fs.trk.Begin(obs.OpReadAt)()
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return 0, err
@@ -61,6 +63,7 @@ func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 
 // WriteAt implements vfs.FileSystem.
 func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	defer fs.trk.Begin(obs.OpWriteAt)()
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return 0, err

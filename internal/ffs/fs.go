@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cffs/internal/layout"
+	"cffs/internal/obs"
 	"cffs/internal/vfs"
 )
 
@@ -15,6 +16,7 @@ import (
 
 // Lookup implements vfs.FileSystem.
 func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
+	defer fs.trk.Begin(obs.OpLookup)()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return 0, err
@@ -32,6 +34,7 @@ func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
 
 // Create implements vfs.FileSystem.
 func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
+	defer fs.trk.Begin(obs.OpCreate)()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return 0, err
@@ -68,6 +71,7 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 
 // Mkdir implements vfs.FileSystem.
 func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
+	defer fs.trk.Begin(obs.OpMkdir)()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return 0, err
@@ -122,6 +126,7 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 
 // Link implements vfs.FileSystem.
 func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
+	defer fs.trk.Begin(obs.OpLink)()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return err
@@ -159,6 +164,7 @@ func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 
 // Unlink implements vfs.FileSystem.
 func (fs *FS) Unlink(dir vfs.Ino, name string) error {
+	defer fs.trk.Begin(obs.OpUnlink)()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return err
@@ -214,6 +220,7 @@ func (fs *FS) Unlink(dir vfs.Ino, name string) error {
 
 // Rmdir implements vfs.FileSystem.
 func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
+	defer fs.trk.Begin(obs.OpRmdir)()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return err
@@ -269,6 +276,7 @@ func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 
 // Rename implements vfs.FileSystem. Only regular files can be replaced.
 func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+	defer fs.trk.Begin(obs.OpRename)()
 	if sname == "." || sname == ".." || dname == "." || dname == ".." {
 		return vfs.ErrInvalid
 	}
@@ -368,6 +376,7 @@ func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 
 // ReadDir implements vfs.FileSystem.
 func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
+	defer fs.trk.Begin(obs.OpReadDir)()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return nil, err
@@ -380,6 +389,7 @@ func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
 
 // Stat implements vfs.FileSystem.
 func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
+	defer fs.trk.Begin(obs.OpStat)()
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return vfs.Stat{}, err
@@ -396,6 +406,7 @@ func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
 
 // Truncate implements vfs.FileSystem.
 func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
+	defer fs.trk.Begin(obs.OpTruncate)()
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return err

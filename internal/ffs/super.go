@@ -14,6 +14,7 @@ import (
 	"cffs/internal/blockio"
 	"cffs/internal/cache"
 	"cffs/internal/layout"
+	"cffs/internal/obs"
 	"cffs/internal/sim"
 	"cffs/internal/vfs"
 )
@@ -46,6 +47,10 @@ type Options struct {
 	CacheBlocks int // buffer cache capacity; default 2048 (8 MB)
 	CGBlocks    int // blocks per cylinder group; default 2048 (8 MB)
 	InodesPerCG int // static inodes per group; default 512
+	// Metrics, when non-nil, instruments the mount with the same
+	// registry wiring as C-FFS, so experiment tables carry comparable
+	// per-op request counts for the baseline.
+	Metrics *obs.Registry
 }
 
 func (o *Options) fill() error {
@@ -139,6 +144,21 @@ type FS struct {
 	opts Options
 
 	dirRotor int // next cylinder group for a new directory
+
+	trk *obs.OpTracker // op attribution; disabled when Options.Metrics is nil
+}
+
+// attachMetrics wires Options.Metrics through the mount, mirroring the
+// C-FFS wiring so the two report comparable instruments.
+func (fs *FS) attachMetrics(r *obs.Registry) {
+	fs.trk = obs.NewOpTracker(r)
+	if r == nil {
+		return
+	}
+	fs.c.SetMetrics(r)
+	fs.dev.SetMetrics(r)
+	fs.dev.Disk().SetOpSource(obs.CurrentOpRaw)
+	fs.dev.Disk().SetMetricsFunc(obs.NewDiskSink(r))
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -166,6 +186,7 @@ func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
 			InodesPerCG: opts.InodesPerCG,
 		},
 	}
+	fs.attachMetrics(opts.Metrics)
 	// Superblock.
 	sb, err := fs.c.Alloc(0)
 	if err != nil {
@@ -222,6 +243,7 @@ func Mount(dev *blockio.Device, opts Options) (*FS, error) {
 		clk:  dev.Disk().Clock(),
 		opts: opts,
 	}
+	fs.attachMetrics(opts.Metrics)
 	sb, err := fs.c.Read(0)
 	if err != nil {
 		return nil, err
@@ -249,11 +271,17 @@ func (fs *FS) Cache() *cache.Cache { return fs.c }
 func (fs *FS) Device() *blockio.Device { return fs.dev }
 
 // Sync implements vfs.FileSystem.
-func (fs *FS) Sync() error { return fs.c.Sync() }
+func (fs *FS) Sync() error {
+	defer fs.trk.Begin(obs.OpSync)()
+	return fs.c.Sync()
+}
 
 // Flush implements vfs.Flusher: write everything back and empty the
 // cache, so the next access pattern starts cold.
-func (fs *FS) Flush() error { return fs.c.Flush() }
+func (fs *FS) Flush() error {
+	defer fs.trk.Begin(obs.OpFlush)()
+	return fs.c.Flush()
+}
 
 // Close implements vfs.FileSystem.
 func (fs *FS) Close() error { return fs.c.Sync() }

@@ -6,6 +6,7 @@ import (
 	"cffs/internal/blockio"
 	"cffs/internal/fsck"
 	"cffs/internal/layout"
+	"cffs/internal/obs"
 	"cffs/internal/vfs"
 )
 
@@ -14,6 +15,7 @@ import (
 
 // Lookup implements vfs.FileSystem.
 func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
+	defer fs.trk.Begin(obs.OpLookup)()
 	din, err := fs.dirInode(dir)
 	if err != nil {
 		return 0, err
@@ -48,6 +50,7 @@ func checkName(name string) error {
 
 // Create implements vfs.FileSystem.
 func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
+	defer fs.trk.Begin(obs.OpCreate)()
 	if err := checkName(name); err != nil {
 		return 0, err
 	}
@@ -76,6 +79,7 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 
 // Mkdir implements vfs.FileSystem.
 func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
+	defer fs.trk.Begin(obs.OpMkdir)()
 	if err := checkName(name); err != nil {
 		return 0, err
 	}
@@ -107,6 +111,7 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 
 // Link implements vfs.FileSystem.
 func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
+	defer fs.trk.Begin(obs.OpLink)()
 	if err := checkName(name); err != nil {
 		return err
 	}
@@ -136,6 +141,7 @@ func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 
 // Unlink implements vfs.FileSystem.
 func (fs *FS) Unlink(dir vfs.Ino, name string) error {
+	defer fs.trk.Begin(obs.OpUnlink)()
 	if name == "." || name == ".." {
 		return vfs.ErrInvalid
 	}
@@ -172,6 +178,7 @@ func (fs *FS) Unlink(dir vfs.Ino, name string) error {
 
 // Rmdir implements vfs.FileSystem.
 func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
+	defer fs.trk.Begin(obs.OpRmdir)()
 	if name == "." || name == ".." {
 		return vfs.ErrInvalid
 	}
@@ -212,6 +219,7 @@ func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 
 // Rename implements vfs.FileSystem.
 func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+	defer fs.trk.Begin(obs.OpRename)()
 	if sname == "." || sname == ".." {
 		return vfs.ErrInvalid
 	}
@@ -271,6 +279,7 @@ func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 
 // ReadDir implements vfs.FileSystem.
 func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
+	defer fs.trk.Begin(obs.OpReadDir)()
 	din, err := fs.dirInode(dir)
 	if err != nil {
 		return nil, err
@@ -280,6 +289,7 @@ func (fs *FS) ReadDir(dir vfs.Ino) ([]vfs.DirEntry, error) {
 
 // Stat implements vfs.FileSystem.
 func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
+	defer fs.trk.Begin(obs.OpStat)()
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return vfs.Stat{}, err
@@ -296,6 +306,7 @@ func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
 
 // Truncate implements vfs.FileSystem.
 func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
+	defer fs.trk.Begin(obs.OpTruncate)()
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return err

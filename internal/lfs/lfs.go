@@ -30,6 +30,7 @@ import (
 	"cffs/internal/blockio"
 	"cffs/internal/cache"
 	"cffs/internal/layout"
+	"cffs/internal/obs"
 	"cffs/internal/sim"
 	"cffs/internal/vfs"
 )
@@ -62,6 +63,10 @@ const (
 // Options configures mkfs/mount.
 type Options struct {
 	CacheBlocks int // buffer cache capacity; default 2048
+	// Metrics, when non-nil, instruments the mount with the same
+	// registry wiring as C-FFS and FFS, so every comparison carries
+	// per-op request counts.
+	Metrics *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -119,6 +124,8 @@ type FS struct {
 	free      []vfs.Ino     // free inode numbers
 
 	cleaning bool // reentrancy guard for the cleaner
+
+	trk *obs.OpTracker // op attribution; disabled when Options.Metrics is nil
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -169,6 +176,13 @@ func newFS(dev *blockio.Device, opts Options) *FS {
 	}
 	for ino := vfs.Ino(MaxInodes); ino >= 1; ino-- {
 		fs.free = append(fs.free, ino)
+	}
+	fs.trk = obs.NewOpTracker(opts.Metrics)
+	if opts.Metrics != nil {
+		fs.c.SetMetrics(opts.Metrics)
+		dev.SetMetrics(opts.Metrics)
+		dev.Disk().SetOpSource(obs.CurrentOpRaw)
+		dev.Disk().SetMetricsFunc(obs.NewDiskSink(opts.Metrics))
 	}
 	return fs
 }
@@ -294,6 +308,7 @@ func (fs *FS) Cache() *cache.Cache { return fs.c }
 // the inode map, then the checkpoint — one forward pass of segment
 // writes plus a checkpoint write, the LFS discipline.
 func (fs *FS) Sync() error {
+	defer fs.trk.Begin(obs.OpSync)()
 	// 1. Data blocks (addresses were assigned at write time, in log
 	// order, so the scheduler merges them into large sequential writes).
 	if err := fs.c.Sync(); err != nil {
@@ -316,6 +331,7 @@ func (fs *FS) Sync() error {
 
 // Flush implements vfs.Flusher.
 func (fs *FS) Flush() error {
+	defer fs.trk.Begin(obs.OpFlush)()
 	if err := fs.Sync(); err != nil {
 		return err
 	}

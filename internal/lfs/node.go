@@ -6,6 +6,7 @@ import (
 
 	"cffs/internal/blockio"
 	"cffs/internal/layout"
+	"cffs/internal/obs"
 	"cffs/internal/vfs"
 )
 
@@ -422,6 +423,7 @@ func (fs *FS) truncate(in *layout.Inode, ino vfs.Ino, newSize int64) error {
 
 // ReadAt implements vfs.FileSystem.
 func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	defer fs.trk.Begin(obs.OpReadAt)()
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return 0, err
@@ -469,6 +471,7 @@ func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 
 // WriteAt implements vfs.FileSystem.
 func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
+	defer fs.trk.Begin(obs.OpWriteAt)()
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the fixed bucket count of a log-bucketed histogram.
+// Bucket 0 holds the value 0; bucket i (i >= 1) holds values in
+// [2^(i-1), 2^i). 64 buckets cover every non-negative int64, so a
+// histogram over simulated nanoseconds never clips: bucket 13 is
+// ~4-8 µs (a bus transfer), bucket 24 is ~8-16 ms (a full mechanical
+// access), and the top buckets absorb pathological stalls.
+const histBuckets = 64
+
+// Histogram is a concurrency-safe log-bucketed histogram of
+// non-negative int64 samples (simulated nanoseconds, block counts —
+// anything whose distribution spans orders of magnitude). Recording is
+// two atomic adds; there is no lock on the hot path.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketLow returns the inclusive lower bound of bucket i.
+func BucketLow(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1) << (i - 1)
+}
+
+// BucketHigh returns the exclusive upper bound of bucket i (math.MaxInt64
+// for the last bucket).
+func BucketHigh(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << i
+}
+
+// Record adds one sample. Negative samples count into bucket 0. Safe on
+// a nil receiver.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of recorded samples (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.n.Store(0)
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.n.Load(),
+		Sum:   h.sum.Load(),
+	}
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c != 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Index: i, Count: c})
+		}
+	}
+	return s
+}
+
+// HistBucket is one non-empty bucket of a snapshotted histogram.
+type HistBucket struct {
+	Index int   `json:"bucket"` // values in [BucketLow, BucketHigh)
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram; only non-empty
+// buckets are kept.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average sample (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the containing log bucket. With log-spaced
+// buckets the estimate is within 2x of the true value, which is the
+// right resolution for service times spanning decades.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var seen float64
+	for _, b := range s.Buckets {
+		if seen+float64(b.Count) >= rank {
+			lo, hi := float64(BucketLow(b.Index)), float64(BucketHigh(b.Index))
+			if hi > float64(math.MaxInt64)/2 {
+				hi = 2 * lo // open-ended top bucket: assume one octave
+			}
+			frac := 0.0
+			if b.Count > 0 {
+				frac = (rank - seen) / float64(b.Count)
+			}
+			return lo + frac*(hi-lo)
+		}
+		seen += float64(b.Count)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	return float64(BucketLow(last.Index))
+}
+
+// sub returns s minus prev, bucket by bucket. Empty result buckets are
+// dropped.
+func (s HistSnapshot) sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	prevCounts := make(map[int]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevCounts[b.Index] = b.Count
+	}
+	for _, b := range s.Buckets {
+		if c := b.Count - prevCounts[b.Index]; c != 0 {
+			d.Buckets = append(d.Buckets, HistBucket{Index: b.Index, Count: c})
+		}
+	}
+	return d
+}

@@ -1,0 +1,52 @@
+package obs
+
+import "cffs/internal/disk"
+
+// diskSink translates the disk's stamped request stream into per-op
+// counters and service-time histograms. Instrument handles are resolved
+// once at construction, indexed by op kind, so the per-request cost is
+// a handful of atomic adds.
+type diskSink struct {
+	requests [NumOps]*Counter
+	reads    [NumOps]*Counter
+	writes   [NumOps]*Counter
+	sectors  [NumOps]*Counter
+	service  [NumOps]*Histogram
+}
+
+// NewDiskSink returns a function for disk.SetMetricsFunc that records
+// each request into r under the issuing operation's name:
+// disk.requests.<op>, disk.reads.<op>, disk.writes.<op>,
+// disk.sectors.<op>, and the disk.service_ns.<op> histogram. Requests
+// with no operation in scope land under "none". Returns nil when r is
+// nil, which disk.SetMetricsFunc treats as "no sink".
+func NewDiskSink(r *Registry) func(disk.TraceEntry) {
+	if r == nil {
+		return nil
+	}
+	s := &diskSink{}
+	for op := Op(0); op < NumOps; op++ {
+		name := op.String()
+		s.requests[op] = r.Counter("disk.requests." + name)
+		s.reads[op] = r.Counter("disk.reads." + name)
+		s.writes[op] = r.Counter("disk.writes." + name)
+		s.sectors[op] = r.Counter("disk.sectors." + name)
+		s.service[op] = r.Histogram("disk.service_ns." + name)
+	}
+	return s.record
+}
+
+func (s *diskSink) record(e disk.TraceEntry) {
+	op := Op(e.OpKind)
+	if op >= NumOps {
+		op = OpNone
+	}
+	s.requests[op].Inc()
+	if e.Write {
+		s.writes[op].Inc()
+	} else {
+		s.reads[op].Inc()
+	}
+	s.sectors[op].Add(int64(e.Count))
+	s.service[op].Record(e.Nanos)
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"cffs/internal/blockio"
+	"cffs/internal/obs"
 	"cffs/internal/vfs"
 )
 
@@ -20,6 +21,7 @@ import (
 type Shell struct {
 	fs  vfs.FileSystem
 	dev *blockio.Device // optional, for df/iostat
+	reg *obs.Registry   // optional, for stats
 	cwd string
 	out io.Writer
 }
@@ -28,6 +30,10 @@ type Shell struct {
 func New(fs vfs.FileSystem, dev *blockio.Device, out io.Writer) *Shell {
 	return &Shell{fs: fs, dev: dev, cwd: "/", out: out}
 }
+
+// SetRegistry attaches the metrics registry the file system was mounted
+// with, enabling the stats command.
+func (sh *Shell) SetRegistry(r *obs.Registry) { sh.reg = r }
 
 // Cwd returns the current directory.
 func (sh *Shell) Cwd() string { return sh.cwd }
@@ -78,6 +84,8 @@ func (sh *Shell) Run(line string) error {
 		return sh.df()
 	case "iostat":
 		return sh.iostat()
+	case "stats":
+		return sh.stats(args)
 	case "sync":
 		return sh.fs.Sync()
 	default:
@@ -101,6 +109,7 @@ func (sh *Shell) help() error {
   stat <path>        file metadata
   df                 free space
   iostat             disk request counters
+  stats [-json|-reset]  metrics registry exposition
   cd / pwd / sync / exit
 `)
 	return nil
@@ -366,4 +375,24 @@ func (sh *Shell) iostat() error {
 	fmt.Fprintf(sh.out, "requests=%d reads=%d writes=%d bytes=%d cachehits=%d busy=%.3fs\n",
 		s.Requests, s.Reads, s.Writes, s.BytesMoved(), s.CacheHits, float64(s.BusyNanos)/1e9)
 	return nil
+}
+
+// stats renders the metrics registry: text by default, -json for the
+// machine-readable snapshot, -reset to zero every instrument.
+func (sh *Shell) stats(args []string) error {
+	if sh.reg == nil {
+		return fmt.Errorf("stats: no metrics registry attached")
+	}
+	switch {
+	case len(args) == 0:
+		sh.reg.Snapshot().WriteText(sh.out)
+		return nil
+	case len(args) == 1 && args[0] == "-json":
+		return sh.reg.Snapshot().WriteJSON(sh.out)
+	case len(args) == 1 && args[0] == "-reset":
+		sh.reg.Reset()
+		return nil
+	default:
+		return fmt.Errorf("usage: stats [-json|-reset]")
+	}
 }

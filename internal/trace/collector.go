@@ -14,19 +14,35 @@ import (
 // The raw disk.SetTrace buffer is cheaper but has a single-owner
 // contract; Collector is the concurrent alternative the workload driver
 // and the race-detector tests use.
+//
+// A collector may be bounded (NewBounded): once max entries are held,
+// further requests are dropped-newest and counted, so a long-running
+// concurrency benchmark cannot grow the buffer without bound. The kept
+// prefix stays a contiguous head of the stream, which keeps Profile's
+// inter-request gap analysis meaningful on the retained part.
 type Collector struct {
 	mu      sync.Mutex
 	entries []disk.TraceEntry
+	max     int // 0 = unbounded
+	dropped int64
 }
 
-// NewCollector returns an empty collector.
+// NewCollector returns an empty, unbounded collector.
 func NewCollector() *Collector { return &Collector{} }
+
+// NewBounded returns a collector that keeps at most max entries
+// (unbounded when max <= 0) and counts the rest as dropped.
+func NewBounded(max int) *Collector { return &Collector{max: max} }
 
 // Add records one request. It is safe for concurrent use and is the
 // shape disk.SetTraceFunc expects.
 func (c *Collector) Add(e disk.TraceEntry) {
 	c.mu.Lock()
-	c.entries = append(c.entries, e)
+	if c.max > 0 && len(c.entries) >= c.max {
+		c.dropped++
+	} else {
+		c.entries = append(c.entries, e)
+	}
 	c.mu.Unlock()
 }
 
@@ -35,6 +51,13 @@ func (c *Collector) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Dropped returns how many requests the cap discarded.
+func (c *Collector) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // Snapshot returns a copy of the recorded requests in service order.
@@ -46,10 +69,11 @@ func (c *Collector) Snapshot() []disk.TraceEntry {
 	return out
 }
 
-// Reset discards all recorded requests.
+// Reset discards all recorded requests and the dropped count.
 func (c *Collector) Reset() {
 	c.mu.Lock()
 	c.entries = c.entries[:0]
+	c.dropped = 0
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"cffs/internal/disk"
+)
+
+func TestPercentilesEmptyStream(t *testing.T) {
+	p := Analyze(nil)
+	if p.P50ServiceNs != 0 || p.P95ServiceNs != 0 || p.P99ServiceNs != 0 {
+		t.Errorf("empty stream percentiles = %d/%d/%d, want zeros",
+			p.P50ServiceNs, p.P95ServiceNs, p.P99ServiceNs)
+	}
+}
+
+func TestPercentilesSingleEntry(t *testing.T) {
+	p := Analyze([]disk.TraceEntry{{LBA: 0, Count: 8, Nanos: 12345}})
+	if p.P50ServiceNs != 12345 || p.P95ServiceNs != 12345 || p.P99ServiceNs != 12345 {
+		t.Errorf("single entry percentiles = %d/%d/%d, want all 12345",
+			p.P50ServiceNs, p.P95ServiceNs, p.P99ServiceNs)
+	}
+}
+
+func TestPercentilesAllCacheHits(t *testing.T) {
+	// An all-cache-hit stream: every request serviced at bus speed with
+	// the same cheap time. The distribution is flat — p50 == p99.
+	const busNs = 150_000
+	var entries []disk.TraceEntry
+	for i := 0; i < 50; i++ {
+		entries = append(entries, disk.TraceEntry{LBA: int64(i * 8), Count: 8, Nanos: busNs})
+	}
+	p := Analyze(entries)
+	if p.P50ServiceNs != busNs || p.P99ServiceNs != busNs {
+		t.Errorf("flat stream p50/p99 = %d/%d, want %d", p.P50ServiceNs, p.P99ServiceNs, busNs)
+	}
+}
+
+func TestPercentilesTail(t *testing.T) {
+	// 99 fast requests and one slow one: p50/p95 stay fast, p99 catches
+	// the outlier (nearest-rank on n=100: index 98 is still fast, the
+	// 100th value is the max; p99 -> 99th value).
+	var entries []disk.TraceEntry
+	for i := 0; i < 99; i++ {
+		entries = append(entries, disk.TraceEntry{LBA: int64(i), Count: 1, Nanos: 1000})
+	}
+	entries = append(entries, disk.TraceEntry{LBA: 1000, Count: 1, Nanos: 9_000_000})
+	p := Analyze(entries)
+	if p.P50ServiceNs != 1000 || p.P95ServiceNs != 1000 {
+		t.Errorf("p50/p95 = %d/%d, want 1000", p.P50ServiceNs, p.P95ServiceNs)
+	}
+	if p.P99ServiceNs != 1000 {
+		// nearest-rank p99 of 100 samples is the 99th smallest = 1000
+		t.Errorf("p99 = %d, want 1000 (99th of 100)", p.P99ServiceNs)
+	}
+	// With 1000 samples and 15 slow ones the outliers pass the
+	// nearest-rank p99 index (ceil(0.99*1000) = 990th smallest).
+	entries = entries[:0]
+	for i := 0; i < 985; i++ {
+		entries = append(entries, disk.TraceEntry{LBA: int64(i), Count: 1, Nanos: 1000})
+	}
+	for i := 0; i < 15; i++ {
+		entries = append(entries, disk.TraceEntry{LBA: int64(5000 + i), Count: 1, Nanos: 9_000_000})
+	}
+	p = Analyze(entries)
+	if p.P99ServiceNs != 9_000_000 {
+		t.Errorf("p99 = %d, want 9000000", p.P99ServiceNs)
+	}
+}
+
+func TestBoundedCollector(t *testing.T) {
+	col := NewBounded(3)
+	for i := 0; i < 5; i++ {
+		col.Add(disk.TraceEntry{LBA: int64(i), Count: 1, Nanos: int64(i)})
+	}
+	if col.Len() != 3 {
+		t.Errorf("Len = %d, want cap 3", col.Len())
+	}
+	if col.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", col.Dropped())
+	}
+	// Drop-newest: the kept entries are the first three.
+	for i, e := range col.Snapshot() {
+		if e.LBA != int64(i) {
+			t.Errorf("entry %d has LBA %d, want %d", i, e.LBA, i)
+		}
+	}
+	col.Reset()
+	if col.Len() != 0 || col.Dropped() != 0 {
+		t.Errorf("after Reset: Len=%d Dropped=%d, want 0/0", col.Len(), col.Dropped())
+	}
+	col.Add(disk.TraceEntry{})
+	if col.Len() != 1 || col.Dropped() != 0 {
+		t.Error("cap must re-arm after Reset")
+	}
+}
+
+func TestBoundedCollectorConcurrent(t *testing.T) {
+	const cap = 64
+	col := NewBounded(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				col.Add(disk.TraceEntry{LBA: int64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if col.Len() != cap {
+		t.Errorf("Len = %d, want %d", col.Len(), cap)
+	}
+	if got := col.Dropped(); got != 8*100-cap {
+		t.Errorf("Dropped = %d, want %d", got, 8*100-cap)
+	}
+}

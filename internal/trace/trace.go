@@ -28,6 +28,14 @@ type Profile struct {
 	MedianGap int64
 	P90Gap    int64
 	Adjacent  int // requests starting exactly where the previous ended
+
+	// Service-time percentiles in nanoseconds (exact order statistics,
+	// zero on an empty stream). The tail is where the mechanisms show:
+	// an all-cache-hit stream has a flat distribution at bus speed,
+	// while p99 >> p50 means a minority of requests pay full seeks.
+	P50ServiceNs int64
+	P95ServiceNs int64
+	P99ServiceNs int64
 }
 
 // Analyze reduces a trace.
@@ -67,7 +75,30 @@ func Analyze(entries []disk.TraceEntry) Profile {
 		p.MedianGap = gaps[len(gaps)/2]
 		p.P90Gap = gaps[len(gaps)*9/10]
 	}
+	if len(entries) > 0 {
+		svc := make([]int64, len(entries))
+		for i, e := range entries {
+			svc[i] = e.Nanos
+		}
+		sort.Slice(svc, func(i, j int) bool { return svc[i] < svc[j] })
+		p.P50ServiceNs = svc[pctIdx(len(svc), 50)]
+		p.P95ServiceNs = svc[pctIdx(len(svc), 95)]
+		p.P99ServiceNs = svc[pctIdx(len(svc), 99)]
+	}
 	return p
+}
+
+// pctIdx returns the nearest-rank index of the q-th percentile in a
+// sorted slice of n elements (n >= 1): ceil(q/100 * n) - 1, clamped.
+func pctIdx(n, q int) int {
+	i := (q*n + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > n {
+		i = n
+	}
+	return i - 1
 }
 
 // MeanRequestKB returns the average request size in KB.
@@ -100,6 +131,8 @@ func (p Profile) Render(w io.Writer, label string) {
 		label, p.Requests, p.Reads, p.Writes, p.MeanRequestKB(), p.MeanServiceMs(), p.Bandwidth())
 	fmt.Fprintf(w, "  locality: %d adjacent starts, median gap %d sectors, p90 gap %d sectors\n",
 		p.Adjacent, p.MedianGap, p.P90Gap)
+	fmt.Fprintf(w, "  service: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+		float64(p.P50ServiceNs)/1e6, float64(p.P95ServiceNs)/1e6, float64(p.P99ServiceNs)/1e6)
 	var buckets []int
 	for b := range p.SizeBuckets {
 		buckets = append(buckets, b)

@@ -11,6 +11,7 @@ import (
 
 	"cffs/internal/blockio"
 	"cffs/internal/disk"
+	"cffs/internal/obs"
 	"cffs/internal/sim"
 	"cffs/internal/vfs"
 )
@@ -23,6 +24,11 @@ type SmallFileConfig struct {
 	FileSize int // bytes, default 1024
 	Dirs     int // directories to spread files over, default 100
 	Seed     uint64
+
+	// Registry, when non-nil, must be the registry the file system under
+	// test was mounted with; each PhaseResult then carries the metrics
+	// delta covering that phase (including its final write-back).
+	Registry *obs.Registry
 }
 
 func (c *SmallFileConfig) fill() {
@@ -44,8 +50,9 @@ func (c *SmallFileConfig) fill() {
 type PhaseResult struct {
 	Name    string
 	Files   int
-	Seconds float64    // simulated seconds, including the final write-back
-	Disk    disk.Stats // disk activity during the phase
+	Seconds float64      // simulated seconds, including the final write-back
+	Disk    disk.Stats   // disk activity during the phase
+	Metrics obs.Snapshot // registry delta for the phase; empty unless SmallFileConfig.Registry was set
 }
 
 // FilesPerSec is the phase's throughput.
@@ -95,6 +102,7 @@ func RunSmallFile(fs vfs.FileSystem, cfg SmallFileConfig) ([]PhaseResult, error)
 	phase := func(label string, body func() error) error {
 		start := clk.Now()
 		stats0 := dev.Disk().Stats()
+		m0 := cfg.Registry.Snapshot()
 		if err := body(); err != nil {
 			return fmt.Errorf("smallfile %s: %w", label, err)
 		}
@@ -106,6 +114,7 @@ func RunSmallFile(fs vfs.FileSystem, cfg SmallFileConfig) ([]PhaseResult, error)
 			Files:   cfg.NumFiles,
 			Seconds: float64(clk.Now()-start) / 1e9,
 			Disk:    dev.Disk().Stats().Sub(stats0),
+			Metrics: cfg.Registry.Snapshot().Delta(m0),
 		})
 		return flush(fs)
 	}
