@@ -21,6 +21,7 @@ import (
 	"cffs/internal/blockio"
 	"cffs/internal/core"
 	"cffs/internal/disk"
+	"cffs/internal/fault"
 	"cffs/internal/ffs"
 	"cffs/internal/lfs"
 	"cffs/internal/obs"
@@ -35,6 +36,8 @@ func main() {
 		img    = flag.String("img", "", "image file to open (required)")
 		drive  = flag.String("drive", "Seagate ST31200", "disk model defining the geometry")
 		script = flag.String("c", "", "semicolon-separated commands to run non-interactively")
+		faults = flag.Bool("faults", false, "wrap the image in a fault injector (inject command)")
+		seed   = flag.Int64("seed", 1, "fault injector RNG seed")
 	)
 	flag.Parse()
 	if *img == "" {
@@ -46,7 +49,13 @@ func main() {
 	store, err := disk.OpenFileStore(*img, spec.Geom.Bytes())
 	fatal(err)
 	defer store.Close()
-	d, err := disk.New(spec, sim.NewClock(), store)
+	var bottom disk.Store = store
+	var fst *fault.Store
+	if *faults {
+		fst = fault.NewStore(store, *seed)
+		bottom = fst
+	}
+	d, err := disk.New(spec, sim.NewClock(), bottom)
 	fatal(err)
 	dev := blockio.NewDevice(d, sched.CLook{})
 
@@ -70,6 +79,10 @@ func main() {
 
 	sh := shell.New(fs, dev, os.Stdout)
 	sh.SetRegistry(reg)
+	if fst != nil {
+		fst.SetMetrics(reg)
+		sh.SetFaultStore(fst)
+	}
 	if *script != "" {
 		for _, cmd := range strings.Split(*script, ";") {
 			if err := sh.Run(strings.TrimSpace(cmd)); err != nil {

@@ -1,10 +1,17 @@
 // Command fsck checks a file system image for consistency, sniffing the
 // superblock to pick the right checker, and optionally repairs the
-// allocation state from the namespace walk.
+// image: structural damage (dangling entries, orphan inodes, bad
+// pointers, link counts) plus the allocation state rebuilt from the
+// namespace walk.
 //
 // Usage:
 //
-//	fsck -img disk.img [-drive name] [-repair] [-v]
+//	fsck -img disk.img [-drive name] [-repair] [-json] [-v]
+//
+// Exit codes follow Unix fsck convention: 0 the image is clean, 1
+// problems were found and corrected, 4 problems remain uncorrected
+// (detect-only run or unrepairable damage), 8 operational error, 2
+// usage error.
 package main
 
 import (
@@ -27,7 +34,8 @@ func main() {
 	var (
 		img     = flag.String("img", "", "image file to check (required)")
 		drive   = flag.String("drive", "Seagate ST31200", "disk model defining the geometry")
-		repair  = flag.Bool("repair", false, "rewrite bitmaps/descriptors from the walk")
+		repair  = flag.Bool("repair", false, "repair structural damage and rewrite allocation state")
+		asJSON  = flag.Bool("json", false, "emit the machine-readable report on stdout")
 		verbose = flag.Bool("v", false, "print every problem found")
 	)
 	flag.Parse()
@@ -57,23 +65,28 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "fsck: %s: unrecognized superblock magic %#x\n",
 			*img, binary.LittleEndian.Uint32(magic[:]))
-		os.Exit(1)
+		os.Exit(8)
 	}
 	fatal(err)
-	fmt.Println(rep.Summary())
-	if *verbose {
-		for _, p := range rep.Problems {
-			fmt.Println("  ", p)
+	if *asJSON {
+		fatal(rep.WriteJSON(os.Stdout))
+	} else {
+		fmt.Println(rep.Summary())
+		if *verbose {
+			for _, p := range rep.Problems {
+				fmt.Println("  ", p)
+			}
+			for _, p := range rep.Unrepairable {
+				fmt.Println("   UNREPAIRABLE:", p)
+			}
 		}
 	}
-	if !rep.Clean() && rep.RepairsMade == 0 {
-		os.Exit(1)
-	}
+	os.Exit(rep.Outcome().ExitCode())
 }
 
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsck:", err)
-		os.Exit(1)
+		os.Exit(8)
 	}
 }

@@ -37,6 +37,7 @@ func Experiments() []Experiment {
 		{"profile", "Read-phase request profile (the mechanism made visible)", ProfileExp},
 		{"lfs", "LFS comparison: log order vs namespace order [Rosenblum92]", LFSExp},
 		{"softupdates", "Metadata integrity cost in isolation [Ganger94]", SoftUpdates},
+		{"recovery", "Crash-point enumeration: fsck repair and recovery time", RecoveryExp},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
 	return exps

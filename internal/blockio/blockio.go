@@ -118,6 +118,22 @@ func (dev *Device) writeBlocks(block int64, bufs [][]byte) error {
 	return dev.dsk.WriteV(lba, bufs)
 }
 
+// WriteBlockOrdered writes a single block as an ordering barrier: all
+// writes submitted before it are durable before it, and it is durable
+// before anything submitted after. This is the synchronous metadata
+// write of the integrity argument (cache.WriteSync issues it); the
+// explicit edge lets a fault-injecting store bound crash reordering.
+func (dev *Device) WriteBlockOrdered(block int64, buf []byte) error {
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	if err := dev.check(block, [][]byte{buf}); err != nil {
+		return err
+	}
+	lba := block * SectorsPerBlock
+	dev.lastLBA = lba + SectorsPerBlock
+	return dev.dsk.WriteOrdered(lba, buf)
+}
+
 // ReadBlock reads a single block.
 func (dev *Device) ReadBlock(block int64, buf []byte) error {
 	return dev.ReadBlocks(block, [][]byte{buf})

@@ -565,9 +565,12 @@ func (c *Cache) DropID(b *Buf) {
 
 // WriteSync writes one buffer through to disk immediately and marks it
 // clean. This is the ordered synchronous metadata write of conventional
-// file systems — the operation embedded inodes exist to halve.
+// file systems — the operation embedded inodes exist to halve. It is
+// issued as an explicit ordering barrier so fault injection knows the
+// write must be durable before any later write (and after all earlier
+// ones).
 func (c *Cache) WriteSync(b *Buf) error {
-	if err := c.dev.WriteBlock(b.Block, b.Data); err != nil {
+	if err := c.dev.WriteBlockOrdered(b.Block, b.Data); err != nil {
 		return err
 	}
 	c.stateMu.Lock()

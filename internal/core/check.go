@@ -24,17 +24,70 @@ import (
 //   - "." and ".." entries well-formed;
 //   - external inodes all reachable (no orphans).
 //
-// With repair set, bitmaps, group descriptors, and link counts are
-// rewritten from the walk and the image is synced.
+// With repair set, Check is a recovery path, not just a detector. The
+// walk collects a structural fix for each problem it can attribute to a
+// specific object — dangling or duplicate entries are cleared, orphaned
+// external inodes are zeroed, bad block pointers are cut, link and
+// block counts rewritten, "."/".." regenerated — and the fixes are
+// applied and the walk repeated until the namespace is stable. The
+// allocation state (bitmaps, group descriptors) is then rebuilt from
+// the repaired namespace, and one final verification walk runs; any
+// problem that survives it is reported as unrepairable.
 func Check(dev *blockio.Device, repair bool) (*fsck.Report, error) {
 	fs, err := Mount(dev, Options{})
 	if err != nil {
 		return nil, err
 	}
-	r := &fsck.Report{}
-	sh := newCheckState(fs, r)
+	r := &fsck.Report{FS: "cffs"}
+	sh, err := runWalk(fs, r)
+	if err != nil {
+		return nil, err
+	}
+	if !repair || r.Clean() {
+		r.UsedBlocks = len(sh.used)
+		return r, nil
+	}
 
-	// Metadata: superblock, inode map, AG headers, inode-file blocks.
+	// Structural passes: each fix can expose the next problem (clearing
+	// a dangling entry orphans its inode), so repair iterates until a
+	// walk collects no further fixes.
+	cur := sh
+	for pass := 0; pass < 4 && cur.fx.any(); pass++ {
+		n, err := cur.applyFixes()
+		if err != nil {
+			return nil, err
+		}
+		r.RepairsMade += n
+		r2 := &fsck.Report{}
+		if cur, err = runWalk(fs, r2); err != nil {
+			return nil, err
+		}
+	}
+
+	// Allocation rebuild from the repaired namespace.
+	n, err := cur.rewriteAlloc()
+	if err != nil {
+		return nil, err
+	}
+	r.RepairsMade += n
+
+	// Verification: whatever a fresh walk still reports is beyond this
+	// checker's repair power.
+	rv := &fsck.Report{}
+	v, err := runWalk(fs, rv)
+	if err != nil {
+		return nil, err
+	}
+	r.Unrepairable = rv.Problems
+	r.UsedBlocks = len(v.used)
+	return r, nil
+}
+
+// runWalk claims the metadata blocks, walks the namespace from the
+// root, and cross-checks the allocation state, filling r and returning
+// the walk state (used set + collected fixes).
+func runWalk(fs *FS, r *fsck.Report) (*checkState, error) {
+	sh := newCheckState(fs, r)
 	sh.claim(0, "superblock")
 	for b := int64(1); b <= mapBlocks; b++ {
 		sh.claim(b, "inode map")
@@ -49,24 +102,65 @@ func Check(dev *blockio.Device, repair bool) (*fsck.Report, error) {
 		}
 		sh.claim(phys, fmt.Sprintf("inode-file block %d", fb))
 	}
-
 	if err := sh.walkDir(RootIno, RootIno, "/"); err != nil {
 		return nil, err
 	}
 	sh.finish()
-	if repair && !r.Clean() {
-		if err := sh.repair(); err != nil {
-			return nil, err
-		}
-	}
-	r.UsedBlocks = len(sh.used)
-	return r, nil
+	return sh, nil
+}
+
+// slotRef names one directory slot on disk.
+type slotRef struct {
+	block int64
+	slot  int
+}
+
+// Pointer-clear kinds: which pointer of an inode a fix cuts.
+const (
+	ptrData   = iota // the pointer resolving logical block lb
+	ptrIndir         // the inode's single-indirect pointer
+	ptrDIndir        // the inode's double-indirect pointer
+	ptrL2            // entry lb of the double-indirect block
+)
+
+// ptrRef names one block pointer reachable from an inode.
+type ptrRef struct {
+	ino  vfs.Ino
+	kind int
+	lb   int64
+}
+
+// dotFix regenerates a "." or ".." entry of a directory.
+type dotFix struct {
+	dir    vfs.Ino
+	name   string
+	target vfs.Ino
+}
+
+// fixes is the structural repair plan one walk collects.
+type fixes struct {
+	clearSlots []slotRef          // remove dangling/duplicate/corrupt entries
+	dots       []dotFix           // regenerate "." / ".."
+	nlink      map[vfs.Ino]uint16 // rewrite link counts from names found
+	nblocks    map[vfs.Ino]uint32 // rewrite block counts from blocks found
+	clearPtrs  []ptrRef           // cut bad or doubly-claimed block pointers
+	zeroExt    []int              // zero orphaned external inodes (by index)
+}
+
+func newFixes() *fixes {
+	return &fixes{nlink: make(map[vfs.Ino]uint16), nblocks: make(map[vfs.Ino]uint32)}
+}
+
+func (f *fixes) any() bool {
+	return len(f.clearSlots)+len(f.dots)+len(f.nlink)+len(f.nblocks)+
+		len(f.clearPtrs)+len(f.zeroExt) > 0
 }
 
 // checkState carries the walk.
 type checkState struct {
 	fs      *FS
 	r       *fsck.Report
+	fx      *fixes
 	used    map[int64]string // block -> first owner description
 	extSeen map[int]int      // external idx -> names found
 	extLink map[int]int      // external idx -> on-disk nlink
@@ -77,6 +171,7 @@ func newCheckState(fs *FS, r *fsck.Report) *checkState {
 	return &checkState{
 		fs:      fs,
 		r:       r,
+		fx:      newFixes(),
 		used:    make(map[int64]string),
 		extSeen: make(map[int]int),
 		extLink: make(map[int]int),
@@ -84,13 +179,18 @@ func newCheckState(fs *FS, r *fsck.Report) *checkState {
 	}
 }
 
-func (s *checkState) claim(block int64, owner string) {
+func (s *checkState) problem(format string, args ...any) {
+	s.r.Problems = append(s.r.Problems, fmt.Sprintf(format, args...))
+}
+
+// claim records a block owner; it reports whether the claim was first.
+func (s *checkState) claim(block int64, owner string) bool {
 	if prev, ok := s.used[block]; ok {
-		s.r.Problems = append(s.r.Problems,
-			fmt.Sprintf("block %d claimed by both %s and %s", block, prev, owner))
-		return
+		s.problem("block %d claimed by both %s and %s", block, prev, owner)
+		return false
 	}
 	s.used[block] = owner
+	return true
 }
 
 func (s *checkState) has(block int64) bool {
@@ -98,29 +198,28 @@ func (s *checkState) has(block int64) bool {
 	return ok
 }
 
-// walkDir checks one directory and recurses into subdirectories.
+// walkDir checks one directory and recurses into subdirectories. The
+// caller (walkChild) has validated the inode for every directory except
+// the root, whose failures are unrepairable by construction.
 func (s *checkState) walkDir(dir, parent vfs.Ino, path string) error {
 	idx := extIdx(dir)
-	if s.visited[idx] {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: directory cycle at inode %d", path, idx))
-		return nil
-	}
 	s.visited[idx] = true
 	s.r.Dirs++
 
 	in, err := s.fs.getInode(dir)
 	if err != nil {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: unreadable inode: %v", path, err))
+		s.problem("%s: unreadable inode: %v", path, err)
 		return nil
 	}
 	if in.Type != vfs.TypeDir {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: not a directory (type %v)", path, in.Type))
+		s.problem("%s: not a directory (type %v)", path, in.Type)
 		return nil
 	}
 	s.extLink[idx] = int(in.Nlink)
 	s.claimFileBlocks(&in, dir, path)
 
 	var dotOK, dotdotOK bool
+	var subs []slotEntry
 	_, err = s.fs.forEachSlot(&in, dir, func(_ *cache.Buf, e slotEntry, used bool) bool {
 		if !used {
 			return false
@@ -131,56 +230,90 @@ func (s *checkState) walkDir(dir, parent vfs.Ino, path string) error {
 		case "..":
 			dotdotOK = !e.embedded && e.ref == uint32(parent)
 		default:
+			if e.ftype == vfs.TypeDir && !e.embedded {
+				subs = append(subs, e)
+			}
 			s.checkEntry(dir, e, path)
 		}
 		return false
 	})
 	if err != nil {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: walk failed: %v", path, err))
+		s.problem("%s: walk failed: %v", path, err)
 		return nil
 	}
 	if !dotOK {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bad or missing \".\"", path))
+		s.problem("%s: bad or missing \".\"", path)
+		s.fx.dots = append(s.fx.dots, dotFix{dir: dir, name: ".", target: dir})
 	}
 	if !dotdotOK {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bad or missing \"..\"", path))
+		s.problem("%s: bad or missing \"..\"", path)
+		s.fx.dots = append(s.fx.dots, dotFix{dir: dir, name: "..", target: parent})
 	}
 	// Recurse after the slot scan so buffers are not pinned during it.
-	ents, err := s.fs.dirList(&in, dir)
-	if err != nil {
-		return err
-	}
 	nsub := 0
-	for _, e := range ents {
-		if e.Type == vfs.TypeDir {
+	for _, e := range subs {
+		ok, err := s.walkChild(e, dir, path)
+		if err != nil {
+			return err
+		}
+		if ok {
 			nsub++
-			if err := s.walkDir(e.Ino, dir, path+e.Name+"/"); err != nil {
-				return err
-			}
 		}
 	}
 	if int(in.Nlink) != 2+nsub {
-		s.r.Problems = append(s.r.Problems,
-			fmt.Sprintf("%s: nlink %d, expected %d", path, in.Nlink, 2+nsub))
+		s.problem("%s: nlink %d, expected %d", path, in.Nlink, 2+nsub)
+		s.fx.nlink[dir] = uint16(2 + nsub)
 	}
 	return nil
 }
 
-// checkEntry validates one live non-dot entry.
+// walkChild validates one subdirectory entry and recurses into it. It
+// reports whether the entry counts as a live subdirectory (for the
+// parent's link count); a false return means the entry was scheduled
+// for removal.
+func (s *checkState) walkChild(e slotEntry, parent vfs.Ino, path string) (bool, error) {
+	name := path + e.name
+	ino := e.ino()
+	idx := extIdx(ino)
+	if s.visited[idx] {
+		s.problem("%s: second name for directory inode %d", name, idx)
+		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
+		return false, nil
+	}
+	in, err := s.fs.getInode(ino)
+	if err != nil || !in.Alive() {
+		s.problem("%s: dangling directory entry (inode %d)", name, idx)
+		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
+		return false, nil
+	}
+	if in.Type != vfs.TypeDir {
+		s.problem("%s: entry says directory, inode %d says type %v", name, idx, in.Type)
+		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
+		return false, nil
+	}
+	return true, s.walkDir(ino, parent, name+"/")
+}
+
+// checkEntry validates one live non-dot entry (for directories, only
+// the reference count here — the recursion is walkChild's).
 func (s *checkState) checkEntry(dir vfs.Ino, e slotEntry, path string) {
 	name := path + e.name
 	if e.embedded {
 		ino := e.ino()
 		in, err := s.fs.getInode(ino)
 		if err != nil || !in.Alive() {
-			s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: unreadable embedded inode", name))
+			s.problem("%s: unreadable embedded inode", name)
+			s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
 			return
 		}
 		if in.Type != vfs.TypeReg {
-			s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: embedded inode of type %v", name, in.Type))
+			s.problem("%s: embedded inode of type %v", name, in.Type)
+			s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
+			return
 		}
 		if in.Nlink != 1 {
-			s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: embedded inode with nlink %d", name, in.Nlink))
+			s.problem("%s: embedded inode with nlink %d", name, in.Nlink)
+			s.fx.nlink[ino] = 1
 		}
 		s.r.Files++
 		s.claimFileBlocks(&in, ino, name)
@@ -189,14 +322,16 @@ func (s *checkState) checkEntry(dir vfs.Ino, e slotEntry, path string) {
 	idx := int(e.ref) - 1
 	s.extSeen[idx]++
 	if e.ftype == vfs.TypeDir {
-		return // walked by caller
+		return // walked by walkChild
 	}
 	if s.extSeen[idx] > 1 {
 		return // blocks already claimed via the first name
 	}
 	in, err := s.fs.getInode(vfs.Ino(e.ref))
 	if err != nil || !in.Alive() {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: dangling external inode %d", name, e.ref))
+		s.problem("%s: dangling external inode %d", name, e.ref)
+		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
+		s.extSeen[idx]-- // removal: the name no longer counts toward nlink
 		return
 	}
 	s.extLink[idx] = int(in.Nlink)
@@ -204,43 +339,73 @@ func (s *checkState) checkEntry(dir vfs.Ino, e slotEntry, path string) {
 	s.claimFileBlocks(&in, vfs.Ino(e.ref), name)
 }
 
-// claimFileBlocks claims every block reachable from an inode.
+// claimFileBlocks claims every block reachable from an inode. A block
+// that is out of range or already claimed gets its pointer scheduled
+// for clearing — first claimant wins, as in classic fsck — and only
+// surviving claims count toward the inode's block count.
 func (s *checkState) claimFileBlocks(in *layout.Inode, ino vfs.Ino, name string) {
 	nblocks := (in.Size + blockio.BlockSize - 1) / blockio.BlockSize
 	counted := uint32(0)
 	for lb := int64(0); lb < nblocks; lb++ {
 		phys, err := s.fs.bmap(in, ino, lb, false)
 		if err != nil {
-			s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bmap(%d): %v", name, lb, err))
-			return
+			s.problem("%s: bmap(%d): %v", name, lb, err)
+			s.fx.clearPtrs = append(s.fx.clearPtrs, ptrRef{ino: ino, kind: ptrData, lb: lb})
+			continue
 		}
-		if phys != 0 {
-			s.claim(phys, name)
+		if phys == 0 {
+			continue
+		}
+		if phys <= 0 || phys >= s.fs.sb.NBlocks {
+			s.problem("%s: block %d of %d is outside the volume", name, phys, lb)
+			s.fx.clearPtrs = append(s.fx.clearPtrs, ptrRef{ino: ino, kind: ptrData, lb: lb})
+			continue
+		}
+		if s.claim(phys, name) {
 			counted++
+		} else {
+			s.fx.clearPtrs = append(s.fx.clearPtrs, ptrRef{ino: ino, kind: ptrData, lb: lb})
 		}
 	}
 	if in.Indir != 0 {
-		s.claim(int64(in.Indir), name+" (indirect)")
-		counted++
+		if int64(in.Indir) >= s.fs.sb.NBlocks || !s.claim(int64(in.Indir), name+" (indirect)") {
+			if int64(in.Indir) >= s.fs.sb.NBlocks {
+				s.problem("%s: indirect block %d is outside the volume", name, in.Indir)
+			}
+			s.fx.clearPtrs = append(s.fx.clearPtrs, ptrRef{ino: ino, kind: ptrIndir})
+		} else {
+			counted++
+		}
 	}
 	if in.DIndir != 0 {
-		s.claim(int64(in.DIndir), name+" (double indirect)")
-		counted++
-		db, err := s.fs.c.Read(int64(in.DIndir))
-		if err == nil {
-			le := leBytes{db.Data}
-			for k := 0; k < layout.PtrsPerBlock; k++ {
-				if p := le.u32(k * 4); p != 0 {
-					s.claim(int64(p), name+" (indirect level 2)")
-					counted++
-				}
+		if int64(in.DIndir) >= s.fs.sb.NBlocks || !s.claim(int64(in.DIndir), name+" (double indirect)") {
+			if int64(in.DIndir) >= s.fs.sb.NBlocks {
+				s.problem("%s: double-indirect block %d is outside the volume", name, in.DIndir)
 			}
-			db.Release()
+			s.fx.clearPtrs = append(s.fx.clearPtrs, ptrRef{ino: ino, kind: ptrDIndir})
+		} else {
+			counted++
+			db, err := s.fs.c.Read(int64(in.DIndir))
+			if err == nil {
+				le := leBytes{db.Data}
+				for k := 0; k < layout.PtrsPerBlock; k++ {
+					p := le.u32(k * 4)
+					if p == 0 {
+						continue
+					}
+					if int64(p) >= s.fs.sb.NBlocks || !s.claim(int64(p), name+" (indirect level 2)") {
+						s.fx.clearPtrs = append(s.fx.clearPtrs, ptrRef{ino: ino, kind: ptrL2, lb: int64(k)})
+					} else {
+						counted++
+					}
+				}
+				db.Release()
+			}
 		}
 	}
 	if counted != in.NBlocks {
-		s.r.Problems = append(s.r.Problems,
-			fmt.Sprintf("%s: NBlocks %d, found %d", name, in.NBlocks, counted))
+		s.problem("%s: NBlocks %d, found %d", name, in.NBlocks, counted)
+		s.fx.nblocks[ino] = counted
 	}
 }
 
@@ -255,13 +420,17 @@ func (s *checkState) finish() {
 		switch {
 		case live && !seen:
 			r.Problems = append(r.Problems, fmt.Sprintf("orphan external inode %d", idx))
+			s.fx.zeroExt = append(s.fx.zeroExt, idx)
 		case !live && seen:
+			// The dangling entries themselves were scheduled for
+			// clearing where they were found.
 			r.Problems = append(r.Problems, fmt.Sprintf("referenced external inode %d is dead", idx))
 		}
 		if seen && !s.visited[idx] {
 			if want, got := s.extSeen[idx], s.extLink[idx]; want != got {
 				r.Problems = append(r.Problems,
 					fmt.Sprintf("external inode %d: nlink %d, found %d names", idx, got, want))
+				s.fx.nlink[vfs.Ino(idx+1)] = uint16(want)
 			}
 		}
 	}
@@ -308,13 +477,187 @@ func (s *checkState) finish() {
 	}
 }
 
-// repair rewrites bitmaps, descriptors, and link counts from the walk.
-func (s *checkState) repair() error {
-	fs, r := s.fs, s.r
+// applyFixes executes the structural repair plan the walk collected and
+// syncs the image. It returns the number of repairs applied.
+func (s *checkState) applyFixes() (int, error) {
+	fs, n := s.fs, 0
+	for _, sr := range s.fx.clearSlots {
+		b, err := fs.c.Read(sr.block)
+		if err != nil {
+			return n, err
+		}
+		clearSlot(b.Data, sr.slot*slotSize)
+		fs.c.MarkDirty(b)
+		b.Release()
+		n++
+	}
+	for _, df := range s.fx.dots {
+		ok, err := s.fixDot(df)
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			n++
+		}
+	}
+	for _, pr := range s.fx.clearPtrs {
+		ok, err := s.clearPtr(pr)
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			n++
+		}
+	}
+	for ino, v := range s.fx.nlink {
+		in, err := fs.getInode(ino)
+		if err != nil {
+			continue // the holder may have been cleared above
+		}
+		in.Nlink = v
+		if err := fs.putInode(ino, &in, false); err != nil {
+			return n, err
+		}
+		n++
+	}
+	for ino, v := range s.fx.nblocks {
+		in, err := fs.getInode(ino)
+		if err != nil {
+			continue
+		}
+		in.NBlocks = v
+		if err := fs.putInode(ino, &in, false); err != nil {
+			return n, err
+		}
+		n++
+	}
+	for _, idx := range s.fx.zeroExt {
+		phys, slot, err := fs.extLoc(idx)
+		if err != nil {
+			continue
+		}
+		b, err := fs.c.Read(phys)
+		if err != nil {
+			return n, err
+		}
+		for i := 0; i < layout.InodeSize; i++ {
+			b.Data[slot*layout.InodeSize+i] = 0
+		}
+		fs.c.MarkDirty(b)
+		b.Release()
+		fs.freeExtInode(idx)
+		n++
+	}
+	return n, fs.c.Sync()
+}
+
+// fixDot regenerates a "." or ".." entry: rewritten in place when a
+// slot with that name exists, otherwise written into a free slot.
+func (s *checkState) fixDot(df dotFix) (bool, error) {
+	fs := s.fs
+	in, err := fs.getInode(df.dir)
+	if err != nil || in.Type != vfs.TypeDir {
+		return false, nil
+	}
+	var off int
+	b, err := fs.forEachSlot(&in, df.dir, func(_ *cache.Buf, e slotEntry, used bool) bool {
+		if used && e.name == df.name {
+			off = e.slot * slotSize
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return false, nil
+	}
+	if b == nil {
+		var free slotEntry
+		b, free, err = fs.dirFindFree(&in, df.dir)
+		if err != nil {
+			return false, err
+		}
+		off = free.slot * slotSize
+		if err := fs.putInode(df.dir, &in, false); err != nil {
+			b.Release()
+			return false, err
+		}
+	}
+	writeSlotExternal(b.Data, off, df.name, df.target, vfs.TypeDir)
+	fs.c.MarkDirty(b)
+	b.Release()
+	return true, nil
+}
+
+// clearPtr cuts one block pointer of an inode. The freed block's bitmap
+// state is corrected later by the allocation rebuild.
+func (s *checkState) clearPtr(pr ptrRef) (bool, error) {
+	fs := s.fs
+	in, err := fs.getInode(pr.ino)
+	if err != nil {
+		return false, nil
+	}
+	switch pr.kind {
+	case ptrIndir:
+		in.Indir = 0
+		return true, fs.putInode(pr.ino, &in, false)
+	case ptrDIndir:
+		in.DIndir = 0
+		return true, fs.putInode(pr.ino, &in, false)
+	case ptrL2:
+		if in.DIndir == 0 {
+			return false, nil
+		}
+		return s.zeroPtrInBlock(int64(in.DIndir), int(pr.lb))
+	}
+	// ptrData: resolve which pointer holds logical block pr.lb.
+	lb := pr.lb
+	if lb < layout.NDirect {
+		in.Direct[lb] = 0
+		return true, fs.putInode(pr.ino, &in, false)
+	}
+	rel := lb - layout.NDirect
+	if rel < layout.PtrsPerBlock {
+		if in.Indir == 0 {
+			return false, nil
+		}
+		return s.zeroPtrInBlock(int64(in.Indir), int(rel))
+	}
+	rel -= layout.PtrsPerBlock
+	if in.DIndir == 0 {
+		return false, nil
+	}
+	db, err := fs.c.Read(int64(in.DIndir))
+	if err != nil {
+		return false, nil
+	}
+	l2 := leBytes{db.Data}.u32(int(rel/layout.PtrsPerBlock) * 4)
+	db.Release()
+	if l2 == 0 {
+		return false, nil
+	}
+	return s.zeroPtrInBlock(int64(l2), int(rel%layout.PtrsPerBlock))
+}
+
+// zeroPtrInBlock zeroes the kth u32 of a pointer block.
+func (s *checkState) zeroPtrInBlock(block int64, k int) (bool, error) {
+	b, err := s.fs.c.Read(block)
+	if err != nil {
+		return false, nil
+	}
+	leBytes{b.Data}.pu32(k*4, 0)
+	s.fs.c.MarkDirty(b)
+	b.Release()
+	return true, nil
+}
+
+// rewriteAlloc rebuilds bitmaps and group descriptors from the walk's
+// used set and syncs the image. It returns the number of corrections.
+func (s *checkState) rewriteAlloc() (int, error) {
+	fs, n := s.fs, 0
 	for ag := 0; ag < fs.sb.NAG; ag++ {
 		hdr, err := fs.c.Read(fs.sb.agStart(ag))
 		if err != nil {
-			return err
+			return n, err
 		}
 		bm := fs.blockBitmap(hdr)
 		for i := 0; i < fs.sb.AGBlocks; i++ {
@@ -328,7 +671,7 @@ func (s *checkState) repair() error {
 				} else {
 					bm.Clear(i)
 				}
-				r.RepairsMade++
+				n++
 			}
 		}
 		// Drop group state not backed by referenced blocks.
@@ -346,11 +689,11 @@ func (s *checkState) repair() error {
 			}
 			if fixed != d {
 				writeDesc(hdr, k, fixed)
-				r.RepairsMade++
+				n++
 			}
 		}
 		fs.c.MarkDirty(hdr)
 		hdr.Release()
 	}
-	return fs.c.Sync()
+	return n, fs.c.Sync()
 }

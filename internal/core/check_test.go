@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cffs/internal/blockio"
+	"cffs/internal/fsck"
 	"cffs/internal/layout"
 	"cffs/internal/vfs"
 )
@@ -215,6 +216,107 @@ func TestCheckDetectsStaleGroupDescriptor(t *testing.T) {
 	rep, _ = Check(fs.Device(), false)
 	if !rep.Clean() {
 		t.Fatalf("descriptor not repaired: %v", rep.Problems)
+	}
+}
+
+// Structural damage — dangling entries, corrupt link counts, lost dot
+// entries, orphan inodes — must not just be detected: repair has to
+// remove it and a fresh check must come back clean.
+func TestCheckRepairsStructuralDamage(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Mode: ModeDelayed})
+	populate(t, fs)
+
+	rin, err := fs.getLiveInode(RootIno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootBlk, err := fs.bmap(&rin, RootIno, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, blockio.BlockSize)
+	if err := fs.Device().ReadBlock(rootBlk, raw); err != nil {
+		t.Fatal(err)
+	}
+	// A dangling entry: a name referencing an external inode that does
+	// not exist.
+	planted := false
+	for s := 0; s < slotsPerBlock; s++ {
+		if !slotUsed(raw, s*slotSize) {
+			writeSlotExternal(raw, s*slotSize, "ghost", vfs.Ino(500), vfs.TypeReg)
+			planted = true
+			break
+		}
+	}
+	if !planted {
+		t.Fatal("no free slot in root block")
+	}
+	// A corrupt embedded link count.
+	for s := 0; s < slotsPerBlock; s++ {
+		off := s * slotSize
+		if slotEmbedded(raw, off) {
+			var in layout.Inode
+			in.Decode(raw[off+slotInodeOff:])
+			in.Nlink = 5
+			in.Encode(raw[off+slotInodeOff:])
+			break
+		}
+	}
+	if err := fs.Device().WriteBlock(rootBlk, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	// A lost "." entry in a subdirectory.
+	subIno, err := vfs.Walk(fs, "/sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sin, err := fs.getLiveInode(subIno)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subBlk, err := fs.bmap(&sin, subIno, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Device().ReadBlock(subBlk, raw); err != nil {
+		t.Fatal(err)
+	}
+	clearSlot(raw, 0) // "." lives in slot 0 (initDirData)
+	if err := fs.Device().WriteBlock(subBlk, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Check(fs.Device(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("planted damage not detected")
+	}
+	if rep.RepairsMade == 0 {
+		t.Fatalf("no repairs made for %v", rep.Problems)
+	}
+	if len(rep.Unrepairable) != 0 {
+		t.Fatalf("repair left problems behind: %v", rep.Unrepairable)
+	}
+	if got := rep.Outcome(); got != fsck.OutcomeRepaired {
+		t.Fatalf("Outcome = %v, want repaired", got)
+	}
+	rep2, err := Check(fs.Device(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Clean() {
+		t.Fatalf("image not clean after repair: %v", rep2.Problems)
+	}
+	// The dangling name must be gone, not resurrected.
+	fs2, err := Mount(fs.Device(), Options{EmbedInodes: true, Mode: ModeDelayed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vfs.Walk(fs2, "/ghost"); err == nil {
+		t.Fatal("dangling entry survived repair")
 	}
 }
 

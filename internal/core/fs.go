@@ -264,24 +264,22 @@ func (fs *FS) unlink(dir vfs.Ino, name string) error {
 	}
 
 	if e.embedded {
-		// Free the data (bitmap updates are delayed writes), then kill
-		// name and inode together with a single ordered write.
+		// Kill name and inode together with a single ordered write, then
+		// free the data (bitmap updates are delayed writes). The ordered
+		// clear must come first: once a block free is visible it can be
+		// reallocated, and a crash before the entry clear was durable
+		// would leave the old inode claiming a reused block.
 		var in layout.Inode
 		in.Decode(b.Data[e.slot*slotSize+slotInodeOff:])
-		b.Release()
-		if err := fs.truncate(&in, e.ino(), 0); err != nil {
-			return err
-		}
-		b, err = fs.c.Read(e.block)
-		if err != nil {
-			return err
-		}
 		clearSlot(b.Data, e.slot*slotSize)
 		if err := fs.syncMeta(b); err != nil {
 			b.Release()
 			return err
 		}
 		b.Release()
+		if err := fs.truncate(&in, e.ino(), 0); err != nil {
+			return err
+		}
 		din.Mtime = fs.clk.Now()
 		return fs.putInode(dir, &din, false)
 	}

@@ -343,6 +343,24 @@ func (d *Disk) Write(lba int64, buf []byte) error {
 	return d.store.WriteAt(buf, lba*SectorSize)
 }
 
+// WriteOrdered performs a timed write that is also an ordering barrier:
+// the file system asserts that every write it issued before this one
+// must be durable before it, and that it must be durable before any
+// later write. The timing model is identical to Write; the barrier is
+// forwarded to the backing store when it implements OrderedStore, so a
+// fault-injecting store can pin down which writes a simulated crash may
+// still lose or reorder.
+func (d *Disk) WriteOrdered(lba int64, buf []byte) error {
+	n := sectorCount(len(buf))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.access(lba, n, true)
+	if os, ok := d.store.(OrderedStore); ok {
+		return os.WriteAtOrdered(buf, lba*SectorSize)
+	}
+	return d.store.WriteAt(buf, lba*SectorSize)
+}
+
 // ReadV performs one timed read of a physically contiguous range starting
 // at lba, scattering the data into bufs in order. This is the
 // scatter/gather path explicit grouping depends on: one request, many

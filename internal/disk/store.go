@@ -16,6 +16,19 @@ type Store interface {
 	Close() error
 }
 
+// OrderedStore is a Store that distinguishes ordered (barrier) writes
+// from ordinary delayed writes. An ordered write is the unit of the
+// file systems' metadata integrity argument: every write issued before
+// it must be durable before it, and it must be durable before any write
+// issued after it. Plain stores need not care — the data is identical —
+// but the fault-injection store (internal/fault) uses the distinction to
+// bound which writes a simulated power cut may reorder or lose.
+type OrderedStore interface {
+	Store
+	// WriteAtOrdered is WriteAt plus barrier semantics.
+	WriteAtOrdered(p []byte, off int64) error
+}
+
 // memChunkBits sizes MemStore's allocation unit (256 KB chunks).
 const memChunkBits = 18
 
@@ -82,6 +95,20 @@ func (m *MemStore) WriteAt(p []byte, off int64) error {
 
 // Close implements Store.
 func (m *MemStore) Close() error { return nil }
+
+// Clone returns an independent copy of the image. The crash-enumeration
+// harness snapshots a base image once and rebuilds a candidate crash
+// state from the snapshot for every crash point, so cloning copies only
+// the chunks that have materialized.
+func (m *MemStore) Clone() *MemStore {
+	c := &MemStore{size: m.size, chunks: make(map[int64][]byte, len(m.chunks))}
+	for i, ch := range m.chunks {
+		dup := make([]byte, len(ch))
+		copy(dup, ch)
+		c.chunks[i] = dup
+	}
+	return c
+}
 
 // FileStore backs the disk image with a file, so mkfs/fsck-style tools
 // can operate on persistent images.

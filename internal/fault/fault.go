@@ -1,0 +1,295 @@
+// Package fault wraps the simulated disk's byte store with injectable
+// failures: a power cut after a countdown of writes, torn (partial)
+// multi-sector writes, latent sector read errors, and bounded
+// reordering of delayed writes. The point is to test the paper's
+// integrity argument instead of assuming it — C-FFS claims that because
+// a name+inode pair lives in one sector, a single ordered write keeps
+// the on-disk state recoverable, and this package manufactures the
+// crash states that claim must survive.
+//
+// The fault model follows the paper's hardware assumptions: a sector
+// write is atomic (a "torn" write loses whole trailing sectors of a
+// multi-sector transfer, never half a sector), and ordered writes are
+// barriers — everything issued before an ordered write is durable
+// before it, and it is durable before anything issued after it.
+// Delayed writes between two barriers may be lost or reordered by a
+// power cut; that freedom is exactly what the injector exercises.
+//
+// Two entry points share the model. Store is a live injector for
+// interactive use (cfsh `inject`) and stress tests: faults fire while a
+// file system is running. Recorder (record.go) taps the write stream of
+// a healthy run so the crash-enumeration harness (fault/harness) can
+// rebuild the disk image at every write boundary offline.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"cffs/internal/disk"
+	"cffs/internal/obs"
+)
+
+// ErrPowerCut is returned by every I/O after a simulated power cut,
+// until Revive restores power.
+var ErrPowerCut = errors.New("fault: simulated power cut")
+
+// ErrReadFault is wrapped by read errors injected on marked sectors.
+var ErrReadFault = errors.New("fault: latent sector read error")
+
+// undoRec is the pre-image of one delayed write still inside the
+// reorder window: the bytes the range held before the write applied.
+type undoRec struct {
+	off int64
+	pre []byte
+}
+
+func (r *undoRec) overlaps(off, n int64) bool {
+	return off < r.off+int64(len(r.pre)) && r.off < off+n
+}
+
+// Store is a disk.Store (and disk.OrderedStore) that forwards to an
+// inner store while injecting configured faults. All methods are safe
+// for concurrent use; fault triggers are serialized under one mutex so
+// a power cut observed by one goroutine is a cut for all of them.
+type Store struct {
+	mu    sync.Mutex
+	inner disk.Store
+	rng   *rand.Rand
+
+	cutAfter int64 // writes until power cut; <0 disarmed
+	cut      bool
+
+	tornProb float64
+
+	badSectors map[int64]struct{}
+
+	window  int // max delayed writes whose pre-images are retained
+	pending []undoRec
+
+	// Injection counters; nil (no-op) until SetMetrics.
+	mCut     *obs.Counter
+	mTorn    *obs.Counter
+	mReadErr *obs.Counter
+	mDropped *obs.Counter
+}
+
+// DefaultReorderWindow bounds how many delayed writes since the last
+// barrier a power cut may drop or reorder. Sixteen matches the 64 KB
+// driver transfer cap — one clustered group write — which is the most
+// the simulated disk ever holds volatile at once.
+const DefaultReorderWindow = 16
+
+// NewStore wraps inner with a fault injector. The seed drives every
+// probabilistic choice (torn lengths, reorder drops), so a run is
+// reproducible from its seed. No faults are armed initially.
+func NewStore(inner disk.Store, seed int64) *Store {
+	return &Store{
+		inner:      inner,
+		rng:        rand.New(rand.NewSource(seed)),
+		cutAfter:   -1,
+		badSectors: make(map[int64]struct{}),
+		window:     DefaultReorderWindow,
+	}
+}
+
+// SetMetrics attaches injection counters: fault.injected.powercut,
+// fault.injected.torn, fault.injected.readerr, fault.reorder.dropped.
+func (s *Store) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mCut = r.Counter("fault.injected.powercut")
+	s.mTorn = r.Counter("fault.injected.torn")
+	s.mReadErr = r.Counter("fault.injected.readerr")
+	s.mDropped = r.Counter("fault.reorder.dropped")
+}
+
+// CutAfterWrites arms a power cut: the next n store-level writes
+// succeed, then power fails and every subsequent I/O returns
+// ErrPowerCut. n = 0 cuts on the very next write; n < 0 disarms.
+func (s *Store) CutAfterWrites(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cutAfter = n
+}
+
+// CutNow cuts power immediately, dropping a random legal subset of the
+// delayed writes still in the reorder window.
+func (s *Store) CutNow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.cut {
+		s.powerCut()
+	}
+}
+
+// Revive restores power after a cut: subsequent I/O reaches the inner
+// store again. The image is whatever the cut left behind — the caller
+// is expected to remount and run fsck, exactly like a machine reboot.
+func (s *Store) Revive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cut = false
+	s.cutAfter = -1
+}
+
+// Down reports whether power is currently cut.
+func (s *Store) Down() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cut
+}
+
+// SetTornProb makes each multi-sector write lose a uniformly chosen
+// non-empty suffix of its sectors with probability p. The write still
+// reports success — a torn write is a lie the hardware told, discovered
+// only later — so p should be used with fsck close at hand.
+func (s *Store) SetTornProb(p float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tornProb = p
+}
+
+// FailSector marks one sector (by LBA) as unreadable: any read
+// overlapping it returns an error wrapping ErrReadFault. Writes still
+// succeed and clear the fault, modeling a sector remap.
+func (s *Store) FailSector(lba int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.badSectors[lba] = struct{}{}
+}
+
+// ClearFaults disarms every configured fault (cut countdown, torn
+// probability, bad sectors) without touching power state.
+func (s *Store) ClearFaults() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cutAfter = -1
+	s.tornProb = 0
+	s.badSectors = make(map[int64]struct{})
+}
+
+// SetReorderWindow bounds how many delayed writes keep pre-images for
+// rollback at a power cut. Zero disables reordering: a cut then loses
+// nothing already acknowledged, only the in-flight write.
+func (s *Store) SetReorderWindow(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.window = k
+	if k == 0 {
+		s.pending = nil
+	}
+}
+
+// ReadAt implements disk.Store.
+func (s *Store) ReadAt(p []byte, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cut {
+		return ErrPowerCut
+	}
+	if len(s.badSectors) > 0 && len(p) > 0 {
+		last := (off + int64(len(p)) - 1) / disk.SectorSize
+		for lba := off / disk.SectorSize; lba <= last; lba++ {
+			if _, bad := s.badSectors[lba]; bad {
+				s.mReadErr.Inc()
+				return fmt.Errorf("%w: sector %d", ErrReadFault, lba)
+			}
+		}
+	}
+	return s.inner.ReadAt(p, off)
+}
+
+// WriteAt implements disk.Store: a delayed write, free to be dropped or
+// reordered by a power cut until the next barrier retires it.
+func (s *Store) WriteAt(p []byte, off int64) error {
+	return s.write(p, off, false)
+}
+
+// WriteAtOrdered implements disk.OrderedStore: a barrier write. Every
+// pending delayed write is committed (its pre-image discarded) before
+// the barrier applies, so a later cut can no longer disturb them.
+func (s *Store) WriteAtOrdered(p []byte, off int64) error {
+	return s.write(p, off, true)
+}
+
+func (s *Store) write(p []byte, off int64, ordered bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cut {
+		return ErrPowerCut
+	}
+	if s.cutAfter == 0 {
+		s.powerCut()
+		return ErrPowerCut
+	}
+	if s.cutAfter > 0 {
+		s.cutAfter--
+	}
+	if ordered {
+		s.pending = s.pending[:0]
+	}
+	for lba := range s.badSectors {
+		if off <= lba*disk.SectorSize && lba*disk.SectorSize < off+int64(len(p)) {
+			delete(s.badSectors, lba) // overwrite remaps the sector
+		}
+	}
+	if s.tornProb > 0 && len(p) > disk.SectorSize && s.rng.Float64() < s.tornProb {
+		keep := (1 + s.rng.Intn(len(p)/disk.SectorSize-1)) * disk.SectorSize
+		s.mTorn.Inc()
+		return s.inner.WriteAt(p[:keep], off)
+	}
+	if !ordered && s.window > 0 {
+		pre := make([]byte, len(p))
+		if err := s.inner.ReadAt(pre, off); err != nil {
+			return err
+		}
+		s.pending = append(s.pending, undoRec{off: off, pre: pre})
+		if len(s.pending) > s.window {
+			// Oldest record retires: treated as durable from here on.
+			s.pending = s.pending[1:]
+		}
+	}
+	return s.inner.WriteAt(p, off)
+}
+
+// powerCut flips the store dead and rolls back a random legal subset of
+// the delayed writes still in the reorder window. Newest-first: a
+// record may be dropped only if no kept newer record overlaps it,
+// because restoring its pre-image would also revert the newer data.
+// (The offline harness models the full legal set; the live rollback is
+// the cheap subset reachable by pre-image restore.) Called with s.mu
+// held.
+func (s *Store) powerCut() {
+	s.cut = true
+	s.cutAfter = -1
+	s.mCut.Inc()
+	var kept []undoRec
+	for i := len(s.pending) - 1; i >= 0; i-- {
+		r := s.pending[i]
+		blocked := false
+		for j := range kept {
+			if kept[j].overlaps(r.off, int64(len(r.pre))) {
+				blocked = true
+				break
+			}
+		}
+		if blocked || s.rng.Intn(2) == 0 {
+			kept = append(kept, r)
+			continue
+		}
+		// Best effort: the inner store accepted this range moments ago.
+		if err := s.inner.WriteAt(r.pre, r.off); err == nil {
+			s.mDropped.Inc()
+		}
+	}
+	s.pending = nil
+}
+
+// Close implements disk.Store.
+func (s *Store) Close() error { return s.inner.Close() }

@@ -1,0 +1,270 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"cffs/internal/disk"
+	"cffs/internal/obs"
+)
+
+const sect = disk.SectorSize
+
+func filled(n int, b byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func readBack(t *testing.T, st disk.Store, off int64, n int) []byte {
+	t.Helper()
+	p := make([]byte, n)
+	if err := st.ReadAt(p, off); err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	return p
+}
+
+// One table over the injector modes: each case arms one fault, runs a
+// small write/read script, and checks the visible failure.
+func TestInjectorModes(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, s *Store, reg *obs.Registry)
+	}{
+		{"power-cut-countdown", func(t *testing.T, s *Store, reg *obs.Registry) {
+			s.CutAfterWrites(2)
+			buf := filled(sect, 1)
+			// Ordered writes: barrier-protected, so the cut cannot roll
+			// them back — only the third write is lost.
+			if err := s.WriteAtOrdered(buf, 0); err != nil {
+				t.Fatalf("write 1: %v", err)
+			}
+			if err := s.WriteAtOrdered(buf, sect); err != nil {
+				t.Fatalf("write 2: %v", err)
+			}
+			if err := s.WriteAt(buf, 2*sect); !errors.Is(err, ErrPowerCut) {
+				t.Fatalf("write 3: got %v, want ErrPowerCut", err)
+			}
+			if err := s.ReadAt(buf, 0); !errors.Is(err, ErrPowerCut) {
+				t.Fatalf("read while down: got %v, want ErrPowerCut", err)
+			}
+			if !s.Down() {
+				t.Fatal("store should report Down after cut")
+			}
+			s.Revive()
+			if got := readBack(t, s, 0, sect); got[0] != 1 {
+				t.Fatal("ordered write before the cut must survive it")
+			}
+			if got := readBack(t, s, 2*sect, sect); got[0] != 0 {
+				t.Fatal("write at the cut must not have applied")
+			}
+			if reg.Snapshot().Counter("fault.injected.powercut") != 1 {
+				t.Fatal("power cut not counted")
+			}
+		}},
+		{"torn-write", func(t *testing.T, s *Store, reg *obs.Registry) {
+			s.SetTornProb(1)
+			if err := s.WriteAt(filled(4*sect, 7), 0); err != nil {
+				t.Fatalf("torn write reported failure: %v", err)
+			}
+			got := readBack(t, s, 0, 4*sect)
+			torn := 0
+			for i := 0; i < 4; i++ {
+				if got[i*sect] == 0 {
+					torn++
+				}
+			}
+			if torn == 0 || got[0] == 0 {
+				t.Fatalf("want a lost non-empty suffix, first sector intact; sectors lost = %d", torn)
+			}
+			for i := 1; i < 4; i++ {
+				if got[i*sect] == 0 && got[(i-1)*sect] == 0 {
+					continue
+				}
+				if got[i*sect] != 0 && got[(i-1)*sect] == 0 {
+					t.Fatal("torn write lost a middle sector, not a suffix")
+				}
+			}
+			// Single-sector writes are atomic: never torn.
+			if err := s.WriteAt(filled(sect, 9), 8*sect); err != nil {
+				t.Fatal(err)
+			}
+			if got := readBack(t, s, 8*sect, sect); got[sect-1] != 9 {
+				t.Fatal("single-sector write must be atomic")
+			}
+			if reg.Snapshot().Counter("fault.injected.torn") != 1 {
+				t.Fatal("torn write not counted")
+			}
+		}},
+		{"latent-read-error", func(t *testing.T, s *Store, reg *obs.Registry) {
+			if err := s.WriteAt(filled(2*sect, 3), 0); err != nil {
+				t.Fatal(err)
+			}
+			s.FailSector(1)
+			p := make([]byte, 2*sect)
+			if err := s.ReadAt(p, 0); !errors.Is(err, ErrReadFault) {
+				t.Fatalf("read over bad sector: got %v, want ErrReadFault", err)
+			}
+			if err := s.ReadAt(p[:sect], 0); err != nil {
+				t.Fatalf("read beside bad sector: %v", err)
+			}
+			// A write remaps the sector and clears the fault.
+			if err := s.WriteAt(filled(sect, 4), sect); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.ReadAt(p, 0); err != nil {
+				t.Fatalf("read after remap: %v", err)
+			}
+			if reg.Snapshot().Counter("fault.injected.readerr") != 1 {
+				t.Fatal("read error not counted")
+			}
+		}},
+		{"reorder-respects-barriers", func(t *testing.T, s *Store, reg *obs.Registry) {
+			// Delayed write A, then a barrier, then delayed B..E, then a
+			// cut. The barrier commits A; only B..E are at risk.
+			if err := s.WriteAt(filled(sect, 0xA), 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.WriteAtOrdered(filled(sect, 0xB), sect); err != nil {
+				t.Fatal(err)
+			}
+			for i := int64(0); i < 4; i++ {
+				if err := s.WriteAt(filled(sect, 0xC), (2+i)*sect); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s.CutNow()
+			s.Revive()
+			if readBack(t, s, 0, sect)[0] != 0xA {
+				t.Fatal("delayed write before a barrier must survive the cut")
+			}
+			if readBack(t, s, sect, sect)[0] != 0xB {
+				t.Fatal("the barrier write itself must survive the cut")
+			}
+			dropped := reg.Snapshot().Counter("fault.reorder.dropped")
+			lost := 0
+			for i := int64(0); i < 4; i++ {
+				if readBack(t, s, (2+i)*sect, sect)[0] == 0 {
+					lost++
+				}
+			}
+			if int64(lost) != dropped {
+				t.Fatalf("rolled-back writes (%d) disagree with counter (%d)", lost, dropped)
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := NewStore(disk.NewMemStore(1<<20), 42)
+			reg := obs.NewRegistry()
+			s.SetMetrics(reg)
+			c.run(t, s, reg)
+		})
+	}
+}
+
+// With the window at zero, a cut loses only the in-flight write: every
+// acknowledged delayed write is treated as durable.
+func TestReorderWindowZero(t *testing.T) {
+	s := NewStore(disk.NewMemStore(1<<20), 1)
+	s.SetReorderWindow(0)
+	for i := int64(0); i < 8; i++ {
+		if err := s.WriteAt(filled(sect, 5), i*sect); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.CutNow()
+	s.Revive()
+	for i := int64(0); i < 8; i++ {
+		if readBack(t, s, i*sect, sect)[0] != 5 {
+			t.Fatalf("write %d lost with reordering disabled", i)
+		}
+	}
+}
+
+func TestRecorderReplay(t *testing.T) {
+	base := disk.NewMemStore(1 << 20)
+	// Seed the image before recording starts, as mkfs would.
+	if err := base.WriteAt(filled(sect, 0xEE), 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := base.Clone()
+	r := NewRecorder(base)
+
+	if err := r.WriteAt(filled(sect, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	r.Mark("op1")
+	if err := r.WriteAtOrdered(filled(sect, 2), sect); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteAt(filled(2*sect, 3), 2*sect); err != nil {
+		t.Fatal(err)
+	}
+	r.Mark("op2")
+	log := r.Log()
+
+	if len(log.Entries) != 3 || !log.Entries[1].Ordered || log.Entries[0].Ordered {
+		t.Fatalf("bad log: %+v", log.Entries)
+	}
+	if got := log.CompletedBy(1); len(got) != 1 || got[0] != "op1" {
+		t.Fatalf("CompletedBy(1) = %v", got)
+	}
+	if got := log.CompletedBy(3); len(got) != 2 {
+		t.Fatalf("CompletedBy(3) = %v", got)
+	}
+
+	// Prefix 1: only the first write applied, pre-recording bytes gone.
+	st := snap.Clone()
+	if err := log.ApplyPrefix(st, 1); err != nil {
+		t.Fatal(err)
+	}
+	if readBack(t, st, 0, sect)[0] != 1 || readBack(t, st, sect, sect)[0] != 0 {
+		t.Fatal("prefix 1 wrong")
+	}
+
+	// Torn replay of the 2-sector write keeps only its first sector.
+	st = snap.Clone()
+	if err := log.ApplyTorn(st, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if readBack(t, st, 2*sect, sect)[0] != 3 || readBack(t, st, 3*sect, sect)[0] != 0 {
+		t.Fatal("torn replay wrong")
+	}
+	if err := log.ApplyTorn(snap.Clone(), 0, 1); err == nil {
+		t.Fatal("tearing a single-sector write must be rejected")
+	}
+
+	// Only the delayed write after the barrier is droppable at the end.
+	if got := log.DroppableAt(3); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("DroppableAt(3) = %v", got)
+	}
+	st = snap.Clone()
+	if err := log.ApplyPrefixDropping(st, 3, map[int]bool{2: true}); err != nil {
+		t.Fatal(err)
+	}
+	if readBack(t, st, 2*sect, sect)[0] != 0 {
+		t.Fatal("dropped write still present")
+	}
+	if err := log.ApplyPrefixDropping(snap.Clone(), 3, map[int]bool{1: true}); err == nil {
+		t.Fatal("dropping a barrier write must be rejected")
+	}
+	if err := log.ApplyPrefixDropping(snap.Clone(), 3, map[int]bool{0: true}); err == nil {
+		t.Fatal("dropping a write behind a barrier must be rejected")
+	}
+
+	// Full prefix replay onto the snapshot equals the live image.
+	st = snap.Clone()
+	if err := log.ApplyPrefix(st, len(log.Entries)); err != nil {
+		t.Fatal(err)
+	}
+	a := readBack(t, st, 0, 4*sect)
+	b := readBack(t, base, 0, 4*sect)
+	if !bytes.Equal(a, b) {
+		t.Fatal("full replay differs from live image")
+	}
+}

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/fault"
+	"cffs/internal/fsck"
+	"cffs/internal/lfs"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+)
+
+// TestCFFSEnumeratesAllBoundaries is the tentpole claim: with embedded
+// inodes and ordered metadata, EVERY write boundary of the smallfile
+// create/delete workload — plus sampled torn and reorder states —
+// recovers to a consistent image, and no completed operation is lost.
+func TestCFFSEnumeratesAllBoundaries(t *testing.T) {
+	cfg := CFFSConfig(core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeSync}, true)
+	cfg.Seed = 7
+	res, log, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes == 0 {
+		t.Fatal("workload recorded no writes")
+	}
+	if res.CrashPoints != res.Writes+1 {
+		t.Fatalf("covered %d of %d write boundaries", res.CrashPoints, res.Writes+1)
+	}
+	if res.TornStates == 0 || res.ReorderStates == 0 {
+		t.Fatalf("no torn (%d) or reorder (%d) states sampled", res.TornStates, res.ReorderStates)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unrepaired state: %s", f)
+	}
+	for _, v := range res.DurabilityViolations {
+		t.Errorf("durability violation: %s", v)
+	}
+	// The recording must show marks: the oracle is vacuous otherwise.
+	if len(log.Marks) != 12 {
+		t.Fatalf("expected 12 op marks, got %d", len(log.Marks))
+	}
+	if res.RecoveryNsTotal == 0 {
+		t.Fatal("no simulated recovery time accumulated")
+	}
+}
+
+// TestCFFSDelayedStillRepairable drops the ordering: pure delayed
+// writes lose durability (no oracle), but every crash state must still
+// be repairable — fsck may discard, never corrupt.
+func TestCFFSDelayedStillRepairable(t *testing.T) {
+	cfg := CFFSConfig(core.Options{EmbedInodes: true, Mode: core.ModeDelayed}, false)
+	cfg.Seed = 7
+	res, _, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unrepaired state: %s", f)
+	}
+}
+
+func TestFFSEnumeration(t *testing.T) {
+	cfg := FFSConfig()
+	cfg.Seed = 11
+	res, _, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashPoints != res.Writes+1 {
+		t.Fatalf("covered %d of %d write boundaries", res.CrashPoints, res.Writes+1)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unrepaired state: %s", f)
+	}
+	for _, v := range res.DurabilityViolations {
+		t.Errorf("durability violation: %s", v)
+	}
+}
+
+func TestLFSEnumeration(t *testing.T) {
+	cfg := LFSConfig()
+	// Override the workload: sync mid-stream so some crash states
+	// straddle a checkpoint boundary.
+	cfg.Workload = func(dev *blockio.Device, mark func(string)) error {
+		fs, err := lfs.Mount(dev, lfs.Options{})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 8; i++ {
+			if err := vfs.WriteFile(fs, fmt.Sprintf("/f%d", i), make([]byte, 1024)); err != nil {
+				return err
+			}
+			if i == 3 {
+				if err := fs.Sync(); err != nil {
+					return err
+				}
+				mark("sync")
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if err := vfs.Remove(fs, fmt.Sprintf("/f%d", i)); err != nil {
+				return err
+			}
+		}
+		return fs.Close()
+	}
+	cfg.Seed = 13
+	res, _, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashPoints != res.Writes+1 {
+		t.Fatalf("covered %d of %d write boundaries", res.CrashPoints, res.Writes+1)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unrepaired state: %s", f)
+	}
+}
+
+func TestMaxCrashPointsSampling(t *testing.T) {
+	cfg := CFFSConfig(core.Options{EmbedInodes: true, Mode: core.ModeSync}, false)
+	cfg.Seed = 7
+	cfg.MaxCrashPoints = 10
+	cfg.TornSamples = 2
+	cfg.ReorderSamples = 2
+	res, _, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashPoints > 10 {
+		t.Fatalf("sampled %d boundaries, cap was 10", res.CrashPoints)
+	}
+	if res.CrashPoints < 2 {
+		t.Fatalf("sampling degenerate: %d boundaries", res.CrashPoints)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unrepaired state: %s", f)
+	}
+}
+
+func TestCrashBoundariesSampling(t *testing.T) {
+	all := crashBoundaries(5, 0)
+	if len(all) != 6 || all[0] != 0 || all[5] != 5 {
+		t.Fatalf("full enumeration wrong: %v", all)
+	}
+	s := crashBoundaries(100, 5)
+	if len(s) != 5 || s[0] != 0 || s[len(s)-1] != 100 {
+		t.Fatalf("sample must span endpoints: %v", s)
+	}
+	tiny := crashBoundaries(2, 10)
+	if len(tiny) != 3 {
+		t.Fatalf("cap above total must enumerate all: %v", tiny)
+	}
+}
+
+// TestStressRandomFaultsUnderLoad drives concurrent workload
+// goroutines against a live fault injector — torn writes, a latent
+// read error, and finally a power cut — then revives the store and
+// requires fsck to repair whatever the crash left. Run with -race.
+func TestStressRandomFaultsUnderLoad(t *testing.T) {
+	spec := disk.SeagateST31200()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inner := disk.NewMemStore(spec.Geom.Bytes())
+	fst := fault.NewStore(inner, 99)
+
+	newDevOver := func(st disk.Store) *blockio.Device {
+		d, err := disk.New(spec, sim.NewClock(), st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blockio.NewDevice(d, sched.CLook{})
+	}
+
+	opts := core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeSync}
+	fs, err := core.Mkfs(newDevOver(fst), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fst.SetTornProb(0.02)
+	fst.FailSector(int64(spec.Geom.Sectors() - 8)) // latent error in the tail
+	fst.CutAfterWrites(200)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; ; i++ {
+				path := fmt.Sprintf("/g%d-f%d", g, i)
+				err := vfs.WriteFile(fs, path, make([]byte, 512+rng.Intn(2048)))
+				if err == nil && rng.Intn(3) == 0 {
+					err = vfs.Remove(fs, path)
+				}
+				if err != nil {
+					// The cut fails every write from here on; stop.
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if !fst.Down() {
+		t.Fatal("power cut never fired")
+	}
+
+	// Power back on: mount the surviving image and repair it.
+	fst.Revive()
+	fst.ClearFaults()
+	rep, err := core.Check(newDevOver(fst), true)
+	if err != nil {
+		t.Fatalf("fsck after crash: %v", err)
+	}
+	if len(rep.Unrepairable) > 0 {
+		t.Fatalf("unrepairable damage: %v", rep.Unrepairable)
+	}
+	rep2, err := core.Check(newDevOver(fst), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Clean() {
+		t.Fatalf("image not clean after repair: %v", rep2.Problems)
+	}
+	if rep.Outcome() == fsck.OutcomeUnrepaired {
+		t.Fatalf("outcome %v", rep.Outcome())
+	}
+}

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/ffs"
+	"cffs/internal/lfs"
+	"cffs/internal/vfs"
+)
+
+// This file holds the standard configurations the repo's tools share:
+// the paper's small-file create/delete workload over each of the three
+// file systems, with a namespace durability oracle for the modes that
+// promise one. The enumeration engine itself (harness.go) stays
+// independent of the concrete file systems.
+
+// SmallfileWorkload creates 8 small files and deletes 4 — the paper's
+// small-file pattern at crash-enumeration scale — marking every
+// namespace operation as "create /fN" / "unlink /fN" for the oracle.
+// closer flushes and unmounts whatever fs is.
+func SmallfileWorkload(fs vfs.FileSystem, closer func() error, mark func(string)) error {
+	for i := 0; i < 8; i++ {
+		path := fmt.Sprintf("/f%d", i)
+		if err := vfs.WriteFile(fs, path, make([]byte, 1024)); err != nil {
+			return err
+		}
+		mark("create " + path)
+	}
+	for i := 0; i < 4; i++ {
+		path := fmt.Sprintf("/f%d", i)
+		if err := vfs.Remove(fs, path); err != nil {
+			return err
+		}
+		mark("unlink " + path)
+	}
+	return closer()
+}
+
+// NamespaceOracle replays the completed create/unlink marks into an
+// expected-presence map and checks the mounted namespace against it.
+// The in-flight operation's path is exempt: a crash mid-operation may
+// legally expose either the old or the new state.
+func NamespaceOracle(fs vfs.FileSystem, completed []string, inflight string) error {
+	expect := make(map[string]bool)
+	for _, m := range completed {
+		op, path, ok := strings.Cut(m, " ")
+		if !ok {
+			continue
+		}
+		expect[path] = op == "create"
+	}
+	if _, path, ok := strings.Cut(inflight, " "); ok {
+		delete(expect, path)
+	}
+	for path, present := range expect {
+		_, err := vfs.Walk(fs, path)
+		if present && err != nil {
+			return fmt.Errorf("completed create of %s lost: %v", path, err)
+		}
+		if !present && err == nil {
+			return fmt.Errorf("completed unlink of %s resurrected", path)
+		}
+	}
+	return nil
+}
+
+// CFFSConfig builds the smallfile enumeration config for a C-FFS
+// variant. The namespace oracle is attached only with oracle set —
+// sound for ModeSync, vacuous harm for ModeDelayed (completion promises
+// nothing there).
+func CFFSConfig(opts core.Options, oracle bool) Config {
+	cfg := Config{
+		Mkfs: func(dev *blockio.Device) error {
+			fs, err := core.Mkfs(dev, opts)
+			if err != nil {
+				return err
+			}
+			return fs.Close()
+		},
+		Workload: func(dev *blockio.Device, mark func(string)) error {
+			fs, err := core.Mount(dev, opts)
+			if err != nil {
+				return err
+			}
+			return SmallfileWorkload(fs, fs.Close, mark)
+		},
+		Fsck: core.Check,
+	}
+	if oracle {
+		cfg.Verify = func(dev *blockio.Device, completed []string, inflight string) error {
+			fs, err := core.Mount(dev, opts)
+			if err != nil {
+				return fmt.Errorf("remount: %w", err)
+			}
+			return NamespaceOracle(fs, completed, inflight)
+		}
+	}
+	return cfg
+}
+
+// FFSConfig builds the smallfile enumeration config for the baseline
+// FFS with synchronous metadata, oracle attached.
+func FFSConfig() Config {
+	opts := ffs.Options{Mode: ffs.ModeSync}
+	return Config{
+		Mkfs: func(dev *blockio.Device) error {
+			fs, err := ffs.Mkfs(dev, opts)
+			if err != nil {
+				return err
+			}
+			return fs.Close()
+		},
+		Workload: func(dev *blockio.Device, mark func(string)) error {
+			fs, err := ffs.Mount(dev, opts)
+			if err != nil {
+				return err
+			}
+			return SmallfileWorkload(fs, fs.Close, mark)
+		},
+		Fsck: ffs.Check,
+		Verify: func(dev *blockio.Device, completed []string, inflight string) error {
+			fs, err := ffs.Mount(dev, opts)
+			if err != nil {
+				return fmt.Errorf("remount: %w", err)
+			}
+			return NamespaceOracle(fs, completed, inflight)
+		},
+	}
+}
+
+// LFSConfig builds the smallfile enumeration config for the LFS
+// baseline. No oracle: LFS durability is the checkpoint, not the
+// individual operation.
+func LFSConfig() Config {
+	return Config{
+		Mkfs: func(dev *blockio.Device) error {
+			fs, err := lfs.Mkfs(dev, lfs.Options{})
+			if err != nil {
+				return err
+			}
+			return fs.Close()
+		},
+		Workload: func(dev *blockio.Device, mark func(string)) error {
+			fs, err := lfs.Mount(dev, lfs.Options{})
+			if err != nil {
+				return err
+			}
+			return SmallfileWorkload(fs, fs.Close, func(string) {})
+		},
+		Fsck: lfs.Check,
+	}
+}

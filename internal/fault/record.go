@@ -1,0 +1,198 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"cffs/internal/disk"
+)
+
+// Entry is one recorded store-level write. Data is a private copy.
+type Entry struct {
+	Off     int64
+	Data    []byte
+	Ordered bool // barrier write (cache.WriteSync)
+}
+
+// Sectors returns how many whole sectors the write spans.
+func (e *Entry) Sectors() int { return len(e.Data) / disk.SectorSize }
+
+// Mark names a position in the write stream: the workload calls
+// Recorder.Mark after an operation returns, so Index is the number of
+// writes that had been issued when the operation was known complete.
+type Mark struct {
+	Name  string
+	Index int
+}
+
+// Log is the recorded write stream of one failure-free run. The
+// crash-enumeration harness rebuilds the disk image at any write
+// boundary by replaying a prefix onto a snapshot of the starting image.
+type Log struct {
+	Entries []Entry
+	Marks   []Mark
+}
+
+// Recorder is a pass-through disk.OrderedStore that records every write
+// into a Log. Reads are forwarded untouched.
+type Recorder struct {
+	mu    sync.Mutex
+	inner disk.Store
+	log   Log
+}
+
+// NewRecorder wraps inner with a write recorder.
+func NewRecorder(inner disk.Store) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Mark records that the named operation completed at the current write
+// boundary.
+func (r *Recorder) Mark(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.log.Marks = append(r.log.Marks, Mark{Name: name, Index: len(r.log.Entries)})
+}
+
+// Log returns the recorded stream. The caller must be done writing.
+func (r *Recorder) Log() *Log {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &r.log
+}
+
+// ReadAt implements disk.Store.
+func (r *Recorder) ReadAt(p []byte, off int64) error {
+	return r.inner.ReadAt(p, off)
+}
+
+// WriteAt implements disk.Store.
+func (r *Recorder) WriteAt(p []byte, off int64) error {
+	return r.record(p, off, false)
+}
+
+// WriteAtOrdered implements disk.OrderedStore.
+func (r *Recorder) WriteAtOrdered(p []byte, off int64) error {
+	return r.record(p, off, true)
+}
+
+func (r *Recorder) record(p []byte, off int64, ordered bool) error {
+	dup := make([]byte, len(p))
+	copy(dup, p)
+	r.mu.Lock()
+	r.log.Entries = append(r.log.Entries, Entry{Off: off, Data: dup, Ordered: ordered})
+	r.mu.Unlock()
+	return r.inner.WriteAt(p, off)
+}
+
+// Close implements disk.Store.
+func (r *Recorder) Close() error { return r.inner.Close() }
+
+// ApplyPrefix replays the first n writes onto st: the disk image of a
+// clean crash immediately after the nth write completed.
+func (l *Log) ApplyPrefix(st disk.Store, n int) error {
+	if n < 0 || n > len(l.Entries) {
+		return fmt.Errorf("fault: prefix %d outside log of %d writes", n, len(l.Entries))
+	}
+	for i := 0; i < n; i++ {
+		e := &l.Entries[i]
+		if err := st.WriteAt(e.Data, e.Off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyTorn replays the first n writes, then applies only the first
+// `sectors` sectors of write n: the image of a crash that tore the
+// (n+1)th write. sectors must be in [1, Sectors()-1] — sector writes
+// are atomic, so a multi-sector write can only lose whole trailing
+// sectors.
+func (l *Log) ApplyTorn(st disk.Store, n, sectors int) error {
+	if n >= len(l.Entries) {
+		return fmt.Errorf("fault: torn point %d outside log of %d writes", n, len(l.Entries))
+	}
+	e := &l.Entries[n]
+	if sectors < 1 || sectors >= e.Sectors() {
+		return fmt.Errorf("fault: torn length %d of a %d-sector write", sectors, e.Sectors())
+	}
+	if err := l.ApplyPrefix(st, n); err != nil {
+		return err
+	}
+	return st.WriteAt(e.Data[:sectors*disk.SectorSize], e.Off)
+}
+
+// ApplyPrefixDropping replays the first n writes except those whose
+// indices are in drop: the image of a crash at boundary n where the
+// disk's volatile cache had reordered the dropped writes behind their
+// neighbors. Every index in drop must be legally droppable at n — see
+// DroppableAt.
+func (l *Log) ApplyPrefixDropping(st disk.Store, n int, drop map[int]bool) error {
+	if n < 0 || n > len(l.Entries) {
+		return fmt.Errorf("fault: prefix %d outside log of %d writes", n, len(l.Entries))
+	}
+	barrier := l.lastBarrier(n)
+	for i := 0; i < n; i++ {
+		if drop[i] {
+			if l.Entries[i].Ordered || i <= barrier {
+				return fmt.Errorf("fault: write %d is not droppable at boundary %d (barrier at %d)", i, n, barrier)
+			}
+			continue
+		}
+		e := &l.Entries[i]
+		if err := st.WriteAt(e.Data, e.Off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DroppableAt returns the indices of writes a crash at boundary n may
+// legally lose: the delayed writes issued after the last barrier. An
+// ordered write guarantees everything before it is durable, so only the
+// tail beyond the newest barrier is still volatile.
+func (l *Log) DroppableAt(n int) []int {
+	var out []int
+	for i := l.lastBarrier(n) + 1; i < n; i++ {
+		if !l.Entries[i].Ordered {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// InFlightAt returns the name of the operation in flight at write
+// boundary n — the first mark recorded after n, whose writes may be
+// partially applied in a crash at n. Sequential workloads have at most
+// one. Empty when every recorded mark precedes the boundary.
+func (l *Log) InFlightAt(n int) string {
+	for _, m := range l.Marks {
+		if m.Index > n {
+			return m.Name
+		}
+	}
+	return ""
+}
+
+// lastBarrier returns the index of the newest ordered write before
+// boundary n, or -1.
+func (l *Log) lastBarrier(n int) int {
+	for i := n - 1; i >= 0; i-- {
+		if l.Entries[i].Ordered {
+			return i
+		}
+	}
+	return -1
+}
+
+// CompletedBy returns the names of operations whose completion marks
+// were recorded at or before write boundary n, in order.
+func (l *Log) CompletedBy(n int) []string {
+	var out []string
+	for _, m := range l.Marks {
+		if m.Index <= n {
+			out = append(out, m.Name)
+		}
+	}
+	return out
+}

@@ -13,17 +13,59 @@ import (
 // Check is the offline consistency checker for baseline FFS images
 // (the classic FSCK role [McKusick94]): it walks the namespace from the
 // root, rebuilds block and inode bitmaps, and verifies link counts and
-// directory structure. With repair set, the bitmaps are rewritten from
-// the walk.
+// directory structure.
+//
+// With repair set, Check follows the same recovery discipline as the
+// C-FFS checker: structural fixes (dangling entries cleared, orphan
+// inodes zeroed, bad pointers cut, link/block counts and "."/".."
+// rewritten) are applied and the walk repeated until stable, then the
+// bitmaps are rebuilt from the repaired namespace and a verification
+// walk classifies anything left as unrepairable.
 func Check(dev *blockio.Device, repair bool) (*fsck.Report, error) {
 	fs, err := Mount(dev, Options{})
 	if err != nil {
 		return nil, err
 	}
-	r := &fsck.Report{}
+	r := &fsck.Report{FS: "ffs"}
+	s, err := runFFSWalk(fs, r)
+	if err != nil {
+		return nil, err
+	}
+	if !repair || r.Clean() {
+		r.UsedBlocks = len(s.used)
+		return r, nil
+	}
+	cur := s
+	for pass := 0; pass < 4 && cur.fx.any(); pass++ {
+		n, err := cur.applyFixes()
+		if err != nil {
+			return nil, err
+		}
+		r.RepairsMade += n
+		if cur, err = runFFSWalk(fs, &fsck.Report{}); err != nil {
+			return nil, err
+		}
+	}
+	n, err := cur.rewriteAlloc()
+	if err != nil {
+		return nil, err
+	}
+	r.RepairsMade += n
+	rv := &fsck.Report{}
+	v, err := runFFSWalk(fs, rv)
+	if err != nil {
+		return nil, err
+	}
+	r.Unrepairable = rv.Problems
+	r.UsedBlocks = len(v.used)
+	return r, nil
+}
+
+func runFFSWalk(fs *FS, r *fsck.Report) (*ffsCheck, error) {
 	s := &ffsCheck{
 		fs:      fs,
 		r:       r,
+		fx:      newFFSFixes(),
 		used:    make(map[int64]string),
 		inoSeen: make(map[vfs.Ino]int),
 		inoLink: make(map[vfs.Ino]int),
@@ -41,51 +83,100 @@ func Check(dev *blockio.Device, repair bool) (*fsck.Report, error) {
 		return nil, err
 	}
 	s.finish()
-	if repair && !r.Clean() {
-		if err := s.repair(); err != nil {
-			return nil, err
-		}
-	}
-	r.UsedBlocks = len(s.used)
-	return r, nil
+	return s, nil
+}
+
+// entRef names one directory record on disk.
+type entRef struct {
+	block  int64
+	off    int
+	reclen int
+}
+
+// Pointer-clear kinds, as in the C-FFS checker.
+const (
+	ffsPtrData = iota
+	ffsPtrIndir
+	ffsPtrDIndir
+	ffsPtrL2
+)
+
+type ffsPtrRef struct {
+	ino  vfs.Ino
+	kind int
+	lb   int64
+}
+
+type ffsDotFix struct {
+	dir    vfs.Ino
+	name   string
+	target vfs.Ino
+}
+
+type ffsFixes struct {
+	clearEnts []entRef
+	dots      []ffsDotFix
+	nlink     map[vfs.Ino]uint16
+	nblocks   map[vfs.Ino]uint32
+	clearPtrs []ffsPtrRef
+	zeroIno   []vfs.Ino
+}
+
+func newFFSFixes() *ffsFixes {
+	return &ffsFixes{nlink: make(map[vfs.Ino]uint16), nblocks: make(map[vfs.Ino]uint32)}
+}
+
+func (f *ffsFixes) any() bool {
+	return len(f.clearEnts)+len(f.dots)+len(f.nlink)+len(f.nblocks)+
+		len(f.clearPtrs)+len(f.zeroIno) > 0
 }
 
 type ffsCheck struct {
 	fs      *FS
 	r       *fsck.Report
+	fx      *ffsFixes
 	used    map[int64]string
 	inoSeen map[vfs.Ino]int
 	inoLink map[vfs.Ino]int
 	visited map[vfs.Ino]bool
 }
 
-func (s *ffsCheck) claim(block int64, owner string) {
+func (s *ffsCheck) problem(format string, args ...any) {
+	s.r.Problems = append(s.r.Problems, fmt.Sprintf(format, args...))
+}
+
+// claim records a block owner; it reports whether the claim was first.
+func (s *ffsCheck) claim(block int64, owner string) bool {
 	if prev, ok := s.used[block]; ok {
-		s.r.Problems = append(s.r.Problems,
-			fmt.Sprintf("block %d claimed by both %s and %s", block, prev, owner))
-		return
+		s.problem("block %d claimed by both %s and %s", block, prev, owner)
+		return false
 	}
 	s.used[block] = owner
+	return true
+}
+
+// subRef is a subdirectory entry queued for recursion, with the record
+// location so a bad child can be cleared.
+type subRef struct {
+	name string
+	ino  vfs.Ino
+	ent  entRef
 }
 
 func (s *ffsCheck) walkDir(dir, parent vfs.Ino, path string) error {
-	if s.visited[dir] {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: directory cycle at inode %d", path, dir))
-		return nil
-	}
 	s.visited[dir] = true
 	s.r.Dirs++
 	in, err := s.fs.getInode(dir)
 	if err != nil || in.Type != vfs.TypeDir {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bad directory inode %d", path, dir))
+		s.problem("%s: bad directory inode %d", path, dir)
 		return nil
 	}
 	s.inoLink[dir] = int(in.Nlink)
 	s.claimFileBlocks(&in, dir, path)
 
 	var dotOK, dotdotOK bool
-	var subdirs []vfs.DirEntry
-	_, err = s.fs.forEachDirent(&in, dir, func(_ *cache.Buf, e dirent) bool {
+	var subdirs []subRef
+	_, err = s.fs.forEachDirent(&in, dir, func(b *cache.Buf, e dirent) bool {
 		if e.ino == 0 {
 			return false
 		}
@@ -97,12 +188,15 @@ func (s *ffsCheck) walkDir(dir, parent vfs.Ino, path string) error {
 		default:
 			ino := vfs.Ino(e.ino)
 			s.inoSeen[ino]++
+			ref := entRef{block: b.Block, off: e.off, reclen: e.reclen}
 			if e.ftype == vfs.TypeDir {
-				subdirs = append(subdirs, vfs.DirEntry{Name: e.name, Ino: ino})
+				subdirs = append(subdirs, subRef{name: e.name, ino: ino, ent: ref})
 			} else if s.inoSeen[ino] == 1 {
 				fin, err := s.fs.getInode(ino)
 				if err != nil || !fin.Alive() {
-					s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s%s: dangling inode %d", path, e.name, ino))
+					s.problem("%s%s: dangling inode %d", path, e.name, ino)
+					s.fx.clearEnts = append(s.fx.clearEnts, ref)
+					s.inoSeen[ino]--
 				} else {
 					s.inoLink[ino] = int(fin.Nlink)
 					s.r.Files++
@@ -113,20 +207,39 @@ func (s *ffsCheck) walkDir(dir, parent vfs.Ino, path string) error {
 		return false
 	})
 	if err != nil {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: walk failed: %v", path, err))
+		s.problem("%s: walk failed: %v", path, err)
 		return nil
 	}
-	if !dotOK || !dotdotOK {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bad \".\" or \"..\"", path))
+	if !dotOK {
+		s.problem("%s: bad or missing \".\"", path)
+		s.fx.dots = append(s.fx.dots, ffsDotFix{dir: dir, name: ".", target: dir})
 	}
+	if !dotdotOK {
+		s.problem("%s: bad or missing \"..\"", path)
+		s.fx.dots = append(s.fx.dots, ffsDotFix{dir: dir, name: "..", target: parent})
+	}
+	nsub := 0
 	for _, e := range subdirs {
-		if err := s.walkDir(e.Ino, dir, path+e.Name+"/"); err != nil {
+		name := path + e.name
+		if s.visited[e.ino] {
+			s.problem("%s: second name for directory inode %d", name, e.ino)
+			s.fx.clearEnts = append(s.fx.clearEnts, e.ent)
+			continue
+		}
+		cin, err := s.fs.getInode(e.ino)
+		if err != nil || !cin.Alive() || cin.Type != vfs.TypeDir {
+			s.problem("%s: dangling directory entry (inode %d)", name, e.ino)
+			s.fx.clearEnts = append(s.fx.clearEnts, e.ent)
+			continue
+		}
+		nsub++
+		if err := s.walkDir(e.ino, dir, name+"/"); err != nil {
 			return err
 		}
 	}
-	if int(in.Nlink) != 2+len(subdirs) {
-		s.r.Problems = append(s.r.Problems,
-			fmt.Sprintf("%s: nlink %d, expected %d", path, in.Nlink, 2+len(subdirs)))
+	if int(in.Nlink) != 2+nsub {
+		s.problem("%s: nlink %d, expected %d", path, in.Nlink, 2+nsub)
+		s.fx.nlink[dir] = uint16(2 + nsub)
 	}
 	return nil
 }
@@ -137,35 +250,55 @@ func (s *ffsCheck) claimFileBlocks(in *layout.Inode, ino vfs.Ino, name string) {
 	for lb := int64(0); lb < nblocks; lb++ {
 		phys, err := s.fs.bmap(in, ino, lb, false)
 		if err != nil {
-			s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: bmap(%d): %v", name, lb, err))
-			return
+			s.problem("%s: bmap(%d): %v", name, lb, err)
+			s.fx.clearPtrs = append(s.fx.clearPtrs, ffsPtrRef{ino: ino, kind: ffsPtrData, lb: lb})
+			continue
 		}
-		if phys != 0 {
-			s.claim(phys, name)
+		if phys == 0 {
+			continue
+		}
+		if phys >= s.fs.sb.NBlocks || !s.claim(phys, name) {
+			if phys >= s.fs.sb.NBlocks {
+				s.problem("%s: block %d of %d is outside the volume", name, phys, lb)
+			}
+			s.fx.clearPtrs = append(s.fx.clearPtrs, ffsPtrRef{ino: ino, kind: ffsPtrData, lb: lb})
+			continue
+		}
+		counted++
+	}
+	if in.Indir != 0 {
+		if int64(in.Indir) >= s.fs.sb.NBlocks || !s.claim(int64(in.Indir), name+" (indirect)") {
+			s.fx.clearPtrs = append(s.fx.clearPtrs, ffsPtrRef{ino: ino, kind: ffsPtrIndir})
+		} else {
 			counted++
 		}
 	}
-	if in.Indir != 0 {
-		s.claim(int64(in.Indir), name+" (indirect)")
-		counted++
-	}
 	if in.DIndir != 0 {
-		s.claim(int64(in.DIndir), name+" (double indirect)")
-		counted++
-		db, err := s.fs.c.Read(int64(in.DIndir))
-		if err == nil {
-			le := leBytes{db.Data}
-			for k := 0; k < layout.PtrsPerBlock; k++ {
-				if p := le.u32(k * 4); p != 0 {
-					s.claim(int64(p), name+" (indirect level 2)")
-					counted++
+		if int64(in.DIndir) >= s.fs.sb.NBlocks || !s.claim(int64(in.DIndir), name+" (double indirect)") {
+			s.fx.clearPtrs = append(s.fx.clearPtrs, ffsPtrRef{ino: ino, kind: ffsPtrDIndir})
+		} else {
+			counted++
+			db, err := s.fs.c.Read(int64(in.DIndir))
+			if err == nil {
+				le := leBytes{db.Data}
+				for k := 0; k < layout.PtrsPerBlock; k++ {
+					p := le.u32(k * 4)
+					if p == 0 {
+						continue
+					}
+					if int64(p) >= s.fs.sb.NBlocks || !s.claim(int64(p), name+" (indirect level 2)") {
+						s.fx.clearPtrs = append(s.fx.clearPtrs, ffsPtrRef{ino: ino, kind: ffsPtrL2, lb: int64(k)})
+					} else {
+						counted++
+					}
 				}
+				db.Release()
 			}
-			db.Release()
 		}
 	}
 	if counted != in.NBlocks {
-		s.r.Problems = append(s.r.Problems, fmt.Sprintf("%s: NBlocks %d, found %d", name, in.NBlocks, counted))
+		s.problem("%s: NBlocks %d, found %d", name, in.NBlocks, counted)
+		s.fx.nblocks[ino] = counted
 	}
 }
 
@@ -179,6 +312,7 @@ func (s *ffsCheck) finish() {
 		referenced := s.inoSeen[ino] > 0 || s.visited[ino]
 		if in.Alive() && !referenced {
 			r.Problems = append(r.Problems, fmt.Sprintf("orphan inode %d", ino))
+			s.fx.zeroIno = append(s.fx.zeroIno, ino)
 		}
 		if !in.Alive() && referenced {
 			r.Problems = append(r.Problems, fmt.Sprintf("referenced inode %d is dead", ino))
@@ -186,6 +320,7 @@ func (s *ffsCheck) finish() {
 		if referenced && !s.visited[ino] && s.inoSeen[ino] != s.inoLink[ino] {
 			r.Problems = append(r.Problems,
 				fmt.Sprintf("inode %d: nlink %d, found %d names", ino, s.inoLink[ino], s.inoSeen[ino]))
+			s.fx.nlink[ino] = uint16(s.inoSeen[ino])
 		}
 	}
 	for cg := 0; cg < fs.sb.NCG; cg++ {
@@ -221,12 +356,171 @@ func (s *ffsCheck) finish() {
 	}
 }
 
-func (s *ffsCheck) repair() error {
-	fs, r := s.fs, s.r
+// applyFixes executes the structural repair plan and syncs the image.
+func (s *ffsCheck) applyFixes() (int, error) {
+	fs, n := s.fs, 0
+	for _, er := range s.fx.clearEnts {
+		b, err := fs.c.Read(er.block)
+		if err != nil {
+			return n, err
+		}
+		// Freeing in place (ino 0, reclen kept) is always valid; slack
+		// merging is an optimization the next dirAdd can redo.
+		encodeDirent(b.Data, er.off, 0, er.reclen, vfs.TypeInvalid, "")
+		fs.c.MarkDirty(b)
+		b.Release()
+		n++
+	}
+	for _, df := range s.fx.dots {
+		ok, err := s.fixDot(df)
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			n++
+		}
+	}
+	for _, pr := range s.fx.clearPtrs {
+		ok, err := s.clearPtr(pr)
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			n++
+		}
+	}
+	for ino, v := range s.fx.nlink {
+		in, err := fs.getInode(ino)
+		if err != nil {
+			continue
+		}
+		in.Nlink = v
+		if err := fs.putInode(ino, &in, false); err != nil {
+			return n, err
+		}
+		n++
+	}
+	for ino, v := range s.fx.nblocks {
+		in, err := fs.getInode(ino)
+		if err != nil {
+			continue
+		}
+		in.NBlocks = v
+		if err := fs.putInode(ino, &in, false); err != nil {
+			return n, err
+		}
+		n++
+	}
+	for _, ino := range s.fx.zeroIno {
+		var zero layout.Inode
+		if err := fs.putInode(ino, &zero, false); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, fs.c.Sync()
+}
+
+// fixDot rewrites a "." or ".." record in place, or inserts one when it
+// is missing entirely.
+func (s *ffsCheck) fixDot(df ffsDotFix) (bool, error) {
+	fs := s.fs
+	in, err := fs.getInode(df.dir)
+	if err != nil || in.Type != vfs.TypeDir {
+		return false, nil
+	}
+	var found dirent
+	b, err := fs.forEachDirent(&in, df.dir, func(_ *cache.Buf, e dirent) bool {
+		if e.ino != 0 && e.name == df.name {
+			found = e
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return false, nil
+	}
+	if b != nil {
+		// Rewrite the target in place; name and reclen are unchanged.
+		encodeDirent(b.Data, found.off, uint32(df.target), found.reclen, vfs.TypeDir, df.name)
+		fs.c.MarkDirty(b)
+		b.Release()
+		return true, nil
+	}
+	b, err = fs.dirAdd(&in, df.dir, df.name, df.target, vfs.TypeDir)
+	if err != nil {
+		return false, err
+	}
+	fs.c.MarkDirty(b)
+	b.Release()
+	return true, fs.putInode(df.dir, &in, false)
+}
+
+func (s *ffsCheck) clearPtr(pr ffsPtrRef) (bool, error) {
+	fs := s.fs
+	in, err := fs.getInode(pr.ino)
+	if err != nil {
+		return false, nil
+	}
+	switch pr.kind {
+	case ffsPtrIndir:
+		in.Indir = 0
+		return true, fs.putInode(pr.ino, &in, false)
+	case ffsPtrDIndir:
+		in.DIndir = 0
+		return true, fs.putInode(pr.ino, &in, false)
+	case ffsPtrL2:
+		if in.DIndir == 0 {
+			return false, nil
+		}
+		return s.zeroPtrInBlock(int64(in.DIndir), int(pr.lb))
+	}
+	lb := pr.lb
+	if lb < layout.NDirect {
+		in.Direct[lb] = 0
+		return true, fs.putInode(pr.ino, &in, false)
+	}
+	rel := lb - layout.NDirect
+	if rel < layout.PtrsPerBlock {
+		if in.Indir == 0 {
+			return false, nil
+		}
+		return s.zeroPtrInBlock(int64(in.Indir), int(rel))
+	}
+	rel -= layout.PtrsPerBlock
+	if in.DIndir == 0 {
+		return false, nil
+	}
+	db, err := fs.c.Read(int64(in.DIndir))
+	if err != nil {
+		return false, nil
+	}
+	l2 := leBytes{db.Data}.u32(int(rel/layout.PtrsPerBlock) * 4)
+	db.Release()
+	if l2 == 0 {
+		return false, nil
+	}
+	return s.zeroPtrInBlock(int64(l2), int(rel%layout.PtrsPerBlock))
+}
+
+func (s *ffsCheck) zeroPtrInBlock(block int64, k int) (bool, error) {
+	b, err := s.fs.c.Read(block)
+	if err != nil {
+		return false, nil
+	}
+	leBytes{b.Data}.pu32(k*4, 0)
+	s.fs.c.MarkDirty(b)
+	b.Release()
+	return true, nil
+}
+
+// rewriteAlloc rebuilds block and inode bitmaps from the walk.
+func (s *ffsCheck) rewriteAlloc() (int, error) {
+	fs, n := s.fs, 0
 	for cg := 0; cg < fs.sb.NCG; cg++ {
 		hdr, err := fs.c.Read(fs.sb.cgStart(cg))
 		if err != nil {
-			return err
+			return n, err
 		}
 		bm := fs.blockBitmap(hdr)
 		ibm := fs.inodeBitmap(hdr)
@@ -242,7 +536,7 @@ func (s *ffsCheck) repair() error {
 				} else {
 					bm.Clear(i)
 				}
-				r.RepairsMade++
+				n++
 			}
 		}
 		for i := 0; i < fs.sb.InodesPerCG; i++ {
@@ -254,11 +548,11 @@ func (s *ffsCheck) repair() error {
 				} else {
 					ibm.Clear(i)
 				}
-				r.RepairsMade++
+				n++
 			}
 		}
 		fs.c.MarkDirty(hdr)
 		hdr.Release()
 	}
-	return fs.c.Sync()
+	return n, fs.c.Sync()
 }

@@ -1,0 +1,58 @@
+package fsck
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestOutcomeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Report
+		want Outcome
+		exit int
+	}{
+		{"clean", Report{}, OutcomeClean, 0},
+		{"repaired", Report{Problems: []string{"x"}, RepairsMade: 1}, OutcomeRepaired, 1},
+		{"detected-only", Report{Problems: []string{"x"}}, OutcomeUnrepaired, 4},
+		{"left-over", Report{Problems: []string{"x"}, RepairsMade: 3,
+			Unrepairable: []string{"y"}}, OutcomeUnrepaired, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.r.Outcome(); got != c.want {
+				t.Fatalf("Outcome() = %v, want %v", got, c.want)
+			}
+			if got := c.r.Outcome().ExitCode(); got != c.exit {
+				t.Fatalf("ExitCode() = %d, want %d", got, c.exit)
+			}
+		})
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := Report{FS: "cffs", Files: 3, Dirs: 1, Problems: []string{"block 9 lost"}, RepairsMade: 1}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got["outcome"] != "repaired" || got["exit_code"] != float64(1) {
+		t.Fatalf("derived fields wrong: %v", got)
+	}
+	if got["fs"] != "cffs" || got["files"] != float64(3) {
+		t.Fatalf("report fields wrong: %v", got)
+	}
+}
+
+func TestSummaryMentionsUnrepairable(t *testing.T) {
+	r := Report{Problems: []string{"a", "b"}, RepairsMade: 1, Unrepairable: []string{"b"}}
+	if s := r.Summary(); !strings.Contains(s, "UNREPAIRABLE") {
+		t.Fatalf("summary %q should flag unrepairable problems", s)
+	}
+}

@@ -330,12 +330,17 @@ func (fs *FS) FreeBlocks() (int64, error) {
 // must equal the per-segment count of owned blocks, and every owned
 // block must fall inside a valid segment. It is the LFS analogue of the
 // other file systems' fsck.
-func Check(dev *blockio.Device, _ bool) (*fsck.Report, error) {
+//
+// Mounting from the checkpoint IS the LFS recovery path — everything
+// after the last checkpoint rolls back — so with repair set, Check
+// persists the recovered state with a fresh checkpoint write, making
+// the repair durable.
+func Check(dev *blockio.Device, repair bool) (*fsck.Report, error) {
 	fs, err := Mount(dev, Options{})
 	if err != nil {
 		return nil, err
 	}
-	r := &fsck.Report{}
+	r := &fsck.Report{FS: "lfs"}
 	counts := make([]int, fs.nsegs)
 	for addr := range fs.owners {
 		seg := fs.segOf(addr)
@@ -372,5 +377,11 @@ func Check(dev *blockio.Device, _ bool) (*fsck.Report, error) {
 		}
 	}
 	r.UsedBlocks = len(fs.owners)
+	if repair && !r.Clean() {
+		if err := fs.Sync(); err != nil {
+			return nil, err
+		}
+		r.RepairsMade = len(r.Problems)
+	}
 	return r, nil
 }

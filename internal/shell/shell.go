@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"cffs/internal/blockio"
+	"cffs/internal/fault"
 	"cffs/internal/obs"
 	"cffs/internal/vfs"
 )
@@ -22,6 +23,7 @@ type Shell struct {
 	fs  vfs.FileSystem
 	dev *blockio.Device // optional, for df/iostat
 	reg *obs.Registry   // optional, for stats
+	fst *fault.Store    // optional, for inject
 	cwd string
 	out io.Writer
 }
@@ -34,6 +36,10 @@ func New(fs vfs.FileSystem, dev *blockio.Device, out io.Writer) *Shell {
 // SetRegistry attaches the metrics registry the file system was mounted
 // with, enabling the stats command.
 func (sh *Shell) SetRegistry(r *obs.Registry) { sh.reg = r }
+
+// SetFaultStore attaches the fault injector the device was built over,
+// enabling the inject command.
+func (sh *Shell) SetFaultStore(f *fault.Store) { sh.fst = f }
 
 // Cwd returns the current directory.
 func (sh *Shell) Cwd() string { return sh.cwd }
@@ -86,6 +92,8 @@ func (sh *Shell) Run(line string) error {
 		return sh.iostat()
 	case "stats":
 		return sh.stats(args)
+	case "inject":
+		return sh.inject(args)
 	case "sync":
 		return sh.fs.Sync()
 	default:
@@ -110,6 +118,8 @@ func (sh *Shell) help() error {
   df                 free space
   iostat             disk request counters
   stats [-json|-reset]  metrics registry exposition
+  inject <sub>       fault injection: cut <n>|now, torn <prob>,
+                     readerr <lba>, revive, clear, status
   cd / pwd / sync / exit
 `)
 	return nil
@@ -375,6 +385,76 @@ func (sh *Shell) iostat() error {
 	fmt.Fprintf(sh.out, "requests=%d reads=%d writes=%d bytes=%d cachehits=%d busy=%.3fs\n",
 		s.Requests, s.Reads, s.Writes, s.BytesMoved(), s.CacheHits, float64(s.BusyNanos)/1e9)
 	return nil
+}
+
+// inject drives the fault injector: arm a power-cut countdown, set the
+// torn-write probability, plant a latent sector read error, revive a
+// cut store, or clear latent faults.
+func (sh *Shell) inject(args []string) error {
+	if sh.fst == nil {
+		return fmt.Errorf("inject: no fault injector attached (run with -faults)")
+	}
+	usage := fmt.Errorf("usage: inject cut <n>|now | torn <prob> | readerr <lba> | revive | clear | status")
+	if len(args) == 0 {
+		return usage
+	}
+	switch args[0] {
+	case "cut":
+		if len(args) != 2 {
+			return usage
+		}
+		if args[1] == "now" {
+			sh.fst.CutNow()
+			fmt.Fprintln(sh.out, "power cut")
+			return nil
+		}
+		var n int64
+		if _, err := fmt.Sscanf(args[1], "%d", &n); err != nil || n < 0 {
+			return usage
+		}
+		sh.fst.CutAfterWrites(n)
+		fmt.Fprintf(sh.out, "power cut armed: %d writes\n", n)
+		return nil
+	case "torn":
+		if len(args) != 2 {
+			return usage
+		}
+		var p float64
+		if _, err := fmt.Sscanf(args[1], "%g", &p); err != nil || p < 0 || p > 1 {
+			return usage
+		}
+		sh.fst.SetTornProb(p)
+		fmt.Fprintf(sh.out, "torn-write probability: %g\n", p)
+		return nil
+	case "readerr":
+		if len(args) != 2 {
+			return usage
+		}
+		var lba int64
+		if _, err := fmt.Sscanf(args[1], "%d", &lba); err != nil || lba < 0 {
+			return usage
+		}
+		sh.fst.FailSector(lba)
+		fmt.Fprintf(sh.out, "latent read error at sector %d\n", lba)
+		return nil
+	case "revive":
+		sh.fst.Revive()
+		fmt.Fprintln(sh.out, "power restored")
+		return nil
+	case "clear":
+		sh.fst.ClearFaults()
+		fmt.Fprintln(sh.out, "latent faults cleared")
+		return nil
+	case "status":
+		state := "on"
+		if sh.fst.Down() {
+			state = "off (cut)"
+		}
+		fmt.Fprintf(sh.out, "power: %s\n", state)
+		return nil
+	default:
+		return usage
+	}
 }
 
 // stats renders the metrics registry: text by default, -json for the

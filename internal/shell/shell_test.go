@@ -11,6 +11,7 @@ import (
 	"cffs/internal/blockio"
 	"cffs/internal/core"
 	"cffs/internal/disk"
+	"cffs/internal/fault"
 	"cffs/internal/sched"
 	"cffs/internal/sim"
 )
@@ -165,5 +166,58 @@ func TestShellErrorsAndExit(t *testing.T) {
 	}
 	if err := sh.Run("help"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestShellInject(t *testing.T) {
+	spec := disk.SeagateST31200()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fst := fault.NewStore(disk.NewMemStore(spec.Geom.Bytes()), 1)
+	d, err := disk.New(spec, sim.NewClock(), fst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := blockio.NewDevice(d, sched.CLook{})
+	fs, err := core.Mkfs(dev, core.Options{EmbedInodes: true, Mode: core.ModeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	sh := New(fs, dev, &out)
+
+	// Without an injector attached, inject must refuse.
+	if err := sh.Run("inject status"); err == nil {
+		t.Fatal("inject without a fault store should fail")
+	}
+	sh.SetFaultStore(fst)
+
+	run(t, sh,
+		"inject torn 0.5",
+		"inject readerr 100",
+		"inject clear",
+		"inject status",
+		"inject cut 2",
+		"write /a one",
+		"write /b two",
+	)
+	// The countdown has expired: the next durable write dies.
+	if err := sh.Run("write /c three"); err == nil {
+		t.Fatal("write after the armed cut should fail")
+	}
+	if !fst.Down() {
+		t.Fatal("store should be down after the cut")
+	}
+	run(t, sh, "inject status", "inject revive")
+	s := out.String()
+	for _, want := range []string{"torn-write probability: 0.5", "power cut armed: 2",
+		"power: off (cut)", "power restored"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("inject output missing %q:\n%s", want, s)
+		}
+	}
+	if err := sh.Run("inject bogus"); err == nil {
+		t.Fatal("unknown subcommand should fail")
 	}
 }
