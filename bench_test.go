@@ -358,3 +358,24 @@ func BenchmarkConcurrency(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWriteback regenerates the async write-behind comparison:
+// create-phase throughput of each sync mount against its async
+// counterpart, where the daemon retires dirty blocks early as clustered
+// transfers.
+func BenchmarkWriteback(b *testing.B) {
+	tables := runExperiment(b, "writeback")
+	col := map[string]int{}
+	for i, c := range tables[0].Columns {
+		col[c] = i
+	}
+	for _, row := range tables[0].Rows {
+		if row[0] != "create" && row[0] != "delete" {
+			continue
+		}
+		for _, v := range []string{"C-FFS sync", "C-FFS async", "FFS async", "LFS async"} {
+			key := row[0] + "-" + strings.ReplaceAll(strings.ToLower(v), " ", "-")
+			b.ReportMetric(cell(b, row[col[v]]), key+"-files/s")
+		}
+	}
+}

@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	cfsh -img disk.img [-drive name] [-c "cmd; cmd; ..."]
+//	cfsh -img disk.img [-drive name] [-async] [-c "cmd; cmd; ..."]
+//
+// -async mounts with the write-behind daemon: dirty blocks leave the
+// cache early as clustered transfers instead of waiting for sync.
 //
 // Without -c it reads commands from stdin (one per line).
 package main
@@ -29,6 +32,7 @@ import (
 	"cffs/internal/shell"
 	"cffs/internal/sim"
 	"cffs/internal/vfs"
+	"cffs/internal/writeback"
 )
 
 func main() {
@@ -38,6 +42,7 @@ func main() {
 		script = flag.String("c", "", "semicolon-separated commands to run non-interactively")
 		faults = flag.Bool("faults", false, "wrap the image in a fault injector (inject command)")
 		seed   = flag.Int64("seed", 1, "fault injector RNG seed")
+		async  = flag.Bool("async", false, "mount asynchronously: enable the write-behind daemon")
 	)
 	flag.Parse()
 	if *img == "" {
@@ -62,14 +67,15 @@ func main() {
 	var magic [4]byte
 	fatal(store.ReadAt(magic[:], 0))
 	reg := obs.NewRegistry()
+	wbcfg := writeback.Config{Enabled: *async}
 	var fs vfs.FileSystem
 	switch binary.LittleEndian.Uint32(magic[:]) {
 	case core.Magic:
-		fs, err = core.Mount(dev, core.Options{Mode: core.ModeDelayed, Metrics: reg})
+		fs, err = core.Mount(dev, core.Options{Mode: core.ModeDelayed, Metrics: reg, Writeback: wbcfg})
 	case ffs.Magic:
-		fs, err = ffs.Mount(dev, ffs.Options{Mode: ffs.ModeDelayed, Metrics: reg})
+		fs, err = ffs.Mount(dev, ffs.Options{Mode: ffs.ModeDelayed, Metrics: reg, Writeback: wbcfg})
 	case lfs.Magic:
-		fs, err = lfs.Mount(dev, lfs.Options{Metrics: reg})
+		fs, err = lfs.Mount(dev, lfs.Options{Metrics: reg, Writeback: wbcfg})
 	default:
 		fmt.Fprintln(os.Stderr, "cfsh: unrecognized image; run mkfs first")
 		os.Exit(1)

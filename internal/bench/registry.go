@@ -38,6 +38,7 @@ func Experiments() []Experiment {
 		{"lfs", "LFS comparison: log order vs namespace order [Rosenblum92]", LFSExp},
 		{"softupdates", "Metadata integrity cost in isolation [Ganger94]", SoftUpdates},
 		{"recovery", "Crash-point enumeration: fsck repair and recovery time", RecoveryExp},
+		{"writeback", "Async write-behind: sync vs async mounts, dirty-limit sweep", WritebackExp},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
 	return exps

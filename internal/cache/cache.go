@@ -107,12 +107,17 @@ func (b *Buf) wait() error {
 	return b.loadErr
 }
 
-// Stats counts cache activity.
+// Stats counts cache activity. Misses counts demand misses only: blocks
+// a caller asked for that were not resident. Blocks brought in
+// speculatively by group reads (ReadRun) are PrefetchFills — folding
+// them into Misses would inflate the demand-miss rate precisely when
+// grouping works best.
 type Stats struct {
-	Hits       int64
-	Misses     int64
-	Evictions  int64
-	WriteBacks int64 // blocks written by Sync/eviction/WriteSync
+	Hits          int64
+	Misses        int64
+	PrefetchFills int64
+	Evictions     int64
+	WriteBacks    int64 // blocks written by Sync/eviction/WriteSync
 }
 
 // nShards is the physical-index shard count. Adjacent blocks land in
@@ -150,6 +155,7 @@ type Cache struct {
 
 	hits       atomic.Int64
 	misses     atomic.Int64
+	prefFills  atomic.Int64
 	evictions  atomic.Int64
 	writeBacks atomic.Int64
 
@@ -172,10 +178,11 @@ type cacheMetrics struct {
 	prefUnused  *obs.Counter
 }
 
-// evictFlushBatch bounds how many of the oldest dirty buffers are pushed
-// out together when eviction hits a dirty tail — a stand-in for the
-// periodic update daemon, and the path that keeps delayed writes
-// clustered even under memory pressure.
+// evictFlushBatch bounds how many of the oldest dirty seed buffers are
+// pushed out together (via FlushClustered) when eviction hits a dirty
+// tail, so delayed writes stay clustered even under memory pressure.
+// The write-behind daemon (internal/writeback) uses the same path with
+// its own batch size.
 const evictFlushBatch = 64
 
 // evictRetries bounds how often an evictor re-picks a victim after
@@ -204,9 +211,11 @@ func New(dev *blockio.Device, capacity int) *Cache {
 func (c *Cache) shard(phys int64) *shard { return &c.shards[uint64(phys)%nShards] }
 
 // SetMetrics attaches a registry the cache records into: per-shard hit
-// counters (cache.hits.shard<i>), logical-index hits, misses,
-// single-flight dedupe count, evictions, write-backs and the group-read
-// prefetch fill counters. Call it at mount, before concurrent use.
+// counters (cache.hits.shard<i>), logical-index hits, demand misses
+// (cache.misses — speculative group-read fills count under
+// cache.prefetch.loaded instead), single-flight dedupe count,
+// evictions, write-backs and the group-read prefetch fill counters.
+// Call it at mount, before concurrent use.
 func (c *Cache) SetMetrics(r *obs.Registry) {
 	if r == nil {
 		return
@@ -241,15 +250,19 @@ func (c *Cache) Device() *blockio.Device { return c.dev }
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		Evictions:  c.evictions.Load(),
-		WriteBacks: c.writeBacks.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		PrefetchFills: c.prefFills.Load(),
+		Evictions:     c.evictions.Load(),
+		WriteBacks:    c.writeBacks.Load(),
 	}
 }
 
 // Len returns the number of resident blocks.
 func (c *Cache) Len() int { return int(c.n.Load()) }
+
+// Capacity returns the cache capacity in blocks.
+func (c *Cache) Capacity() int { return c.capacity }
 
 // NDirty returns the number of dirty resident blocks.
 func (c *Cache) NDirty() int {
@@ -473,7 +486,7 @@ func (c *Cache) evictOne() error {
 		c.stateMu.Unlock()
 
 		if dirty {
-			if err := c.flushOldestDirty(evictFlushBatch); err != nil {
+			if _, err := c.FlushClustered(evictFlushBatch); err != nil {
 				return err
 			}
 			continue // re-pick: the victim should now be clean
@@ -648,8 +661,10 @@ func (c *Cache) ReadRun(start int64, count int) error {
 			i++
 			continue
 		}
-		c.misses.Add(int64(len(claimed)))
-		c.m.misses.Add(int64(len(claimed)))
+		// Speculative fills, not demand misses. The demand access that
+		// triggered this run follows as an ordinary Read, which finds the
+		// block resident and records a hit plus a prefetch "used" mark —
+		// the prefetch hid the miss, which is the fact worth measuring.
 		if c.m.prefLoaded != nil {
 			c.m.prefLoaded.Add(int64(len(claimed)))
 			for _, b := range claimed {
@@ -672,6 +687,7 @@ func (c *Cache) ReadRun(start int64, count int) error {
 		if err := c.dev.ReadBlocks(start+int64(i), bufs); err != nil {
 			return fill(err)
 		}
+		c.prefFills.Add(int64(len(claimed)))
 		for _, b := range claimed {
 			close(b.ready)
 			b.Release()
@@ -683,29 +699,55 @@ func (c *Cache) ReadRun(start int64, count int) error {
 
 // Sync writes back every dirty buffer as one scheduled, merged batch.
 func (c *Cache) Sync() error {
-	return c.flushDirty(func(*Buf) bool { return true })
+	_, err := c.flushDirty(func(*Buf) bool { return true })
+	return err
 }
 
-// flushOldestDirty flushes up to limit dirty buffers, oldest first.
-func (c *Cache) flushOldestDirty(limit int) error {
+// FlushClustered writes back up to seeds of the oldest dirty buffers
+// together with every dirty buffer physically contiguous with them, as
+// one scheduled batch, and returns the number of blocks written.
+// Expanding each seed to its full dirty run is what keeps write-behind
+// clustered: the oldest dirty block of an explicit group drags the rest
+// of the group's dirty blocks into the same batch, where Submit merges
+// the physically adjacent ones into scatter/gather transfers. Both
+// eviction pressure and the write-behind daemon flush through here, so
+// partial write-back never degrades into single-block dribbles.
+func (c *Cache) FlushClustered(seeds int) (int, error) {
 	victims := make(map[*Buf]bool)
 	c.stateMu.Lock()
 	marked := 0
-	for b := c.lru.prev; b != &c.lru && marked < limit; b = b.prev {
+	var picked []*Buf
+	for b := c.lru.prev; b != &c.lru && marked < seeds; b = b.prev {
 		if b.dirty {
 			victims[b] = true
+			picked = append(picked, b)
 			marked++
 		}
 	}
 	c.stateMu.Unlock()
+	// Grow each seed into its maximal run of resident dirty neighbors.
+	// Residency and dirtiness are re-checked under stateMu by flushDirty,
+	// so a raced eviction here only costs a smaller batch.
+	for _, b := range picked {
+		for dir := int64(-1); dir <= 1; dir += 2 {
+			for off := dir; ; off += dir {
+				nb := c.Peek(b.Block + off)
+				if nb == nil || victims[nb] || !nb.Dirty() {
+					break
+				}
+				victims[nb] = true
+			}
+		}
+	}
 	return c.flushDirty(func(b *Buf) bool { return victims[b] })
 }
 
-// flushDirty writes back dirty buffers selected by want, in one Submit.
-// The batch is collected under stateMu and submitted without cache
-// locks; concurrent flushers may write a block twice (harmless), and the
-// dirty check on completion keeps the accounting exact.
-func (c *Cache) flushDirty(want func(*Buf) bool) error {
+// flushDirty writes back dirty buffers selected by want, in one Submit,
+// returning the number of blocks written. The batch is collected under
+// stateMu and submitted without cache locks; concurrent flushers may
+// write a block twice (harmless), and the dirty check on completion
+// keeps the accounting exact.
+func (c *Cache) flushDirty(want func(*Buf) bool) (int, error) {
 	var bufs []*Buf
 	c.stateMu.Lock()
 	for b := c.lru.next; b != &c.lru; b = b.next {
@@ -715,7 +757,7 @@ func (c *Cache) flushDirty(want func(*Buf) bool) error {
 	}
 	c.stateMu.Unlock()
 	if len(bufs) == 0 {
-		return nil
+		return 0, nil
 	}
 	sort.Slice(bufs, func(i, j int) bool { return bufs[i].Block < bufs[j].Block })
 	reqs := make([]blockio.Req, len(bufs))
@@ -723,7 +765,7 @@ func (c *Cache) flushDirty(want func(*Buf) bool) error {
 		reqs[i] = blockio.Req{Write: true, Block: b.Block, Bufs: [][]byte{b.Data}}
 	}
 	if err := c.dev.Submit(reqs); err != nil {
-		return err
+		return 0, err
 	}
 	c.stateMu.Lock()
 	for _, b := range bufs {
@@ -735,7 +777,7 @@ func (c *Cache) flushDirty(want func(*Buf) bool) error {
 		}
 	}
 	c.stateMu.Unlock()
-	return nil
+	return len(bufs), nil
 }
 
 // Flush writes back all dirty data and then empties the cache. The

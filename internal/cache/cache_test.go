@@ -163,6 +163,46 @@ func TestEvictionFlushesDirtyClustered(t *testing.T) {
 	}
 }
 
+func TestFlushClusteredExpandsSeedToRun(t *testing.T) {
+	c := newCache(t, 64)
+	// A contiguous dirty run (an explicit group's worth of data blocks)
+	// plus one isolated dirty block far away, dirtied later.
+	for i := int64(0); i < 16; i++ {
+		b, err := c.Alloc(100 + i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.MarkDirty(b)
+		b.Release()
+	}
+	b, err := c.Alloc(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MarkDirty(b)
+	b.Release()
+
+	// One seed (the oldest dirty block, 100) must drag the whole
+	// contiguous run out as a single merged transfer, and leave the
+	// unrelated distant block dirty.
+	n, err := c.FlushClustered(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 {
+		t.Fatalf("FlushClustered wrote %d blocks, want the full 16-block run", n)
+	}
+	if got := c.Device().Disk().Stats().Requests; got != 1 {
+		t.Fatalf("clustered flush used %d requests, want 1 merged write", got)
+	}
+	if c.NDirty() != 1 {
+		t.Fatalf("%d dirty blocks remain, want only the distant one", c.NDirty())
+	}
+	if !c.Peek(900).Dirty() {
+		t.Fatal("distant block flushed by an unrelated seed")
+	}
+}
+
 func TestPinnedBuffersNotEvicted(t *testing.T) {
 	c := newCache(t, 4)
 	pinned, err := c.Alloc(1)

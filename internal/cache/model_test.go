@@ -96,8 +96,30 @@ func TestCacheModel(t *testing.T) {
 			if blk+int64(n) > nblocks {
 				n = int(nblocks - blk)
 			}
+			missing := int64(0)
+			for k := 0; k < n; k++ {
+				if c.Peek(blk+int64(k)) == nil {
+					missing++
+				}
+			}
+			before := c.Stats()
 			if err := c.ReadRun(blk, n); err != nil {
 				t.Fatal(err)
+			}
+			// Speculative fills must not masquerade as demand misses:
+			// ReadRun charges every block it brought in to PrefetchFills
+			// and none to Misses.
+			after := c.Stats()
+			if after.Misses != before.Misses {
+				t.Fatalf("step %d: ReadRun raised demand misses by %d",
+					step, after.Misses-before.Misses)
+			}
+			// Every pre-counted missing block is a fill; eviction during
+			// the run can re-open blocks that were resident at the count,
+			// so the delta may exceed it — but never the run length.
+			if got := after.PrefetchFills - before.PrefetchFills; got < missing || got > int64(n) {
+				t.Fatalf("step %d: ReadRun (run %d, %d missing) recorded %d prefetch fills",
+					step, n, missing, got)
 			}
 			// Residency after ReadRun is best-effort under eviction
 			// pressure (it is a cache), but whatever is resident must

@@ -32,6 +32,7 @@ import (
 	"cffs/internal/obs"
 	"cffs/internal/sim"
 	"cffs/internal/vfs"
+	"cffs/internal/writeback"
 )
 
 // Magic identifies a C-FFS superblock.
@@ -104,6 +105,14 @@ type Options struct {
 	// mechanism instruments (embedded-inode hits, group-read fill). Nil
 	// costs one predictable branch per recording site.
 	Metrics *obs.Registry
+	// Writeback configures the asynchronous write-behind daemon
+	// (internal/writeback). Disabled (the zero value), dirty blocks
+	// leave the cache only through Sync/Flush, WriteSync, or eviction
+	// pressure — the synchronous-mount behaviour. Enabled, a background
+	// daemon drains dirty buffers as clustered writes at dirty-ratio
+	// water marks and simulated-clock ticks, and mutating operations
+	// throttle at the hard dirty limit.
+	Writeback writeback.Config
 }
 
 func (o *Options) fill() error {
@@ -249,6 +258,12 @@ type FS struct {
 	mExtReads    *obs.Counter // inode reads that went to the inode file
 	mGroupReads  *obs.Counter // ReadRun group fetches issued
 	mGroupBlocks *obs.Counter // blocks requested by those fetches
+
+	// wb is the write-behind daemon, nil on synchronous mounts. Its
+	// flush rounds take fs.mu exclusively (it is a writer like any
+	// other); mutating entry points call wb.Admit before fs.mu, so a
+	// throttled writer never blocks the daemon. See lock.go.
+	wb *writeback.Daemon
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -328,6 +343,7 @@ func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
 	if err := fs.c.Sync(); err != nil {
 		return nil, err
 	}
+	fs.wb = writeback.Start(fs.c, fs.clk, &fs.mu, opts.Writeback, opts.Metrics)
 	return fs, nil
 }
 
@@ -358,6 +374,7 @@ func Mount(dev *blockio.Device, opts Options) (*FS, error) {
 	if err := fs.scanExtInodes(); err != nil {
 		return nil, err
 	}
+	fs.wb = writeback.Start(fs.c, fs.clk, &fs.mu, opts.Writeback, opts.Metrics)
 	return fs, nil
 }
 

@@ -33,6 +33,13 @@ import (
 // Locks are only ever taken downwards in this order, and disk I/O is
 // issued below the cache's locks, so the hierarchy is deadlock-free.
 //
+// The write-behind daemon (fs.wb, internal/writeback) participates as
+// an ordinary writer: each of its flush rounds takes fs.mu exclusively.
+// Mutating entry points call fs.wb.Admit *before* fs.mu — a writer
+// throttled at the hard dirty limit holds no locks while it waits, so
+// the daemon can always acquire fs.mu and drain. Admit on a synchronous
+// mount is a nil-receiver no-op.
+//
 // Why writer-exclusive at the FS level: cached block contents (Buf.Data)
 // are shared byte slices, and every mutating operation — including
 // delayed-write flushes forced by eviction — reads or writes them. The
@@ -85,6 +92,7 @@ func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
 // Create implements vfs.FileSystem.
 func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	defer fs.trk.Begin(obs.OpCreate)()
+	fs.wb.Admit()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
@@ -94,6 +102,7 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 // Mkdir implements vfs.FileSystem.
 func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	defer fs.trk.Begin(obs.OpMkdir)()
+	fs.wb.Admit()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
@@ -103,6 +112,7 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 // Link implements vfs.FileSystem.
 func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 	defer fs.trk.Begin(obs.OpLink)()
+	fs.wb.Admit()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
@@ -112,6 +122,7 @@ func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 // Unlink implements vfs.FileSystem.
 func (fs *FS) Unlink(dir vfs.Ino, name string) error {
 	defer fs.trk.Begin(obs.OpUnlink)()
+	fs.wb.Admit()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
@@ -121,6 +132,7 @@ func (fs *FS) Unlink(dir vfs.Ino, name string) error {
 // Rmdir implements vfs.FileSystem.
 func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 	defer fs.trk.Begin(obs.OpRmdir)()
+	fs.wb.Admit()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
@@ -130,6 +142,7 @@ func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 // Rename implements vfs.FileSystem.
 func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
 	defer fs.trk.Begin(obs.OpRename)()
+	fs.wb.Admit()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDirPair(sdir, ddir)()
@@ -155,6 +168,7 @@ func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
 // Truncate implements vfs.FileSystem.
 func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
 	defer fs.trk.Begin(obs.OpTruncate)()
+	fs.wb.Admit()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.truncateTo(ino, size)
@@ -171,6 +185,7 @@ func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 // WriteAt implements vfs.FileSystem.
 func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 	defer fs.trk.Begin(obs.OpWriteAt)()
+	fs.wb.Admit()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return fs.writeAt(ino, p, off)
@@ -192,8 +207,13 @@ func (fs *FS) Flush() error {
 	return fs.flush()
 }
 
-// Close implements vfs.FileSystem.
-func (fs *FS) Close() error { return fs.Sync() }
+// Close implements vfs.FileSystem. The write-behind daemon is stopped
+// first (releasing any throttled writers), then the final Sync drains
+// everything it had not yet written.
+func (fs *FS) Close() error {
+	fs.wb.Close()
+	return fs.Sync()
+}
 
 // FreeBlocks counts free blocks (tests and df-style tools).
 func (fs *FS) FreeBlocks() (int64, error) {

@@ -9,6 +9,7 @@ import (
 	"cffs/internal/ffs"
 	"cffs/internal/lfs"
 	"cffs/internal/vfs"
+	"cffs/internal/writeback"
 )
 
 // This file holds the standard configurations the repo's tools share:
@@ -99,6 +100,49 @@ func CFFSConfig(opts core.Options, oracle bool) Config {
 		}
 	}
 	return cfg
+}
+
+// CFFSAsyncConfig builds the smallfile enumeration config for C-FFS
+// with ordered metadata plus the asynchronous write-behind daemon. The
+// water marks, tick, and cache size are tightened so the daemon
+// demonstrably fires within the tiny enumeration workload — the point
+// is to prove that its early, clustered delayed writes never interleave
+// illegally with the ordering barriers: every completed-before-the-last-
+// barrier operation must survive fsck repair of every crash state.
+func CFFSAsyncConfig() Config {
+	cfg := CFFSConfig(cffsAsyncOptions(), true)
+	opts := cffsAsyncOptions()
+	// Verification only reads; remount without the daemon so each of the
+	// hundreds of enumerated states doesn't start (and leak) one.
+	verifyOpts := opts
+	verifyOpts.Writeback = writeback.Config{}
+	cfg.Verify = func(dev *blockio.Device, completed []string, inflight string) error {
+		fs, err := core.Mount(dev, verifyOpts)
+		if err != nil {
+			return fmt.Errorf("remount: %w", err)
+		}
+		return NamespaceOracle(fs, completed, inflight)
+	}
+	return cfg
+}
+
+// cffsAsyncOptions is the mount configuration CFFSAsyncConfig (and its
+// test) enumerate.
+func cffsAsyncOptions() core.Options {
+	// The hard limit sits below what the workload dirties, so writers
+	// throttle and rendezvous with the daemon deterministically — the
+	// recording provably contains daemon-issued writes, not just in the
+	// lucky schedules where the background goroutine won the FS lock.
+	return core.Options{
+		EmbedInodes: true, Grouping: true, Mode: core.ModeSync,
+		CacheBlocks: 64,
+		Writeback: writeback.Config{
+			Enabled:   true,
+			HighWater: 0.05, LowWater: 0.02, HardLimit: 0.08,
+			TickNs: 10e6, // 10ms: a handful of synchronous ops apart
+			Batch:  8,
+		},
+	}
 }
 
 // FFSConfig builds the smallfile enumeration config for the baseline

@@ -35,6 +35,7 @@ func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
 // Create implements vfs.FileSystem.
 func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	defer fs.trk.Begin(obs.OpCreate)()
+	fs.wb.Admit()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return 0, err
@@ -72,6 +73,7 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 // Mkdir implements vfs.FileSystem.
 func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	defer fs.trk.Begin(obs.OpMkdir)()
+	fs.wb.Admit()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return 0, err
@@ -127,6 +129,7 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 // Link implements vfs.FileSystem.
 func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 	defer fs.trk.Begin(obs.OpLink)()
+	fs.wb.Admit()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return err
@@ -165,6 +168,7 @@ func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 // Unlink implements vfs.FileSystem.
 func (fs *FS) Unlink(dir vfs.Ino, name string) error {
 	defer fs.trk.Begin(obs.OpUnlink)()
+	fs.wb.Admit()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return err
@@ -221,6 +225,7 @@ func (fs *FS) Unlink(dir vfs.Ino, name string) error {
 // Rmdir implements vfs.FileSystem.
 func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 	defer fs.trk.Begin(obs.OpRmdir)()
+	fs.wb.Admit()
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return err
@@ -277,6 +282,7 @@ func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 // Rename implements vfs.FileSystem. Only regular files can be replaced.
 func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
 	defer fs.trk.Begin(obs.OpRename)()
+	fs.wb.Admit()
 	if sname == "." || sname == ".." || dname == "." || dname == ".." {
 		return vfs.ErrInvalid
 	}
@@ -407,6 +413,7 @@ func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
 // Truncate implements vfs.FileSystem.
 func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
 	defer fs.trk.Begin(obs.OpTruncate)()
+	fs.wb.Admit()
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return err

@@ -17,6 +17,7 @@ import (
 	"cffs/internal/obs"
 	"cffs/internal/sim"
 	"cffs/internal/vfs"
+	"cffs/internal/writeback"
 )
 
 // Magic identifies an FFS superblock.
@@ -51,6 +52,11 @@ type Options struct {
 	// registry wiring as C-FFS, so experiment tables carry comparable
 	// per-op request counts for the baseline.
 	Metrics *obs.Registry
+	// Writeback configures the write-behind daemon with the same policy
+	// knobs as C-FFS, for comparable async-mount measurements. FFS is
+	// single-threaded, so the daemon always runs inline: flushes borrow
+	// the operation thread at the same admission points.
+	Writeback writeback.Config
 }
 
 func (o *Options) fill() error {
@@ -146,6 +152,17 @@ type FS struct {
 	dirRotor int // next cylinder group for a new directory
 
 	trk *obs.OpTracker // op attribution; disabled when Options.Metrics is nil
+
+	wb *writeback.Daemon // inline write-behind; nil on synchronous mounts
+}
+
+// startWriteback attaches the (inline) write-behind daemon after the
+// cache exists. ffs has no FS-level lock, so a background flusher would
+// race the single-threaded operation stream; Inline is forced.
+func (fs *FS) startWriteback() {
+	cfg := fs.opts.Writeback
+	cfg.Inline = true
+	fs.wb = writeback.Start(fs.c, fs.clk, nil, cfg, fs.opts.Metrics)
 }
 
 // attachMetrics wires Options.Metrics through the mount, mirroring the
@@ -229,6 +246,7 @@ func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
 	if err := fs.c.Sync(); err != nil {
 		return nil, err
 	}
+	fs.startWriteback()
 	return fs, nil
 }
 
@@ -252,6 +270,7 @@ func Mount(dev *blockio.Device, opts Options) (*FS, error) {
 	if err := fs.sb.decode(sb.Data); err != nil {
 		return nil, err
 	}
+	fs.startWriteback()
 	return fs, nil
 }
 
@@ -284,7 +303,10 @@ func (fs *FS) Flush() error {
 }
 
 // Close implements vfs.FileSystem.
-func (fs *FS) Close() error { return fs.c.Sync() }
+func (fs *FS) Close() error {
+	fs.wb.Close()
+	return fs.c.Sync()
+}
 
 // syncMeta writes a metadata buffer through immediately in ModeSync and
 // leaves it delayed in ModeDelayed. It is the single point where the two

@@ -51,6 +51,7 @@ func checkName(name string) error {
 // Create implements vfs.FileSystem.
 func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	defer fs.trk.Begin(obs.OpCreate)()
+	fs.wb.Admit()
 	if err := checkName(name); err != nil {
 		return 0, err
 	}
@@ -80,6 +81,7 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 // Mkdir implements vfs.FileSystem.
 func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	defer fs.trk.Begin(obs.OpMkdir)()
+	fs.wb.Admit()
 	if err := checkName(name); err != nil {
 		return 0, err
 	}
@@ -112,6 +114,7 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 // Link implements vfs.FileSystem.
 func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 	defer fs.trk.Begin(obs.OpLink)()
+	fs.wb.Admit()
 	if err := checkName(name); err != nil {
 		return err
 	}
@@ -142,6 +145,7 @@ func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 // Unlink implements vfs.FileSystem.
 func (fs *FS) Unlink(dir vfs.Ino, name string) error {
 	defer fs.trk.Begin(obs.OpUnlink)()
+	fs.wb.Admit()
 	if name == "." || name == ".." {
 		return vfs.ErrInvalid
 	}
@@ -179,6 +183,7 @@ func (fs *FS) Unlink(dir vfs.Ino, name string) error {
 // Rmdir implements vfs.FileSystem.
 func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 	defer fs.trk.Begin(obs.OpRmdir)()
+	fs.wb.Admit()
 	if name == "." || name == ".." {
 		return vfs.ErrInvalid
 	}
@@ -220,6 +225,7 @@ func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 // Rename implements vfs.FileSystem.
 func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
 	defer fs.trk.Begin(obs.OpRename)()
+	fs.wb.Admit()
 	if sname == "." || sname == ".." {
 		return vfs.ErrInvalid
 	}
@@ -307,6 +313,7 @@ func (fs *FS) Stat(ino vfs.Ino) (vfs.Stat, error) {
 // Truncate implements vfs.FileSystem.
 func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
 	defer fs.trk.Begin(obs.OpTruncate)()
+	fs.wb.Admit()
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return err

@@ -33,6 +33,7 @@ import (
 	"cffs/internal/obs"
 	"cffs/internal/sim"
 	"cffs/internal/vfs"
+	"cffs/internal/writeback"
 )
 
 // Magic identifies an LFS checkpoint block.
@@ -67,6 +68,12 @@ type Options struct {
 	// registry wiring as C-FFS and FFS, so every comparison carries
 	// per-op request counts.
 	Metrics *obs.Registry
+	// Writeback configures the write-behind daemon, always inline (lfs
+	// is single-threaded). Dirty log blocks already carry their final
+	// log addresses, so early write-back streams them to the log tail;
+	// durability is unchanged — the checkpoint still lands only at Sync,
+	// and a crash before it rolls back regardless of what was flushed.
+	Writeback writeback.Config
 }
 
 func (o *Options) fill() {
@@ -126,6 +133,8 @@ type FS struct {
 	cleaning bool // reentrancy guard for the cleaner
 
 	trk *obs.OpTracker // op attribution; disabled when Options.Metrics is nil
+
+	wb *writeback.Daemon // inline write-behind; nil on synchronous mounts
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -184,6 +193,9 @@ func newFS(dev *blockio.Device, opts Options) *FS {
 		dev.Disk().SetOpSource(obs.CurrentOpRaw)
 		dev.Disk().SetMetricsFunc(obs.NewDiskSink(opts.Metrics))
 	}
+	cfg := opts.Writeback
+	cfg.Inline = true // lfs is single-threaded; flushes borrow the op thread
+	fs.wb = writeback.Start(fs.c, fs.clk, nil, cfg, opts.Metrics)
 	return fs
 }
 
@@ -339,7 +351,10 @@ func (fs *FS) Flush() error {
 }
 
 // Close implements vfs.FileSystem.
-func (fs *FS) Close() error { return fs.Sync() }
+func (fs *FS) Close() error {
+	fs.wb.Close()
+	return fs.Sync()
+}
 
 // writeCheckpoint persists the log head and imap locations.
 func (fs *FS) writeCheckpoint() error {

@@ -472,6 +472,7 @@ func (fs *FS) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 // WriteAt implements vfs.FileSystem.
 func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 	defer fs.trk.Begin(obs.OpWriteAt)()
+	fs.wb.Admit()
 	in, err := fs.getLiveInode(ino)
 	if err != nil {
 		return 0, err

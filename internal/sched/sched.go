@@ -8,7 +8,7 @@ import "sort"
 // Item is one schedulable request: a starting LBA and a length.
 type Item struct {
 	LBA    int64
-	Sector int // length in sectors (informational; C-LOOK orders by LBA)
+	Sector int // length in sectors; C-LOOK uses it to place the sweep split
 }
 
 // Scheduler orders a batch of requests given the current head position
@@ -53,11 +53,15 @@ func (CLook) Order(items []Item, headLBA int64) []int {
 	sort.SliceStable(order, func(a, b int) bool {
 		return items[order[a]].LBA < items[order[b]].LBA
 	})
-	// Find the first request at or beyond the head and rotate the sweep
-	// to start there.
+	// Find the first request the upward sweep can still service and
+	// rotate to start there. A request counts as reachable when any part
+	// of it lies at or beyond the head: transfers are multi-sector, so a
+	// request straddling the head position ends ahead of it, and
+	// deferring it to the wrap would charge a full extra sweep for data
+	// the head is about to pass over.
 	split := len(order)
 	for i, idx := range order {
-		if items[idx].LBA >= headLBA {
+		if items[idx].LBA+int64(items[idx].Sector) >= headLBA {
 			split = i
 			break
 		}

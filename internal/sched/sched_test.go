@@ -53,6 +53,44 @@ func TestCLookHeadAtZero(t *testing.T) {
 	}
 }
 
+// A request whose transfer straddles the head must join the upward
+// sweep, not wait for the wrap: the head position after a multi-sector
+// transfer is its end, and ordering by start LBA alone would model a
+// full extra sweep for data the head is about to pass over.
+func TestCLookAccountsForRequestLength(t *testing.T) {
+	items := []Item{
+		{LBA: 90, Sector: 20}, // ends at 110: reachable from head 100
+		{LBA: 200, Sector: 8},
+		{LBA: 10, Sector: 8}, // ends at 18: fully behind, wraps
+	}
+	got := lbas(items, CLook{}.Order(items, 100))
+	want := []int64{90, 200, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CLOOK mixed-length order %v, want %v", got, want)
+		}
+	}
+}
+
+// Mixed-length runs: short requests behind the head wrap, long requests
+// reaching the head do not, and requests starting at or past the head
+// order exactly as in the length-free case.
+func TestCLookMixedLengthRuns(t *testing.T) {
+	items := []Item{
+		{LBA: 0, Sector: 16},    // run of 2 blocks ending at 16: wraps
+		{LBA: 500, Sector: 8},   // ahead of head
+		{LBA: 56, Sector: 8},    // ends exactly at the head: reachable
+		{LBA: 120, Sector: 128}, // long run ahead
+	}
+	got := lbas(items, CLook{}.Order(items, 64))
+	want := []int64{56, 120, 500, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CLOOK mixed-length order %v, want %v", got, want)
+		}
+	}
+}
+
 // Any schedule must be a permutation: every request serviced exactly once.
 func TestOrderIsPermutation(t *testing.T) {
 	rng := sim.NewRNG(13)

@@ -1,0 +1,348 @@
+// Package writeback implements the asynchronous write-behind daemon:
+// the piece of the paper's delayed-write story that turns "dirty blocks
+// accumulate in the cache" into "dirty blocks leave the cache as large
+// clustered transfers, off the critical path of writers".
+//
+// The design follows the classic BSD syncer/bufdaemon split, collapsed
+// into one daemon over the shared block cache:
+//
+//   - a periodic tick (on the simulated clock) bounds how long a dirty
+//     block can sit in memory, like the 30-second update daemon;
+//   - a high-water mark on the dirty ratio wakes the daemon early under
+//     write bursts, and it drains down to a low-water mark so each wake
+//     does a useful amount of clustered work (hysteresis);
+//   - a hard limit throttles writers — an Admit call blocks until the
+//     daemon catches up — so a writer can never fill the cache with
+//     dirty data faster than the disk retires it.
+//
+// Flushing goes through Target.FlushClustered (cache.FlushClustered):
+// the oldest dirty buffers seed maximal physically-contiguous dirty
+// runs, which the block layer's scheduler+merge path (C-LOOK, 64 KB
+// MAXPHYS) turns into scatter/gather writes. An explicit group dirtied
+// by small-file creates therefore leaves as one transfer — the paper's
+// write-side bandwidth claim, preserved under asynchrony.
+//
+// Time is simulated: the clock advances only when disk requests are
+// serviced, so there is no timer goroutine. The tick is instead checked
+// on every Admit — the daemon wakes "every TickNs of simulated time"
+// as observed by the operation stream, which is the only observer the
+// simulation has.
+//
+// Ordering: the daemon issues only delayed writes of already-dirty
+// buffers through the normal Submit path. It never issues ordering
+// barriers and never reorders them — barrier writes (cache.WriteSync)
+// remain synchronous in the issuing operation, so the recovery
+// invariants of DESIGN.md §12 hold with the daemon on. Writing a dirty
+// block early is always legal: crash enumeration only gains states in
+// which more data survived.
+package writeback
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cffs/internal/obs"
+	"cffs/internal/sim"
+)
+
+// Target is the dirty-buffer pool the daemon drains. *cache.Cache
+// implements it.
+type Target interface {
+	NDirty() int
+	Capacity() int
+	// FlushClustered writes back up to seeds of the oldest dirty
+	// buffers plus their physically contiguous dirty neighbors as one
+	// scheduled batch, returning the number of blocks written.
+	FlushClustered(seeds int) (int, error)
+}
+
+// Config tunes the daemon. The zero value means "disabled": Start
+// returns nil and every Daemon method is a nil-safe no-op, which is how
+// a synchronous mount expresses itself.
+type Config struct {
+	// Enabled turns write-behind on at mount.
+	Enabled bool
+	// HighWater is the dirty ratio (dirty blocks / cache capacity) that
+	// wakes the daemon; LowWater is the ratio it drains down to before
+	// going back to sleep; HardLimit is the ratio at which writers
+	// throttle until the daemon catches up. Defaults 0.25 / 0.10 / 0.60.
+	HighWater float64
+	LowWater  float64
+	HardLimit float64
+	// TickNs is the periodic wakeup interval in simulated nanoseconds,
+	// checked on Admit (there are no wall-clock timers in the
+	// simulation). Default 1s; negative disables the tick.
+	TickNs int64
+	// Batch is how many seed buffers each flush round harvests; each
+	// seed expands to its full contiguous dirty run. Default 64.
+	Batch int
+	// Inline runs every flush on the goroutine calling Admit instead of
+	// a background daemon. The single-threaded baselines (ffs, lfs) use
+	// this: they have no FS-level lock to exclude a background flusher,
+	// so the daemon borrows the operation thread at the same trigger
+	// points — identical policy, comparable measurements.
+	Inline bool
+}
+
+// fill applies defaults in place.
+func (c *Config) fill() {
+	if c.HighWater == 0 {
+		c.HighWater = 0.25
+	}
+	if c.LowWater == 0 {
+		c.LowWater = 0.10
+	}
+	if c.HardLimit == 0 {
+		c.HardLimit = 0.60
+	}
+	if c.TickNs == 0 {
+		c.TickNs = 1e9 // 1 s of simulated time
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+}
+
+// throttleRounds bounds how many flush rounds a throttled writer waits
+// for before proceeding anyway. The throttle is backpressure, not a
+// hard guarantee: on a failing disk the daemon cannot drain, and
+// blocking writers forever would convert an I/O error into a hang.
+const throttleRounds = 8
+
+// Daemon is one mount's write-behind daemon. A nil *Daemon is a valid
+// disabled daemon: every method is a no-op, so call sites need no
+// enabled-checks.
+type Daemon struct {
+	t   Target
+	clk *sim.Clock
+	mu  sync.Locker // exclusive FS lock, held around flushes; may be nil
+	cfg Config
+
+	wake chan struct{} // 1-buffered kick
+	stop chan struct{}
+	done chan struct{}
+
+	lastTick atomic.Int64 // simulated time of the last tick fire
+
+	// fullDrain requests the next drain to flush every dirty buffer
+	// rather than stopping at the low-water mark. The periodic tick sets
+	// it: the tick exists to bound how long any dirty block sits in
+	// memory, so it must not leave a below-low-water remainder behind.
+	fullDrain atomic.Bool
+
+	// throttleMu guards stopped and carries the cond throttled writers
+	// wait on; the daemon broadcasts after every flush round.
+	throttleMu sync.Mutex
+	throttleC  *sync.Cond
+	stopped    bool
+
+	m metrics
+}
+
+// metrics is the writeback.* instrument set; nil instruments (no
+// registry) record nothing.
+type metrics struct {
+	kicksTick *obs.Counter   // wakeups from the periodic tick
+	kicksHigh *obs.Counter   // wakeups from the high-water mark
+	flushes   *obs.Counter   // flush rounds that wrote at least one block
+	blocks    *obs.Counter   // total blocks written by the daemon
+	stalls    *obs.Counter   // writer throttle events at the hard limit
+	errors    *obs.Counter   // flush rounds that failed
+	batch     *obs.Histogram // blocks per flush round
+	stallNs   *obs.Histogram // simulated time writers spent throttled
+	dirty     *obs.Gauge     // dirty blocks at the last Admit/flush
+}
+
+// Start builds a daemon over t and, unless cfg.Inline, starts its
+// goroutine. It returns nil when cfg.Enabled is false. mu, when
+// non-nil, is the lock that licenses mutating t's buffers (the FS
+// writer lock); the daemon holds it for the duration of each flush
+// round, never across rounds, so writers interleave with a long drain.
+func Start(t Target, clk *sim.Clock, mu sync.Locker, cfg Config, r *obs.Registry) *Daemon {
+	if !cfg.Enabled {
+		return nil
+	}
+	cfg.fill()
+	d := &Daemon{
+		t:    t,
+		clk:  clk,
+		mu:   mu,
+		cfg:  cfg,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	d.throttleC = sync.NewCond(&d.throttleMu)
+	if r != nil {
+		d.m = metrics{
+			kicksTick: r.Counter("writeback.kicks.tick"),
+			kicksHigh: r.Counter("writeback.kicks.highwater"),
+			flushes:   r.Counter("writeback.flushes"),
+			blocks:    r.Counter("writeback.blocks"),
+			stalls:    r.Counter("writeback.throttle.stalls"),
+			errors:    r.Counter("writeback.errors"),
+			batch:     r.Histogram("writeback.flush.blocks"),
+			stallNs:   r.Histogram("writeback.throttle.ns"),
+			dirty:     r.Gauge("writeback.dirty"),
+		}
+	}
+	if !cfg.Inline {
+		go d.loop()
+	}
+	return d
+}
+
+// blocksAt converts a dirty-ratio threshold to a block count.
+func (d *Daemon) blocksAt(ratio float64) int {
+	n := int(ratio * float64(d.t.Capacity()))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Admit gates one mutating operation. Callers invoke it at the vfs
+// entry point before taking the FS lock (a throttled writer holding the
+// lock the daemon flushes under would deadlock). It fires the periodic
+// tick, kicks the daemon at the high-water mark, and throttles the
+// caller at the hard limit until the daemon drains (bounded by
+// throttleRounds). Safe on a nil Daemon.
+func (d *Daemon) Admit() {
+	if d == nil {
+		return
+	}
+	kicked := false
+	if tick := d.cfg.TickNs; tick > 0 {
+		now := d.clk.Now()
+		if last := d.lastTick.Load(); now-last >= tick && d.lastTick.CompareAndSwap(last, now) {
+			d.m.kicksTick.Inc()
+			d.fullDrain.Store(true)
+			kicked = true
+		}
+	}
+	nd := d.t.NDirty()
+	d.m.dirty.Set(int64(nd))
+	if nd >= d.blocksAt(d.cfg.HighWater) {
+		d.m.kicksHigh.Inc()
+		kicked = true
+	}
+	if d.cfg.Inline {
+		if kicked || nd >= d.blocksAt(d.cfg.HardLimit) {
+			d.drain()
+		}
+		return
+	}
+	if kicked {
+		d.kick()
+	}
+	if nd < d.blocksAt(d.cfg.HardLimit) {
+		return
+	}
+	d.m.stalls.Inc()
+	t0 := d.clk.Now()
+	d.throttleMu.Lock()
+	for i := 0; i < throttleRounds && !d.stopped &&
+		d.t.NDirty() >= d.blocksAt(d.cfg.HardLimit); i++ {
+		d.kick()
+		d.throttleC.Wait()
+	}
+	d.throttleMu.Unlock()
+	d.m.stallNs.Record(d.clk.Now() - t0)
+}
+
+// Kick wakes the daemon (or, inline, drains) without admission checks;
+// tests and explicit sync paths use it. Safe on a nil Daemon.
+func (d *Daemon) Kick() {
+	if d == nil {
+		return
+	}
+	if d.cfg.Inline {
+		d.drain()
+		return
+	}
+	d.kick()
+}
+
+func (d *Daemon) kick() {
+	select {
+	case d.wake <- struct{}{}:
+	default: // a wakeup is already pending
+	}
+}
+
+// loop is the daemon goroutine: sleep until kicked, drain, repeat.
+func (d *Daemon) loop() {
+	defer close(d.done)
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.wake:
+		}
+		d.drain()
+	}
+}
+
+// drain flushes clustered batches until the dirty count falls to the
+// low-water mark (to zero after a tick), the pool stops yielding
+// blocks, or a flush fails. Throttled writers are woken after every
+// round, not only at the end, so they resume as soon as the hard limit
+// clears.
+func (d *Daemon) drain() {
+	low := d.blocksAt(d.cfg.LowWater)
+	if d.fullDrain.Swap(false) {
+		low = 0
+	}
+	for d.t.NDirty() > low {
+		if d.mu != nil {
+			d.mu.Lock()
+		}
+		n, err := d.t.FlushClustered(d.cfg.Batch)
+		if d.mu != nil {
+			d.mu.Unlock()
+		}
+		if n > 0 {
+			d.m.flushes.Inc()
+			d.m.blocks.Add(int64(n))
+			d.m.batch.Record(int64(n))
+		}
+		d.m.dirty.Set(int64(d.t.NDirty()))
+		d.wakeThrottled()
+		if err != nil {
+			d.m.errors.Inc()
+			return
+		}
+		if n == 0 {
+			return
+		}
+	}
+	d.wakeThrottled()
+}
+
+func (d *Daemon) wakeThrottled() {
+	d.throttleMu.Lock()
+	d.throttleC.Broadcast()
+	d.throttleMu.Unlock()
+}
+
+// Close stops the daemon goroutine and releases any throttled writers.
+// It does not flush: clean shutdown drains through the owning file
+// system's Sync/Flush, which writes back everything regardless of the
+// daemon. Safe on a nil Daemon, and idempotent.
+func (d *Daemon) Close() {
+	if d == nil {
+		return
+	}
+	d.throttleMu.Lock()
+	if d.stopped {
+		d.throttleMu.Unlock()
+		return
+	}
+	d.stopped = true
+	d.throttleC.Broadcast()
+	d.throttleMu.Unlock()
+	if !d.cfg.Inline {
+		close(d.stop)
+		<-d.done
+	}
+}

@@ -1,0 +1,269 @@
+package writeback_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/obs"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+	"cffs/internal/writeback"
+)
+
+// fakeTarget is a dirty-counter pool for policy tests.
+type fakeTarget struct {
+	mu      sync.Mutex
+	dirty   int
+	cap     int
+	rounds  int
+	batches []int
+}
+
+func (t *fakeTarget) NDirty() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dirty
+}
+
+func (t *fakeTarget) Capacity() int { return t.cap }
+
+func (t *fakeTarget) FlushClustered(seeds int) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := seeds
+	if n > t.dirty {
+		n = t.dirty
+	}
+	t.dirty -= n
+	t.rounds++
+	t.batches = append(t.batches, n)
+	return n, nil
+}
+
+func (t *fakeTarget) setDirty(n int) {
+	t.mu.Lock()
+	t.dirty = n
+	t.mu.Unlock()
+}
+
+func TestNilDaemonIsNoOp(t *testing.T) {
+	var d *writeback.Daemon
+	d.Admit()
+	d.Kick()
+	d.Close()
+	if d := writeback.Start(&fakeTarget{cap: 100}, sim.NewClock(), nil, writeback.Config{}, nil); d != nil {
+		t.Fatal("disabled config started a daemon")
+	}
+}
+
+func TestInlineHighWaterDrainsToLowWater(t *testing.T) {
+	ft := &fakeTarget{cap: 100}
+	clk := sim.NewClock()
+	d := writeback.Start(ft, clk, nil, writeback.Config{
+		Enabled: true, Inline: true,
+		HighWater: 0.25, LowWater: 0.10, HardLimit: 0.60,
+		TickNs: -1, Batch: 8,
+	}, nil)
+
+	ft.setDirty(20) // below high water: Admit must not flush
+	d.Admit()
+	if ft.rounds != 0 {
+		t.Fatalf("daemon flushed below the high-water mark (%d rounds)", ft.rounds)
+	}
+
+	ft.setDirty(30) // above high water: drain down to low water
+	d.Admit()
+	if got := ft.NDirty(); got > 10 {
+		t.Fatalf("drain stopped at %d dirty, want <= low water 10", got)
+	}
+	for _, b := range ft.batches {
+		if b > 8 {
+			t.Fatalf("flush round of %d seeds exceeds batch 8", b)
+		}
+	}
+	d.Close()
+}
+
+func TestInlineTickFires(t *testing.T) {
+	ft := &fakeTarget{cap: 100}
+	clk := sim.NewClock()
+	r := obs.NewRegistry()
+	d := writeback.Start(ft, clk, nil, writeback.Config{
+		Enabled: true, Inline: true,
+		TickNs: 1000, Batch: 64,
+	}, r)
+	defer d.Close()
+
+	ft.setDirty(5) // far below every water mark
+	clk.Advance(1500)
+	d.Admit() // tick elapsed: flush despite low dirty ratio
+	if ft.NDirty() != 0 {
+		t.Fatalf("%d dirty blocks survived a tick flush", ft.NDirty())
+	}
+	ft.setDirty(5)
+	d.Admit() // no simulated time has passed: tick must not re-fire
+	if ft.NDirty() != 5 {
+		t.Fatal("tick re-fired without the interval elapsing")
+	}
+	if got := r.Snapshot().Counter("writeback.kicks.tick"); got != 1 {
+		t.Fatalf("tick kick counter %d, want 1", got)
+	}
+}
+
+func TestBackgroundThrottleDrains(t *testing.T) {
+	ft := &fakeTarget{cap: 100}
+	clk := sim.NewClock()
+	r := obs.NewRegistry()
+	d := writeback.Start(ft, clk, nil, writeback.Config{
+		Enabled:   true,
+		HighWater: 0.25, LowWater: 0.10, HardLimit: 0.50,
+		TickNs: -1, Batch: 8,
+	}, r)
+	defer d.Close()
+
+	ft.setDirty(80) // above the hard limit of 50
+	d.Admit()       // must throttle until the daemon drains
+	if got := ft.NDirty(); got >= 50 {
+		t.Fatalf("Admit returned with %d dirty, still at/above the hard limit", got)
+	}
+	s := r.Snapshot()
+	if s.Counter("writeback.throttle.stalls") == 0 {
+		t.Fatal("no throttle stall recorded")
+	}
+	if s.Counter("writeback.blocks") == 0 {
+		t.Fatal("daemon drained without recording flushed blocks")
+	}
+}
+
+func TestCloseReleasesAndStops(t *testing.T) {
+	ft := &fakeTarget{cap: 100}
+	d := writeback.Start(ft, sim.NewClock(), nil, writeback.Config{Enabled: true, TickNs: -1}, nil)
+	d.Close()
+	d.Close() // idempotent
+	d.Admit() // after Close: must not hang or panic
+	d.Kick()
+}
+
+// The write-behind stress test: concurrent writers over an async C-FFS
+// mount with a small cache and tight water marks, so admission control,
+// background drains, and writer throttling all fire while the race
+// detector watches. Correctness check: every surviving file reads back
+// exactly what was written.
+func TestWritebackConcurrentStress(t *testing.T) {
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := blockio.NewDevice(d, sched.CLook{})
+	r := obs.NewRegistry()
+	fs, err := core.Mkfs(dev, core.Options{
+		EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed,
+		CacheBlocks: 256, Metrics: r,
+		Writeback: writeback.Config{
+			Enabled:   true,
+			HighWater: 0.20, LowWater: 0.05, HardLimit: 0.40,
+			Batch: 16,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 8
+		files   = 40
+	)
+	payload := func(w, i int) []byte {
+		p := make([]byte, 2*blockio.BlockSize+17)
+		for k := range p {
+			p[k] = byte(w*31 + i*7 + k)
+		}
+		return p
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	dirs := make([]vfs.Ino, workers)
+	for w := 0; w < workers; w++ {
+		dir, err := fs.Mkdir(fs.Root(), fmt.Sprintf("w%d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs[w] = dir
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < files; i++ {
+				name := fmt.Sprintf("f%d", i)
+				ino, err := fs.Create(dirs[w], name)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d create %s: %w", w, name, err)
+					return
+				}
+				p := payload(w, i)
+				if _, err := fs.WriteAt(ino, p, 0); err != nil {
+					errs <- fmt.Errorf("worker %d write %s: %w", w, name, err)
+					return
+				}
+				if i%5 == 4 { // delete every fifth file to mix in frees
+					if err := fs.Unlink(dirs[w], name); err != nil {
+						errs <- fmt.Errorf("worker %d unlink %s: %w", w, name, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The daemon must actually have run: this workload dirties far more
+	// blocks than the high-water mark admits.
+	if got := r.Snapshot().Counter("writeback.blocks"); got == 0 {
+		t.Fatal("write-behind daemon wrote no blocks under sustained write load")
+	}
+
+	// Remount and verify every surviving file byte-for-byte.
+	fs2, err := core.Mount(dev, core.Options{CacheBlocks: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	for w := 0; w < workers; w++ {
+		dir, err := fs2.Lookup(fs2.Root(), fmt.Sprintf("w%d", w))
+		if err != nil {
+			t.Fatalf("worker dir w%d: %v", w, err)
+		}
+		for i := 0; i < files; i++ {
+			if i%5 == 4 {
+				continue // deleted
+			}
+			ino, err := fs2.Lookup(dir, fmt.Sprintf("f%d", i))
+			if err != nil {
+				t.Fatalf("lookup w%d/f%d: %v", w, i, err)
+			}
+			want := payload(w, i)
+			got := make([]byte, len(want))
+			if _, err := fs2.ReadAt(ino, got, 0); err != nil {
+				t.Fatalf("read w%d/f%d: %v", w, i, err)
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("w%d/f%d byte %d: got %#x want %#x", w, i, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
