@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cfsh -img disk.img [-drive name] [-async] [-c "cmd; cmd; ..."]
+//	cfsh -img disk.img [-drive name] [-disks n] [-async] [-c "cmd; cmd; ..."]
 //
 // -async mounts with the write-behind daemon: dirty blocks leave the
 // cache early as clustered transfers instead of waiting for sync.
@@ -32,6 +32,7 @@ import (
 	"cffs/internal/shell"
 	"cffs/internal/sim"
 	"cffs/internal/vfs"
+	"cffs/internal/volume"
 	"cffs/internal/writeback"
 )
 
@@ -43,26 +44,41 @@ func main() {
 		faults = flag.Bool("faults", false, "wrap the image in a fault injector (inject command)")
 		seed   = flag.Int64("seed", 1, "fault injector RNG seed")
 		async  = flag.Bool("async", false, "mount asynchronously: enable the write-behind daemon")
+		disks  = flag.Int("disks", 1, "open the image as an N-spindle striped volume (match mkfs -disks)")
 	)
 	flag.Parse()
 	if *img == "" {
 		fmt.Fprintln(os.Stderr, "cfsh: -img is required")
 		os.Exit(2)
 	}
+	if *disks < 1 {
+		fmt.Fprintln(os.Stderr, "cfsh: -disks must be at least 1")
+		os.Exit(2)
+	}
 	spec, err := disk.SpecByName(*drive)
 	fatal(err)
-	store, err := disk.OpenFileStore(*img, spec.Geom.Bytes())
+	store, err := disk.OpenFileStore(*img, int64(*disks)*spec.Geom.Bytes())
 	fatal(err)
 	defer store.Close()
+	// The fault injector wraps the whole backing store, beneath the
+	// striped volume's member windows: injected faults then hit whichever
+	// spindle owns the sector, and barriers stay global.
 	var bottom disk.Store = store
 	var fst *fault.Store
 	if *faults {
 		fst = fault.NewStore(store, *seed)
 		bottom = fst
 	}
-	d, err := disk.New(spec, sim.NewClock(), bottom)
-	fatal(err)
-	dev := blockio.NewDevice(d, sched.CLook{})
+	var dev *blockio.Device
+	if *disks == 1 {
+		d, err := disk.New(spec, sim.NewClock(), bottom)
+		fatal(err)
+		dev = blockio.NewDevice(d, sched.CLook{})
+	} else {
+		vol, err := volume.Build(spec, *disks, sim.NewClock(), bottom, volume.Config{})
+		fatal(err)
+		dev = blockio.NewDevice(vol, sched.CLook{})
+	}
 
 	var magic [4]byte
 	fatal(store.ReadAt(magic[:], 0))

@@ -7,8 +7,8 @@
 //
 // Usage:
 //
-//	crashenum [-fs cffs|cffs-async|cffs-delayed|ffs|lfs|all] [-max-points n]
-//	          [-torn n] [-reorder n] [-seed n] [-json file]
+//	crashenum [-fs cffs|cffs-async|cffs-delayed|cffs-striped|ffs|lfs|all]
+//	          [-max-points n] [-torn n] [-reorder n] [-seed n] [-json file]
 //
 // The exit code is 0 when every enumerated state repaired cleanly and
 // every durability promise held, 1 otherwise.
@@ -42,7 +42,7 @@ type row struct {
 
 func main() {
 	var (
-		which   = flag.String("fs", "all", "file system to enumerate: cffs, cffs-async, cffs-delayed, ffs, lfs, or all")
+		which   = flag.String("fs", "all", "file system to enumerate: cffs, cffs-async, cffs-delayed, cffs-striped, ffs, lfs, or all")
 		maxPts  = flag.Int("max-points", 0, "cap on enumerated write boundaries (0 = every boundary)")
 		torn    = flag.Int("torn", 8, "torn-write states to sample")
 		reorder = flag.Int("reorder", 8, "write-reorder states to sample")
@@ -55,10 +55,11 @@ func main() {
 		"cffs":         harness.CFFSConfig(core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeSync}, true),
 		"cffs-async":   harness.CFFSAsyncConfig(),
 		"cffs-delayed": harness.CFFSConfig(core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed}, false),
+		"cffs-striped": harness.CFFSStripedConfig(2),
 		"ffs":          harness.FFSConfig(),
 		"lfs":          harness.LFSConfig(),
 	}
-	order := []string{"cffs", "cffs-async", "cffs-delayed", "ffs", "lfs"}
+	order := []string{"cffs", "cffs-async", "cffs-delayed", "cffs-striped", "ffs", "lfs"}
 	if *which != "all" {
 		if _, ok := configs[*which]; !ok {
 			fmt.Fprintf(os.Stderr, "crashenum: unknown -fs %q\n", *which)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	fsck -img disk.img [-drive name] [-repair] [-json] [-v]
+//	fsck -img disk.img [-drive name] [-disks n] [-repair] [-json] [-v]
 //
 // Exit codes follow Unix fsck convention: 0 the image is clean, 1
 // problems were found and corrected, 4 problems remain uncorrected
@@ -28,6 +28,7 @@ import (
 	"cffs/internal/lfs"
 	"cffs/internal/sched"
 	"cffs/internal/sim"
+	"cffs/internal/volume"
 )
 
 func main() {
@@ -37,20 +38,32 @@ func main() {
 		repair  = flag.Bool("repair", false, "repair structural damage and rewrite allocation state")
 		asJSON  = flag.Bool("json", false, "emit the machine-readable report on stdout")
 		verbose = flag.Bool("v", false, "print every problem found")
+		disks   = flag.Int("disks", 1, "open the image as an N-spindle striped volume (match mkfs -disks)")
 	)
 	flag.Parse()
 	if *img == "" {
 		fmt.Fprintln(os.Stderr, "fsck: -img is required")
 		os.Exit(2)
 	}
+	if *disks < 1 {
+		fmt.Fprintln(os.Stderr, "fsck: -disks must be at least 1")
+		os.Exit(2)
+	}
 	spec, err := disk.SpecByName(*drive)
 	fatal(err)
-	store, err := disk.OpenFileStore(*img, spec.Geom.Bytes())
+	store, err := disk.OpenFileStore(*img, int64(*disks)*spec.Geom.Bytes())
 	fatal(err)
 	defer store.Close()
-	d, err := disk.New(spec, sim.NewClock(), store)
-	fatal(err)
-	dev := blockio.NewDevice(d, sched.CLook{})
+	var dev *blockio.Device
+	if *disks == 1 {
+		d, err := disk.New(spec, sim.NewClock(), store)
+		fatal(err)
+		dev = blockio.NewDevice(d, sched.CLook{})
+	} else {
+		vol, err := volume.Build(spec, *disks, sim.NewClock(), store, volume.Config{})
+		fatal(err)
+		dev = blockio.NewDevice(vol, sched.CLook{})
+	}
 
 	var magic [4]byte
 	fatal(store.ReadAt(magic[:], 0))

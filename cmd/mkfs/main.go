@@ -5,7 +5,12 @@
 // Usage:
 //
 //	mkfs -img disk.img [-drive name] [-fs cffs|ffs] [-embed=true]
-//	     [-group=true] [-mode sync|delayed]
+//	     [-group=true] [-mode sync|delayed] [-disks n]
+//
+// -disks n sizes the image for n drives and lays the file system out
+// over an n-spindle striped volume (stripe unit = the 64 KB group
+// size). Pass the same -disks to cfsh and fsck when reopening the
+// image.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"cffs/internal/lfs"
 	"cffs/internal/sched"
 	"cffs/internal/sim"
+	"cffs/internal/volume"
 )
 
 func main() {
@@ -30,19 +36,23 @@ func main() {
 		embed  = flag.Bool("embed", true, "cffs: embed inodes in directories")
 		group  = flag.Bool("group", true, "cffs: explicit grouping of small files")
 		mode   = flag.String("mode", "sync", `metadata integrity: "sync" or "delayed"`)
+		disks  = flag.Int("disks", 1, "stripe the image across N simulated spindles")
 	)
 	flag.Parse()
 	if *img == "" {
 		fmt.Fprintln(os.Stderr, "mkfs: -img is required")
 		os.Exit(2)
 	}
+	if *disks < 1 {
+		fmt.Fprintln(os.Stderr, "mkfs: -disks must be at least 1")
+		os.Exit(2)
+	}
 	spec, err := disk.SpecByName(*drive)
 	fatal(err)
-	store, err := disk.OpenFileStore(*img, spec.Geom.Bytes())
+	store, err := disk.OpenFileStore(*img, int64(*disks)*spec.Geom.Bytes())
 	fatal(err)
-	d, err := disk.New(spec, sim.NewClock(), store)
+	dev, err := newDevice(spec, *disks, store)
 	fatal(err)
-	dev := blockio.NewDevice(d, sched.CLook{})
 
 	switch *fsKind {
 	case "cffs":
@@ -74,6 +84,25 @@ func main() {
 		os.Exit(2)
 	}
 	fatal(store.Close())
+}
+
+// newDevice builds the driver over a single simulated disk or, with
+// n > 1, an n-spindle striped volume over windows of the same image
+// file — the same layering fsck and cfsh use, so one image file serves
+// every tool as long as they agree on -disks.
+func newDevice(spec disk.Spec, n int, store disk.Store) (*blockio.Device, error) {
+	if n == 1 {
+		d, err := disk.New(spec, sim.NewClock(), store)
+		if err != nil {
+			return nil, err
+		}
+		return blockio.NewDevice(d, sched.CLook{}), nil
+	}
+	vol, err := volume.Build(spec, n, sim.NewClock(), store, volume.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return blockio.NewDevice(vol, sched.CLook{}), nil
 }
 
 func fatal(err error) {

@@ -11,6 +11,7 @@ import (
 	"cffs/internal/sched"
 	"cffs/internal/sim"
 	"cffs/internal/vfs"
+	"cffs/internal/volume"
 )
 
 // Config controls experiment scale and substrate. The zero value plus
@@ -91,6 +92,28 @@ func (c Config) newDevice() (*blockio.Device, error) {
 		return nil, fmt.Errorf("bench: unknown scheduler %q", c.Scheduler)
 	}
 	return blockio.NewDevice(d, s), nil
+}
+
+// newStripedDevice builds an n-spindle striped volume over fresh
+// in-memory member disks of the configured drive, wraps it in the
+// driver, and attaches the per-spindle instruments to r (which may be
+// nil). The returned Volume handle exposes per-disk stats and the
+// split-request counter for the experiment's balance tables.
+func (c Config) newStripedDevice(n int, r *obs.Registry) (*blockio.Device, *volume.Volume, error) {
+	spec, err := disk.SpecByName(c.Drive)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, ok := sched.ByName(c.Scheduler)
+	if !ok {
+		return nil, nil, fmt.Errorf("bench: unknown scheduler %q", c.Scheduler)
+	}
+	vol, err := volume.NewMem(spec, n, sim.NewClock(), volume.Config{})
+	if err != nil {
+		return nil, nil, err
+	}
+	vol.SetMetrics(r)
+	return blockio.NewDevice(vol, s), vol, nil
 }
 
 // fsVariant names one file system configuration under comparison.

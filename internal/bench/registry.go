@@ -39,6 +39,7 @@ func Experiments() []Experiment {
 		{"softupdates", "Metadata integrity cost in isolation [Ganger94]", SoftUpdates},
 		{"recovery", "Crash-point enumeration: fsck repair and recovery time", RecoveryExp},
 		{"writeback", "Async write-behind: sync vs async mounts, dirty-limit sweep", WritebackExp},
+		{"scaling", "Striped multi-disk scaling: 1/2/4/8 spindles", ScalingExp},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
 	return exps

@@ -13,6 +13,7 @@ import (
 	"cffs/internal/disk"
 	"cffs/internal/obs"
 	"cffs/internal/sched"
+	"cffs/internal/sim"
 )
 
 // BlockSize is the file system block size. The paper's C-FFS uses 4 KB
@@ -38,12 +39,42 @@ type Req struct {
 
 func (r *Req) blocks() int { return len(r.Bufs) }
 
-// Device is a block device over a simulated disk. It is safe for
-// concurrent use: single-block transfers serialize at the disk, and a
-// queued batch (Submit) holds the device lock for its whole sweep so the
-// scheduler's C-LOOK order is not interleaved with other traffic.
+// Target is what a Device drives: a single simulated disk or a striped
+// multi-disk volume (internal/volume) presenting one logical sector
+// address space. *disk.Disk satisfies it as-is; everything above the
+// driver talks to whichever is plugged in through this interface.
+type Target interface {
+	Sectors() int64
+	Clock() *sim.Clock
+	Stats() disk.Stats
+	ResetStats()
+	ReadV(lba int64, bufs [][]byte) error
+	WriteV(lba int64, bufs [][]byte) error
+	WriteOrdered(lba int64, buf []byte) error
+	SetTrace(buf *[]disk.TraceEntry)
+	SetTraceFunc(fn func(disk.TraceEntry))
+	SetOpSource(fn func() (kind uint8, id uint64))
+	SetMetricsFunc(fn func(disk.TraceEntry))
+	Close() error
+}
+
+// BatchSubmitter is a Target that schedules and services whole request
+// batches itself. Submit delegates to it when present: a striped volume
+// partitions the batch per spindle, runs each spindle's own C-LOOK
+// sweep, and services the spindles in parallel on the simulated clock —
+// decisions the single-queue sweep below cannot make. It returns the
+// number of merged disk requests actually issued, for the driver's
+// merge-factor counters.
+type BatchSubmitter interface {
+	SubmitBlocks(reqs []Req) (issued int, err error)
+}
+
+// Device is a block device over a simulated disk (or volume). It is safe
+// for concurrent use: single-block transfers serialize at the target, and
+// a queued batch (Submit) holds the device lock for its whole sweep so
+// the scheduler's C-LOOK order is not interleaved with other traffic.
 type Device struct {
-	dsk *disk.Disk
+	tgt Target
 	sch sched.Scheduler
 
 	mu      sync.Mutex // guards lastLBA and batch submission
@@ -56,16 +87,18 @@ type Device struct {
 	issued  *obs.Counter // merged disk requests actually issued
 }
 
-// NewDevice wraps a disk with a scheduler.
-func NewDevice(d *disk.Disk, s sched.Scheduler) *Device {
-	return &Device{dsk: d, sch: s}
+// NewDevice wraps a disk or volume with a scheduler.
+func NewDevice(t Target, s sched.Scheduler) *Device {
+	return &Device{tgt: t, sch: s}
 }
 
 // Blocks returns the number of whole blocks on the device.
-func (dev *Device) Blocks() int64 { return dev.dsk.Sectors() / SectorsPerBlock }
+func (dev *Device) Blocks() int64 { return dev.tgt.Sectors() / SectorsPerBlock }
 
-// Disk exposes the underlying simulated disk (for stats and the clock).
-func (dev *Device) Disk() *disk.Disk { return dev.dsk }
+// Disk exposes the underlying target (for stats and the clock). The name
+// predates multi-disk volumes; the result may be a *disk.Disk or a
+// *volume.Volume.
+func (dev *Device) Disk() Target { return dev.tgt }
 
 // Scheduler returns the active scheduler.
 func (dev *Device) Scheduler() sched.Scheduler { return dev.sch }
@@ -97,7 +130,7 @@ func (dev *Device) readBlocks(block int64, bufs [][]byte) error {
 	}
 	lba := block * SectorsPerBlock
 	dev.lastLBA = lba + int64(len(bufs)*SectorsPerBlock)
-	return dev.dsk.ReadV(lba, bufs)
+	return dev.tgt.ReadV(lba, bufs)
 }
 
 // WriteBlocks issues one disk request writing len(bufs) contiguous blocks
@@ -115,7 +148,7 @@ func (dev *Device) writeBlocks(block int64, bufs [][]byte) error {
 	}
 	lba := block * SectorsPerBlock
 	dev.lastLBA = lba + int64(len(bufs)*SectorsPerBlock)
-	return dev.dsk.WriteV(lba, bufs)
+	return dev.tgt.WriteV(lba, bufs)
 }
 
 // WriteBlockOrdered writes a single block as an ordering barrier: all
@@ -131,7 +164,7 @@ func (dev *Device) WriteBlockOrdered(block int64, buf []byte) error {
 	}
 	lba := block * SectorsPerBlock
 	dev.lastLBA = lba + SectorsPerBlock
-	return dev.dsk.WriteOrdered(lba, buf)
+	return dev.tgt.WriteOrdered(lba, buf)
 }
 
 // ReadBlock reads a single block.
@@ -167,6 +200,15 @@ func (dev *Device) Submit(reqs []Req) error {
 			LBA:    reqs[i].Block * SectorsPerBlock,
 			Sector: reqs[i].blocks() * SectorsPerBlock,
 		}
+	}
+	if bs, ok := dev.tgt.(BatchSubmitter); ok {
+		// A multi-spindle target schedules the batch itself: one C-LOOK
+		// sweep per spindle from that spindle's own head position, spindles
+		// serviced in parallel. The single global sweep below would order
+		// by logical address, which interleaves the per-disk queues.
+		issued, err := bs.SubmitBlocks(reqs)
+		dev.issued.Add(int64(issued))
+		return err
 	}
 	order := dev.sch.Order(items, dev.lastLBA)
 

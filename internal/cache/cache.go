@@ -697,6 +697,112 @@ func (c *Cache) ReadRun(start int64, count int) error {
 	return nil
 }
 
+// Run names a block range for ReadRuns.
+type Run struct {
+	Start int64
+	Count int
+}
+
+// ReadRuns ensures every block range in runs is resident, issuing all
+// missing sub-runs together as ONE scheduled batch (a single
+// Device.Submit). Where ReadRun's per-run reads serialize, a batch lets
+// a striped volume service runs that land on different spindles in
+// parallel — this is the group-readahead primitive: the demand group
+// plus the next few related group extents go out as one fan-out.
+//
+// Like ReadRun, resident and in-flight blocks are skipped, and the
+// total claimed at once is capped at half the cache capacity; runs past
+// the cap are simply not prefetched (the eventual demand access brings
+// them in).
+func (c *Cache) ReadRuns(runs []Run) error {
+	maxRun := c.capacity / 2
+	if maxRun < 1 {
+		maxRun = 1
+	}
+	type claim struct {
+		start int64
+		bufs  []*Buf
+	}
+	var claims []claim
+	total := 0
+claiming:
+	for _, r := range runs {
+		i := 0
+		for i < r.Count {
+			if total >= maxRun {
+				break claiming
+			}
+			// Claim the next run of missing blocks with placeholders.
+			var claimed []*Buf
+			j := i
+			for j < r.Count && total < maxRun {
+				phys := r.Start + int64(j)
+				s := c.shard(phys)
+				s.mu.Lock()
+				if s.byPhys[phys] != nil {
+					s.mu.Unlock()
+					break
+				}
+				b := c.newBuf(phys)
+				b.pins.Add(1)
+				s.byPhys[phys] = b
+				c.n.Add(1)
+				s.mu.Unlock()
+				c.touch(b)
+				claimed = append(claimed, b)
+				total++
+				j++
+			}
+			if len(claimed) == 0 {
+				i++
+				continue
+			}
+			claims = append(claims, claim{start: r.Start + int64(i), bufs: claimed})
+			i = j
+		}
+	}
+	if len(claims) == 0 {
+		return nil
+	}
+	all := make([]*Buf, 0, total)
+	for _, cl := range claims {
+		all = append(all, cl.bufs...)
+	}
+	// Speculative fills, not demand misses; see ReadRun.
+	if c.m.prefLoaded != nil {
+		c.m.prefLoaded.Add(int64(len(all)))
+		for _, b := range all {
+			b.prefetched.Store(true)
+		}
+	}
+	fill := func(err error) error {
+		for _, b := range all {
+			c.fail(b, err)
+		}
+		return err
+	}
+	if err := c.makeRoom(); err != nil {
+		return fill(err)
+	}
+	reqs := make([]blockio.Req, len(claims))
+	for i, cl := range claims {
+		bufs := make([][]byte, len(cl.bufs))
+		for k, b := range cl.bufs {
+			bufs[k] = b.Data
+		}
+		reqs[i] = blockio.Req{Block: cl.start, Bufs: bufs}
+	}
+	if err := c.dev.Submit(reqs); err != nil {
+		return fill(err)
+	}
+	c.prefFills.Add(int64(len(all)))
+	for _, b := range all {
+		close(b.ready)
+		b.Release()
+	}
+	return nil
+}
+
 // Sync writes back every dirty buffer as one scheduled, merged batch.
 func (c *Cache) Sync() error {
 	_, err := c.flushDirty(func(*Buf) bool { return true })

@@ -63,7 +63,7 @@ func (fs *FS) locateGroup(phys int64) (ag, k int, start int64, ok bool) {
 	if ag < 0 {
 		return 0, 0, 0, false
 	}
-	off := phys - fs.sb.dataStart(ag)
+	off := phys - fs.sb.groupBase(ag)
 	if off < 0 {
 		return 0, 0, 0, false
 	}
@@ -71,7 +71,7 @@ func (fs *FS) locateGroup(phys int64) (ag, k int, start int64, ok bool) {
 	if k >= fs.sb.groupsPerAG() {
 		return 0, 0, 0, false
 	}
-	return ag, k, fs.sb.dataStart(ag) + int64(k)*GroupBlocks, true
+	return ag, k, fs.sb.groupBase(ag) + int64(k)*GroupBlocks, true
 }
 
 // groupID packs (ag, k) into the inode Group field (+1 so 0 means none).
@@ -199,12 +199,13 @@ func (fs *FS) allocGrouped(owner uint32, fileGroup uint32, ino vfs.Ino, prefAG i
 			return 0, 0, err
 		}
 		bm := fs.blockBitmap(hdr)
-		idx := fs.findExtent(bm)
+		baseOff := int(fs.sb.groupBase(ag) - fs.sb.agStart(ag))
+		idx := fs.findExtent(bm, baseOff)
 		if idx < 0 {
 			hdr.Release()
 			continue
 		}
-		k := (idx - 1) / GroupBlocks
+		k := (idx - baseOff) / GroupBlocks
 		writeDesc(hdr, k, groupDesc{Owner: owner})
 		fs.c.MarkDirty(hdr)
 		hdr.Release()
@@ -218,11 +219,12 @@ func (fs *FS) allocGrouped(owner uint32, fileGroup uint32, ino vfs.Ino, prefAG i
 	return phys, 0, err
 }
 
-// findExtent locates the first fully free group extent in a bitmap
-// (extent k covers bits [1+k*16, 1+(k+1)*16)).
-func (fs *FS) findExtent(bm layout.Bitmap) int {
+// findExtent locates the first fully free group extent in a bitmap.
+// baseOff is the AG-relative index of the first aligned extent (extent k
+// covers bits [baseOff+k*16, baseOff+(k+1)*16)).
+func (fs *FS) findExtent(bm layout.Bitmap, baseOff int) int {
 	for k := 0; k < fs.sb.groupsPerAG(); k++ {
-		base := 1 + k*GroupBlocks
+		base := baseOff + k*GroupBlocks
 		free := true
 		for i := 0; i < GroupBlocks; i++ {
 			if bm.IsSet(base + i) {
@@ -270,7 +272,7 @@ func (fs *FS) claimInGroup(ag, k int, owner uint32) (int64, uint32, error) {
 		return 0, 0, fmt.Errorf("cffs: group (%d,%d) owner changed under allocation", ag, k)
 	}
 	bm := fs.blockBitmap(hdr)
-	base := 1 + k*GroupBlocks
+	base := int(fs.sb.groupBase(ag)-fs.sb.agStart(ag)) + k*GroupBlocks
 	for i := 0; i < GroupBlocks; i++ {
 		if d.Used&(1<<i) == 0 && !bm.IsSet(base+i) {
 			d.Used |= 1 << i
@@ -358,6 +360,119 @@ func (fs *FS) groupSpan(phys int64) (int64, int, bool) {
 		}
 	}
 	return start + int64(lo), hi - lo + 1, true
+}
+
+// nextOwnedSpans returns the grouped spans of up to fan further extents
+// owned by the same directory as extent (ag, k), scanning forward
+// through the same AG header. Extents whose span is already (or still)
+// resident are skipped — the readahead targets the cold sequel of a
+// directory scan, not re-fetches.
+//
+// When the same-owner scan leaves the fan unfilled, the readahead
+// continues into the following AGs: first their headers (one block
+// each), then — once a header is resident from an earlier batch — the
+// leading grouped extents it describes, whoever owns them. Namespace-
+// order scans (tar, build trees, the small-file benchmark) walk
+// directories in exactly that AG order, so each directory's batch warms
+// the next directory's header and groups, and on a striped volume the
+// continuation keeps every spindle streaming instead of starting each
+// directory with a cold serial header read.
+func (fs *FS) nextOwnedSpans(ag, k, fan int) []cache.Run {
+	hdr, err := fs.c.Read(fs.sb.agStart(ag))
+	if err != nil {
+		return nil
+	}
+	owner := readDesc(hdr, k).Owner
+	var runs []cache.Run
+	if owner != 0 {
+		runs = fs.spanScan(hdr, ag, k+1, owner, fan)
+	}
+	hdr.Release()
+	for next := ag + 1; next < fs.sb.NAG && next <= ag+2; next++ {
+		hstart := fs.sb.agStart(next)
+		// Header and inode-file ride-alongs are free parallelism, not
+		// part of the extent fan.
+		cold := fs.c.Peek(hstart) == nil
+		if cold {
+			runs = append(runs, cache.Run{Start: hstart, Count: 1})
+		}
+		runs = append(runs, fs.coldInodeBlocks(next)...)
+		if cold || len(runs) >= fan {
+			break
+		}
+		nh, err := fs.c.Read(hstart) // resident: a hit, no I/O
+		if err != nil {
+			break
+		}
+		runs = append(runs, fs.spanScan(nh, next, 0, 0, fan-len(runs))...)
+		nh.Release()
+	}
+	return runs
+}
+
+// coldInodeBlocks returns single-block runs for the inode-file blocks
+// that live in AG ag and are not resident. Directories keep
+// externalized inodes in per-neighborhood inode-file blocks (see
+// allocExtInode), so a namespace-order scan pays one cold inode-file
+// read per directory right before that directory's header and groups —
+// riding the block along with the previous directory's batch removes
+// it from the serial path. The inode map itself is consulted only when
+// already resident; this is readahead, it must not add misses.
+func (fs *FS) coldInodeBlocks(ag int) []cache.Run {
+	lo, hi := fs.sb.agStart(ag), fs.sb.agStart(ag+1)
+	var runs []cache.Run
+	for fb := 0; fb < fs.sb.ExtBlocks; fb += layout.PtrsPerBlock {
+		mapBlk := int64(1 + fb/layout.PtrsPerBlock)
+		if fs.c.Peek(mapBlk) == nil {
+			continue
+		}
+		mb, err := fs.c.Read(mapBlk) // resident: a hit, no I/O
+		if err != nil {
+			continue
+		}
+		n := fs.sb.ExtBlocks - fb
+		if n > layout.PtrsPerBlock {
+			n = layout.PtrsPerBlock
+		}
+		le := leBytes{mb.Data}
+		for i := 0; i < n; i++ {
+			phys := int64(le.u32(i * 4))
+			if phys >= lo && phys < hi && fs.c.Peek(phys) == nil {
+				runs = append(runs, cache.Run{Start: phys, Count: 1})
+			}
+		}
+		mb.Release()
+	}
+	return runs
+}
+
+// spanScan collects the cold allocated spans of AG ag's group extents
+// from slot k on, reading descriptors from the pinned header hdr. With
+// owner non-zero only that directory's extents count; with owner zero
+// any in-use extent does (the cross-AG continuation).
+func (fs *FS) spanScan(hdr *cache.Buf, ag, k int, owner uint32, fan int) []cache.Run {
+	var runs []cache.Run
+	for j := k; j < fs.sb.groupsPerAG() && len(runs) < fan; j++ {
+		d := readDesc(hdr, j)
+		if d.Used == 0 || (owner != 0 && d.Owner != owner) {
+			continue
+		}
+		lo, hi := -1, -1
+		for i := 0; i < GroupBlocks; i++ {
+			if d.Used&(1<<i) != 0 {
+				if lo < 0 {
+					lo = i
+				}
+				hi = i
+			}
+		}
+		start := fs.sb.groupBase(ag) + int64(j)*GroupBlocks + int64(lo)
+		if fs.c.Peek(start) != nil {
+			continue
+		}
+		runs = append(runs, cache.Run{Start: start, Count: hi - lo + 1})
+	}
+	return runs
 }
 
 // mix64 is the splitmix64 finalizer, used for scattered placement.

@@ -211,12 +211,32 @@ func (fs *FS) indirBlock(ptrSlot *uint32, in *layout.Inode, ino vfs.Ino, lb, idx
 // whole allocated span in one request (unconditionally, or on the
 // second recent touch when AdaptiveGroupRead is set). Both file data
 // and directory blocks go through this path.
+//
+// With group readahead in effect (a striped volume underneath, or
+// Options.GroupReadahead set), the demand group's read also carries the
+// next few extents owned by the same directory, batched into one Submit
+// so the volume can service them on different spindles in parallel.
 func (fs *FS) readBlockGrouped(phys int64) (*cache.Buf, error) {
 	if fs.opts.Grouping && fs.c.Peek(phys) == nil {
 		if start, count, ok := fs.groupSpan(phys); ok && fs.groupReadWanted(phys) {
+			runs := []cache.Run{{Start: start, Count: count}}
+			if fan := fs.groupReadFan(); fan > 0 {
+				if ag, k, _, ok := fs.locateGroup(phys); ok {
+					runs = append(runs, fs.nextOwnedSpans(ag, k, fan)...)
+				}
+			}
 			fs.mGroupReads.Inc()
-			fs.mGroupBlocks.Add(int64(count))
-			if err := fs.c.ReadRun(start, count); err != nil {
+			for _, r := range runs {
+				fs.mGroupBlocks.Add(int64(r.Count))
+			}
+			var err error
+			if len(runs) == 1 {
+				err = fs.c.ReadRun(start, count)
+			} else {
+				fs.mGroupPrefetch.Add(int64(len(runs) - 1))
+				err = fs.c.ReadRuns(runs)
+			}
+			if err != nil {
 				return nil, err
 			}
 		}

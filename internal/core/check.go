@@ -465,7 +465,7 @@ func (s *checkState) finish() {
 			if d.Owner != 0 && d.Used == 0 {
 				r.Problems = append(r.Problems, fmt.Sprintf("ag %d group %d: empty group still owned", ag, k))
 			}
-			start := fs.sb.dataStart(ag) + int64(k)*GroupBlocks
+			start := fs.sb.groupBase(ag) + int64(k)*GroupBlocks
 			for i := 0; i < GroupBlocks; i++ {
 				if d.Used&(1<<i) != 0 && !s.has(start+int64(i)) {
 					r.Problems = append(r.Problems,
@@ -677,7 +677,7 @@ func (s *checkState) rewriteAlloc() (int, error) {
 		// Drop group state not backed by referenced blocks.
 		for k := 0; k < fs.sb.groupsPerAG(); k++ {
 			d := readDesc(hdr, k)
-			start := fs.sb.dataStart(ag) + int64(k)*GroupBlocks
+			start := fs.sb.groupBase(ag) + int64(k)*GroupBlocks
 			fixed := d
 			for i := 0; i < GroupBlocks; i++ {
 				if d.Used&(1<<i) != 0 && !s.has(start+int64(i)) {

@@ -97,9 +97,22 @@ type Options struct {
 	// paper moves groups "as a unit ... in most cases"; this is one such
 	// policy. Off by default to keep the paper-faithful behaviour.
 	AdaptiveGroupRead bool
-	Mode              Mode
-	CacheBlocks       int // buffer cache capacity; default 2048 (8 MB)
-	AGBlocks          int // blocks per allocation group; default 2048 (8 MB)
+	// GroupReadahead widens a group read: along with the demand group,
+	// up to this many further group extents owned by the same directory
+	// are fetched in the same scheduled batch. On a striped volume,
+	// consecutive extents live on different spindles, so the batch
+	// engages several arms at once — this is what converts spindle count
+	// into small-file *read* bandwidth (writes get their parallelism
+	// from write-behind clustering). 0, the default, auto-sizes to
+	// twice the device's parallelism: plain single disks get no
+	// readahead (the paper-faithful behaviour), an N-disk volume gets a
+	// fan of 2N extents — enough to keep every arm busy and feed each
+	// drive's on-board read-ahead a second extent to stream into.
+	// Negative disables it outright.
+	GroupReadahead int
+	Mode           Mode
+	CacheBlocks    int // buffer cache capacity; default 2048 (8 MB)
+	AGBlocks       int // blocks per allocation group; default 2048 (8 MB)
 	// Metrics, when non-nil, instruments the whole mount: per-operation
 	// disk-request attribution, cache/driver counters, and the C-FFS
 	// mechanism instruments (embedded-inode hits, group-read fill). Nil
@@ -157,8 +170,24 @@ func (s *super) agStart(ag int) int64 { return int64(1+mapBlocks) + int64(ag)*in
 // after its header block).
 func (s *super) dataStart(ag int) int64 { return s.agStart(ag) + 1 }
 
+// groupBase is the first group-extent block of an allocation group: the
+// first GroupBlocks-aligned block at or after dataStart. Group extents
+// are laid out from here in aligned 64 KB units, so an extent always
+// fits one MAXPHYS transfer and — on a striped volume whose stripe unit
+// is a multiple of GroupBlocks — never straddles a stripe-unit
+// boundary (a group read must engage exactly one spindle). The blocks
+// between dataStart and groupBase are ungrouped filler, handed out only
+// by the first-fit fallback.
+func (s *super) groupBase(ag int) int64 {
+	d := s.dataStart(ag)
+	return (d + GroupBlocks - 1) / GroupBlocks * GroupBlocks
+}
+
 // groupsPerAG is how many aligned group extents fit the data area.
-func (s *super) groupsPerAG() int { return (s.AGBlocks - 1) / GroupBlocks }
+// Alignment can pad up to GroupBlocks-1 blocks before the first extent,
+// so one group's worth is reserved; for the default 2048-block AGs this
+// still yields 127 extents, the same as the pre-alignment layout.
+func (s *super) groupsPerAG() int { return (s.AGBlocks - GroupBlocks) / GroupBlocks }
 
 func (s *super) encode(p []byte) {
 	le := leBytes{p}
@@ -226,6 +255,10 @@ type FS struct {
 	sb   super
 	opts Options
 
+	// devParallel is the spindle count under dev (1 for a plain disk);
+	// it auto-sizes group readahead and the write-behind batch.
+	devParallel int
+
 	// mu is the FS-level lock: read operations (Lookup, ReadDir, Stat,
 	// ReadAt, ...) share it, mutating operations hold it exclusively.
 	// It protects every field below except the adaptive window, plus
@@ -253,11 +286,12 @@ type FS struct {
 	// Options.Metrics is nil. The mechanism counters measure the
 	// paper's two techniques directly: where inode reads are served
 	// from, and how many blocks each group read brings in.
-	trk          *obs.OpTracker
-	mEmbHits     *obs.Counter // inode reads served from a directory block
-	mExtReads    *obs.Counter // inode reads that went to the inode file
-	mGroupReads  *obs.Counter // ReadRun group fetches issued
-	mGroupBlocks *obs.Counter // blocks requested by those fetches
+	trk            *obs.OpTracker
+	mEmbHits       *obs.Counter // inode reads served from a directory block
+	mExtReads      *obs.Counter // inode reads that went to the inode file
+	mGroupReads    *obs.Counter // ReadRun group fetches issued
+	mGroupBlocks   *obs.Counter // blocks requested by those fetches
+	mGroupPrefetch *obs.Counter // sibling extents carried by readahead
 
 	// wb is the write-behind daemon, nil on synchronous mounts. Its
 	// flush rounds take fs.mu exclusively (it is a writer like any
@@ -272,6 +306,42 @@ var _ vfs.Flusher = (*FS)(nil)
 // RootIno is the root directory's inode number (external slot 0).
 const RootIno vfs.Ino = 1
 
+// deviceParallelism discovers the spindle count under a device by
+// interface assertion: a striped volume reports its member count, a
+// plain disk (which has no Parallelism method) reports 1.
+func deviceParallelism(dev *blockio.Device) int {
+	if p, ok := dev.Disk().(interface{ Parallelism() int }); ok && p.Parallelism() > 0 {
+		return p.Parallelism()
+	}
+	return 1
+}
+
+// groupReadFan is the effective group-readahead fan-out; see
+// Options.GroupReadahead.
+func (fs *FS) groupReadFan() int {
+	switch {
+	case fs.opts.GroupReadahead > 0:
+		return fs.opts.GroupReadahead
+	case fs.opts.GroupReadahead == 0:
+		if fs.devParallel == 1 {
+			return 0
+		}
+		return 2 * fs.devParallel
+	default:
+		return 0
+	}
+}
+
+// startWriteback launches the write-behind daemon with the batch size
+// scaled to the device's parallelism (unless the caller pinned one).
+func (fs *FS) startWriteback(opts Options) {
+	cfg := opts.Writeback
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = fs.devParallel
+	}
+	fs.wb = writeback.Start(fs.c, fs.clk, &fs.mu, cfg, opts.Metrics)
+}
+
 // Mkfs initializes a C-FFS on the device and returns it mounted.
 func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
 	if err := opts.fill(); err != nil {
@@ -283,10 +353,11 @@ func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
 		return nil, fmt.Errorf("cffs: device of %d blocks too small", nblocks)
 	}
 	fs := &FS{
-		dev:  dev,
-		c:    cache.New(dev, opts.CacheBlocks),
-		clk:  dev.Disk().Clock(),
-		opts: opts,
+		dev:         dev,
+		c:           cache.New(dev, opts.CacheBlocks),
+		clk:         dev.Disk().Clock(),
+		opts:        opts,
+		devParallel: deviceParallelism(dev),
 		sb: super{
 			NBlocks:  nblocks,
 			AGBlocks: opts.AGBlocks,
@@ -343,7 +414,7 @@ func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
 	if err := fs.c.Sync(); err != nil {
 		return nil, err
 	}
-	fs.wb = writeback.Start(fs.c, fs.clk, &fs.mu, opts.Writeback, opts.Metrics)
+	fs.startWriteback(opts)
 	return fs, nil
 }
 
@@ -354,10 +425,11 @@ func Mount(dev *blockio.Device, opts Options) (*FS, error) {
 		return nil, err
 	}
 	fs := &FS{
-		dev:  dev,
-		c:    cache.New(dev, opts.CacheBlocks),
-		clk:  dev.Disk().Clock(),
-		opts: opts,
+		dev:         dev,
+		c:           cache.New(dev, opts.CacheBlocks),
+		clk:         dev.Disk().Clock(),
+		opts:        opts,
+		devParallel: deviceParallelism(dev),
 	}
 	fs.attachMetrics(opts.Metrics)
 	sb, err := fs.c.Read(0)
@@ -374,7 +446,7 @@ func Mount(dev *blockio.Device, opts Options) (*FS, error) {
 	if err := fs.scanExtInodes(); err != nil {
 		return nil, err
 	}
-	fs.wb = writeback.Start(fs.c, fs.clk, &fs.mu, opts.Writeback, opts.Metrics)
+	fs.startWriteback(opts)
 	return fs, nil
 }
 
@@ -446,6 +518,7 @@ func (fs *FS) attachMetrics(r *obs.Registry) {
 	fs.mExtReads = r.Counter("core.inode.external_reads")
 	fs.mGroupReads = r.Counter("core.groupread.reads")
 	fs.mGroupBlocks = r.Counter("core.groupread.blocks")
+	fs.mGroupPrefetch = r.Counter("core.groupread.prefetch_extents")
 	fs.c.SetMetrics(r)
 	fs.dev.SetMetrics(r)
 	fs.dev.Disk().SetOpSource(obs.CurrentOpRaw)

@@ -150,7 +150,19 @@ func (fs *FS) forEachSlot(in *layout.Inode, dir vfs.Ino, fn func(b *cache.Buf, e
 		if phys == 0 {
 			return nil, fmt.Errorf("cffs: directory %#x has a hole at block %d", uint64(dir), lb)
 		}
-		b, err := fs.c.Read(phys)
+		// With group readahead in effect, directory blocks take the
+		// grouped read path: the first lookup in a cold directory then
+		// fans the directory's whole working set (names, embedded
+		// inodes, and its small files' data) across the spindles. On a
+		// plain disk the fan is zero and a scan that wants only the
+		// names would pay 16x its data in group fills, so dir blocks
+		// read singly there — the seed behaviour.
+		var b *cache.Buf
+		if fs.groupReadFan() > 0 {
+			b, err = fs.readBlockGrouped(phys)
+		} else {
+			b, err = fs.c.Read(phys)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/disk"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+	"cffs/internal/volume"
+)
+
+// newStripedCFFS mounts a fresh C-FFS over an n-spindle striped volume
+// and returns both so tests can check the volume's counters.
+func newStripedCFFS(t *testing.T, n int, opts Options) (*FS, *volume.Volume) {
+	t.Helper()
+	vol, err := volume.NewMem(disk.SeagateST31200(), n, sim.NewClock(), volume.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mkfs(blockio.NewDevice(vol, sched.CLook{}), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, vol
+}
+
+// Group extents are GroupBlocks-aligned in the logical address space,
+// and the stripe unit equals the group size, so a group can never
+// straddle a stripe-unit boundary. This checks the alignment arithmetic
+// directly: every AG's group area starts on a GroupBlocks boundary.
+func TestGroupBaseStripeAligned(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Grouping: true, Mode: ModeDelayed})
+	defer fs.Close()
+	for ag := 0; ag < fs.sb.NAG; ag++ {
+		base := fs.sb.groupBase(ag)
+		if base%GroupBlocks != 0 {
+			t.Errorf("AG %d: groupBase %d not %d-block aligned", ag, base, GroupBlocks)
+		}
+		if base < fs.sb.agStart(ag) || base >= fs.sb.agStart(ag+1) {
+			t.Errorf("AG %d: groupBase %d outside the AG [%d,%d)",
+				ag, base, fs.sb.agStart(ag), fs.sb.agStart(ag+1))
+		}
+	}
+}
+
+// The paper's grouping invariant under striping: every allocated group
+// extent maps to exactly one spindle, and a whole workload of grouped
+// creates and reads never issues a request that splits across spindles.
+func TestStripedGroupsStayOnOneSpindle(t *testing.T) {
+	const nDisks = 4
+	fs, vol := newStripedCFFS(t, nDisks, Options{
+		EmbedInodes: true, Grouping: true, Mode: ModeDelayed,
+	})
+
+	// A few directories of small files: enough to claim extents in
+	// several AGs and exercise grouped readahead across spindles.
+	data := make([]byte, 3*blockio.BlockSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	for d := 0; d < 6; d++ {
+		dir, err := fs.Mkdir(fs.Root(), fmt.Sprintf("d%d", d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 20; f++ {
+			ino, err := fs.Create(dir, fmt.Sprintf("f%d", f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sz := 1024 * (1 + (f % 3))
+			if _, err := fs.WriteAt(ino, data[:sz], 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every claimed group extent must map to one spindle: its first and
+	// last sectors locate on the same member disk.
+	extents := 0
+	for ag := 0; ag < fs.sb.NAG; ag++ {
+		hdr, err := fs.c.Read(fs.sb.agStart(ag))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < fs.sb.groupsPerAG(); k++ {
+			d := readDesc(hdr, k)
+			if d.Owner == 0 && d.Used == 0 {
+				continue
+			}
+			extents++
+			start := (fs.sb.groupBase(ag) + int64(k)*GroupBlocks) * blockio.SectorsPerBlock
+			end := start + GroupBlocks*blockio.SectorsPerBlock - 1
+			d0, _ := vol.Locate(start)
+			d1, _ := vol.Locate(end)
+			if d0 != d1 {
+				t.Errorf("AG %d extent %d spans spindles %d and %d", ag, k, d0, d1)
+			}
+		}
+		hdr.Release()
+	}
+	if extents == 0 {
+		t.Fatal("workload claimed no group extents; test is vacuous")
+	}
+
+	// Remount cold and read everything back through the grouped path.
+	dev := fs.Device()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(dev, Options{EmbedInodes: true, Grouping: true, Mode: ModeDelayed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 6; d++ {
+		dir, err := fs2.Lookup(fs2.Root(), fmt.Sprintf("d%d", d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < 20; f++ {
+			ino, err := fs2.Lookup(dir, fmt.Sprintf("f%d", f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 1024)
+			if _, err := fs2.ReadAt(ino, buf, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := fs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if split := vol.SplitRequests(); split != 0 {
+		t.Errorf("%d requests split across spindles; group transfers must stay on one member", split)
+	}
+}
+
+// Group readahead auto-sizes to the device parallelism: off on a plain
+// disk, 2x the spindle count on a striped volume, and an explicit
+// option always wins.
+func TestGroupReadFanPolicy(t *testing.T) {
+	plain := newCFFS(t, Options{EmbedInodes: true, Grouping: true, Mode: ModeDelayed})
+	defer plain.Close()
+	if fan := plain.groupReadFan(); fan != 0 {
+		t.Errorf("plain disk fan = %d, want 0", fan)
+	}
+
+	striped, _ := newStripedCFFS(t, 4, Options{EmbedInodes: true, Grouping: true, Mode: ModeDelayed})
+	defer striped.Close()
+	if fan := striped.groupReadFan(); fan != 8 {
+		t.Errorf("4-spindle fan = %d, want 8", fan)
+	}
+
+	forced, _ := newStripedCFFS(t, 4, Options{
+		EmbedInodes: true, Grouping: true, Mode: ModeDelayed, GroupReadahead: 3,
+	})
+	defer forced.Close()
+	if fan := forced.groupReadFan(); fan != 3 {
+		t.Errorf("explicit fan = %d, want 3", fan)
+	}
+
+	off, _ := newStripedCFFS(t, 4, Options{
+		EmbedInodes: true, Grouping: true, Mode: ModeDelayed, GroupReadahead: -1,
+	})
+	defer off.Close()
+	if fan := off.groupReadFan(); fan != 0 {
+		t.Errorf("disabled fan = %d, want 0", fan)
+	}
+}

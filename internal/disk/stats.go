@@ -33,6 +33,24 @@ func (s Stats) Sub(t Stats) Stats {
 	}
 }
 
+// Add returns s plus t. A striped volume reports its aggregate Stats as
+// the sum over member spindles (per-spindle figures stay available
+// separately).
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		Requests:      s.Requests + t.Requests,
+		Reads:         s.Reads + t.Reads,
+		Writes:        s.Writes + t.Writes,
+		SectorsRead:   s.SectorsRead + t.SectorsRead,
+		SectorsWrite:  s.SectorsWrite + t.SectorsWrite,
+		CacheHits:     s.CacheHits + t.CacheHits,
+		BusyNanos:     s.BusyNanos + t.BusyNanos,
+		SeekNanos:     s.SeekNanos + t.SeekNanos,
+		RotateNanos:   s.RotateNanos + t.RotateNanos,
+		TransferNanos: s.TransferNanos + t.TransferNanos,
+	}
+}
+
 // SectorsMoved returns total sectors transferred in either direction.
 func (s Stats) SectorsMoved() int64 { return s.SectorsRead + s.SectorsWrite }
 

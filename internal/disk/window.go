@@ -1,0 +1,65 @@
+package disk
+
+import "fmt"
+
+// Window is an offset view of a larger Store: byte off of the window is
+// byte base+off of the parent. A striped volume slices one image file
+// into N member-disk windows, so a single store (and a single
+// fault-injection recorder) can back every spindle. Because all windows
+// forward to the same parent, an ordered write on any member is a
+// barrier over the whole volume's write stream — which is exactly the
+// semantics the crash-enumeration harness needs.
+//
+// The parent remains owned by the caller: Close is a no-op.
+type Window struct {
+	parent Store
+	base   int64
+	size   int64
+}
+
+// NewWindow returns the view [base, base+size) of parent.
+func NewWindow(parent Store, base, size int64) *Window {
+	return &Window{parent: parent, base: base, size: size}
+}
+
+func (w *Window) check(n int, off int64) error {
+	if off < 0 || off+int64(n) > w.size {
+		return fmt.Errorf("disk: window access [%d,%d) outside view of %d bytes",
+			off, off+int64(n), w.size)
+	}
+	return nil
+}
+
+// ReadAt implements Store.
+func (w *Window) ReadAt(p []byte, off int64) error {
+	if err := w.check(len(p), off); err != nil {
+		return err
+	}
+	return w.parent.ReadAt(p, w.base+off)
+}
+
+// WriteAt implements Store.
+func (w *Window) WriteAt(p []byte, off int64) error {
+	if err := w.check(len(p), off); err != nil {
+		return err
+	}
+	return w.parent.WriteAt(p, w.base+off)
+}
+
+// WriteAtOrdered implements OrderedStore. If the parent distinguishes
+// ordered writes the barrier is forwarded (and therefore global across
+// every window of that parent); otherwise it degrades to a plain write,
+// matching how a non-ordered Store treats barriers everywhere else.
+func (w *Window) WriteAtOrdered(p []byte, off int64) error {
+	if err := w.check(len(p), off); err != nil {
+		return err
+	}
+	if os, ok := w.parent.(OrderedStore); ok {
+		return os.WriteAtOrdered(p, w.base+off)
+	}
+	return w.parent.WriteAt(p, w.base+off)
+}
+
+// Close implements Store. The parent is owned by the caller and is left
+// open.
+func (w *Window) Close() error { return nil }

@@ -40,6 +40,18 @@ type Config struct {
 	// Seagate ST31200N.
 	Spec disk.Spec
 
+	// NewDevice, when non-nil, builds the device over a backing store —
+	// the hook that lets a config put a striped volume (or any other
+	// Target) under the file system. The store is the crash-state
+	// substrate: the recorder wraps it directly, so multi-disk devices
+	// must slice it into member windows (volume.Build does). Nil builds
+	// a plain single disk.
+	NewDevice func(spec disk.Spec, clk *sim.Clock, st disk.Store) *blockio.Device
+
+	// ImageBytes sizes the backing store; zero means one drive,
+	// spec.Geom.Bytes(). Striped configs set disks x that.
+	ImageBytes int64
+
 	// Mkfs builds an empty file system on dev and leaves it durable
 	// (the callback must sync/close whatever it mounts).
 	Mkfs func(dev *blockio.Device) error
@@ -134,19 +146,25 @@ func Run(cfg Config) (*Result, *fault.Log, error) {
 	if cfg.ReorderSamples == 0 {
 		cfg.ReorderSamples = 8
 	}
+	if cfg.NewDevice == nil {
+		cfg.NewDevice = newDev
+	}
+	if cfg.ImageBytes == 0 {
+		cfg.ImageBytes = cfg.Spec.Geom.Bytes()
+	}
 
 	// Phase 1: mkfs on a pristine store, then snapshot it. The
 	// snapshot is the replay base: crashes during mkfs are out of
 	// scope (the image is not a file system yet).
-	base := disk.NewMemStore(cfg.Spec.Geom.Bytes())
-	if err := cfg.Mkfs(newDev(cfg.Spec, sim.NewClock(), base)); err != nil {
+	base := disk.NewMemStore(cfg.ImageBytes)
+	if err := cfg.Mkfs(cfg.NewDevice(cfg.Spec, sim.NewClock(), base)); err != nil {
 		return nil, nil, fmt.Errorf("harness: mkfs: %w", err)
 	}
 	snap := base.Clone()
 
 	// Phase 2: run the workload once over a recorder.
 	rec := fault.NewRecorder(base)
-	if err := cfg.Workload(newDev(cfg.Spec, sim.NewClock(), rec), rec.Mark); err != nil {
+	if err := cfg.Workload(cfg.NewDevice(cfg.Spec, sim.NewClock(), rec), rec.Mark); err != nil {
 		return nil, nil, fmt.Errorf("harness: workload: %w", err)
 	}
 	log := rec.Log()
@@ -206,7 +224,7 @@ func checkState(cfg Config, res *Result, log *fault.Log, st *disk.MemStore, n in
 // and whether the state ended consistent.
 func checkRepair(cfg Config, res *Result, st *disk.MemStore, desc string) (*blockio.Device, bool) {
 	clk := sim.NewClock()
-	dev := newDev(cfg.Spec, clk, st)
+	dev := cfg.NewDevice(cfg.Spec, clk, st)
 
 	t0 := clk.Now()
 	rep, err := cfg.Fsck(dev, true)

@@ -111,6 +111,41 @@ func TestCFFSDelayedStillRepairable(t *testing.T) {
 	}
 }
 
+// TestCFFSStripedEnumeration proves the ordered-write contract survives
+// striping: on a multi-spindle volume every enumerated write boundary,
+// torn write, and reorder state of the smallfile workload still fscks
+// clean, and no operation completed before the crash is lost. The
+// recorder sits under the member windows, so barriers stay global and
+// crash states reconstruct exactly as on one disk.
+func TestCFFSStripedEnumeration(t *testing.T) {
+	for _, disks := range []int{2, 4} {
+		disks := disks
+		t.Run(fmt.Sprintf("%ddisk", disks), func(t *testing.T) {
+			cfg := CFFSStripedConfig(disks)
+			cfg.Seed = 7
+			res, _, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Writes == 0 {
+				t.Fatal("workload recorded no writes")
+			}
+			if res.CrashPoints != res.Writes+1 {
+				t.Fatalf("covered %d of %d write boundaries", res.CrashPoints, res.Writes+1)
+			}
+			if res.TornStates == 0 || res.ReorderStates == 0 {
+				t.Fatalf("no torn (%d) or reorder (%d) states sampled", res.TornStates, res.ReorderStates)
+			}
+			for _, f := range res.Failures {
+				t.Errorf("unrepaired state: %s", f)
+			}
+			for _, v := range res.DurabilityViolations {
+				t.Errorf("durability violation: %s", v)
+			}
+		})
+	}
+}
+
 func TestFFSEnumeration(t *testing.T) {
 	cfg := FFSConfig()
 	cfg.Seed = 11

@@ -6,9 +6,13 @@ import (
 
 	"cffs/internal/blockio"
 	"cffs/internal/core"
+	"cffs/internal/disk"
 	"cffs/internal/ffs"
 	"cffs/internal/lfs"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
 	"cffs/internal/vfs"
+	"cffs/internal/volume"
 	"cffs/internal/writeback"
 )
 
@@ -98,6 +102,31 @@ func CFFSConfig(opts core.Options, oracle bool) Config {
 			}
 			return NamespaceOracle(fs, completed, inflight)
 		}
+	}
+	return cfg
+}
+
+// CFFSStripedConfig builds the smallfile enumeration config for C-FFS
+// with synchronous metadata on an n-disk striped volume, oracle
+// attached. The recorder wraps the single backing store underneath the
+// member windows, so it captures the volume's whole write stream in
+// issue order and every ordered barrier stays a global barrier —
+// crash-state reconstruction then works exactly as on one disk.
+func CFFSStripedConfig(disks int) Config {
+	opts := core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeSync}
+	cfg := CFFSConfig(opts, true)
+	spec := disk.SeagateST31200()
+	if err := spec.Validate(); err != nil { // derives the geometry totals
+		panic(err)
+	}
+	cfg.Spec = spec
+	cfg.ImageBytes = int64(disks) * spec.Geom.Bytes()
+	cfg.NewDevice = func(spec disk.Spec, clk *sim.Clock, st disk.Store) *blockio.Device {
+		vol, err := volume.Build(spec, disks, clk, st, volume.Config{})
+		if err != nil {
+			panic(err) // spec and store sizing are fixed above; see newDev
+		}
+		return blockio.NewDevice(vol, sched.CLook{})
 	}
 	return cfg
 }

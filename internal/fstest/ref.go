@@ -170,6 +170,12 @@ func (m *Ref) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 	if !ok {
 		return vfs.ErrNotExist
 	}
+	if sd == dd && sname == dname {
+		// Renaming an entry onto itself is a no-op, like the real file
+		// systems; falling through would unlink the node's only name
+		// before re-adding it.
+		return nil
+	}
 	if old, ok := dd.children[dname]; ok {
 		if m.nodes[old].typ == vfs.TypeDir {
 			return vfs.ErrIsDir

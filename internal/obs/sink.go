@@ -21,17 +21,25 @@ type diskSink struct {
 // with no operation in scope land under "none". Returns nil when r is
 // nil, which disk.SetMetricsFunc treats as "no sink".
 func NewDiskSink(r *Registry) func(disk.TraceEntry) {
+	return NewDiskSinkNamed(r, "disk")
+}
+
+// NewDiskSinkNamed is NewDiskSink with an instrument prefix other than
+// "disk". The volume layer attaches one sink per spindle under
+// volume.disk<i>, so -metrics-json keeps per-disk attribution instead of
+// silently aggregating a striped volume into one stream.
+func NewDiskSinkNamed(r *Registry, prefix string) func(disk.TraceEntry) {
 	if r == nil {
 		return nil
 	}
 	s := &diskSink{}
 	for op := Op(0); op < NumOps; op++ {
 		name := op.String()
-		s.requests[op] = r.Counter("disk.requests." + name)
-		s.reads[op] = r.Counter("disk.reads." + name)
-		s.writes[op] = r.Counter("disk.writes." + name)
-		s.sectors[op] = r.Counter("disk.sectors." + name)
-		s.service[op] = r.Histogram("disk.service_ns." + name)
+		s.requests[op] = r.Counter(prefix + ".requests." + name)
+		s.reads[op] = r.Counter(prefix + ".reads." + name)
+		s.writes[op] = r.Counter(prefix + ".writes." + name)
+		s.sectors[op] = r.Counter(prefix + ".sectors." + name)
+		s.service[op] = r.Histogram(prefix + ".service_ns." + name)
 	}
 	return s.record
 }

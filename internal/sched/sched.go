@@ -14,6 +14,11 @@ type Item struct {
 // Scheduler orders a batch of requests given the current head position
 // (as an LBA). Implementations return a permutation of indexes into the
 // batch; the driver services requests in that order.
+//
+// Implementations must be stateless: all positional context arrives via
+// headLBA. That is what lets one Scheduler value serve every spindle of
+// a striped volume — the volume partitions a batch per member and runs
+// the same policy against each member's own head position.
 type Scheduler interface {
 	Name() string
 	Order(items []Item, headLBA int64) []int

@@ -1,0 +1,411 @@
+package volume
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/disk"
+	"cffs/internal/obs"
+	"cffs/internal/sim"
+)
+
+func testSpec() disk.Spec {
+	s := disk.SeagateST31200()
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func newVol(t *testing.T, n int, cfg Config) *Volume {
+	t.Helper()
+	v, err := NewMem(testSpec(), n, sim.NewClock(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func block(fill byte) []byte {
+	b := make([]byte, blockio.BlockSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, bad := range []int{-16, 1, 8, 17, 24} {
+		if _, err := NewMem(testSpec(), 2, sim.NewClock(), Config{StripeBlocks: bad}); err == nil {
+			t.Errorf("StripeBlocks=%d: want error", bad)
+		}
+	}
+	for _, good := range []int{0, 16, 32, 64} {
+		if _, err := NewMem(testSpec(), 2, sim.NewClock(), Config{StripeBlocks: good}); err != nil {
+			t.Errorf("StripeBlocks=%d: %v", good, err)
+		}
+	}
+	if _, err := NewMem(testSpec(), 0, sim.NewClock(), Config{}); err == nil {
+		t.Error("0 members: want error")
+	}
+}
+
+// Locate must round-robin whole stripe units across members: unit u
+// goes to disk u%N at member unit u/N, and every sector inside a unit
+// stays with its unit.
+func TestLocateMapping(t *testing.T) {
+	unit := int64(16 * blockio.SectorsPerBlock) // default stripe unit in sectors
+	for _, n := range []int{1, 2, 4, 8} {
+		v := newVol(t, n, Config{})
+		cases := []struct {
+			lba      int64
+			wantDisk int
+			wantLBA  int64
+		}{
+			{0, 0, 0},
+			{unit - 1, 0, unit - 1},                    // last sector of unit 0
+			{unit, 1 % n, unit * int64(1/n)},           // first sector of unit 1
+			{unit + 7, 1 % n, unit*int64(1/n) + 7},     //
+			{unit * int64(n), 0, unit},                 // wraps back to disk 0, next row
+			{unit*int64(n) - 1, (n - 1) % n, unit - 1}, // last sector before the wrap
+			{unit*int64(3*n) + 5, 0, unit*3 + 5},       // row 3, disk 0
+			{unit*int64(3*n+n-1) + 5, n - 1, unit*3 + 5} /* row 3, last disk */}
+		for _, c := range cases {
+			d, mlba := v.Locate(c.lba)
+			if d != c.wantDisk || mlba != c.wantLBA {
+				t.Errorf("n=%d Locate(%d) = (%d,%d), want (%d,%d)", n, c.lba, d, mlba, c.wantDisk, c.wantLBA)
+			}
+		}
+	}
+}
+
+// The logical size must exclude the last partial stripe: with a member
+// capacity that is not a unit multiple, the tail sectors of every
+// member are unaddressable, and Sectors() is a whole number of stripes.
+func TestSectorsWholeStripesOnly(t *testing.T) {
+	spec := testSpec()
+	for _, n := range []int{1, 2, 4} {
+		v := newVol(t, n, Config{})
+		unit := int64(16 * blockio.SectorsPerBlock)
+		member := spec.Geom.Sectors()
+		want := int64(n) * (member / unit) * unit
+		if v.Sectors() != want {
+			t.Errorf("n=%d Sectors() = %d, want %d", n, v.Sectors(), want)
+		}
+		if v.Sectors()%(unit*int64(n)) != 0 {
+			t.Errorf("n=%d Sectors() = %d is not a whole number of stripes", n, v.Sectors())
+		}
+	}
+}
+
+// A 16-block-aligned 16-block transfer — a C-FFS group extent — must
+// always land on exactly one spindle, never splitting, at any aligned
+// offset in the address space.
+func TestGroupTransferNeverSplits(t *testing.T) {
+	v := newVol(t, 4, Config{})
+	bufs := make([][]byte, 16)
+	for i := range bufs {
+		bufs[i] = block(byte(i))
+	}
+	groupSectors := int64(16 * blockio.SectorsPerBlock)
+	for _, g := range []int64{0, 1, 3, 4, 7, 100, 101, v.Sectors()/groupSectors - 1} {
+		if err := v.ReadV(g*groupSectors, bufs); err != nil {
+			t.Fatalf("group %d: %v", g, err)
+		}
+	}
+	if v.SplitRequests() != 0 {
+		t.Errorf("aligned group transfers split %d times; groups must stay on one spindle", v.SplitRequests())
+	}
+}
+
+// A single buffer crossing a stripe-unit boundary is a driver bug the
+// volume must reject; a multi-buffer transfer that spans units is legal
+// and counted as a split request.
+func TestUnitBoundaryEdges(t *testing.T) {
+	v := newVol(t, 2, Config{})
+	unit := int64(16 * blockio.SectorsPerBlock)
+
+	// One block placed to straddle units is impossible with 4 KB blocks
+	// and 64 KB units (8 divides 128); build an oversized buffer instead.
+	big := make([]byte, 2*16*blockio.BlockSize) // two whole units in one buffer
+	if err := v.ReadV(unit/2, [][]byte{big}); err == nil {
+		t.Error("buffer straddling a unit boundary: want error")
+	}
+
+	// Two blocks on opposite sides of a unit boundary split legally.
+	before := v.SplitRequests()
+	bufs := [][]byte{block(1), block(2)}
+	if err := v.ReadV(unit-int64(blockio.SectorsPerBlock), bufs); err != nil {
+		t.Fatal(err)
+	}
+	if v.SplitRequests() != before+1 {
+		t.Errorf("split counter = %d, want %d", v.SplitRequests(), before+1)
+	}
+
+	// The same two blocks inside one unit do not split.
+	before = v.SplitRequests()
+	if err := v.ReadV(unit, bufs); err != nil {
+		t.Fatal(err)
+	}
+	if v.SplitRequests() != before {
+		t.Error("intra-unit transfer must not count as split")
+	}
+}
+
+// Data written through the volume reads back identically, including
+// across unit boundaries (scatter/gather reassembly).
+func TestReadBackAcrossSpindles(t *testing.T) {
+	v := newVol(t, 4, Config{})
+	var wbufs [][]byte
+	for i := 0; i < 64; i++ { // 64 blocks = 4 units = one whole stripe
+		wbufs = append(wbufs, block(byte(i+1)))
+	}
+	if err := v.WriteV(0, wbufs); err != nil {
+		t.Fatal(err)
+	}
+	rbufs := make([][]byte, 64)
+	for i := range rbufs {
+		rbufs[i] = make([]byte, blockio.BlockSize)
+	}
+	if err := v.ReadV(0, rbufs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rbufs {
+		if !bytes.Equal(rbufs[i], wbufs[i]) {
+			t.Fatalf("block %d differs after round trip", i)
+		}
+	}
+}
+
+// The parallel service-time model: a batch touching all four spindles
+// must cost max-over-spindles, which is strictly less than issuing the
+// same requests one at a time (sum of service times).
+func TestBatchCostsMaxNotSum(t *testing.T) {
+	groupSectors := int64(16 * blockio.SectorsPerBlock)
+	mkReqs := func() []blockio.Req {
+		var reqs []blockio.Req
+		for u := int64(0); u < 4; u++ { // units 0..3 → one per spindle
+			bufs := make([][]byte, 16)
+			for i := range bufs {
+				bufs[i] = make([]byte, blockio.BlockSize)
+			}
+			reqs = append(reqs, blockio.Req{Block: u * 16, Bufs: bufs})
+		}
+		return reqs
+	}
+
+	batch := newVol(t, 4, Config{})
+	t0 := batch.Clock().Now()
+	if _, err := batch.SubmitBlocks(mkReqs()); err != nil {
+		t.Fatal(err)
+	}
+	dtBatch := batch.Clock().Now() - t0
+
+	serial := newVol(t, 4, Config{})
+	t0 = serial.Clock().Now()
+	for _, r := range mkReqs() {
+		if err := serial.ReadV(r.Block*blockio.SectorsPerBlock, r.Bufs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dtSerial := serial.Clock().Now() - t0
+
+	if dtBatch >= dtSerial {
+		t.Errorf("4-spindle batch took %dns, serial issue %dns; batch must overlap spindles", dtBatch, dtSerial)
+	}
+	// The four serial requests land on four different idle spindles, so
+	// their times barely interact: the batch should cost well under the
+	// sum — conservatively, less than 60%.
+	if float64(dtBatch) > 0.6*float64(dtSerial) {
+		t.Errorf("batch %dns vs serial %dns: expected at least ~2x overlap", dtBatch, dtSerial)
+	}
+	_ = groupSectors
+}
+
+// Requests to the same spindle serialize even inside a batch.
+func TestSameSpindleSerializes(t *testing.T) {
+	v := newVol(t, 4, Config{})
+	unitBlocks := int64(16)
+	bufsAt := func(u int64) blockio.Req {
+		bufs := make([][]byte, 16)
+		for i := range bufs {
+			bufs[i] = make([]byte, blockio.BlockSize)
+		}
+		return blockio.Req{Block: u * unitBlocks, Bufs: bufs}
+	}
+	// Units 0 and 4 both live on spindle 0.
+	t0 := v.Clock().Now()
+	if _, err := v.SubmitBlocks([]blockio.Req{bufsAt(0), bufsAt(4)}); err != nil {
+		t.Fatal(err)
+	}
+	dtSame := v.Clock().Now() - t0
+
+	v2 := newVol(t, 4, Config{})
+	t0 = v2.Clock().Now()
+	if _, err := v2.SubmitBlocks([]blockio.Req{bufsAt(0), bufsAt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	dtSpread := v2.Clock().Now() - t0
+	if dtSame <= dtSpread {
+		t.Errorf("same-spindle batch %dns should cost more than spread batch %dns", dtSame, dtSpread)
+	}
+}
+
+// Per-spindle attribution: member stats must stay per-spindle under the
+// volume, and the aggregate must be exactly their sum.
+func TestStatsPerSpindle(t *testing.T) {
+	v := newVol(t, 4, Config{})
+	bufs := make([][]byte, 16)
+	for i := range bufs {
+		bufs[i] = block(0)
+	}
+	groupSectors := int64(16 * blockio.SectorsPerBlock)
+	for u := int64(0); u < 8; u++ { // two rows: every spindle twice
+		if err := v.WriteV(u*groupSectors, bufs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := v.PerDisk()
+	if len(per) != 4 {
+		t.Fatalf("PerDisk returned %d entries", len(per))
+	}
+	var sum disk.Stats
+	for i, st := range per {
+		if st.Requests == 0 {
+			t.Errorf("spindle %d saw no requests", i)
+		}
+		sum = sum.Add(st)
+	}
+	if sum != v.Stats() {
+		t.Errorf("aggregate %+v != sum of per-spindle %+v", v.Stats(), sum)
+	}
+	if got := v.Stats().SectorsWrite; got != 8*groupSectors {
+		t.Errorf("SectorsWrite = %d, want %d", got, 8*groupSectors)
+	}
+
+	v.ResetStats()
+	if v.Stats() != (disk.Stats{}) {
+		t.Error("ResetStats left counters behind")
+	}
+}
+
+// An ordered write goes to its home spindle as an ordered write (the
+// write-ordering contract survives striping).
+func TestOrderedWriteOnHomeSpindle(t *testing.T) {
+	spec := testSpec()
+	n := 2
+	st := disk.NewMemStore(int64(n) * spec.Geom.Bytes())
+	defer st.Close()
+	v, err := Build(spec, n, sim.NewClock(), st, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit := int64(16 * blockio.SectorsPerBlock)
+	// Unit 1 lives on spindle 1.
+	if err := v.WriteOrdered(unit, block(7)); err != nil {
+		t.Fatal(err)
+	}
+	per := v.PerDisk()
+	if per[1].Writes != 1 || per[0].Writes != 0 {
+		t.Errorf("ordered write landed wrong: spindle0 %d writes, spindle1 %d writes",
+			per[0].Writes, per[1].Writes)
+	}
+	// Read back through the volume.
+	got := make([]byte, blockio.BlockSize)
+	if err := v.ReadV(unit, [][]byte{got}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, block(7)) {
+		t.Error("ordered write not readable through the volume")
+	}
+}
+
+// A one-member volume must behave exactly like the raw disk: same
+// mapping, same capacity rounding, same service time for the same
+// request sequence.
+func TestSingleMemberIdentity(t *testing.T) {
+	spec := testSpec()
+	raw, err := disk.NewMem(spec, sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := newVol(t, 1, Config{})
+
+	seq := []struct {
+		lba   int64
+		write bool
+	}{{0, true}, {12800, false}, {1024, true}, {99 * 128, false}, {4096, false}}
+	for _, s := range seq {
+		bufs := [][]byte{block(1), block(2)}
+		var rawErr, volErr error
+		if s.write {
+			rawErr, volErr = raw.WriteV(s.lba, bufs), v.WriteV(s.lba, bufs)
+		} else {
+			rawErr, volErr = raw.ReadV(s.lba, bufs), v.ReadV(s.lba, bufs)
+		}
+		if rawErr != nil || volErr != nil {
+			t.Fatal(rawErr, volErr)
+		}
+	}
+	if raw.Clock().Now() != v.Clock().Now() {
+		t.Errorf("single-member volume time %dns != raw disk %dns", v.Clock().Now(), raw.Clock().Now())
+	}
+	rawStats, volStats := raw.Stats(), v.Stats()
+	if rawStats != volStats {
+		t.Errorf("single-member volume stats %+v != raw disk %+v", volStats, rawStats)
+	}
+}
+
+// The volume clock and member clocks must be distinct objects.
+func TestClockAliasingRejected(t *testing.T) {
+	spec := testSpec()
+	shared := sim.NewClock()
+	d0, err := disk.NewMem(spec, shared) // aliases the shared clock
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := disk.NewMem(spec, sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(shared, []*disk.Disk{d0, d1}, Config{}); err == nil {
+		t.Error("member sharing the volume clock: want error")
+	}
+	priv := sim.NewClock()
+	d2, _ := disk.NewMem(spec, priv)
+	d3, _ := disk.NewMem(spec, priv) // aliases each other
+	if _, err := New(sim.NewClock(), []*disk.Disk{d2, d3}, Config{}); err == nil {
+		t.Error("members sharing one clock: want error")
+	}
+}
+
+// SetMetrics must attribute traffic to per-spindle instruments.
+func TestPerSpindleMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	v := newVol(t, 2, Config{})
+	v.SetMetrics(r)
+	bufs := [][]byte{block(1)}
+	unit := int64(16 * blockio.SectorsPerBlock)
+	if err := v.ReadV(0, bufs); err != nil { // spindle 0
+		t.Fatal(err)
+	}
+	if err := v.ReadV(unit, bufs); err != nil { // spindle 1
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	for i := 0; i < 2; i++ {
+		key := fmt.Sprintf("volume.disk%d.requests.none", i)
+		found := false
+		for k, val := range snap.Counters {
+			if val > 0 && len(k) > 12 && k[:12] == fmt.Sprintf("volume.disk%d", i) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no per-spindle counters for spindle %d (looked for %s family)", i, key)
+		}
+	}
+}

@@ -74,8 +74,14 @@ type Config struct {
 	// simulation). Default 1s; negative disables the tick.
 	TickNs int64
 	// Batch is how many seed buffers each flush round harvests; each
-	// seed expands to its full contiguous dirty run. Default 64.
+	// seed expands to its full contiguous dirty run. Default
+	// 64 x Parallelism.
 	Batch int
+	// Parallelism is the spindle count of the device under the cache;
+	// mounts fill it from the volume layer. It scales the default Batch
+	// so a flush round carries enough clustered work to keep every
+	// spindle of a striped volume busy. Default 1.
+	Parallelism int
 	// Inline runs every flush on the goroutine calling Admit instead of
 	// a background daemon. The single-threaded baselines (ffs, lfs) use
 	// this: they have no FS-level lock to exclude a background flusher,
@@ -98,8 +104,11 @@ func (c *Config) fill() {
 	if c.TickNs == 0 {
 		c.TickNs = 1e9 // 1 s of simulated time
 	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
+	}
 	if c.Batch == 0 {
-		c.Batch = 64
+		c.Batch = 64 * c.Parallelism
 	}
 }
 
