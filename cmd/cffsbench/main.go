@@ -22,23 +22,26 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"cffs/internal/bench"
+	"cffs/internal/store"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment to run (default: all)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		drive = flag.String("drive", "", `disk model (default "Seagate ST31200")`)
-		sch   = flag.String("sched", "", `scheduler: "clook" or "fcfs"`)
-		files = flag.Int("files", 0, "small-file benchmark file count (default 10000)")
-		size  = flag.Int("size", 0, "small-file size in bytes (default 1024)")
-		dirs  = flag.Int("dirs", 0, "directories for the small-file benchmark (default 100)")
-		cache = flag.Int("cache", 0, "buffer cache size in 4K blocks (default 2048)")
-		seed  = flag.Uint64("seed", 0, "workload seed (default 42)")
-		quick = flag.Bool("quick", false, "shrink workloads ~10x")
-		mjson = flag.String("metrics-json", "", "capture metrics and write a JSON report (file with -exp, directory otherwise)")
+		exp     = flag.String("exp", "", "experiment to run (default: all)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		backend = flag.String("backend", "", `store backend: `+strings.Join(store.Names(), ", ")+` (default "disk")`)
+		drive   = flag.String("drive", "", `disk model (default "Seagate ST31200")`)
+		sch     = flag.String("sched", "", `scheduler: "clook" or "fcfs"`)
+		files   = flag.Int("files", 0, "small-file benchmark file count (default 10000)")
+		size    = flag.Int("size", 0, "small-file size in bytes (default 1024)")
+		dirs    = flag.Int("dirs", 0, "directories for the small-file benchmark (default 100)")
+		cache   = flag.Int("cache", 0, "buffer cache size in 4K blocks (default 2048)")
+		seed    = flag.Uint64("seed", 0, "workload seed (default 42)")
+		quick   = flag.Bool("quick", false, "shrink workloads ~10x")
+		mjson   = flag.String("metrics-json", "", "capture metrics and write a JSON report (file with -exp, directory otherwise)")
 	)
 	flag.Parse()
 
@@ -50,6 +53,7 @@ func main() {
 	}
 
 	cfg := bench.Config{
+		Backend:     *backend,
 		Drive:       *drive,
 		Scheduler:   *sch,
 		NumFiles:    *files,

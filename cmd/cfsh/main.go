@@ -14,37 +14,33 @@ package main
 
 import (
 	"bufio"
-	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"cffs/internal/blockio"
 	"cffs/internal/core"
-	"cffs/internal/disk"
-	"cffs/internal/fault"
 	"cffs/internal/ffs"
 	"cffs/internal/lfs"
 	"cffs/internal/obs"
-	"cffs/internal/sched"
 	"cffs/internal/shell"
-	"cffs/internal/sim"
+	"cffs/internal/store"
 	"cffs/internal/vfs"
-	"cffs/internal/volume"
 	"cffs/internal/writeback"
 )
 
 func main() {
 	var (
-		img    = flag.String("img", "", "image file to open (required)")
-		drive  = flag.String("drive", "Seagate ST31200", "disk model defining the geometry")
-		script = flag.String("c", "", "semicolon-separated commands to run non-interactively")
-		faults = flag.Bool("faults", false, "wrap the image in a fault injector (inject command)")
-		seed   = flag.Int64("seed", 1, "fault injector RNG seed")
-		async  = flag.Bool("async", false, "mount asynchronously: enable the write-behind daemon")
-		disks  = flag.Int("disks", 1, "open the image as an N-spindle striped volume (match mkfs -disks)")
+		img     = flag.String("img", "", "image file to open (required)")
+		backend = flag.String("backend", "", `store backend: `+strings.Join(store.Names(), ", ")+` (default "disk")`)
+		drive   = flag.String("drive", "", `disk model defining the geometry (default "Seagate ST31200")`)
+		script  = flag.String("c", "", "semicolon-separated commands to run non-interactively")
+		faults  = flag.Bool("faults", false, "wrap the image in a fault injector (inject command)")
+		seed    = flag.Int64("seed", 1, "fault injector RNG seed")
+		async   = flag.Bool("async", false, "mount asynchronously: enable the write-behind daemon")
+		disks   = flag.Int("disks", 1, "open the image as an N-spindle striped volume (match mkfs -disks)")
 	)
 	flag.Parse()
 	if *img == "" {
@@ -55,55 +51,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cfsh: -disks must be at least 1")
 		os.Exit(2)
 	}
-	spec, err := disk.SpecByName(*drive)
-	fatal(err)
-	store, err := disk.OpenFileStore(*img, int64(*disks)*spec.Geom.Bytes())
-	fatal(err)
-	defer store.Close()
-	// The fault injector wraps the whole backing store, beneath the
-	// striped volume's member windows: injected faults then hit whichever
-	// spindle owns the sector, and barriers stay global.
-	var bottom disk.Store = store
-	var fst *fault.Store
-	if *faults {
-		fst = fault.NewStore(store, *seed)
-		bottom = fst
+	// The store seam arms the fault injector beneath the whole backing
+	// store, beneath any striped volume's member windows: injected faults
+	// then hit whichever spindle owns the sector, and barriers stay
+	// global.
+	bk, err := store.Open(store.Config{
+		Backend:   *backend,
+		Drive:     *drive,
+		Disks:     *disks,
+		Path:      *img,
+		Faults:    *faults,
+		FaultSeed: *seed,
+	})
+	if errors.Is(err, store.ErrUnknownBackend) {
+		fmt.Fprintln(os.Stderr, "cfsh:", err)
+		os.Exit(2)
 	}
-	var dev *blockio.Device
-	if *disks == 1 {
-		d, err := disk.New(spec, sim.NewClock(), bottom)
-		fatal(err)
-		dev = blockio.NewDevice(d, sched.CLook{})
-	} else {
-		vol, err := volume.Build(spec, *disks, sim.NewClock(), bottom, volume.Config{})
-		fatal(err)
-		dev = blockio.NewDevice(vol, sched.CLook{})
-	}
+	fatal(err)
+	defer bk.Bytes.Close()
+	dev := bk.Device()
 
-	var magic [4]byte
-	fatal(store.ReadAt(magic[:], 0))
+	kind, err := store.DetectFS(bk.Bytes)
+	if errors.Is(err, store.ErrUnknownImage) {
+		fmt.Fprintln(os.Stderr, "cfsh: unrecognized image; run mkfs first")
+		os.Exit(1)
+	}
+	fatal(err)
 	reg := obs.NewRegistry()
 	wbcfg := writeback.Config{Enabled: *async}
 	var fs vfs.FileSystem
-	switch binary.LittleEndian.Uint32(magic[:]) {
-	case core.Magic:
+	switch kind {
+	case store.KindCFFS:
 		fs, err = core.Mount(dev, core.Options{Mode: core.ModeDelayed, Metrics: reg, Writeback: wbcfg})
-	case ffs.Magic:
+	case store.KindFFS:
 		fs, err = ffs.Mount(dev, ffs.Options{Mode: ffs.ModeDelayed, Metrics: reg, Writeback: wbcfg})
-	case lfs.Magic:
+	case store.KindLFS:
 		fs, err = lfs.Mount(dev, lfs.Options{Metrics: reg, Writeback: wbcfg})
-	default:
-		fmt.Fprintln(os.Stderr, "cfsh: unrecognized image; run mkfs first")
-		os.Exit(1)
 	}
 	fatal(err)
 	defer fs.Close()
 
 	sh := shell.New(fs, dev, os.Stdout)
 	sh.SetRegistry(reg)
-	if fst != nil {
-		fst.SetMetrics(reg)
-		sh.SetFaultStore(fst)
+	if bk.Fault != nil {
+		bk.Fault.SetMetrics(reg)
+		sh.SetFaultStore(bk.Fault)
 	}
 	if *script != "" {
 		for _, cmd := range strings.Split(*script, ";") {

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	fsck -img disk.img [-drive name] [-disks n] [-repair] [-json] [-v]
+//	fsck -img disk.img [-backend name] [-drive name] [-disks n]
+//	     [-repair] [-json] [-v]
 //
 // Exit codes follow Unix fsck convention: 0 the image is clean, 1
 // problems were found and corrected, 4 problems remain uncorrected
@@ -15,26 +16,24 @@
 package main
 
 import (
-	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"cffs/internal/blockio"
 	"cffs/internal/core"
-	"cffs/internal/disk"
 	"cffs/internal/ffs"
 	"cffs/internal/fsck"
 	"cffs/internal/lfs"
-	"cffs/internal/sched"
-	"cffs/internal/sim"
-	"cffs/internal/volume"
+	"cffs/internal/store"
 )
 
 func main() {
 	var (
 		img     = flag.String("img", "", "image file to check (required)")
-		drive   = flag.String("drive", "Seagate ST31200", "disk model defining the geometry")
+		backend = flag.String("backend", "", `store backend: `+strings.Join(store.Names(), ", ")+` (default "disk")`)
+		drive   = flag.String("drive", "", `disk model defining the geometry (default "Seagate ST31200")`)
 		repair  = flag.Bool("repair", false, "repair structural damage and rewrite allocation state")
 		asJSON  = flag.Bool("json", false, "emit the machine-readable report on stdout")
 		verbose = flag.Bool("v", false, "print every problem found")
@@ -49,36 +48,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fsck: -disks must be at least 1")
 		os.Exit(2)
 	}
-	spec, err := disk.SpecByName(*drive)
-	fatal(err)
-	store, err := disk.OpenFileStore(*img, int64(*disks)*spec.Geom.Bytes())
-	fatal(err)
-	defer store.Close()
-	var dev *blockio.Device
-	if *disks == 1 {
-		d, err := disk.New(spec, sim.NewClock(), store)
-		fatal(err)
-		dev = blockio.NewDevice(d, sched.CLook{})
-	} else {
-		vol, err := volume.Build(spec, *disks, sim.NewClock(), store, volume.Config{})
-		fatal(err)
-		dev = blockio.NewDevice(vol, sched.CLook{})
+	bk, err := store.Open(store.Config{
+		Backend: *backend,
+		Drive:   *drive,
+		Disks:   *disks,
+		Path:    *img,
+	})
+	if errors.Is(err, store.ErrUnknownBackend) {
+		fmt.Fprintln(os.Stderr, "fsck:", err)
+		os.Exit(2)
 	}
+	fatal(err)
+	defer bk.Bytes.Close()
+	dev := bk.Device()
 
-	var magic [4]byte
-	fatal(store.ReadAt(magic[:], 0))
-	var rep *fsck.Report
-	switch binary.LittleEndian.Uint32(magic[:]) {
-	case core.Magic:
-		rep, err = core.Check(dev, *repair)
-	case ffs.Magic:
-		rep, err = ffs.Check(dev, *repair)
-	case lfs.Magic:
-		rep, err = lfs.Check(dev, *repair)
-	default:
-		fmt.Fprintf(os.Stderr, "fsck: %s: unrecognized superblock magic %#x\n",
-			*img, binary.LittleEndian.Uint32(magic[:]))
+	kind, err := store.DetectFS(bk.Bytes)
+	if errors.Is(err, store.ErrUnknownImage) {
+		fmt.Fprintf(os.Stderr, "fsck: %s: %v\n", *img, err)
 		os.Exit(8)
+	}
+	fatal(err)
+	var rep *fsck.Report
+	switch kind {
+	case store.KindCFFS:
+		rep, err = core.Check(dev, *repair)
+	case store.KindFFS:
+		rep, err = ffs.Check(dev, *repair)
+	case store.KindLFS:
+		rep, err = lfs.Check(dev, *repair)
 	}
 	fatal(err)
 	if *asJSON {

@@ -1,11 +1,16 @@
 // Command mkfs builds a C-FFS or baseline-FFS image in a file. The
 // image is sized to the chosen drive model so the same file works with
-// fsck, agefs, and any program mounting it.
+// fsck, cfsh, and any program mounting it.
 //
 // Usage:
 //
-//	mkfs -img disk.img [-drive name] [-fs cffs|ffs] [-embed=true]
-//	     [-group=true] [-mode sync|delayed] [-disks n]
+//	mkfs -img disk.img [-backend name] [-drive name] [-fs cffs|ffs|lfs]
+//	     [-embed=true] [-group=true] [-mode sync|delayed] [-disks n]
+//
+// -backend selects the store provider beneath the image (see
+// `internal/store`); every provider that can persist to a file produces
+// the same image layout, so a file written through one backend reopens
+// under another.
 //
 // -disks n sizes the image for n drives and lays the file system out
 // over an n-spindle striped volume (stripe unit = the 64 KB group
@@ -17,26 +22,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"cffs/internal/blockio"
 	"cffs/internal/core"
-	"cffs/internal/disk"
 	"cffs/internal/ffs"
 	"cffs/internal/lfs"
-	"cffs/internal/sched"
-	"cffs/internal/sim"
-	"cffs/internal/volume"
+	"cffs/internal/store"
 )
 
 func main() {
 	var (
-		img    = flag.String("img", "", "image file to create (required)")
-		drive  = flag.String("drive", "Seagate ST31200", "disk model defining the geometry")
-		fsKind = flag.String("fs", "cffs", `file system: "cffs", "ffs", or "lfs"`)
-		embed  = flag.Bool("embed", true, "cffs: embed inodes in directories")
-		group  = flag.Bool("group", true, "cffs: explicit grouping of small files")
-		mode   = flag.String("mode", "sync", `metadata integrity: "sync" or "delayed"`)
-		disks  = flag.Int("disks", 1, "stripe the image across N simulated spindles")
+		img     = flag.String("img", "", "image file to create (required)")
+		backend = flag.String("backend", "", `store backend: `+strings.Join(store.Names(), ", ")+` (default "disk")`)
+		drive   = flag.String("drive", "", `disk model defining the geometry (default "Seagate ST31200")`)
+		fsKind  = flag.String("fs", "cffs", `file system: "cffs", "ffs", or "lfs"`)
+		embed   = flag.Bool("embed", true, "cffs: embed inodes in directories")
+		group   = flag.Bool("group", true, "cffs: explicit grouping of small files")
+		mode    = flag.String("mode", "sync", `metadata integrity: "sync" or "delayed"`)
+		disks   = flag.Int("disks", 1, "stripe the image across N simulated spindles")
 	)
 	flag.Parse()
 	if *img == "" {
@@ -47,12 +50,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mkfs: -disks must be at least 1")
 		os.Exit(2)
 	}
-	spec, err := disk.SpecByName(*drive)
+	bk, err := store.Open(store.Config{
+		Backend: *backend,
+		Drive:   *drive,
+		Disks:   *disks,
+		Path:    *img,
+	})
 	fatal(err)
-	store, err := disk.OpenFileStore(*img, int64(*disks)*spec.Geom.Bytes())
-	fatal(err)
-	dev, err := newDevice(spec, *disks, store)
-	fatal(err)
+	if !bk.Features.FileImage {
+		fmt.Fprintf(os.Stderr, "mkfs: backend %q cannot persist to an image file\n", bk.Name)
+		os.Exit(2)
+	}
+	dev := bk.Device()
 
 	switch *fsKind {
 	case "cffs":
@@ -83,26 +92,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mkfs: unknown fs %q\n", *fsKind)
 		os.Exit(2)
 	}
-	fatal(store.Close())
-}
-
-// newDevice builds the driver over a single simulated disk or, with
-// n > 1, an n-spindle striped volume over windows of the same image
-// file — the same layering fsck and cfsh use, so one image file serves
-// every tool as long as they agree on -disks.
-func newDevice(spec disk.Spec, n int, store disk.Store) (*blockio.Device, error) {
-	if n == 1 {
-		d, err := disk.New(spec, sim.NewClock(), store)
-		if err != nil {
-			return nil, err
-		}
-		return blockio.NewDevice(d, sched.CLook{}), nil
-	}
-	vol, err := volume.Build(spec, n, sim.NewClock(), store, volume.Config{})
-	if err != nil {
-		return nil, err
-	}
-	return blockio.NewDevice(vol, sched.CLook{}), nil
+	fatal(bk.Bytes.Close())
 }
 
 func fatal(err error) {

@@ -10,6 +10,7 @@ import (
 	"cffs/internal/obs"
 	"cffs/internal/sched"
 	"cffs/internal/sim"
+	"cffs/internal/store"
 	"cffs/internal/vfs"
 	"cffs/internal/volume"
 )
@@ -18,6 +19,7 @@ import (
 // fill() gives the paper-scale defaults; Quick shrinks everything for
 // tests and -short runs while preserving the comparative shapes.
 type Config struct {
+	Backend     string // store provider, default "disk" (see internal/store)
 	Drive       string // disk model, default the paper's ST31200
 	Scheduler   string // "clook" (default) or "fcfs"
 	CacheBlocks int    // buffer cache size, default 2048 (8 MB)
@@ -77,21 +79,19 @@ func min(a, b int) int {
 	return b
 }
 
-// newDevice builds a fresh simulated disk + driver.
+// newDevice builds a fresh simulated store + driver through the
+// provider registry, so any registered backend (seek-bound disk,
+// latency-bound object store, ...) can sit under every experiment.
 func (c Config) newDevice() (*blockio.Device, error) {
-	spec, err := disk.SpecByName(c.Drive)
+	bk, err := store.Open(store.Config{
+		Backend:   c.Backend,
+		Drive:     c.Drive,
+		Scheduler: c.Scheduler,
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench: %w", err)
 	}
-	d, err := disk.NewMem(spec, sim.NewClock())
-	if err != nil {
-		return nil, err
-	}
-	s, ok := sched.ByName(c.Scheduler)
-	if !ok {
-		return nil, fmt.Errorf("bench: unknown scheduler %q", c.Scheduler)
-	}
-	return blockio.NewDevice(d, s), nil
+	return bk.Device(), nil
 }
 
 // newStripedDevice builds an n-spindle striped volume over fresh

@@ -1,0 +1,135 @@
+// Backend conformance matrix: the behavioural battery and the oracle
+// model-check run against every registered store provider, through
+// several mount stacks (default cache, starved cache, async
+// write-behind). The store seam changes request timing, scheduling, and
+// parallelism — it must never change file-system semantics, and this
+// matrix is what a new backend has to pass to exist. CI shards it by
+// backend via -run 'TestBackend(Conformance|Oracle)/<name>'.
+package fstest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/fstest"
+	"cffs/internal/store"
+	"cffs/internal/vfs"
+	"cffs/internal/writeback"
+)
+
+// backendNames is the provider matrix. Every registered provider must
+// be here; TestBackendMatrixCoversRegistry enforces it so a future
+// backend cannot dodge conformance by forgetting to list itself.
+var backendNames = []string{"disk", "fault", "striped", "objstore"}
+
+func backendDevice(t *testing.T, backend string) *blockio.Device {
+	t.Helper()
+	cfg := store.Config{Backend: backend}
+	if backend == "striped" {
+		cfg.Disks = 2
+	}
+	bk, err := store.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bk.Bytes.Close() })
+	return bk.Device()
+}
+
+// mountStack is one cache/daemon configuration layered over a backend.
+type mountStack struct {
+	name string
+	opts core.Options
+}
+
+func mountStacks() []mountStack {
+	return []mountStack{
+		{"default", core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed}},
+		// A starved cache forces constant eviction, so every path hits
+		// the backend instead of the buffer cache.
+		{"tinycache", core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed, CacheBlocks: 128}},
+		// The write-behind daemon issues clustered batches from a
+		// background goroutine — the stack most sensitive to a backend's
+		// batch submission path.
+		{"async", core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed,
+			Writeback: writeback.Config{Enabled: true}}},
+	}
+}
+
+func TestBackendMatrixCoversRegistry(t *testing.T) {
+	listed := map[string]bool{}
+	for _, n := range backendNames {
+		listed[n] = true
+	}
+	for _, name := range store.Names() {
+		if !listed[name] {
+			t.Errorf("provider %q is registered but missing from the conformance matrix", name)
+		}
+	}
+	if len(backendNames) != len(store.Names()) {
+		t.Errorf("matrix lists %v, registry has %v", backendNames, store.Names())
+	}
+}
+
+// TestBackendConformance runs the capability-flagged battery over every
+// provider × mount stack. The file systems under test are fully
+// featured, so the suite's Features come from AllFeatures; the gate
+// exists for backends that are not.
+func TestBackendConformance(t *testing.T) {
+	for _, backend := range backendNames {
+		for _, stack := range mountStacks() {
+			backend, stack := backend, stack
+			t.Run(fmt.Sprintf("%s/%s", backend, stack.name), func(t *testing.T) {
+				fstest.Suite{
+					Factory: func(t *testing.T) vfs.FileSystem {
+						fs, err := core.Mkfs(backendDevice(t, backend), stack.opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return fs
+					},
+					Features: fstest.AllFeatures(),
+				}.Run(t)
+			})
+		}
+	}
+}
+
+// TestBackendOracle model-checks every provider against the reference
+// file system under the default and async stacks, then fscks the image
+// the run left behind.
+func TestBackendOracle(t *testing.T) {
+	for bi, backend := range backendNames {
+		for si, stack := range mountStacks() {
+			if stack.name == "tinycache" {
+				continue // covered by the battery; oracle adds little here
+			}
+			backend, stack := backend, stack
+			seed := uint64(8200 + 10*bi + si)
+			t.Run(fmt.Sprintf("%s/%s", backend, stack.name), func(t *testing.T) {
+				ops := 2000
+				if testing.Short() {
+					ops = 600
+				}
+				dev := backendDevice(t, backend)
+				fs, err := core.Mkfs(dev, stack.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fstest.RunOracle(t, fs, ops, seed)
+				if err := fs.Close(); err != nil {
+					t.Fatal(err)
+				}
+				rep, err := core.Check(dev, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Clean() {
+					t.Fatalf("image inconsistent after oracle run on %s backend", backend)
+				}
+			})
+		}
+	}
+}

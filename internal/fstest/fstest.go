@@ -19,42 +19,43 @@ import (
 // Factory builds a fresh, empty file system for one subtest.
 type Factory func(t *testing.T) vfs.FileSystem
 
-// Run executes the whole conformance battery.
+// Cases returns the conformance battery. Each case declares the
+// capabilities it needs; Suite.Run skips — never silently passes — a
+// case whose needs the backend does not meet.
+func Cases() []Case {
+	return []Case{
+		{Name: "CreateLookup", Fn: testCreateLookup},
+		{Name: "CreateExisting", Fn: testCreateExisting},
+		{Name: "WriteReadSmall", Fn: testWriteReadSmall},
+		{Name: "WriteReadLarge", Fn: testWriteReadLarge},
+		{Name: "WriteReadHuge", Needs: Features{Truncate: true}, Fn: testWriteReadHuge},
+		{Name: "WriteReadSparse", Needs: Features{Sparse: true}, Fn: testWriteReadSparse},
+		{Name: "Overwrite", Fn: testOverwrite},
+		{Name: "UnalignedIO", Fn: testUnalignedIO},
+		{Name: "Truncate", Needs: Features{Truncate: true}, Fn: testTruncate},
+		{Name: "TruncateGrow", Needs: Features{Truncate: true}, Fn: testTruncateGrow},
+		{Name: "UnlinkFreesSpace", Fn: testUnlinkFreesSpace},
+		{Name: "MkdirRmdir", Fn: testMkdirRmdir},
+		{Name: "RmdirNotEmpty", Fn: testRmdirNotEmpty},
+		{Name: "ReadDir", Fn: testReadDir},
+		{Name: "DeepPaths", Fn: testDeepPaths},
+		{Name: "ManyFilesOneDir", Fn: testManyFilesOneDir},
+		{Name: "HardLinks", Needs: Features{HardLinks: true}, Fn: testHardLinks},
+		{Name: "RenameSameDir", Needs: Features{Rename: true}, Fn: testRenameSameDir},
+		{Name: "RenameAcrossDirs", Needs: Features{Rename: true}, Fn: testRenameAcrossDirs},
+		{Name: "RenameReplace", Needs: Features{Rename: true, RenameReplace: true}, Fn: testRenameReplace},
+		{Name: "ErrorCases", Fn: testErrorCases},
+		{Name: "PersistenceAcrossFlush", Needs: Features{Flush: true}, Fn: testPersistenceAcrossFlush},
+		{Name: "StatFields", Fn: testStatFields},
+		{Name: "ManyFilesContentIntegrity", Fn: testManyFilesContentIntegrity},
+	}
+}
+
+// Run executes the whole conformance battery assuming a fully-featured
+// file system — the right call for the repo's own implementations, which
+// must support everything. Backends with gaps use Suite directly.
 func Run(t *testing.T, mk Factory) {
-	tests := []struct {
-		name string
-		fn   func(*testing.T, vfs.FileSystem)
-	}{
-		{"CreateLookup", testCreateLookup},
-		{"CreateExisting", testCreateExisting},
-		{"WriteReadSmall", testWriteReadSmall},
-		{"WriteReadLarge", testWriteReadLarge},
-		{"WriteReadHuge", testWriteReadHuge},
-		{"WriteReadSparse", testWriteReadSparse},
-		{"Overwrite", testOverwrite},
-		{"UnalignedIO", testUnalignedIO},
-		{"Truncate", testTruncate},
-		{"TruncateGrow", testTruncateGrow},
-		{"UnlinkFreesSpace", testUnlinkFreesSpace},
-		{"MkdirRmdir", testMkdirRmdir},
-		{"RmdirNotEmpty", testRmdirNotEmpty},
-		{"ReadDir", testReadDir},
-		{"DeepPaths", testDeepPaths},
-		{"ManyFilesOneDir", testManyFilesOneDir},
-		{"HardLinks", testHardLinks},
-		{"RenameSameDir", testRenameSameDir},
-		{"RenameAcrossDirs", testRenameAcrossDirs},
-		{"RenameReplace", testRenameReplace},
-		{"ErrorCases", testErrorCases},
-		{"PersistenceAcrossFlush", testPersistenceAcrossFlush},
-		{"StatFields", testStatFields},
-		{"ManyFilesContentIntegrity", testManyFilesContentIntegrity},
-	}
-	for _, tc := range tests {
-		t.Run(tc.name, func(t *testing.T) {
-			tc.fn(t, mk(t))
-		})
-	}
+	Suite{Factory: mk, Features: AllFeatures()}.Run(t)
 }
 
 // pattern produces deterministic, position-dependent content so that any

@@ -1,0 +1,432 @@
+// Fuzz targets driving the real file system and the Ref oracle in
+// lockstep: every decoded operation is applied to both, errors must
+// match sentinel-for-sentinel, and the surviving namespaces must be
+// identical. The fuzzer's job is to find an input where the two
+// disagree — any such input is a bug in the real file system (or a
+// modelling gap in the oracle, which is equally worth knowing).
+// Seed corpora live in testdata/fuzz/<target>/; CI runs each target
+// for a fixed budget and uploads new crashers from that directory.
+package fstest_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"cffs/internal/core"
+	"cffs/internal/fstest"
+	"cffs/internal/store"
+	"cffs/internal/vfs"
+)
+
+// fuzzPair is the system under test and its oracle.
+type fuzzPair struct {
+	fs  vfs.FileSystem
+	ref *fstest.Ref
+}
+
+func newFuzzPair(t *testing.T) fuzzPair {
+	t.Helper()
+	bk, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := core.Mkfs(bk.Device(), core.Options{
+		EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close(); bk.Bytes.Close() })
+	return fuzzPair{fs: fs, ref: fstest.NewRef()}
+}
+
+// agree fails the fuzz run when the two systems disagree on an
+// operation's outcome.
+func agree(t *testing.T, what string, a, b error) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: real=%v oracle=%v", what, a, b)
+	}
+	if a == nil {
+		return
+	}
+	for _, sentinel := range []error{
+		vfs.ErrNotExist, vfs.ErrExist, vfs.ErrNotDir, vfs.ErrIsDir,
+		vfs.ErrNotEmpty, vfs.ErrNameTooLong, vfs.ErrInvalid,
+	} {
+		if errors.Is(a, sentinel) != errors.Is(b, sentinel) {
+			t.Fatalf("%s: error kinds diverge: real=%v oracle=%v", what, a, b)
+		}
+	}
+}
+
+// sameTrees compares the full namespaces: every path, type, size, link
+// count, and file content.
+func sameTrees(t *testing.T, p fuzzPair) {
+	t.Helper()
+	snap := func(fs vfs.FileSystem) []string {
+		var lines []string
+		err := vfs.WalkTree(fs, "/", func(path string, st vfs.Stat) error {
+			size := st.Size
+			if st.Type == vfs.TypeDir {
+				size = 0 // directory sizes are format-specific
+			}
+			line := fmt.Sprintf("%s %v %d %d", path, st.Type, size, st.Nlink)
+			if st.Type == vfs.TypeReg {
+				data, err := vfs.ReadFile(fs, path)
+				if err != nil {
+					return err
+				}
+				line += fmt.Sprintf(" %x", fnv(data))
+			}
+			lines = append(lines, line)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		sort.Strings(lines)
+		return lines
+	}
+	a, b := snap(p.fs), snap(p.ref)
+	if len(a) != len(b) {
+		t.Fatalf("trees diverge: real has %d entries, oracle %d\nreal: %v\noracle: %v", len(a), len(b), a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tree entry diverges:\n real   %s\n oracle %s", a[i], b[i])
+		}
+	}
+}
+
+func fnv(p []byte) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// prog decodes a fuzzer byte string into operation parameters; running
+// off the end yields zeros, so every input is a valid program.
+type prog struct {
+	data []byte
+	pos  int
+}
+
+func (p *prog) byte() byte {
+	if p.pos >= len(p.data) {
+		p.pos++
+		return 0
+	}
+	b := p.data[p.pos]
+	p.pos++
+	return b
+}
+
+func (p *prog) u32() uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v = v<<8 | uint32(p.byte())
+	}
+	return v
+}
+
+func (p *prog) done() bool { return p.pos >= len(p.data) }
+
+// clamp bounds fuzzer-chosen offsets and sizes so the oracle's dense
+// in-memory files stay small while still crossing the real file
+// system's direct/indirect mapping boundaries.
+const (
+	maxFuzzOff  = 6 << 20
+	maxFuzzLen  = 1 << 15
+	maxFuzzOps  = 48
+	maxFuzzName = 160 // past MaxNameLen, so ErrNameTooLong paths are explored
+)
+
+// FuzzReadWrite decodes a program of write/read/truncate/create/unlink
+// ops over a small file population and requires byte-identical data and
+// error behaviour from the real file system and the oracle.
+func FuzzReadWrite(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 16, 0, 0, 4, 0, 1, 0, 0, 0, 8, 0, 0, 2, 0})
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 17, 2, 0, 16, 0, 0, 5, 4, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pair := newFuzzPair(t)
+		p := &prog{data: data}
+		path := func(sel byte) string { return fmt.Sprintf("/f%d", sel%6) }
+		for ops := 0; !p.done() && ops < maxFuzzOps; ops++ {
+			switch op := p.byte(); op % 6 {
+			case 0: // write
+				pth := path(p.byte())
+				off := int64(p.u32() % maxFuzzOff)
+				n := int(p.u32() % maxFuzzLen)
+				buf := mkpattern(uint64(off)+uint64(n), n)
+				agree(t, "write "+pth,
+					fuzzWrite(pair.fs, pth, buf, off), fuzzWrite(pair.ref, pth, buf, off))
+			case 1: // read and compare contents
+				pth := path(p.byte())
+				off := int64(p.u32() % maxFuzzOff)
+				n := int(p.u32()%maxFuzzLen) + 1
+				a, errA := fuzzRead(pair.fs, pth, off, n)
+				b, errB := fuzzRead(pair.ref, pth, off, n)
+				agree(t, "read "+pth, errA, errB)
+				if errA == nil && !bytes.Equal(a, b) {
+					t.Fatalf("read %s [%d,+%d): contents diverge", pth, off, n)
+				}
+			case 2: // truncate
+				pth := path(p.byte())
+				size := int64(p.u32() % maxFuzzOff)
+				agree(t, "truncate "+pth,
+					fuzzTruncate(pair.fs, pth, size), fuzzTruncate(pair.ref, pth, size))
+			case 3: // create
+				pth := path(p.byte())
+				_, errA := vfs.OpenFile(pair.fs, pth, vfs.OCreate)
+				_, errB := vfs.OpenFile(pair.ref, pth, vfs.OCreate)
+				agree(t, "create "+pth, errA, errB)
+			case 4: // unlink
+				pth := path(p.byte())
+				agree(t, "unlink "+pth,
+					vfs.Remove(pair.fs, pth), vfs.Remove(pair.ref, pth))
+			case 5: // sync / flush
+				if err := pair.fs.Sync(); err != nil {
+					t.Fatalf("sync: %v", err)
+				}
+				if p.byte()%2 == 0 {
+					if fl, ok := pair.fs.(vfs.Flusher); ok {
+						if err := fl.Flush(); err != nil {
+							t.Fatalf("flush: %v", err)
+						}
+					}
+				}
+			}
+		}
+		sameTrees(t, pair)
+	})
+}
+
+// FuzzRename drives renames, links, and directory ops using two
+// fuzzer-chosen names plus a program selecting sources and targets.
+func FuzzRename(f *testing.F) {
+	f.Add("a", "b", []byte{0, 1, 2, 3})
+	f.Add("dir/sub", "x", []byte{4, 0, 5, 1, 2})
+	f.Add("..", ".", []byte{0, 2, 4})
+	f.Fuzz(func(t *testing.T, n1, n2 string, ops []byte) {
+		if len(n1) > maxFuzzName || len(n2) > maxFuzzName {
+			t.Skip("names beyond interesting lengths")
+		}
+		pair := newFuzzPair(t)
+		// A small fixture so renames have something to collide with.
+		for _, fs := range []vfs.FileSystem{pair.fs, pair.ref} {
+			if _, err := vfs.MkdirAll(fs, "/d1/d2"); err != nil {
+				t.Fatal(err)
+			}
+			if err := vfs.WriteFile(fs, "/d1/keep", []byte("keep")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		paths := []string{"/" + n1, "/" + n2, "/d1/" + n1, "/d1/d2/" + n2, "/d1/keep", "/d1", "/d1/d2"}
+		pick := func(sel byte) string { return paths[int(sel)%len(paths)] }
+		p := &prog{data: ops}
+		for ops := 0; !p.done() && ops < maxFuzzOps; ops++ {
+			switch op := p.byte(); op % 5 {
+			case 0: // rename
+				from, to := pick(p.byte()), pick(p.byte())
+				agree(t, fmt.Sprintf("rename %q -> %q", from, to),
+					fuzzRename(pair.fs, from, to), fuzzRename(pair.ref, from, to))
+			case 1: // link
+				target, name := pick(p.byte()), pick(p.byte())
+				agree(t, fmt.Sprintf("link %q -> %q", target, name),
+					fuzzLink(pair.fs, target, name), fuzzLink(pair.ref, target, name))
+			case 2: // create a file at a picked path
+				pth := pick(p.byte())
+				_, errA := vfs.OpenFile(pair.fs, pth, vfs.OCreate)
+				_, errB := vfs.OpenFile(pair.ref, pth, vfs.OCreate)
+				agree(t, "create "+pth, errA, errB)
+			case 3: // mkdir
+				pth := pick(p.byte())
+				agree(t, "mkdir "+pth, fuzzMkdir(pair.fs, pth), fuzzMkdir(pair.ref, pth))
+			case 4: // remove
+				pth := pick(p.byte())
+				agree(t, "remove "+pth,
+					vfs.Remove(pair.fs, pth), vfs.Remove(pair.ref, pth))
+			}
+		}
+		sameTrees(t, pair)
+	})
+}
+
+// FuzzOpenFlags explores the OpenFile flag lattice — every flag
+// combination (valid or not) against existing files, missing files, and
+// directories.
+func FuzzOpenFlags(f *testing.F) {
+	f.Add("f", byte(1), true)
+	f.Add("d", byte(5), false)
+	f.Add("", byte(2), true)
+	f.Add("deep/nested/name", byte(7), false)
+	f.Fuzz(func(t *testing.T, name string, flags byte, populate bool) {
+		if len(name) > maxFuzzName {
+			t.Skip("name beyond interesting lengths")
+		}
+		pair := newFuzzPair(t)
+		if populate {
+			for _, fs := range []vfs.FileSystem{pair.fs, pair.ref} {
+				if err := vfs.WriteFile(fs, "/f", []byte("payload")); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := vfs.MkdirAll(fs, "/d"); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		flag := vfs.OpenFlag(flags) & (vfs.OCreate | vfs.OExcl | vfs.OTrunc)
+		pth := "/" + name
+		inoA, errA := vfs.OpenFile(pair.fs, pth, flag)
+		inoB, errB := vfs.OpenFile(pair.ref, pth, flag)
+		agree(t, fmt.Sprintf("openfile %q %03b", pth, flag), errA, errB)
+		if errA == nil {
+			// The handles must behave identically too: write through one
+			// name, read through the walked path.
+			stA, sErrA := pair.fs.Stat(inoA)
+			stB, sErrB := pair.ref.Stat(inoB)
+			agree(t, "stat "+pth, sErrA, sErrB)
+			if sErrA == nil && stA.Type != stB.Type {
+				t.Fatalf("openfile %q: type %v vs oracle %v", pth, stA.Type, stB.Type)
+			}
+			if sErrA == nil && stA.Type == vfs.TypeReg {
+				if stA.Size != stB.Size {
+					t.Fatalf("openfile %q: size %d vs oracle %d", pth, stA.Size, stB.Size)
+				}
+				_, wErrA := pair.fs.WriteAt(inoA, []byte("after-open"), 0)
+				_, wErrB := pair.ref.WriteAt(inoB, []byte("after-open"), 0)
+				agree(t, "write-after-open "+pth, wErrA, wErrB)
+			}
+		}
+		sameTrees(t, pair)
+	})
+}
+
+// FuzzPathTraversal feeds hostile paths — "..", ".", doubled slashes,
+// overlong components — through the path helpers on both systems. The
+// real file system resolves ".." via the physical entries its
+// directories store; the oracle models the same rule, and the two must
+// never disagree about where a path lands or why it fails.
+func FuzzPathTraversal(f *testing.F) {
+	f.Add("/a/../b", "c/./d")
+	f.Add("//x//y", "../../../etc")
+	f.Add("/d1/..", ".")
+	f.Add("", "/")
+	f.Fuzz(func(t *testing.T, p1, p2 string) {
+		if len(p1) > 4*maxFuzzName || len(p2) > 4*maxFuzzName {
+			t.Skip("paths beyond interesting lengths")
+		}
+		pair := newFuzzPair(t)
+		for _, fs := range []vfs.FileSystem{pair.fs, pair.ref} {
+			if _, err := vfs.MkdirAll(fs, "/d1/d2"); err != nil {
+				t.Fatal(err)
+			}
+			if err := vfs.WriteFile(fs, "/d1/f", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, pth := range []string{p1, p2, p1 + "/" + p2} {
+			inoA, errA := vfs.Walk(pair.fs, pth)
+			inoB, errB := vfs.Walk(pair.ref, pth)
+			agree(t, fmt.Sprintf("walk %q", pth), errA, errB)
+			if errA == nil {
+				// Same landing spot: compare by type and by a probe create.
+				stA, e1 := pair.fs.Stat(inoA)
+				stB, e2 := pair.ref.Stat(inoB)
+				agree(t, fmt.Sprintf("stat %q", pth), e1, e2)
+				if e1 == nil && stA.Type != stB.Type {
+					t.Fatalf("walk %q: lands on %v vs oracle %v", pth, stA.Type, stB.Type)
+				}
+			}
+			agree(t, fmt.Sprintf("mkdirall %q", pth), fuzzMkdirAll(pair.fs, pth), fuzzMkdirAll(pair.ref, pth))
+		}
+		sameTrees(t, pair)
+	})
+}
+
+// --- path-level wrappers that surface errors without aborting ---
+
+func fuzzWrite(fs vfs.FileSystem, p string, data []byte, off int64) error {
+	ino, err := vfs.Walk(fs, p)
+	if err != nil {
+		return err
+	}
+	_, err = fs.WriteAt(ino, data, off)
+	return err
+}
+
+func fuzzRead(fs vfs.FileSystem, p string, off int64, n int) ([]byte, error) {
+	ino, err := vfs.Walk(fs, p)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	rn, err := fs.ReadAt(ino, buf, off)
+	return buf[:rn], err
+}
+
+func fuzzTruncate(fs vfs.FileSystem, p string, size int64) error {
+	ino, err := vfs.Walk(fs, p)
+	if err != nil {
+		return err
+	}
+	return fs.Truncate(ino, size)
+}
+
+func fuzzRename(fs vfs.FileSystem, from, to string) error {
+	sdir, sname, err := vfs.WalkDir(fs, from)
+	if err != nil {
+		return err
+	}
+	ddir, dname, err := vfs.WalkDir(fs, to)
+	if err != nil {
+		return err
+	}
+	return fs.Rename(sdir, sname, ddir, dname)
+}
+
+func fuzzLink(fs vfs.FileSystem, target, name string) error {
+	ino, err := vfs.Walk(fs, target)
+	if err != nil {
+		return err
+	}
+	dir, lname, err := vfs.WalkDir(fs, name)
+	if err != nil {
+		return err
+	}
+	return fs.Link(dir, lname, ino)
+}
+
+func fuzzMkdir(fs vfs.FileSystem, p string) error {
+	dir, name, err := vfs.WalkDir(fs, p)
+	if err != nil {
+		return err
+	}
+	_, err = fs.Mkdir(dir, name)
+	return err
+}
+
+func fuzzMkdirAll(fs vfs.FileSystem, p string) error {
+	_, err := vfs.MkdirAll(fs, p)
+	return err
+}
+
+// mkpattern is deterministic position-dependent content, distinct from
+// the suite's pattern helper only in living in this package.
+func mkpattern(seed uint64, n int) []byte {
+	p := make([]byte, n)
+	s := seed*2654435761 + 1
+	for i := range p {
+		s = s*6364136223846793005 + 1442695040888963407
+		p[i] = byte(s >> 56)
+	}
+	return p
+}

@@ -4,14 +4,17 @@ import (
 	"fmt"
 	"sort"
 
+	"cffs/internal/blockio"
 	"cffs/internal/vfs"
 )
 
 // Ref is a trivially-correct in-memory reference implementation of
-// vfs.FileSystem, used as the oracle for randomized model checking of
-// the real file systems and for testing the path helpers.
-// Ref is a minimal in-memory FileSystem used to test the path helpers
-// independently of the real implementations.
+// vfs.FileSystem: the oracle for randomized model checking and fuzzing
+// of the real file systems, and the fixture for testing the path
+// helpers and the conformance suite itself. Its argument validation
+// mirrors the real implementations — same sentinels for bad names and
+// offsets, "." and ".." resolving like the physical entries C-FFS
+// stores — because the fuzz targets compare the two error-for-error.
 type Ref struct {
 	next  vfs.Ino
 	nodes map[vfs.Ino]*refNode
@@ -22,13 +25,25 @@ type refNode struct {
 	data     []byte
 	nlink    uint32
 	children map[string]vfs.Ino
+	parent   vfs.Ino // directories: what ".." resolves to
 }
 
 func NewRef() *Ref {
 	fs := &Ref{next: 2, nodes: map[vfs.Ino]*refNode{
-		1: {typ: vfs.TypeDir, nlink: 2, children: map[string]vfs.Ino{}},
+		1: {typ: vfs.TypeDir, nlink: 2, children: map[string]vfs.Ino{}, parent: 1},
 	}}
 	return fs
+}
+
+// checkName mirrors the real file systems' entry-name validation.
+func checkName(name string) error {
+	if len(name) == 0 || name == "." || name == ".." {
+		return vfs.ErrInvalid
+	}
+	if len(name) > vfs.MaxNameLen {
+		return fmt.Errorf("ref: name %q: %w", name, vfs.ErrNameTooLong)
+	}
+	return nil
 }
 
 func (m *Ref) node(ino vfs.Ino) (*refNode, error) {
@@ -57,6 +72,14 @@ func (m *Ref) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if err != nil {
 		return 0, err
 	}
+	// "." and ".." resolve like the physical entries every real
+	// directory holds.
+	switch name {
+	case ".":
+		return dir, nil
+	case "..":
+		return d.parent, nil
+	}
 	ino, ok := d.children[name]
 	if !ok {
 		return 0, fmt.Errorf("lookup %q: %w", name, vfs.ErrNotExist)
@@ -65,6 +88,10 @@ func (m *Ref) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
 }
 
 func (m *Ref) create(dir vfs.Ino, name string, typ vfs.FileType) (vfs.Ino, error) {
+	// Validation order mirrors core: name first, then the directory.
+	if err := checkName(name); err != nil {
+		return 0, err
+	}
 	d, err := m.dir(dir)
 	if err != nil {
 		return 0, err
@@ -78,6 +105,7 @@ func (m *Ref) create(dir vfs.Ino, name string, typ vfs.FileType) (vfs.Ino, error
 	if typ == vfs.TypeDir {
 		n.nlink = 2
 		n.children = map[string]vfs.Ino{}
+		n.parent = dir
 	}
 	m.nodes[ino] = n
 	d.children[name] = ino
@@ -95,12 +123,14 @@ func (m *Ref) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 }
 
 func (m *Ref) Link(dir vfs.Ino, name string, target vfs.Ino) error {
+	// Same check order as core: name, directory, target (directories are
+	// never linkable), and only then the existing-entry collision.
+	if err := checkName(name); err != nil {
+		return err
+	}
 	d, err := m.dir(dir)
 	if err != nil {
 		return err
-	}
-	if _, ok := d.children[name]; ok {
-		return vfs.ErrExist
 	}
 	n, err := m.node(target)
 	if err != nil {
@@ -109,12 +139,18 @@ func (m *Ref) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 	if n.typ == vfs.TypeDir {
 		return vfs.ErrIsDir
 	}
+	if _, ok := d.children[name]; ok {
+		return vfs.ErrExist
+	}
 	n.nlink++
 	d.children[name] = target
 	return nil
 }
 
 func (m *Ref) Unlink(dir vfs.Ino, name string) error {
+	if name == "." || name == ".." {
+		return vfs.ErrInvalid
+	}
 	d, err := m.dir(dir)
 	if err != nil {
 		return err
@@ -136,6 +172,9 @@ func (m *Ref) Unlink(dir vfs.Ino, name string) error {
 }
 
 func (m *Ref) Rmdir(dir vfs.Ino, name string) error {
+	if name == "." || name == ".." {
+		return vfs.ErrInvalid
+	}
 	d, err := m.dir(dir)
 	if err != nil {
 		return err
@@ -158,17 +197,25 @@ func (m *Ref) Rmdir(dir vfs.Ino, name string) error {
 }
 
 func (m *Ref) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
-	sd, err := m.dir(sdir)
-	if err != nil {
+	// Core's order: both names, the source directory and entry, and only
+	// then the destination directory.
+	if sname == "." || sname == ".." {
+		return vfs.ErrInvalid
+	}
+	if err := checkName(dname); err != nil {
 		return err
 	}
-	dd, err := m.dir(ddir)
+	sd, err := m.dir(sdir)
 	if err != nil {
 		return err
 	}
 	ino, ok := sd.children[sname]
 	if !ok {
 		return vfs.ErrNotExist
+	}
+	dd, err := m.dir(ddir)
+	if err != nil {
+		return err
 	}
 	if sd == dd && sname == dname {
 		// Renaming an entry onto itself is a no-op, like the real file
@@ -189,6 +236,7 @@ func (m *Ref) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 	if m.nodes[ino].typ == vfs.TypeDir && sd != dd {
 		sd.nlink--
 		dd.nlink++
+		m.nodes[ino].parent = ddir // the moved directory's ".." follows it
 	}
 	return nil
 }
@@ -214,6 +262,9 @@ func (m *Ref) ReadAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 	if n.typ == vfs.TypeDir {
 		return 0, vfs.ErrIsDir
 	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
 	if off >= int64(len(n.data)) {
 		return 0, nil
 	}
@@ -227,6 +278,12 @@ func (m *Ref) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 	}
 	if n.typ == vfs.TypeDir {
 		return 0, vfs.ErrIsDir
+	}
+	if off < 0 {
+		return 0, vfs.ErrInvalid
+	}
+	if len(p) == 0 {
+		return 0, nil // a zero-length write never extends the file
 	}
 	end := off + int64(len(p))
 	if end > int64(len(n.data)) {
@@ -243,6 +300,12 @@ func (m *Ref) Truncate(ino vfs.Ino, size int64) error {
 	if err != nil {
 		return err
 	}
+	if n.typ == vfs.TypeDir {
+		return vfs.ErrIsDir
+	}
+	if size < 0 {
+		return vfs.ErrInvalid
+	}
 	if int64(len(n.data)) > size {
 		n.data = n.data[:size]
 	} else {
@@ -258,7 +321,13 @@ func (m *Ref) Stat(ino vfs.Ino) (vfs.Stat, error) {
 	if err != nil {
 		return vfs.Stat{}, err
 	}
-	return vfs.Stat{Ino: ino, Type: n.typ, Nlink: n.nlink, Size: int64(len(n.data))}, nil
+	return vfs.Stat{
+		Ino:    ino,
+		Type:   n.typ,
+		Nlink:  n.nlink,
+		Size:   int64(len(n.data)),
+		Blocks: (int64(len(n.data)) + blockio.BlockSize - 1) / blockio.BlockSize,
+	}, nil
 }
 
 func (m *Ref) Sync() error  { return nil }

@@ -1,0 +1,97 @@
+package fstest
+
+import (
+	"testing"
+
+	"cffs/internal/vfs"
+)
+
+// Features declares which optional file-system capabilities an
+// implementation under test provides. The conformance battery's cases
+// each carry a Needs declaration; Suite.Run compares the two so a case
+// exercising an unsupported capability is reported as skipped, never as
+// passed. The repo's own file systems implement everything — the gaps
+// appear when the battery runs against reduced fixtures or future
+// backends, and a skip keeps the report honest about what was proven.
+type Features struct {
+	HardLinks     bool // Link: multiple names for one file
+	Rename        bool // Rename within and across directories
+	RenameReplace bool // Rename atomically replacing an existing target
+	Sparse        bool // holes read as zeros without allocation
+	Truncate      bool // shrink and grow with zero-fill
+	Flush         bool // vfs.Flusher: cache can be emptied to the device
+}
+
+// AllFeatures is the full capability set.
+func AllFeatures() Features {
+	return Features{
+		HardLinks:     true,
+		Rename:        true,
+		RenameReplace: true,
+		Sparse:        true,
+		Truncate:      true,
+		Flush:         true,
+	}
+}
+
+// Missing lists the capabilities in need that f does not provide, empty
+// when the case can run.
+func (f Features) Missing(need Features) []string {
+	var m []string
+	if need.HardLinks && !f.HardLinks {
+		m = append(m, "hardlinks")
+	}
+	if need.Rename && !f.Rename {
+		m = append(m, "rename")
+	}
+	if need.RenameReplace && !f.RenameReplace {
+		m = append(m, "rename-replace")
+	}
+	if need.Sparse && !f.Sparse {
+		m = append(m, "sparse")
+	}
+	if need.Truncate && !f.Truncate {
+		m = append(m, "truncate")
+	}
+	if need.Flush && !f.Flush {
+		m = append(m, "flush")
+	}
+	return m
+}
+
+// Case is one conformance test: a name, the capabilities it exercises,
+// and the test body. The body may assume every declared need is met.
+type Case struct {
+	Name  string
+	Needs Features
+	Fn    func(*testing.T, vfs.FileSystem)
+}
+
+// Suite runs the conformance battery against one backend with a declared
+// capability set.
+type Suite struct {
+	Factory  Factory
+	Features Features
+
+	// SkipHook, when non-nil, observes each skip before it happens:
+	// the case name and the capabilities it wanted. Tests of the suite
+	// itself use it to prove that gating skips rather than passes.
+	SkipHook func(name string, missing []string)
+}
+
+// Run executes every case the backend's features allow and skips the
+// rest, naming the missing capability in the skip reason.
+func (s Suite) Run(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if missing := s.Features.Missing(c.Needs); len(missing) > 0 {
+				if s.SkipHook != nil {
+					s.SkipHook(c.Name, missing)
+				}
+				t.Skipf("backend lacks %v", missing)
+			}
+			c.Fn(t, s.Factory(t))
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package fstest
+
+import (
+	"strings"
+	"testing"
+
+	"cffs/internal/vfs"
+)
+
+// caseName extracts the battery case name from a subtest's full name.
+func caseName(t *testing.T) string {
+	parts := strings.Split(t.Name(), "/")
+	return parts[len(parts)-1]
+}
+
+// TestGatingSkipsNotPasses proves the capability gate's contract: a case
+// whose needs are not met is skipped — its body never runs, its backend
+// is never even built — and the skip is observable, so a feature gap can
+// never masquerade as a green test.
+func TestGatingSkipsNotPasses(t *testing.T) {
+	feats := AllFeatures()
+	feats.HardLinks = false
+	feats.Flush = false
+
+	var gated []string
+	for _, c := range Cases() {
+		if len(feats.Missing(c.Needs)) > 0 {
+			gated = append(gated, c.Name)
+		}
+	}
+	if len(gated) == 0 {
+		t.Fatal("no case needs hardlinks or flush; the gate is untestable")
+	}
+
+	built := map[string]bool{}
+	skipped := map[string]bool{}
+	s := Suite{
+		Factory: func(t *testing.T) vfs.FileSystem {
+			built[caseName(t)] = true
+			return NewRef()
+		},
+		Features: feats,
+		SkipHook: func(name string, missing []string) {
+			skipped[name] = true
+			if len(missing) == 0 {
+				t.Errorf("case %s skipped with no missing capability", name)
+			}
+		},
+	}
+	// Run the suite inside a subtest so its skips don't skip this test.
+	t.Run("reduced", s.Run)
+
+	for _, name := range gated {
+		if !skipped[name] {
+			t.Errorf("case %s needs an absent capability but was not skipped", name)
+		}
+		if built[name] {
+			t.Errorf("case %s was skipped yet its factory ran", name)
+		}
+	}
+	for _, c := range Cases() {
+		if len(feats.Missing(c.Needs)) == 0 && skipped[c.Name] {
+			t.Errorf("case %s was skipped though its needs are met", c.Name)
+		}
+	}
+}
+
+// TestSuiteRunCoversEveryCaseWhenFullyFeatured is the other half of the
+// gate: with all capabilities present nothing is skipped, so the compat
+// Run wrapper still means "the whole battery passed".
+func TestSuiteRunCoversEveryCaseWhenFullyFeatured(t *testing.T) {
+	ran := 0
+	s := Suite{
+		Factory: func(t *testing.T) vfs.FileSystem {
+			ran++
+			return NewRef()
+		},
+		Features: AllFeatures(),
+		SkipHook: func(name string, missing []string) {
+			t.Errorf("fully-featured run skipped %s (missing %v)", name, missing)
+		},
+	}
+	t.Run("full", s.Run)
+	// Ref is not a Flusher; PersistenceAcrossFlush declares Needs.Flush,
+	// so a fully-featured declaration builds a file system for every case.
+	if want := len(Cases()); ran != want {
+		t.Errorf("factory ran %d times, want %d (one per case)", ran, want)
+	}
+}
+
+// TestMissingNames pins the capability naming used in skip reasons.
+func TestMissingNames(t *testing.T) {
+	none := Features{}
+	m := none.Missing(AllFeatures())
+	want := []string{"hardlinks", "rename", "rename-replace", "sparse", "truncate", "flush"}
+	if len(m) != len(want) {
+		t.Fatalf("Missing = %v, want %v", m, want)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("Missing = %v, want %v", m, want)
+		}
+	}
+	if got := AllFeatures().Missing(Features{}); len(got) != 0 {
+		t.Errorf("no needs yet Missing = %v", got)
+	}
+}

@@ -1,0 +1,75 @@
+package vfs_test
+
+import (
+	"errors"
+	"testing"
+
+	"cffs/internal/fstest"
+	. "cffs/internal/vfs"
+)
+
+func TestOpenFileCreate(t *testing.T) {
+	fs := fstest.NewRef()
+	if _, err := OpenFile(fs, "/new", 0); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("open missing without OCreate = %v, want ErrNotExist", err)
+	}
+	ino, err := OpenFile(fs, "/new", OCreate)
+	if err != nil {
+		t.Fatalf("OCreate: %v", err)
+	}
+	again, err := OpenFile(fs, "/new", OCreate)
+	if err != nil || again != ino {
+		t.Fatalf("reopen with OCreate = %d, %v; want %d", again, err, ino)
+	}
+	if _, err := OpenFile(fs, "/new", OCreate|OExcl); !errors.Is(err, ErrExist) {
+		t.Fatalf("OExcl over existing = %v, want ErrExist", err)
+	}
+	if _, err := OpenFile(fs, "/other", OCreate|OExcl); err != nil {
+		t.Fatalf("OExcl over missing: %v", err)
+	}
+}
+
+func TestOpenFileTrunc(t *testing.T) {
+	fs := fstest.NewRef()
+	if err := WriteFile(fs, "/f", []byte("contents")); err != nil {
+		t.Fatal(err)
+	}
+	ino, err := OpenFile(fs, "/f", OTrunc)
+	if err != nil {
+		t.Fatalf("OTrunc: %v", err)
+	}
+	st, err := fs.Stat(ino)
+	if err != nil || st.Size != 0 {
+		t.Fatalf("size after OTrunc = %d, %v; want 0", st.Size, err)
+	}
+	// OTrunc on a missing file without OCreate stays ErrNotExist; with
+	// OCreate the fresh file is empty anyway.
+	if _, err := OpenFile(fs, "/missing", OTrunc); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("OTrunc missing = %v, want ErrNotExist", err)
+	}
+	if _, err := OpenFile(fs, "/fresh", OCreate|OTrunc); err != nil {
+		t.Fatalf("OCreate|OTrunc: %v", err)
+	}
+}
+
+func TestOpenFileEdgeCases(t *testing.T) {
+	fs := fstest.NewRef()
+	if _, err := OpenFile(fs, "/x", OExcl); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("OExcl alone = %v, want ErrInvalid", err)
+	}
+	if _, err := MkdirAll(fs, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(fs, "/d", 0); err != nil {
+		t.Fatalf("plain open of a directory: %v", err)
+	}
+	if _, err := OpenFile(fs, "/d", OTrunc); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("OTrunc on a directory = %v, want ErrIsDir", err)
+	}
+	if _, err := OpenFile(fs, "", OCreate); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("empty path = %v, want ErrInvalid", err)
+	}
+	if _, err := OpenFile(fs, "/no/such/dir/f", OCreate); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("create under missing dir = %v, want ErrNotExist", err)
+	}
+}

@@ -76,6 +76,59 @@ func MkdirAll(fs FileSystem, path string) (Ino, error) {
 	return cur, nil
 }
 
+// OpenFlag selects OpenFile's behaviour, mirroring the subset of POSIX
+// open(2) flags that makes sense without file descriptors or modes.
+type OpenFlag int
+
+// OpenFile flags. The zero value opens an existing file.
+const (
+	// OCreate makes the file if the final component does not exist.
+	OCreate OpenFlag = 1 << iota
+	// OExcl, with OCreate, fails with ErrExist if the file exists.
+	// Without OCreate it is an invalid combination, like open(2).
+	OExcl
+	// OTrunc truncates an existing regular file to zero length.
+	OTrunc
+)
+
+// OpenFile resolves path to a file Ino, honouring flag: plain open of
+// what exists, create-if-missing, exclusive create, and truncate-on-open
+// compose exactly as with open(2). Opening a directory succeeds only
+// without OTrunc.
+func OpenFile(fs FileSystem, path string, flag OpenFlag) (Ino, error) {
+	if flag&OExcl != 0 && flag&OCreate == 0 {
+		return 0, fmt.Errorf("openfile %q: OExcl without OCreate: %w", path, ErrInvalid)
+	}
+	dir, name, err := WalkDir(fs, path)
+	if err != nil {
+		return 0, err
+	}
+	ino, err := fs.Lookup(dir, name)
+	switch {
+	case err == nil:
+		if flag&OExcl != 0 {
+			return 0, fmt.Errorf("openfile %q: %w", path, ErrExist)
+		}
+		if flag&OTrunc != 0 {
+			st, err := fs.Stat(ino)
+			if err != nil {
+				return 0, err
+			}
+			if st.Type == TypeDir {
+				return 0, fmt.Errorf("openfile %q: %w", path, ErrIsDir)
+			}
+			if err := fs.Truncate(ino, 0); err != nil {
+				return 0, err
+			}
+		}
+		return ino, nil
+	case errors.Is(err, ErrNotExist) && flag&OCreate != 0:
+		return fs.Create(dir, name)
+	default:
+		return 0, err
+	}
+}
+
 // WriteFile creates (or truncates) the file at path with the given
 // contents.
 func WriteFile(fs FileSystem, path string, data []byte) error {
