@@ -1,0 +1,130 @@
+// Command benchdiff compares two bench reports (the JSON written by
+// `cffsbench -metrics-json`) variant by variant and operation by
+// operation, on the paper's headline unit: disk requests per operation.
+// It prints a table of changes and exits non-zero when any cell
+// regressed beyond the threshold — the CI gate that keeps the repo's
+// benchmark trajectory honest.
+//
+// Usage:
+//
+//	benchdiff [-threshold pct] [-min-ops n] old.json new.json
+//
+// Exit status: 0 no regression, 1 regression found, 2 usage/read error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cffs/internal/bench"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 10, "max allowed req/op increase in percent")
+		minOps    = flag.Int64("min-ops", 100, "ignore operations with fewer ops than this (noise floor)")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-min-ops n] old.json new.json")
+		os.Exit(2)
+	}
+	oldRep, err := readReport(flag.Arg(0))
+	fatal(err)
+	newRep, err := readReport(flag.Arg(1))
+	fatal(err)
+	if oldRep.Experiment != newRep.Experiment {
+		fmt.Fprintf(os.Stderr, "benchdiff: comparing different experiments: %q vs %q\n",
+			oldRep.Experiment, newRep.Experiment)
+		os.Exit(2)
+	}
+
+	regressions := diff(os.Stdout, oldRep, newRep, *threshold, *minOps)
+	if regressions > 0 {
+		fmt.Printf("\n%d regression(s) beyond %.0f%%\n", regressions, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("\nno req/op regression beyond %.0f%%\n", *threshold)
+}
+
+// diff renders the comparison and returns the regression count.
+func diff(w *os.File, oldRep, newRep bench.Report, threshold float64, minOps int64) int {
+	oldV := byVariant(oldRep)
+	regressions := 0
+	fmt.Fprintf(w, "%-16s %-10s %10s %10s %9s\n", "variant", "op", "old req/op", "new req/op", "delta")
+	for _, nv := range newRep.Variants {
+		ov, ok := oldV[nv.Variant]
+		if !ok {
+			fmt.Fprintf(w, "%-16s (new variant, no baseline)\n", nv.Variant)
+			continue
+		}
+		ops := make([]string, 0, len(nv.PerOp))
+		for op := range nv.PerOp {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			ns := nv.PerOp[op]
+			os_, ok := ov.PerOp[op]
+			if !ok || ns.Ops < minOps || os_.Ops < minOps || os_.RequestsPerOp == 0 {
+				continue
+			}
+			deltaPct := 100 * (ns.RequestsPerOp - os_.RequestsPerOp) / os_.RequestsPerOp
+			mark := ""
+			if deltaPct > threshold {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "%-16s %-10s %10.3f %10.3f %+8.1f%%%s\n",
+				nv.Variant, op, os_.RequestsPerOp, ns.RequestsPerOp, deltaPct, mark)
+		}
+	}
+	for v := range oldV {
+		if !hasVariant(newRep, v) {
+			fmt.Fprintf(w, "%-16s (variant dropped from new report)\n", v)
+		}
+	}
+	return regressions
+}
+
+func byVariant(r bench.Report) map[string]bench.VariantMetrics {
+	m := make(map[string]bench.VariantMetrics, len(r.Variants))
+	for _, v := range r.Variants {
+		m[v.Variant] = v
+	}
+	return m
+}
+
+func hasVariant(r bench.Report, name string) bool {
+	for _, v := range r.Variants {
+		if v.Variant == name {
+			return true
+		}
+	}
+	return false
+}
+
+func readReport(path string) (bench.Report, error) {
+	var r bench.Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Variants) == 0 {
+		return r, fmt.Errorf("%s: report carries no variant metrics (run cffsbench with -metrics-json)", path)
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"strings"
 
 	"cffs/internal/bench"
+	"cffs/internal/obs"
+	"cffs/internal/obs/expo"
 	"cffs/internal/store"
 )
 
@@ -42,6 +44,7 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "workload seed (default 42)")
 		quick   = flag.Bool("quick", false, "shrink workloads ~10x")
 		mjson   = flag.String("metrics-json", "", "capture metrics and write a JSON report (file with -exp, directory otherwise)")
+		expoOn  = flag.String("expo", "", `serve live metrics over HTTP while experiments run (e.g. "127.0.0.1:9130")`)
 	)
 	flag.Parse()
 
@@ -62,6 +65,20 @@ func main() {
 		CacheBlocks: *cache,
 		Seed:        *seed,
 		Quick:       *quick,
+	}
+
+	if *expoOn != "" {
+		// Every variant a comparative experiment mounts records into this
+		// shared registry, so a dashboard scraping /metrics (or /delta)
+		// watches the run live. (-metrics-json additionally gives each
+		// variant a private registry for the report; the shared one still
+		// sees everything mounted without one.)
+		cfg.Registry = obs.NewRegistry()
+		srv := expo.New(expo.Config{Addr: *expoOn, Registry: cfg.Registry})
+		addr, err := srv.Start()
+		fatal(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cffsbench: exposition server on http://%s/metrics\n", addr)
 	}
 
 	if *mjson != "" {

@@ -23,10 +23,13 @@ import (
 
 	"cffs/internal/core"
 	"cffs/internal/ffs"
+	"cffs/internal/flight"
 	"cffs/internal/lfs"
 	"cffs/internal/obs"
+	"cffs/internal/obs/expo"
 	"cffs/internal/shell"
 	"cffs/internal/store"
+	"cffs/internal/trace"
 	"cffs/internal/vfs"
 	"cffs/internal/writeback"
 )
@@ -41,6 +44,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "fault injector RNG seed")
 		async   = flag.Bool("async", false, "mount asynchronously: enable the write-behind daemon")
 		disks   = flag.Int("disks", 1, "open the image as an N-spindle striped volume (match mkfs -disks)")
+		fl      = flag.Bool("flight", false, "attach a flight recorder (slowlog/flight commands)")
+		slowNs  = flag.Int64("slow-ns", 0, "flight recorder fixed slow threshold in ns (0: p99 per op kind)")
+		expoOn  = flag.String("expo", "", `serve live metrics over HTTP at this address (e.g. "127.0.0.1:9130")`)
+		traceN  = flag.Int("trace", 0, "capture up to N disk requests in a bounded trace collector")
 	)
 	flag.Parse()
 	if *img == "" {
@@ -78,24 +85,46 @@ func main() {
 	}
 	fatal(err)
 	reg := obs.NewRegistry()
+	var rec *flight.Recorder
+	var recOpt obs.OpRecorder // stays nil (not typed-nil) without -flight
+	if *fl {
+		rec = flight.New(flight.Config{SlowNs: *slowNs}, dev.Disk().Clock(), reg)
+		recOpt = rec
+	}
 	wbcfg := writeback.Config{Enabled: *async}
 	var fs vfs.FileSystem
 	switch kind {
 	case store.KindCFFS:
-		fs, err = core.Mount(dev, core.Options{Mode: core.ModeDelayed, Metrics: reg, Writeback: wbcfg})
+		fs, err = core.Mount(dev, core.Options{Mode: core.ModeDelayed, Metrics: reg, Recorder: recOpt, Writeback: wbcfg})
 	case store.KindFFS:
-		fs, err = ffs.Mount(dev, ffs.Options{Mode: ffs.ModeDelayed, Metrics: reg, Writeback: wbcfg})
+		fs, err = ffs.Mount(dev, ffs.Options{Mode: ffs.ModeDelayed, Metrics: reg, Recorder: recOpt, Writeback: wbcfg})
 	case store.KindLFS:
-		fs, err = lfs.Mount(dev, lfs.Options{Metrics: reg, Writeback: wbcfg})
+		fs, err = lfs.Mount(dev, lfs.Options{Metrics: reg, Recorder: recOpt, Writeback: wbcfg})
 	}
 	fatal(err)
 	defer fs.Close()
 
 	sh := shell.New(fs, dev, os.Stdout)
 	sh.SetRegistry(reg)
+	if rec != nil {
+		sh.SetRecorder(rec)
+	}
+	if *traceN > 0 {
+		col := trace.NewBounded(*traceN)
+		dev.Disk().SetTraceFunc(col.Add)
+		sh.SetCollector(col)
+	}
 	if bk.Fault != nil {
 		bk.Fault.SetMetrics(reg)
+		bk.Fault.SetClock(dev.Disk().Clock())
 		sh.SetFaultStore(bk.Fault)
+	}
+	if *expoOn != "" {
+		srv := expo.New(expo.Config{Addr: *expoOn, Registry: reg, Recorder: rec})
+		addr, err := srv.Start()
+		fatal(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "cfsh: exposition server on http://%s/metrics\n", addr)
 	}
 	if *script != "" {
 		for _, cmd := range strings.Split(*script, ";") {

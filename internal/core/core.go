@@ -118,6 +118,11 @@ type Options struct {
 	// mechanism instruments (embedded-inode hits, group-read fill). Nil
 	// costs one predictable branch per recording site.
 	Metrics *obs.Registry
+	// Recorder, when non-nil, attaches a flight recorder
+	// (internal/flight) to the mount: every vfs operation's begin/end is
+	// observed and every stamped disk request is routed to the in-flight
+	// operation that issued it. Works with or without Metrics.
+	Recorder obs.OpRecorder
 	// Writeback configures the asynchronous write-behind daemon
 	// (internal/writeback). Disabled (the zero value), dirty blocks
 	// leave the cache only through Sync/Flush, WriteSync, or eviction
@@ -366,7 +371,7 @@ func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
 			Grouping: opts.Grouping,
 		},
 	}
-	fs.attachMetrics(opts.Metrics)
+	fs.attachMetrics(opts.Metrics, opts.Recorder)
 	// Zero the inode map.
 	for blk := int64(1); blk <= mapBlocks; blk++ {
 		b, err := fs.c.Alloc(blk)
@@ -431,7 +436,7 @@ func Mount(dev *blockio.Device, opts Options) (*FS, error) {
 		opts:        opts,
 		devParallel: deviceParallelism(dev),
 	}
-	fs.attachMetrics(opts.Metrics)
+	fs.attachMetrics(opts.Metrics, opts.Recorder)
 	sb, err := fs.c.Read(0)
 	if err != nil {
 		return nil, err
@@ -506,23 +511,34 @@ func (fs *FS) syncMeta(b *cache.Buf) error {
 	return nil
 }
 
-// attachMetrics wires Options.Metrics through every layer of this
-// mount: op tracking at the vfs boundary, the mechanism counters, the
-// cache and driver instruments, and the disk's per-op request sink.
-func (fs *FS) attachMetrics(r *obs.Registry) {
+// attachMetrics wires Options.Metrics and Options.Recorder through
+// every layer of this mount: op tracking at the vfs boundary, the
+// mechanism counters, the cache and driver instruments, and the disk's
+// per-op request sink (chained through the recorder when one is
+// attached, so the recorder sees every stamped request).
+func (fs *FS) attachMetrics(r *obs.Registry, rec obs.OpRecorder) {
 	fs.trk = obs.NewOpTracker(r)
-	if r == nil {
+	if rec != nil {
+		fs.trk.Observe(rec)
+	}
+	if r == nil && rec == nil {
 		return
 	}
-	fs.mEmbHits = r.Counter("core.inode.embedded_hits")
-	fs.mExtReads = r.Counter("core.inode.external_reads")
-	fs.mGroupReads = r.Counter("core.groupread.reads")
-	fs.mGroupBlocks = r.Counter("core.groupread.blocks")
-	fs.mGroupPrefetch = r.Counter("core.groupread.prefetch_extents")
-	fs.c.SetMetrics(r)
-	fs.dev.SetMetrics(r)
+	if r != nil {
+		fs.mEmbHits = r.Counter("core.inode.embedded_hits")
+		fs.mExtReads = r.Counter("core.inode.external_reads")
+		fs.mGroupReads = r.Counter("core.groupread.reads")
+		fs.mGroupBlocks = r.Counter("core.groupread.blocks")
+		fs.mGroupPrefetch = r.Counter("core.groupread.prefetch_extents")
+		fs.c.SetMetrics(r)
+		fs.dev.SetMetrics(r)
+	}
+	sink := obs.NewDiskSink(r)
+	if rec != nil {
+		sink = rec.DiskSink(sink)
+	}
 	fs.dev.Disk().SetOpSource(obs.CurrentOpRaw)
-	fs.dev.Disk().SetMetricsFunc(obs.NewDiskSink(r))
+	fs.dev.Disk().SetMetricsFunc(sink)
 }
 
 // debugLoc reports where an inode's first data block and the inode

@@ -30,6 +30,7 @@ import (
 
 	"cffs/internal/disk"
 	"cffs/internal/obs"
+	"cffs/internal/sim"
 )
 
 // ErrPowerCut is returned by every I/O after a simulated power cut,
@@ -69,11 +70,15 @@ type Store struct {
 	window  int // max delayed writes whose pre-images are retained
 	pending []undoRec
 
+	clk    *sim.Clock
+	slowNs int64 // extra simulated ns charged per I/O while degraded
+
 	// Injection counters; nil (no-op) until SetMetrics.
 	mCut     *obs.Counter
 	mTorn    *obs.Counter
 	mReadErr *obs.Counter
 	mDropped *obs.Counter
+	mSlow    *obs.Counter
 }
 
 // DefaultReorderWindow bounds how many delayed writes since the last
@@ -107,6 +112,37 @@ func (s *Store) SetMetrics(r *obs.Registry) {
 	s.mTorn = r.Counter("fault.injected.torn")
 	s.mReadErr = r.Counter("fault.injected.readerr")
 	s.mDropped = r.Counter("fault.reorder.dropped")
+	s.mSlow = r.Counter("fault.injected.slowio")
+}
+
+// SetClock attaches the simulated clock that slow-I/O injection (see
+// SetSlowIO) advances. Latency injection is inert without a clock.
+func (s *Store) SetClock(c *sim.Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clk = c
+}
+
+// SetSlowIO degrades the device: every read and write charges an extra
+// ns of simulated time on top of the disk model's computed service
+// time, modeling media retries or a failing drive dragging its heels.
+// Zero restores full speed. The extra time is charged at the store —
+// below the disk's accounting — so per-request service times stay
+// honest while operation latencies (what the flight recorder measures)
+// balloon, which is exactly the anomaly shape a degrading disk shows.
+func (s *Store) SetSlowIO(ns int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slowNs = ns
+}
+
+// chargeSlow advances the clock for one degraded I/O. Called with s.mu
+// held.
+func (s *Store) chargeSlow() {
+	if s.slowNs > 0 && s.clk != nil {
+		s.clk.Advance(s.slowNs)
+		s.mSlow.Inc()
+	}
 }
 
 // CutAfterWrites arms a power cut: the next n store-level writes
@@ -193,6 +229,7 @@ func (s *Store) ReadAt(p []byte, off int64) error {
 	if s.cut {
 		return ErrPowerCut
 	}
+	s.chargeSlow()
 	if len(s.badSectors) > 0 && len(p) > 0 {
 		last := (off + int64(len(p)) - 1) / disk.SectorSize
 		for lba := off / disk.SectorSize; lba <= last; lba++ {
@@ -231,6 +268,7 @@ func (s *Store) write(p []byte, off int64, ordered bool) error {
 	if s.cutAfter > 0 {
 		s.cutAfter--
 	}
+	s.chargeSlow()
 	if ordered {
 		s.pending = s.pending[:0]
 	}

@@ -52,6 +52,9 @@ type Options struct {
 	// registry wiring as C-FFS, so experiment tables carry comparable
 	// per-op request counts for the baseline.
 	Metrics *obs.Registry
+	// Recorder, when non-nil, attaches a flight recorder to the mount;
+	// same wiring as C-FFS, so slow-op capture works on the baseline too.
+	Recorder obs.OpRecorder
 	// Writeback configures the write-behind daemon with the same policy
 	// knobs as C-FFS, for comparable async-mount measurements. FFS is
 	// single-threaded, so the daemon always runs inline: flushes borrow
@@ -165,17 +168,27 @@ func (fs *FS) startWriteback() {
 	fs.wb = writeback.Start(fs.c, fs.clk, nil, cfg, fs.opts.Metrics)
 }
 
-// attachMetrics wires Options.Metrics through the mount, mirroring the
-// C-FFS wiring so the two report comparable instruments.
-func (fs *FS) attachMetrics(r *obs.Registry) {
+// attachMetrics wires Options.Metrics and Options.Recorder through the
+// mount, mirroring the C-FFS wiring so the two report comparable
+// instruments.
+func (fs *FS) attachMetrics(r *obs.Registry, rec obs.OpRecorder) {
 	fs.trk = obs.NewOpTracker(r)
-	if r == nil {
+	if rec != nil {
+		fs.trk.Observe(rec)
+	}
+	if r == nil && rec == nil {
 		return
 	}
-	fs.c.SetMetrics(r)
-	fs.dev.SetMetrics(r)
+	if r != nil {
+		fs.c.SetMetrics(r)
+		fs.dev.SetMetrics(r)
+	}
+	sink := obs.NewDiskSink(r)
+	if rec != nil {
+		sink = rec.DiskSink(sink)
+	}
 	fs.dev.Disk().SetOpSource(obs.CurrentOpRaw)
-	fs.dev.Disk().SetMetricsFunc(obs.NewDiskSink(r))
+	fs.dev.Disk().SetMetricsFunc(sink)
 }
 
 var _ vfs.FileSystem = (*FS)(nil)
@@ -203,7 +216,7 @@ func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
 			InodesPerCG: opts.InodesPerCG,
 		},
 	}
-	fs.attachMetrics(opts.Metrics)
+	fs.attachMetrics(opts.Metrics, opts.Recorder)
 	// Superblock.
 	sb, err := fs.c.Alloc(0)
 	if err != nil {
@@ -261,7 +274,7 @@ func Mount(dev *blockio.Device, opts Options) (*FS, error) {
 		clk:  dev.Disk().Clock(),
 		opts: opts,
 	}
-	fs.attachMetrics(opts.Metrics)
+	fs.attachMetrics(opts.Metrics, opts.Recorder)
 	sb, err := fs.c.Read(0)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,418 @@
+// Package flight implements an always-on flight recorder for vfs
+// operations: a bounded ring buffer of recently completed operations —
+// kind, latency on the simulated clock, and the disk requests the trace
+// layer attributed to each — plus threshold-triggered slow-op capture
+// that freezes the full request trace and a metrics-registry snapshot
+// the moment an operation exceeds its latency threshold.
+//
+// The paper's argument is quantitative (requests per operation,
+// positioning cost per byte); the registry aggregates those quantities,
+// but an aggregate cannot answer "what did the slowest create actually
+// do?". The recorder keeps the evidence: for any recent operation it can
+// show the exact request list — how many seeks, how large, where — and
+// for anomalous operations it preserves that evidence past the ring's
+// horizon together with the registry state at capture time.
+//
+// Wiring: a Recorder implements obs.OpObserver (attach with
+// OpTracker.Observe, done by each file system's Options.Recorder), and
+// its DiskSink wraps the registry's disk sink so every stamped request
+// is routed to the in-flight operation that issued it. Recording is a
+// short critical section per event; the bench overhead gate in CI holds
+// it under 5% on the small-file benchmark.
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"cffs/internal/disk"
+	"cffs/internal/obs"
+	"cffs/internal/sim"
+)
+
+// Config parameterizes a Recorder. The zero value gives usable
+// defaults; see the field comments.
+type Config struct {
+	// RingSize is the completed-operation ring capacity (default 1024).
+	RingSize int
+	// SlowLogSize bounds the slow-op capture log (default 64). When
+	// full, the oldest capture is evicted: the log tracks recent
+	// anomalies, the ring has already forgotten them.
+	SlowLogSize int
+	// SlowNs, when positive, is a fixed latency threshold: any
+	// operation at or above it is captured. Zero selects the
+	// quantile-driven threshold.
+	SlowNs int64
+	// SlowQuantile is the per-op-kind latency quantile that sets the
+	// capture threshold when SlowNs is zero (default 0.99): an
+	// operation is slow when it exceeds its own kind's recent p99.
+	SlowQuantile float64
+	// MinSamples is how many completions of a kind must be observed
+	// before the quantile threshold arms (default 128) — without a
+	// warmup the first cold-cache operation of every kind would
+	// "exceed" an empty distribution.
+	MinSamples int64
+	// MaxOpRequests caps the per-operation request list (default 64);
+	// requests beyond the cap are counted, not kept. A single vfs
+	// operation issuing more is pathological — which is exactly what
+	// the Truncated count then flags.
+	MaxOpRequests int
+}
+
+func (c *Config) fill() {
+	if c.RingSize == 0 {
+		c.RingSize = 1024
+	}
+	if c.SlowLogSize == 0 {
+		c.SlowLogSize = 64
+	}
+	if c.SlowQuantile == 0 {
+		c.SlowQuantile = 0.99
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 128
+	}
+	if c.MaxOpRequests == 0 {
+		c.MaxOpRequests = 64
+	}
+}
+
+// OpRecord is one completed operation as kept in the ring.
+type OpRecord struct {
+	Op        string            `json:"op"`
+	ID        uint64            `json:"id"`
+	StartNs   int64             `json:"start_ns"`
+	LatencyNs int64             `json:"latency_ns"`
+	Requests  []disk.TraceEntry `json:"requests,omitempty"`
+	Truncated int               `json:"truncated,omitempty"` // requests beyond MaxOpRequests
+}
+
+// SlowRecord is a captured anomalous operation: the operation record,
+// why it was captured, and the registry frozen at capture time.
+type SlowRecord struct {
+	OpRecord
+	Reason      string       `json:"reason"` // "threshold", "quantile", or a manual/fault tag
+	ThresholdNs int64        `json:"threshold_ns,omitempty"`
+	CapturedNs  int64        `json:"captured_ns"` // simulated clock at capture
+	Registry    obs.Snapshot `json:"registry"`
+}
+
+// pending is an operation between OpBegin and OpEnd.
+type pending struct {
+	ref     obs.OpRef
+	startNs int64
+	reqs    []disk.TraceEntry
+	extra   int
+}
+
+// Recorder is the flight recorder. All methods are safe for concurrent
+// use and safe on a nil receiver (a disabled recorder), so wiring can be
+// unconditional.
+type Recorder struct {
+	cfg Config
+	clk *sim.Clock
+	reg *obs.Registry // snapshotted into slow captures; may be nil
+
+	// thr caches the per-kind capture threshold, recomputed every
+	// thrRefresh samples; MaxInt64 while unarmed.
+	thr [obs.NumOps]atomic.Int64
+
+	mu       sync.Mutex
+	inflight map[uint64]*pending
+	ring     []OpRecord // circular once full
+	next     int        // ring write cursor
+	full     bool
+	slow     []SlowRecord
+	hists    [obs.NumOps]*obs.Histogram // per-kind latency, threshold source
+
+	// Self-instruments; nil-safe when no registry was attached.
+	mOps      *obs.Counter
+	mSlow     *obs.Counter
+	mUnattrib *obs.Counter
+	mInflight *obs.Gauge
+}
+
+// thrRefresh is how many samples of a kind pass between quantile
+// threshold recomputations.
+const thrRefresh = 256
+
+// New builds a recorder over the given simulated clock. reg, when
+// non-nil, receives the recorder's self-instruments (flight.ops,
+// flight.slow, flight.unattributed, flight.inflight and the per-kind
+// flight.latency_ns.<op> histograms) and is the registry frozen into
+// slow captures.
+func New(cfg Config, clk *sim.Clock, reg *obs.Registry) *Recorder {
+	cfg.fill()
+	r := &Recorder{
+		cfg:      cfg,
+		clk:      clk,
+		reg:      reg,
+		inflight: make(map[uint64]*pending),
+		ring:     make([]OpRecord, cfg.RingSize),
+	}
+	for k := obs.Op(0); k < obs.NumOps; k++ {
+		if reg != nil {
+			r.hists[k] = reg.Histogram("flight.latency_ns." + k.String())
+		} else {
+			r.hists[k] = &obs.Histogram{}
+		}
+		r.thr[k].Store(math.MaxInt64)
+	}
+	if reg != nil {
+		r.mOps = reg.Counter("flight.ops")
+		r.mSlow = reg.Counter("flight.slow")
+		r.mUnattrib = reg.Counter("flight.unattributed")
+		r.mInflight = reg.Gauge("flight.inflight")
+	}
+	return r
+}
+
+// OpBegin implements obs.OpObserver.
+func (r *Recorder) OpBegin(ref obs.OpRef) {
+	if r == nil {
+		return
+	}
+	p := &pending{ref: ref, startNs: r.clk.Now()}
+	r.mu.Lock()
+	r.inflight[ref.ID] = p
+	r.mu.Unlock()
+	r.mInflight.Add(1)
+}
+
+// OpEnd implements obs.OpObserver: the operation's requests and latency
+// move into the ring, and a slow operation is captured. Called with no
+// file-system locks held (see obs.OpObserver).
+func (r *Recorder) OpEnd(ref obs.OpRef) {
+	if r == nil {
+		return
+	}
+	end := r.clk.Now()
+	r.mu.Lock()
+	p := r.inflight[ref.ID]
+	delete(r.inflight, ref.ID)
+	r.mu.Unlock()
+	if p == nil {
+		return // Begin predated the recorder, or a duplicate End
+	}
+	r.mInflight.Add(-1)
+	r.mOps.Inc()
+	lat := end - p.startNs
+	rec := OpRecord{
+		Op:        ref.Kind.String(),
+		ID:        ref.ID,
+		StartNs:   p.startNs,
+		LatencyNs: lat,
+		Requests:  p.reqs,
+		Truncated: p.extra,
+	}
+	r.observeLatency(ref.Kind, lat)
+	slow := lat >= r.thr[ref.Kind].Load()
+	fixed := r.cfg.SlowNs > 0
+
+	r.mu.Lock()
+	r.ring[r.next] = rec
+	r.next++
+	if r.next == len(r.ring) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+
+	if slow {
+		reason := "quantile"
+		if fixed {
+			reason = "threshold"
+		}
+		r.capture(SlowRecord{
+			OpRecord:    rec,
+			Reason:      reason,
+			ThresholdNs: r.thr[ref.Kind].Load(),
+			CapturedNs:  end,
+			Registry:    r.reg.Snapshot(),
+		})
+	}
+}
+
+// observeLatency records one latency sample and refreshes the kind's
+// cached threshold on the configured cadence.
+func (r *Recorder) observeLatency(kind obs.Op, lat int64) {
+	h := r.hists[kind]
+	h.Record(lat)
+	n := h.Count()
+	if r.cfg.SlowNs > 0 {
+		if r.thr[kind].Load() != r.cfg.SlowNs {
+			r.thr[kind].Store(r.cfg.SlowNs)
+		}
+		return
+	}
+	if n < r.cfg.MinSamples {
+		return
+	}
+	if n == r.cfg.MinSamples || n%thrRefresh == 0 {
+		q := h.Snapshot().Quantile(r.cfg.SlowQuantile)
+		thr := int64(q)
+		if thr < 1 {
+			thr = 1 // an all-zero-latency history still ignores free ops
+		}
+		r.thr[kind].Store(thr)
+	}
+}
+
+// capture appends one slow record, evicting the oldest past capacity.
+func (r *Recorder) capture(s SlowRecord) {
+	r.mSlow.Inc()
+	r.mu.Lock()
+	r.slow = append(r.slow, s)
+	if over := len(r.slow) - r.cfg.SlowLogSize; over > 0 {
+		r.slow = append(r.slow[:0], r.slow[over:]...)
+	}
+	r.mu.Unlock()
+}
+
+// CaptureNow freezes the registry and the most recent completed
+// operation into the slow log with the given reason tag, regardless of
+// latency. Fault-injection paths call this when they fire, so the
+// operation stream around an injected anomaly survives the ring.
+func (r *Recorder) CaptureNow(reason string) {
+	if r == nil {
+		return
+	}
+	var last OpRecord
+	r.mu.Lock()
+	if r.full || r.next > 0 {
+		i := r.next - 1
+		if i < 0 {
+			i = len(r.ring) - 1
+		}
+		last = r.ring[i]
+	}
+	r.mu.Unlock()
+	r.capture(SlowRecord{
+		OpRecord:   last,
+		Reason:     reason,
+		CapturedNs: r.clk.Now(),
+		Registry:   r.reg.Snapshot(),
+	})
+}
+
+// DiskSink wraps a registry disk sink (which may be nil) with request
+// routing into the in-flight operation table. Install the result with
+// disk.SetMetricsFunc; it is invoked under the disk's request lock, so
+// the critical section here is one map probe and an append.
+func (r *Recorder) DiskSink(inner func(disk.TraceEntry)) func(disk.TraceEntry) {
+	if r == nil {
+		return inner
+	}
+	return func(e disk.TraceEntry) {
+		if inner != nil {
+			inner(e)
+		}
+		r.mu.Lock()
+		p := r.inflight[e.OpID]
+		if p != nil {
+			if len(p.reqs) < r.cfg.MaxOpRequests {
+				p.reqs = append(p.reqs, e)
+			} else {
+				p.extra++
+			}
+		}
+		r.mu.Unlock()
+		if p == nil {
+			r.mUnattrib.Inc()
+		}
+	}
+}
+
+// Ring returns the completed-operation ring, oldest first.
+func (r *Recorder) Ring() []OpRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []OpRecord
+	if r.full {
+		out = append(out, r.ring[r.next:]...)
+	}
+	return append(out, r.ring[:r.next]...)
+}
+
+// Slow returns the slow-op capture log, oldest first.
+func (r *Recorder) Slow() []SlowRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SlowRecord, len(r.slow))
+	copy(out, r.slow)
+	return out
+}
+
+// ThresholdNs reports the active capture threshold for one op kind
+// (math.MaxInt64 while the quantile threshold is still warming up).
+func (r *Recorder) ThresholdNs(kind obs.Op) int64 {
+	if r == nil {
+		return math.MaxInt64
+	}
+	return r.thr[kind].Load()
+}
+
+// WriteJSON emits the ring and slow log as one JSON document.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Ring []OpRecord   `json:"ring"`
+		Slow []SlowRecord `json:"slow"`
+	}{r.Ring(), r.Slow()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteSlowText renders the slow log for humans, newest last.
+func (r *Recorder) WriteSlowText(w io.Writer) {
+	slow := r.Slow()
+	if len(slow) == 0 {
+		fmt.Fprintln(w, "slowlog: empty")
+		return
+	}
+	for _, s := range slow {
+		fmt.Fprintf(w, "%-8s id=%d at=%s latency=%s reason=%s",
+			s.Op, s.ID, sim.Duration(s.CapturedNs), sim.Duration(s.LatencyNs), s.Reason)
+		if s.ThresholdNs > 0 && s.ThresholdNs < math.MaxInt64 {
+			fmt.Fprintf(w, " threshold=%s", sim.Duration(s.ThresholdNs))
+		}
+		fmt.Fprintf(w, " requests=%d", len(s.Requests)+s.Truncated)
+		fmt.Fprintln(w)
+		for _, e := range s.Requests {
+			rw := "R"
+			if e.Write {
+				rw = "W"
+			}
+			fmt.Fprintf(w, "    %s lba=%-10d sectors=%-4d %.3fms\n",
+				rw, e.LBA, e.Count, float64(e.Nanos)/1e6)
+		}
+		if s.Truncated > 0 {
+			fmt.Fprintf(w, "    ... %d more requests (truncated)\n", s.Truncated)
+		}
+	}
+}
+
+// WriteRingText renders the newest n ring entries (all when n <= 0).
+func (r *Recorder) WriteRingText(w io.Writer, n int) {
+	ring := r.Ring()
+	if len(ring) == 0 {
+		fmt.Fprintln(w, "flight ring: empty")
+		return
+	}
+	if n > 0 && len(ring) > n {
+		ring = ring[len(ring)-n:]
+	}
+	for _, rec := range ring {
+		fmt.Fprintf(w, "%-8s id=%-8d latency=%-12s requests=%d\n",
+			rec.Op, rec.ID, sim.Duration(rec.LatencyNs), len(rec.Requests)+rec.Truncated)
+	}
+}

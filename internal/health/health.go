@@ -1,0 +1,138 @@
+// Package health turns core's layout introspection into an operator
+// surface: a Report with the derived ratios (occupancy, fragmentation,
+// embedded-inode utilization), registry gauges for the exposition
+// server, and text/JSON renderings for cmd/fsstat and `cfsh inspect`.
+// Everything here is read-only over a mounted image.
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cffs/internal/core"
+	"cffs/internal/obs"
+)
+
+// Scanner is the introspection seam; *core.FS implements it. The
+// baseline file systems do not — layout health is a statement about
+// allocation groups and embedded inodes, which only C-FFS has.
+type Scanner interface {
+	ScanLayout() (core.LayoutReport, error)
+}
+
+// Report is a layout scan plus the derived percentages (0-100) the
+// tools print and the gauges export.
+type Report struct {
+	core.LayoutReport
+
+	OccupancyPct float64 `json:"occupancy_pct"` // used / data blocks
+	FragPct      float64 `json:"frag_pct"`      // free-weighted frag score
+	EmbedUtilPct float64 `json:"embed_util_pct"`
+	SlotUsedPct  float64 `json:"slot_used_pct"` // directory slot occupancy
+}
+
+// Inspect scans a mounted file system. fs must implement Scanner (be a
+// C-FFS); anything else is reported as unsupported.
+func Inspect(fs any) (*Report, error) {
+	sc, ok := fs.(Scanner)
+	if !ok {
+		return nil, fmt.Errorf("health: file system does not support layout introspection")
+	}
+	lr, err := sc.ScanLayout()
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{LayoutReport: lr}
+	if data := lr.Used() + lr.Free(); data > 0 {
+		r.OccupancyPct = 100 * float64(lr.Used()) / float64(data)
+	}
+	r.FragPct = 100 * lr.FragScore()
+	r.EmbedUtilPct = 100 * lr.EmbedUtil()
+	if lr.SlotsTotal > 0 {
+		r.SlotUsedPct = 100 * float64(lr.SlotsUsed) / float64(lr.SlotsTotal)
+	}
+	return r, nil
+}
+
+// Register exports the report as registry gauges: the whole-image
+// ratios under health.*, and per-AG occupancy and fragmentation as
+// labeled series (health.ag.used_pct{ag="3"}), so the exposition
+// server serves layout health next to the live counters.
+func (r *Report) Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("health.blocks.total").Set(r.TotalBlocks)
+	reg.Gauge("health.blocks.used").Set(int64(r.Used()))
+	reg.Gauge("health.blocks.free").Set(int64(r.Free()))
+	reg.Gauge("health.occupancy_pct").Set(int64(r.OccupancyPct + 0.5))
+	reg.Gauge("health.frag_pct").Set(int64(r.FragPct + 0.5))
+	reg.Gauge("health.embed.util_pct").Set(int64(r.EmbedUtilPct + 0.5))
+	reg.Gauge("health.embed.inodes").Set(int64(r.EmbeddedInodes))
+	reg.Gauge("health.slots.used").Set(int64(r.SlotsUsed))
+	reg.Gauge("health.slots.total").Set(int64(r.SlotsTotal))
+	reg.Gauge("health.inodefile.live").Set(int64(r.ExtSlotsLive))
+	reg.Gauge("health.inodefile.total").Set(int64(r.ExtSlotsTotal))
+	var claimed, full, grouped int
+	for i := range r.AGs {
+		a := &r.AGs[i]
+		claimed += a.GroupsClaimed
+		full += a.GroupsFull
+		grouped += a.GroupedBlocks
+		// Untouched AGs get no series — a large fresh image would
+		// otherwise drown the registry in hundreds of zero gauges
+		// (the text report skips empty AGs for the same reason).
+		if a.UsedBlocks == 0 && a.GroupsClaimed == 0 {
+			continue
+		}
+		ag := strconv.Itoa(a.AG)
+		usedPct := 0.0
+		if a.DataBlocks > 0 {
+			usedPct = 100 * float64(a.UsedBlocks) / float64(a.DataBlocks)
+		}
+		reg.Gauge(obs.Name("health.ag.used_pct", "ag", ag)).Set(int64(usedPct + 0.5))
+		reg.Gauge(obs.Name("health.ag.frag_pct", "ag", ag)).Set(int64(100*a.Frag + 0.5))
+	}
+	reg.Gauge("health.groups.claimed").Set(int64(claimed))
+	reg.Gauge("health.groups.full").Set(int64(full))
+	reg.Gauge("health.groups.blocks").Set(int64(grouped))
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the operator view: a summary block, then one line
+// per allocation group that holds any data (fully empty groups are
+// collapsed into a count — a fresh large image is mostly empty AGs).
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "config: %s  blocks: %d (%.1f%% used, frag %.1f%%)\n",
+		r.Config, r.TotalBlocks, r.OccupancyPct, r.FragPct)
+	fmt.Fprintf(w, "namespace: %d dirs, %d files, %d dir blocks (%d/%d slots used, %.1f%%)\n",
+		r.Dirs, r.Files, r.DirBlocks, r.SlotsUsed, r.SlotsTotal, r.SlotUsedPct)
+	fmt.Fprintf(w, "inodes: %d embedded (%.1f%% of entries), inode file %d/%d slots live in %d blocks\n",
+		r.EmbeddedInodes, r.EmbedUtilPct, r.ExtSlotsLive, r.ExtSlotsTotal, r.InodeFileBlocks)
+
+	fmt.Fprintf(w, "%-5s %9s %7s %7s %7s %9s %7s  free spans %v\n",
+		"ag", "used", "use%", "groups", "full", "grouped", "frag%", core.FreeSpanBuckets)
+	empty := 0
+	for i := range r.AGs {
+		a := &r.AGs[i]
+		if a.UsedBlocks == 0 {
+			empty++
+			continue
+		}
+		usedPct := 100 * float64(a.UsedBlocks) / float64(a.DataBlocks)
+		fmt.Fprintf(w, "%-5d %9d %6.1f%% %7d %7d %9d %6.1f%%  %v\n",
+			a.AG, a.UsedBlocks, usedPct, a.GroupsClaimed, a.GroupsFull,
+			a.GroupedBlocks, 100*a.Frag, a.FreeSpans)
+	}
+	if empty > 0 {
+		fmt.Fprintf(w, "(%d empty allocation groups not shown)\n", empty)
+	}
+}

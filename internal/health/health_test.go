@@ -1,0 +1,209 @@
+package health
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cffs/internal/aging"
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/obs"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+)
+
+func newFS(t *testing.T) *core.FS {
+	t.Helper()
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := core.Mkfs(blockio.NewDevice(d, sched.CLook{}), core.Options{
+		EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// populate creates dirs directories of files small files each and syncs.
+func populate(t *testing.T, fs *core.FS, dirs, files int) {
+	t.Helper()
+	buf := make([]byte, 2048)
+	for di := 0; di < dirs; di++ {
+		dino, err := fs.Mkdir(fs.Root(), fmt.Sprintf("d%02d", di))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := 0; fi < files; fi++ {
+			ino, err := fs.Create(dino, fmt.Sprintf("f%03d", fi))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fs.WriteAt(ino, buf, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreshImageReport(t *testing.T) {
+	fs := newFS(t)
+	populate(t, fs, 3, 30)
+	rep, err := Inspect(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Dirs != 4 { // root + 3
+		t.Errorf("Dirs = %d, want 4", rep.Dirs)
+	}
+	if rep.Files != 90 {
+		t.Errorf("Files = %d, want 90", rep.Files)
+	}
+	// Every file is single-link and regular: all embedded. The three
+	// subdirectory entries are the only external references.
+	if rep.EmbeddedInodes != 90 {
+		t.Errorf("EmbeddedInodes = %d, want 90", rep.EmbeddedInodes)
+	}
+	if rep.ExternalEntries != 3 {
+		t.Errorf("ExternalEntries = %d, want 3", rep.ExternalEntries)
+	}
+	// Slots: 90 files + 3 subdir entries + "." and ".." in 4 dirs.
+	if want := 90 + 3 + 2*4; rep.SlotsUsed != want {
+		t.Errorf("SlotsUsed = %d, want %d", rep.SlotsUsed, want)
+	}
+	if rep.EmbedUtilPct < 95 {
+		t.Errorf("EmbedUtilPct = %.1f, want >95 on an all-small-file tree", rep.EmbedUtilPct)
+	}
+	// Inode file holds root + 3 dirs at least.
+	if rep.ExtSlotsLive < 4 {
+		t.Errorf("ExtSlotsLive = %d, want >= 4", rep.ExtSlotsLive)
+	}
+	if rep.Used() == 0 || rep.OccupancyPct <= 0 {
+		t.Errorf("no occupancy measured: used=%d pct=%.2f", rep.Used(), rep.OccupancyPct)
+	}
+	// Grouping on: small-file data should sit in claimed group extents.
+	var claimed, grouped int
+	for _, ag := range rep.AGs {
+		claimed += ag.GroupsClaimed
+		grouped += ag.GroupedBlocks
+	}
+	if claimed == 0 || grouped == 0 {
+		t.Errorf("no explicit grouping measured: claimed=%d grouped=%d", claimed, grouped)
+	}
+	// A fresh image's free space is nearly all groupable.
+	if rep.FragPct > 5 {
+		t.Errorf("fresh image frag %.1f%%, want <5%%", rep.FragPct)
+	}
+}
+
+func TestAgedImageMoreFragmented(t *testing.T) {
+	fresh := newFS(t)
+	populate(t, fresh, 3, 30)
+	fr, err := Inspect(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	aged := newFS(t)
+	if _, err := aging.Age(aged, aging.Config{
+		Ops: 4000, TargetUtil: 0.15, Dirs: 10, MeanSize: 65536, Seed: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := Inspect(aged)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ar.FragPct <= fr.FragPct {
+		t.Errorf("aged frag %.2f%% not above fresh %.2f%%", ar.FragPct, fr.FragPct)
+	}
+	if ar.FragPct <= 0 {
+		t.Error("aged image reports zero fragmentation")
+	}
+	if ar.OccupancyPct < 5 || ar.OccupancyPct > 25 {
+		t.Errorf("aged occupancy %.1f%%, expected near the 15%% target", ar.OccupancyPct)
+	}
+	// Churn leaves free spans shorter than a group extent behind.
+	var shortSpans int
+	for _, ag := range ar.AGs {
+		for b := 0; b < len(ag.FreeSpans)-1; b++ {
+			shortSpans += ag.FreeSpans[b]
+		}
+	}
+	if shortSpans == 0 {
+		t.Error("aged image has no sub-group free spans")
+	}
+}
+
+func TestRegisterGauges(t *testing.T) {
+	fs := newFS(t)
+	populate(t, fs, 2, 10)
+	rep, err := Inspect(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rep.Register(reg)
+	s := reg.Snapshot()
+	for _, g := range []string{
+		"health.blocks.total", "health.blocks.used", "health.occupancy_pct",
+		"health.frag_pct", "health.embed.util_pct", "health.slots.used",
+		"health.groups.claimed", "health.inodefile.live",
+	} {
+		if _, ok := s.Gauges[g]; !ok {
+			t.Errorf("gauge %s not registered", g)
+		}
+	}
+	if s.Gauges["health.embed.inodes"] != 20 {
+		t.Errorf("health.embed.inodes = %d, want 20", s.Gauges["health.embed.inodes"])
+	}
+	if _, ok := s.Gauges[obs.Name("health.ag.used_pct", "ag", "0")]; !ok {
+		t.Error("per-AG labeled gauge not registered")
+	}
+	// Nil registry must be a no-op, not a panic.
+	rep.Register(nil)
+}
+
+func TestTextAndJSON(t *testing.T) {
+	fs := newFS(t)
+	populate(t, fs, 2, 10)
+	rep, err := Inspect(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	rep.WriteText(&text)
+	for _, want := range []string{"config: C-FFS", "namespace: 3 dirs, 20 files", "embedded", "frag"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Files != rep.Files || back.EmbeddedInodes != rep.EmbeddedInodes {
+		t.Errorf("JSON round-trip lost fields: %+v", back)
+	}
+}
+
+func TestInspectUnsupported(t *testing.T) {
+	if _, err := Inspect(struct{}{}); err == nil {
+		t.Error("Inspect accepted a file system without layout introspection")
+	}
+}

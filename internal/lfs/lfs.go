@@ -68,6 +68,9 @@ type Options struct {
 	// registry wiring as C-FFS and FFS, so every comparison carries
 	// per-op request counts.
 	Metrics *obs.Registry
+	// Recorder, when non-nil, attaches a flight recorder to the mount;
+	// same wiring as C-FFS and FFS.
+	Recorder obs.OpRecorder
 	// Writeback configures the write-behind daemon, always inline (lfs
 	// is single-threaded). Dirty log blocks already carry their final
 	// log addresses, so early write-back streams them to the log tail;
@@ -187,11 +190,20 @@ func newFS(dev *blockio.Device, opts Options) *FS {
 		fs.free = append(fs.free, ino)
 	}
 	fs.trk = obs.NewOpTracker(opts.Metrics)
+	if opts.Recorder != nil {
+		fs.trk.Observe(opts.Recorder)
+	}
 	if opts.Metrics != nil {
 		fs.c.SetMetrics(opts.Metrics)
 		dev.SetMetrics(opts.Metrics)
+	}
+	if opts.Metrics != nil || opts.Recorder != nil {
+		sink := obs.NewDiskSink(opts.Metrics)
+		if opts.Recorder != nil {
+			sink = opts.Recorder.DiskSink(sink)
+		}
 		dev.Disk().SetOpSource(obs.CurrentOpRaw)
-		dev.Disk().SetMetricsFunc(obs.NewDiskSink(opts.Metrics))
+		dev.Disk().SetMetricsFunc(sink)
 	}
 	cfg := opts.Writeback
 	cfg.Inline = true // lfs is single-threaded; flushes borrow the op thread

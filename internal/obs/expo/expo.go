@@ -1,0 +1,152 @@
+// Package expo is the live exposition server: an opt-in HTTP endpoint
+// that serves a mount's metrics registry in Prometheus text format and
+// JSON (full and delta snapshots), the flight recorder's ring and slow
+// log, and net/http/pprof — turning the registry from scrape-on-exit
+// into something a dashboard or an operator polls while the system
+// runs. Nothing in the I/O path knows the server exists; every handler
+// works off Snapshot/Delta, so a scrape costs one registry read and
+// zero contention on the recording hot paths.
+package expo
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"cffs/internal/flight"
+	"cffs/internal/obs"
+)
+
+// Config configures a Server. Registry is required; Recorder is
+// optional (the /slowlog and /ops endpoints report 404 without one).
+type Config struct {
+	// Addr is the listen address; the default "127.0.0.1:0" binds an
+	// ephemeral localhost port (Start returns the bound address).
+	Addr     string
+	Registry *obs.Registry
+	Recorder *flight.Recorder
+}
+
+// Server is the exposition endpoint.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  full registry snapshot, JSON
+//	/delta         JSON snapshot since the previous /delta call
+//	/ops           flight-recorder ring, JSON
+//	/slowlog       flight-recorder slow-op captures, JSON
+//	/healthz       liveness probe
+//	/debug/pprof/  net/http/pprof (wall-clock profiling)
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	srv *http.Server
+	ln  net.Listener
+
+	mu   sync.Mutex // serializes /delta's previous-snapshot state
+	prev obs.Snapshot
+}
+
+// New builds a server (not yet listening). Handler is usable
+// immediately, which is how tests and the CI smoke job scrape without
+// a socket.
+func New(cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.json", s.handleJSON)
+	s.mux.HandleFunc("/delta", s.handleDelta)
+	s.mux.HandleFunc("/ops", s.handleOps)
+	s.mux.HandleFunc("/slowlog", s.handleSlowlog)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's routing handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds the configured address and serves in the background,
+// returning the bound address (useful with the :0 default).
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener. Safe when Start was never called.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, RenderProm(s.cfg.Registry.Snapshot()))
+}
+
+func (s *Server) handleJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.cfg.Registry.Snapshot().WriteJSON(w) //nolint:errcheck // client went away
+}
+
+// handleDelta serves the change since the previous /delta call (the
+// whole registry on the first call), so a poller gets interval rates
+// without keeping state of its own.
+func (s *Server) handleDelta(w http.ResponseWriter, _ *http.Request) {
+	cur := s.cfg.Registry.Snapshot()
+	s.mu.Lock()
+	d := cur.Delta(s.prev)
+	s.prev = cur
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	d.WriteJSON(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleOps(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Recorder == nil {
+		http.Error(w, "no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.cfg.Recorder.WriteJSON(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Recorder == nil {
+		http.Error(w, "no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.cfg.Recorder.WriteSlowText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	doc := struct {
+		Slow []flight.SlowRecord `json:"slow"`
+	}{s.cfg.Recorder.Slow()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc) //nolint:errcheck // client went away
+}

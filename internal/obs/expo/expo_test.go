@@ -1,0 +1,294 @@
+package expo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/flight"
+	"cffs/internal/obs"
+	"cffs/internal/sched"
+	"cffs/internal/sim"
+)
+
+// workload mounts a C-FFS with metrics and a recorder, runs a small
+// mixed workload, and returns the observability state.
+func workload(t *testing.T) (*obs.Registry, *flight.Recorder) {
+	t.Helper()
+	clk := sim.NewClock()
+	d, err := disk.NewMem(disk.SeagateST31200(), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rec := flight.New(flight.Config{}, clk, reg)
+	fs, err := core.Mkfs(blockio.NewDevice(d, sched.CLook{}), core.Options{
+		EmbedInodes: true, Grouping: true, Metrics: reg, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := fs.Root()
+	buf := make([]byte, 4096)
+	for i := 0; i < 20; i++ {
+		ino, err := fs.Create(root, fmt.Sprintf("f%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.WriteAt(ino, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return reg, rec
+}
+
+func TestRenderPromValidates(t *testing.T) {
+	reg, _ := workload(t)
+	text := RenderProm(reg.Snapshot())
+	n, err := ValidateProm(text)
+	if err != nil {
+		t.Fatalf("rendered exposition does not validate: %v", err)
+	}
+	if n < 50 {
+		t.Errorf("only %d samples rendered from a full workload registry", n)
+	}
+	for _, want := range []string{
+		"# TYPE ops_create counter",
+		"# TYPE disk_service_ns_create histogram",
+		"disk_requests_create ",
+		"_bucket{le=",
+		"flight_ops ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestRenderPromLabels(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter(obs.Name("tenant.ops", "tenant", "t7")).Add(3)
+	reg.Counter(obs.Name("tenant.ops", "tenant", "t9")).Add(5)
+	reg.Gauge(obs.Name("spindle.depth", "spindle", "2")).Set(11)
+	text := RenderProm(reg.Snapshot())
+	if _, err := ValidateProm(text); err != nil {
+		t.Fatalf("labeled exposition does not validate: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`tenant_ops{tenant="t7"} 3`,
+		`tenant_ops{tenant="t9"} 5`,
+		`spindle_depth{spindle="2"} 11`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One TYPE line per family, not per labeled series.
+	if got := strings.Count(text, "# TYPE tenant_ops counter"); got != 1 {
+		t.Errorf("family tenant_ops has %d TYPE lines, want 1", got)
+	}
+}
+
+func TestRenderPromHistogramCumulative(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("lat")
+	h.Record(1) // bucket 1
+	h.Record(3) // bucket 2
+	h.Record(3)
+	text := RenderProm(reg.Snapshot())
+	for _, want := range []string{
+		`lat_bucket{le="2"} 1`,
+		`lat_bucket{le="4"} 3`,
+		`lat_bucket{le="+Inf"} 3`,
+		`lat_sum 7`,
+		`lat_count 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("histogram exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestValidatePromRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"9leading_digit 3",
+		"name_no_value",
+		`name{unterminated="x" 3`,
+		`name{k=unquoted} 3`,
+		"name not-a-number",
+	} {
+		if _, err := ValidateProm(bad); err == nil {
+			t.Errorf("ValidateProm accepted %q", bad)
+		}
+	}
+	if _, err := ValidateProm("# only comments\n"); err == nil {
+		t.Error("ValidateProm accepted an empty exposition")
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg, rec := workload(t)
+	rec.CaptureNow("test")
+	srv := New(Config{Registry: reg, Recorder: rec})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if _, err := ValidateProm(body); err != nil {
+		t.Errorf("/metrics is not valid Prometheus text: %v", err)
+	}
+
+	code, body = get("/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json is not a snapshot: %v", err)
+	}
+	if snap.Counter("ops.create") == 0 {
+		t.Error("/metrics.json snapshot missing ops.create")
+	}
+
+	// First delta is the whole registry; second (no traffic) is zeros.
+	_, body = get("/delta")
+	var d1 obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &d1); err != nil {
+		t.Fatal(err)
+	}
+	if d1.Counter("ops.create") == 0 {
+		t.Error("first /delta missing accumulated ops.create")
+	}
+	_, body = get("/delta")
+	var d2 obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &d2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Counter("ops.create"); got != 0 {
+		t.Errorf("second /delta shows %d creates with no traffic, want 0", got)
+	}
+
+	code, body = get("/slowlog")
+	if code != http.StatusOK {
+		t.Fatalf("/slowlog status %d", code)
+	}
+	if !strings.Contains(body, `"test"`) {
+		t.Error("/slowlog missing the captured record")
+	}
+	code, body = get("/slowlog?format=text")
+	if code != http.StatusOK || !strings.Contains(body, "reason=test") {
+		t.Errorf("/slowlog?format=text status %d body %q", code, body)
+	}
+
+	code, body = get("/ops")
+	if code != http.StatusOK || !strings.Contains(body, `"ring"`) {
+		t.Errorf("/ops status %d", code)
+	}
+
+	code, body = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz status %d body %q", code, body)
+	}
+
+	code, body = get("/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	_ = body
+}
+
+func TestServerWithoutRecorder(t *testing.T) {
+	reg, _ := workload(t)
+	srv := New(Config{Registry: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/slowlog without recorder: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerStartClose(t *testing.T) {
+	reg, _ := workload(t)
+	srv := New(Config{Registry: reg})
+	addr, err := srv.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("live /healthz status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+func TestRenderDash(t *testing.T) {
+	prev := obs.Snapshot{
+		Counters: map[string]int64{
+			"ops.create": 0, "disk.requests.create": 0,
+			"cache.hits.logical": 0, "cache.misses": 0,
+			"volume.disk0.requests.create": 0, "volume.disk1.requests.create": 0,
+		},
+		Gauges: map[string]int64{"writeback.dirty": 0},
+	}
+	cur := obs.Snapshot{
+		Counters: map[string]int64{
+			"ops.create": 100, "disk.requests.create": 150,
+			"cache.hits.logical": 80, "cache.misses": 20,
+			"volume.disk0.requests.create": 90, "volume.disk1.requests.create": 60,
+		},
+		Gauges: map[string]int64{"writeback.dirty": 7},
+	}
+	out := RenderDash(cur, prev, 2.0)
+	for _, want := range []string{
+		"ops/sec       50.0",
+		"req/op   1.50",
+		"80.0%",
+		"wbqueue          7",
+		"volume.disk0",
+		"60.0%",
+		"opmix   create=100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+}

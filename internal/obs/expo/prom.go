@@ -1,0 +1,223 @@
+package expo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cffs/internal/obs"
+)
+
+// Prometheus text exposition (version 0.0.4) rendering of a registry
+// snapshot.
+//
+// Registry names are dotted and may carry the obs label convention
+// (base{k=v}); here dots become underscores — the only legal separator
+// in a Prometheus metric name — and the label suffix becomes real
+// Prometheus labels. A log-bucketed histogram renders as a native
+// Prometheus histogram: cumulative _bucket series with le set to each
+// bucket's exclusive upper bound, then _sum and _count.
+
+// promName sanitizes a registry base name into a legal Prometheus
+// metric name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			b.WriteByte('_')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promLabels renders a label set ({k="v",...}), escaping values; extra
+// pairs are appended after the parsed ones. Empty input renders as "".
+func promLabels(labels [][2]string, extra ...[2]string) string {
+	all := append(append([][2]string{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(kv[1])
+		fmt.Fprintf(&b, `%s="%s"`, promName(kv[0]), v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// RenderProm writes a snapshot in Prometheus text format. Families are
+// emitted in sorted name order with a TYPE line each, so output is
+// deterministic and diffable.
+func RenderProm(s obs.Snapshot) string {
+	var b strings.Builder
+
+	type series struct{ name, labels string }
+	split := func(reg string) series {
+		base, labels := obs.SplitName(reg)
+		return series{promName(base), promLabels(labels)}
+	}
+
+	// Counters and gauges share the simple rendering.
+	emitScalar := func(names []string, vals map[string]int64, typ string) {
+		sort.Strings(names)
+		typed := map[string]bool{}
+		for _, reg := range names {
+			sr := split(reg)
+			if !typed[sr.name] {
+				fmt.Fprintf(&b, "# TYPE %s %s\n", sr.name, typ)
+				typed[sr.name] = true
+			}
+			fmt.Fprintf(&b, "%s%s %d\n", sr.name, sr.labels, vals[reg])
+		}
+	}
+
+	var names []string
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	emitScalar(names, s.Counters, "counter")
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	emitScalar(names, s.Gauges, "gauge")
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	typed := map[string]bool{}
+	for _, reg := range names {
+		base, labels := obs.SplitName(reg)
+		name := promName(base)
+		h := s.Histograms[reg]
+		if !typed[name] {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+			typed[name] = true
+		}
+		var cum int64
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			if bk.Index >= 62 {
+				// The top buckets' bound is effectively MaxInt64; the
+				// closing +Inf series below carries their count.
+				continue
+			}
+			le := strconv.FormatInt(obs.BucketHigh(bk.Index), 10)
+			fmt.Fprintf(&b, "%s_bucket%s %d\n",
+				name, promLabels(labels, [2]string{"le", le}), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n",
+			name, promLabels(labels, [2]string{"le", "+Inf"}), h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %d\n", name, promLabels(labels), h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", name, promLabels(labels), h.Count)
+	}
+	return b.String()
+}
+
+// ValidateProm parses text as Prometheus exposition format, returning
+// the number of sample lines, or an error naming the first offending
+// line. It checks what a scraper checks: legal metric names, balanced
+// and quoted label sets, numeric values. The CI smoke job runs this
+// over a live scrape, so a rendering regression fails fast instead of
+// surfacing in somebody's Prometheus as a dropped target.
+func ValidateProm(text string) (samples int, err error) {
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := validateSample(line); err != nil {
+			return samples, fmt.Errorf("line %d: %w in %q", ln+1, err, line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("no samples in exposition")
+	}
+	return samples, nil
+}
+
+func validateSample(line string) error {
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9') {
+			i++
+			continue
+		}
+		break
+	}
+	if i == 0 {
+		return fmt.Errorf("missing metric name")
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return fmt.Errorf("unterminated label set")
+		}
+		inner := rest[1:end]
+		if inner != "" {
+			for _, pair := range splitLabels(inner) {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || k == "" {
+					return fmt.Errorf("malformed label %q", pair)
+				}
+				if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					return fmt.Errorf("unquoted label value %q", v)
+				}
+			}
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // value [timestamp]
+		return fmt.Errorf("want value after name")
+	}
+	if fields[0] != "+Inf" && fields[0] != "-Inf" && fields[0] != "NaN" {
+		if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+			return fmt.Errorf("bad value %q", fields[0])
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}

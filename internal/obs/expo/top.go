@@ -1,0 +1,143 @@
+package expo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cffs/internal/obs"
+)
+
+// Dashboard rendering for `cfsh top`: a periodic text view of the rates
+// that matter — ops/sec, requests per operation (the paper's headline
+// unit), cache hit rate, writeback queue depth, and per-spindle request
+// balance on a striped volume — computed from two registry snapshots.
+
+// sumPrefix totals every counter whose name starts with prefix.
+func sumPrefix(s obs.Snapshot, prefix string) int64 {
+	var total int64
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// RenderDash renders one dashboard frame from the delta between two
+// snapshots, elapsedSec apart. The caller picks the clock: cfsh top
+// uses wall time between polls, tests use simulated time.
+func RenderDash(cur, prev obs.Snapshot, elapsedSec float64) string {
+	d := cur.Delta(prev)
+	var b strings.Builder
+
+	ops := sumPrefix(d, "ops.")
+	reqs := sumPrefix(d, "disk.requests.")
+	rate := 0.0
+	if elapsedSec > 0 {
+		rate = float64(ops) / elapsedSec
+	}
+	reqPerOp := 0.0
+	if ops > 0 {
+		reqPerOp = float64(reqs) / float64(ops)
+	}
+	fmt.Fprintf(&b, "ops/sec %10.1f   req/op %6.2f   (interval: %d ops, %d disk requests)\n",
+		rate, reqPerOp, ops, reqs)
+
+	hits := sumPrefix(d, "cache.hits.")
+	misses := d.Counter("cache.misses")
+	if hits+misses > 0 {
+		fmt.Fprintf(&b, "cache   %9.1f%%   hit rate (%d hits, %d misses)\n",
+			100*float64(hits)/float64(hits+misses), hits, misses)
+	}
+	if depth, ok := cur.Gauges["writeback.dirty"]; ok {
+		fmt.Fprintf(&b, "wbqueue %10d   dirty blocks (flushed %d this interval)\n",
+			depth, d.Counter("writeback.blocks"))
+	}
+
+	// Per-spindle balance, from the volume layer's per-member sinks.
+	type spindle struct {
+		name string
+		reqs int64
+	}
+	var spindles []spindle
+	for name, v := range d.Counters {
+		const p = "volume.disk"
+		if !strings.HasPrefix(name, p) {
+			continue
+		}
+		rest := name[len(p):]
+		dot := strings.Index(rest, ".requests.")
+		if dot < 0 {
+			continue
+		}
+		id := p + rest[:dot]
+		found := false
+		for i := range spindles {
+			if spindles[i].name == id {
+				spindles[i].reqs += v
+				found = true
+			}
+		}
+		if !found {
+			spindles = append(spindles, spindle{id, v})
+		}
+	}
+	if len(spindles) > 0 {
+		sort.Slice(spindles, func(i, j int) bool { return spindles[i].name < spindles[j].name })
+		var total int64
+		for _, sp := range spindles {
+			total += sp.reqs
+		}
+		fmt.Fprintf(&b, "spindles\n")
+		for _, sp := range spindles {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(sp.reqs) / float64(total)
+			}
+			fmt.Fprintf(&b, "  %-14s %8d reqs  %5.1f%%  %s\n",
+				sp.name, sp.reqs, share, bar(share, 40))
+		}
+	}
+
+	// Top operation mix for the interval.
+	type opCount struct {
+		op string
+		n  int64
+	}
+	var mix []opCount
+	for name, v := range d.Counters {
+		if strings.HasPrefix(name, "ops.") && v > 0 {
+			mix = append(mix, opCount{name[4:], v})
+		}
+	}
+	if len(mix) > 0 {
+		sort.Slice(mix, func(i, j int) bool {
+			if mix[i].n != mix[j].n {
+				return mix[i].n > mix[j].n
+			}
+			return mix[i].op < mix[j].op
+		})
+		fmt.Fprintf(&b, "opmix  ")
+		for i, m := range mix {
+			if i == 6 {
+				break
+			}
+			fmt.Fprintf(&b, " %s=%d", m.op, m.n)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// bar renders a fixed-width proportional bar for percentage p.
+func bar(p float64, width int) string {
+	n := int(p/100*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n) + strings.Repeat("-", width-n)
+}

@@ -79,6 +79,15 @@ func (h *Histogram) reset() {
 	h.n.Store(0)
 }
 
+// Snapshot returns a point-in-time copy of the histogram (empty on a
+// nil receiver).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	return h.snapshot()
+}
+
 func (h *Histogram) snapshot() HistSnapshot {
 	s := HistSnapshot{
 		Count: h.n.Load(),

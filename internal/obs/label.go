@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Metric label convention.
+//
+// Registry instrument names are flat strings; dimensions such as a
+// tenant or a spindle are encoded in the name itself using a fixed
+// suffix syntax:
+//
+//	base{key=value,key2=value2}
+//
+// Name builds such a name (keys sorted, so the same label set always
+// produces the same registry entry) and SplitName parses one back into
+// its base and label pairs. The exposition server renders these as real
+// Prometheus labels; everything else — Snapshot, Delta, WriteText —
+// treats the whole string as an opaque name, so existing unlabeled
+// metrics are untouched and a labeled family is just a set of sibling
+// instruments.
+//
+// This is the preparation for the multi-tenant service layer: per-tenant
+// instruments register as e.g. Name("ops.create", "tenant", "t7")
+// without any change to the registry's hot path or to existing metric
+// names.
+
+// Name returns base decorated with label pairs: Name("x", "k", "v")
+// is "x{k=v}". Pairs are given as alternating key, value; keys are
+// sorted. With no pairs it returns base unchanged. Keys and values must
+// not contain '{', '}', ',', '=', or '"'; Name replaces offenders with
+// '_' rather than producing an unparseable name. An odd trailing key is
+// ignored.
+func Name(base string, pairs ...string) string {
+	n := len(pairs) / 2
+	if n == 0 {
+		return base
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, n)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		kvs = append(kvs, kv{labelClean(pairs[i]), labelClean(pairs[i+1])})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteByte('=')
+		b.WriteString(p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitName parses a name produced by Name (or any plain name) into its
+// base and label pairs. Plain names return a nil label slice. A
+// malformed suffix is treated as part of the base rather than rejected:
+// instrument names are operator-facing, never fatal.
+func SplitName(name string) (base string, labels [][2]string) {
+	if !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	open := strings.LastIndexByte(name, '{')
+	if open < 0 {
+		return name, nil
+	}
+	inner := name[open+1 : len(name)-1]
+	if inner == "" {
+		return name[:open], nil
+	}
+	for _, part := range strings.Split(inner, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k == "" {
+			return name, nil // not our syntax; opaque name
+		}
+		labels = append(labels, [2]string{k, v})
+	}
+	return name[:open], labels
+}
+
+func labelClean(s string) string {
+	if !strings.ContainsAny(s, `{},="`) {
+		return s
+	}
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '{', '}', ',', '=', '"':
+			return '_'
+		}
+		return r
+	}, s)
+}

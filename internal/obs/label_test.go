@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNameBuildsSortedLabels(t *testing.T) {
+	cases := []struct {
+		base  string
+		pairs []string
+		want  string
+	}{
+		{"ops.create", nil, "ops.create"},
+		{"ops.create", []string{"tenant", "t7"}, "ops.create{tenant=t7}"},
+		{"x", []string{"b", "2", "a", "1"}, "x{a=1,b=2}"}, // keys sorted
+		{"x", []string{"a", "1", "dangling"}, "x{a=1}"},   // odd trailing key dropped
+		{"x", []string{"k{y}", `v"1,2`}, "x{k_y_=v_1_2}"}, // offenders cleaned
+	}
+	for _, c := range cases {
+		if got := Name(c.base, c.pairs...); got != c.want {
+			t.Errorf("Name(%q, %v) = %q, want %q", c.base, c.pairs, got, c.want)
+		}
+	}
+	// Same label set in any order names the same instrument.
+	if Name("m", "a", "1", "b", "2") != Name("m", "b", "2", "a", "1") {
+		t.Error("label order changed the instrument name")
+	}
+}
+
+func TestSplitNameRoundTrip(t *testing.T) {
+	name := Name("volume.requests", "spindle", "3", "tenant", "t1")
+	base, labels := SplitName(name)
+	if base != "volume.requests" {
+		t.Errorf("base = %q", base)
+	}
+	if len(labels) != 2 || labels[0] != [2]string{"spindle", "3"} || labels[1] != [2]string{"tenant", "t1"} {
+		t.Errorf("labels = %v", labels)
+	}
+
+	// Plain and malformed names pass through opaque.
+	for _, plain := range []string{
+		"ops.create", "weird}", "trailing{", "x{}", "x{novalue}", "x{=v}",
+	} {
+		base, labels := SplitName(plain)
+		if labels != nil {
+			t.Errorf("SplitName(%q) parsed labels %v from a non-label name", plain, labels)
+		}
+		if plain != "x{}" && base != plain {
+			t.Errorf("SplitName(%q) base = %q", plain, base)
+		}
+	}
+}
+
+func TestLabeledInstrumentsCoexist(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(1) // unlabeled family member stays untouched
+	r.Counter(Name("reqs", "tenant", "a")).Add(2)
+	r.Counter(Name("reqs", "tenant", "b")).Add(3)
+	s := r.Snapshot()
+	if s.Counter("reqs") != 1 || s.Counter("reqs{tenant=a}") != 2 || s.Counter("reqs{tenant=b}") != 3 {
+		t.Errorf("labeled siblings collided: %v", s.Counters)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	// Single sample: every quantile lands inside the sample's bucket.
+	h := &Histogram{}
+	h.Record(1000) // bucket [512, 1024)
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got < 512 || got > 1024 {
+			t.Errorf("single-sample Quantile(%g) = %v, outside [512,1024]", q, got)
+		}
+	}
+	if s.Quantile(0) > s.Quantile(1) {
+		t.Error("Quantile not monotone in q")
+	}
+
+	// Exact bucket boundary: a power of two opens a fresh bucket.
+	hb := &Histogram{}
+	hb.Record(1024) // bucket [1024, 2048)
+	sb := hb.Snapshot()
+	if got := sb.Quantile(0.5); got < 1024 || got > 2048 {
+		t.Errorf("boundary-value Quantile(0.5) = %v, outside [1024,2048]", got)
+	}
+
+	// Zero samples occupy bucket 0 ([0,1)).
+	hz := &Histogram{}
+	hz.Record(0)
+	if got := hz.Snapshot().Quantile(1); got < 0 || got > 1 {
+		t.Errorf("zero-sample Quantile(1) = %v", got)
+	}
+
+	// Bimodal: the quantiles separate the modes.
+	hm := &Histogram{}
+	for i := 0; i < 50; i++ {
+		hm.Record(1)
+		hm.Record(1 << 20)
+	}
+	sm := hm.Snapshot()
+	if got := sm.Quantile(0.25); got > 2 {
+		t.Errorf("bimodal p25 = %v, want in low mode [1,2]", got)
+	}
+	if got := sm.Quantile(0.75); got < 1<<20 || got > 1<<21 {
+		t.Errorf("bimodal p75 = %v, want in high mode [2^20,2^21]", got)
+	}
+
+	// Out-of-range q clamps instead of panicking.
+	if sm.Quantile(-1) > sm.Quantile(2) {
+		t.Error("clamped quantiles not monotone")
+	}
+}
+
+// TestSnapshotDeltaUnderConcurrentRecord interleaves Snapshot and Delta
+// with recording writers; it exists to fail under -race if snapshotting
+// reads any instrument unsynchronized, and asserts deltas never go
+// negative for monotone counters.
+func TestSnapshotDeltaUnderConcurrentRecord(t *testing.T) {
+	r := NewRegistry()
+	const writers = 4
+	const iters = 500
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func() {
+			defer writersWG.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h").Record(int64(i % 4096))
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		prev := r.Snapshot()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur := r.Snapshot()
+			d := cur.Delta(prev)
+			if d.Counter("c") < 0 {
+				t.Error("counter delta went negative")
+				return
+			}
+			if hd := d.Histograms["h"]; hd.Count < 0 {
+				t.Error("histogram delta count went negative")
+				return
+			}
+			// Quantile over a mid-flight snapshot must not panic.
+			_ = cur.Histograms["h"].Quantile(0.99)
+			prev = cur
+		}
+	}()
+	writersWG.Wait()
+	close(stop)
+	<-readerDone
+
+	final := r.Snapshot()
+	if got := final.Counter("c"); got != writers*iters {
+		t.Errorf("final counter = %d, want %d", got, writers*iters)
+	}
+	if got := final.Histograms["h"].Count; got != writers*iters {
+		t.Errorf("final histogram count = %d, want %d", got, writers*iters)
+	}
+}

@@ -84,16 +84,17 @@ func packRef(r OpRef) uint64 { return uint64(r.Kind)<<56 | r.ID }
 
 func unpackRef(v uint64) OpRef { return OpRef{Kind: Op(v >> 56), ID: v & idMask} }
 
-// beginOp pushes a new op context and returns a closure ending it (ops
-// nest: a vfs helper that calls another public method keeps inner
-// attribution, and the outer op resurfaces when the inner one ends).
-func beginOp(kind Op) func() {
+// beginOp pushes a new op context and returns its ref plus a closure
+// ending it (ops nest: a vfs helper that calls another public method
+// keeps inner attribution, and the outer op resurfaces when the inner
+// one ends).
+func beginOp(kind Op) (OpRef, func()) {
 	ref := OpRef{Kind: kind, ID: opSeq.Add(1) & idMask}
 	ops.mu.Lock()
 	ops.stack = append(ops.stack, ref)
 	ops.top.Store(packRef(ref))
 	ops.mu.Unlock()
-	return func() {
+	return ref, func() {
 		ops.mu.Lock()
 		for i := len(ops.stack) - 1; i >= 0; i-- {
 			if ops.stack[i] == ref {
@@ -127,12 +128,23 @@ func CurrentOpRaw() (kind uint8, id uint64) {
 // noEnd is the shared no-op scope closer of a disabled tracker.
 func noEnd() {}
 
+// OpObserver receives operation-lifecycle events from an OpTracker.
+// OpBegin fires after the op context is installed; OpEnd fires after it
+// is unwound, on the same goroutine, with no file-system locks held
+// (the tracker's scope closer is the outermost defer at every vfs entry
+// point). The flight recorder is the intended implementation.
+type OpObserver interface {
+	OpBegin(ref OpRef)
+	OpEnd(ref OpRef)
+}
+
 // OpTracker scopes and counts a file system's operations. Each
 // instrumented FS owns one; Begin at a vfs entry point installs the op
 // context and bumps the per-type operation counter. A tracker built
 // over a nil registry is disabled and Begin costs two branches.
 type OpTracker struct {
 	ops [NumOps]*Counter
+	obs OpObserver
 	on  bool
 }
 
@@ -151,7 +163,16 @@ func NewOpTracker(r *Registry) *OpTracker {
 }
 
 // Enabled reports whether the tracker records anything.
-func (t *OpTracker) Enabled() bool { return t != nil && t.on }
+func (t *OpTracker) Enabled() bool { return t != nil && (t.on || t.obs != nil) }
+
+// Observe attaches an operation observer. The per-type counters stay
+// nil-safe, so observation works even on a tracker built over a nil
+// registry (a flight recorder without a metrics registry).
+func (t *OpTracker) Observe(o OpObserver) {
+	if t != nil {
+		t.obs = o
+	}
+}
 
 // Begin enters an operation scope; the returned closure ends it.
 // Usage at a vfs entry point: defer t.Begin(obs.OpCreate)().
@@ -160,5 +181,13 @@ func (t *OpTracker) Begin(kind Op) func() {
 		return noEnd
 	}
 	t.ops[kind].Inc()
-	return beginOp(kind)
+	ref, end := beginOp(kind)
+	if t.obs == nil {
+		return end
+	}
+	t.obs.OpBegin(ref)
+	return func() {
+		end()
+		t.obs.OpEnd(ref)
+	}
 }

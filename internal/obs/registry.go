@@ -154,6 +154,19 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Size reports how many instruments of each kind the registry holds.
+// A nil registry is empty. Tools surface this next to trace-drop
+// counters so silent observability loss (an unbounded registry, a
+// saturated collector) is visible instead of inferred.
+func (r *Registry) Size() (counters, gauges, hists int) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.counters), len(r.gauges), len(r.hists)
+}
+
 // Reset zeroes every instrument without invalidating handles.
 func (r *Registry) Reset() {
 	if r == nil {

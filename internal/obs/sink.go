@@ -2,6 +2,19 @@ package obs
 
 import "cffs/internal/disk"
 
+// OpRecorder is what a mount needs from a flight recorder: operation
+// lifecycle observation plus a disk-sink wrapper that routes stamped
+// requests to in-flight operations. The interface lives here so the
+// file systems wire a recorder through their Options without importing
+// its implementation (internal/flight).
+type OpRecorder interface {
+	OpObserver
+	// DiskSink wraps inner (a registry sink, possibly nil) so the
+	// recorder sees every stamped request; the result goes to
+	// disk.SetMetricsFunc.
+	DiskSink(inner func(disk.TraceEntry)) func(disk.TraceEntry)
+}
+
 // diskSink translates the disk's stamped request stream into per-op
 // counters and service-time histograms. Instrument handles are resolved
 // once at construction, indexed by op kind, so the per-request cost is

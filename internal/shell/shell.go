@@ -6,26 +6,40 @@
 package shell
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"cffs/internal/blockio"
 	"cffs/internal/fault"
+	"cffs/internal/flight"
+	"cffs/internal/health"
 	"cffs/internal/obs"
+	"cffs/internal/obs/expo"
+	"cffs/internal/trace"
 	"cffs/internal/vfs"
 )
 
 // Shell interprets commands against a mounted file system.
 type Shell struct {
 	fs  vfs.FileSystem
-	dev *blockio.Device // optional, for df/iostat
-	reg *obs.Registry   // optional, for stats
-	fst *fault.Store    // optional, for inject
+	dev *blockio.Device  // optional, for df/iostat
+	reg *obs.Registry    // optional, for stats
+	fst *fault.Store     // optional, for inject
+	rec *flight.Recorder // optional, for slowlog/flight
+	col *trace.Collector // optional, surfaced by stats
 	cwd string
 	out io.Writer
+
+	// top keeps the previous frame's snapshot so each invocation shows
+	// interval rates rather than lifetime averages.
+	topPrev  obs.Snapshot
+	topPrevS float64
+	topRan   bool
 }
 
 // New builds a shell. dev may be nil (df/iostat then report an error).
@@ -40,6 +54,14 @@ func (sh *Shell) SetRegistry(r *obs.Registry) { sh.reg = r }
 // SetFaultStore attaches the fault injector the device was built over,
 // enabling the inject command.
 func (sh *Shell) SetFaultStore(f *fault.Store) { sh.fst = f }
+
+// SetRecorder attaches the flight recorder the file system was mounted
+// with, enabling the slowlog and flight commands.
+func (sh *Shell) SetRecorder(r *flight.Recorder) { sh.rec = r }
+
+// SetCollector attaches a trace collector; stats then reports its
+// capture and drop counts so silent trace loss is visible.
+func (sh *Shell) SetCollector(c *trace.Collector) { sh.col = c }
 
 // Cwd returns the current directory.
 func (sh *Shell) Cwd() string { return sh.cwd }
@@ -92,6 +114,14 @@ func (sh *Shell) Run(line string) error {
 		return sh.iostat()
 	case "stats":
 		return sh.stats(args)
+	case "inspect":
+		return sh.inspect(args)
+	case "top":
+		return sh.top()
+	case "slowlog":
+		return sh.slowlog(args)
+	case "flight":
+		return sh.flight(args)
 	case "inject":
 		return sh.inject(args)
 	case "sync":
@@ -118,8 +148,12 @@ func (sh *Shell) help() error {
   df                 free space
   iostat             disk request counters
   stats [-json|-reset]  metrics registry exposition
+  inspect [-json]    layout health: occupancy, fragmentation, embedding
+  top                dashboard frame: ops/sec, req/op, cache, spindles
+  slowlog [-json]    flight-recorder slow-op captures
+  flight [n]         flight-recorder ring (newest n ops)
   inject <sub>       fault injection: cut <n>|now, torn <prob>,
-                     readerr <lba>, revive, clear, status
+                     readerr <lba>, slow <ns>, revive, clear, status
   cd / pwd / sync / exit
 `)
 	return nil
@@ -437,6 +471,17 @@ func (sh *Shell) inject(args []string) error {
 		sh.fst.FailSector(lba)
 		fmt.Fprintf(sh.out, "latent read error at sector %d\n", lba)
 		return nil
+	case "slow":
+		if len(args) != 2 {
+			return usage
+		}
+		ns, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil || ns < 0 {
+			return usage
+		}
+		sh.fst.SetSlowIO(ns)
+		fmt.Fprintf(sh.out, "slow-I/O injection: +%dns per request\n", ns)
+		return nil
 	case "revive":
 		sh.fst.Revive()
 		fmt.Fprintln(sh.out, "power restored")
@@ -466,6 +511,12 @@ func (sh *Shell) stats(args []string) error {
 	switch {
 	case len(args) == 0:
 		sh.reg.Snapshot().WriteText(sh.out)
+		c, g, h := sh.reg.Size()
+		fmt.Fprintf(sh.out, "registry: %d counters, %d gauges, %d histograms\n", c, g, h)
+		if sh.col != nil {
+			fmt.Fprintf(sh.out, "collector: captured=%d dropped=%d\n",
+				sh.col.Len(), sh.col.Dropped())
+		}
 		return nil
 	case len(args) == 1 && args[0] == "-json":
 		return sh.reg.Snapshot().WriteJSON(sh.out)
@@ -475,4 +526,85 @@ func (sh *Shell) stats(args []string) error {
 	default:
 		return fmt.Errorf("usage: stats [-json|-reset]")
 	}
+}
+
+// inspect runs the layout-health scan (C-FFS only) and renders it. The
+// report is also registered as gauges when a registry is attached, so a
+// later `stats` or exposition scrape carries the last scan.
+func (sh *Shell) inspect(args []string) error {
+	rep, err := health.Inspect(sh.fs)
+	if err != nil {
+		return err
+	}
+	rep.Register(sh.reg)
+	switch {
+	case len(args) == 0:
+		rep.WriteText(sh.out)
+		return nil
+	case len(args) == 1 && args[0] == "-json":
+		return rep.WriteJSON(sh.out)
+	default:
+		return fmt.Errorf("usage: inspect [-json]")
+	}
+}
+
+// top prints one dashboard frame over the interval since the previous
+// top invocation (since mount on the first). Rates are per simulated
+// second — the clock the whole system runs on.
+func (sh *Shell) top() error {
+	if sh.reg == nil {
+		return fmt.Errorf("top: no metrics registry attached")
+	}
+	if sh.dev == nil {
+		return fmt.Errorf("top: no device attached")
+	}
+	cur := sh.reg.Snapshot()
+	now := float64(sh.dev.Disk().Clock().Now()) / 1e9
+	prev, prevS := sh.topPrev, sh.topPrevS
+	if !sh.topRan {
+		prev, prevS = obs.Snapshot{}, 0
+	}
+	sh.topPrev, sh.topPrevS, sh.topRan = cur, now, true
+	fmt.Fprintf(sh.out, "t=%.3fs (interval %.3fs)\n", now, now-prevS)
+	fmt.Fprint(sh.out, expo.RenderDash(cur, prev, now-prevS))
+	return nil
+}
+
+// slowlog dumps the flight recorder's slow-op captures.
+func (sh *Shell) slowlog(args []string) error {
+	if sh.rec == nil {
+		return fmt.Errorf("slowlog: no flight recorder attached (run with -flight)")
+	}
+	switch {
+	case len(args) == 0:
+		sh.rec.WriteSlowText(sh.out)
+		return nil
+	case len(args) == 1 && args[0] == "-json":
+		enc := json.NewEncoder(sh.out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Slow []flight.SlowRecord `json:"slow"`
+		}{sh.rec.Slow()})
+	default:
+		return fmt.Errorf("usage: slowlog [-json]")
+	}
+}
+
+// flight dumps the newest n entries of the completed-operation ring.
+func (sh *Shell) flight(args []string) error {
+	if sh.rec == nil {
+		return fmt.Errorf("flight: no flight recorder attached (run with -flight)")
+	}
+	n := 20
+	if len(args) == 1 {
+		v, err := strconv.Atoi(args[0])
+		if err != nil || v <= 0 {
+			return fmt.Errorf("usage: flight [n]")
+		}
+		n = v
+	} else if len(args) > 1 {
+		return fmt.Errorf("usage: flight [n]")
+	}
+	sh.rec.WriteRingText(sh.out, n)
+	return nil
 }

@@ -12,8 +12,10 @@ import (
 	"cffs/internal/core"
 	"cffs/internal/disk"
 	"cffs/internal/fault"
+	"cffs/internal/obs"
 	"cffs/internal/sched"
 	"cffs/internal/sim"
+	"cffs/internal/trace"
 )
 
 func newShell(t *testing.T) (*Shell, *bytes.Buffer) {
@@ -166,6 +168,76 @@ func TestShellErrorsAndExit(t *testing.T) {
 	}
 	if err := sh.Run("help"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// stats must surface trace-collector drops: a bounded collector that
+// overflowed silently would make every later trace analysis wrong.
+func TestShellStatsReportsCollectorDrops(t *testing.T) {
+	d, err := disk.NewMem(disk.SeagateST31200(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := blockio.NewDevice(d, sched.CLook{})
+	reg := obs.NewRegistry()
+	fs, err := core.Mkfs(dev, core.Options{
+		EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	sh := New(fs, dev, &out)
+	sh.SetRegistry(reg)
+	col := trace.NewBounded(2)
+	dev.Disk().SetTraceFunc(col.Add)
+	sh.SetCollector(col)
+
+	// Enough traffic to overflow a two-entry collector many times over.
+	run(t, sh,
+		"mkdir /spill",
+		"write /spill/a aaaa",
+		"write /spill/b bbbb",
+		"write /spill/c cccc",
+		"sync",
+		"stats",
+	)
+	if col.Dropped() == 0 {
+		t.Fatalf("collector did not drop (captured=%d); test workload too small", col.Len())
+	}
+	s := out.String()
+	if !strings.Contains(s, "collector: captured=2 dropped=") {
+		t.Fatalf("stats does not report collector drops:\n%s", s)
+	}
+	if strings.Contains(s, "dropped=0") {
+		t.Fatalf("stats reports zero drops despite overflow:\n%s", s)
+	}
+	if !strings.Contains(s, "registry: ") || !strings.Contains(s, "histograms") {
+		t.Fatalf("stats does not report registry size:\n%s", s)
+	}
+}
+
+func TestShellInspect(t *testing.T) {
+	sh, out := newShell(t)
+	run(t, sh,
+		"mkdir /docs",
+		"write /docs/a.txt contents",
+		"sync",
+		"inspect",
+	)
+	s := out.String()
+	for _, want := range []string{"config: C-FFS", "embedded", "frag"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, s)
+		}
+	}
+	out.Reset()
+	run(t, sh, "inspect -json")
+	if !strings.Contains(out.String(), `"embedded_inodes"`) {
+		t.Fatalf("inspect -json missing fields:\n%s", out.String())
+	}
+	if err := sh.Run("inspect -bogus"); err == nil {
+		t.Fatal("inspect with bad flag should fail")
 	}
 }
 
