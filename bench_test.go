@@ -379,3 +379,15 @@ func BenchmarkWriteback(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkService regenerates the multi-tenant service benchmark:
+// hundreds of loopback sessions across four tenants, plus the QoS
+// isolation scenarios. Reports the victim's p99 under each dispatch
+// policy (wall-clock µs — host-dependent, comparative shape is the
+// point).
+func BenchmarkService(b *testing.B) {
+	tables := runExperiment(b, "service")
+	for _, row := range tables[1].Rows {
+		b.ReportMetric(cell(b, row[3]), row[0]+"-victim-p99-us")
+	}
+}

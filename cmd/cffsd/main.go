@@ -1,0 +1,158 @@
+// Command cffsd is the multi-tenant file service daemon: it mounts a
+// C-FFS (on an image file or an in-memory simulated disk) and serves
+// per-tenant namespaces over the wire protocol on TCP.
+//
+// Usage:
+//
+//	cffsd -tenants alpha,beta [-addr 127.0.0.1:5640] [-img disk.img]
+//	      [-drive name] [-disks n] [-workers n] [-fair=false]
+//	      [-rate r -burst b] [-expo addr] [-flight] [-trace n]
+//
+// Each tenant is rooted at its own top-level directory; clients attach
+// by tenant name and cannot walk out. With -fair (the default) the
+// dispatcher round-robins across tenants; -rate adds a per-tenant
+// token-bucket admission limit on top. -expo serves the live registry
+// (including the per-tenant srv.* families) over HTTP, and -trace keeps
+// a bounded disk-request trace whose overflow drops are accounted to
+// the tenant being served. SIGINT/SIGTERM shut down cleanly: the
+// listener closes, the fs syncs, and the daemon exits.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/flight"
+	"cffs/internal/obs"
+	"cffs/internal/obs/expo"
+	"cffs/internal/srv"
+	"cffs/internal/store"
+	"cffs/internal/trace"
+	"cffs/internal/writeback"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:5640", "TCP address to serve on")
+		tenants = flag.String("tenants", "", "comma-separated tenant names to provision (required)")
+		img     = flag.String("img", "", "image file to mount (empty: fresh in-memory disk)")
+		backend = flag.String("backend", "", `store backend: `+strings.Join(store.Names(), ", ")+` (default "disk")`)
+		drive   = flag.String("drive", "", `disk model defining the geometry (default "Seagate ST31200")`)
+		disks   = flag.Int("disks", 1, "open the image as an N-spindle striped volume")
+		sync    = flag.Bool("sync", false, "mount synchronously (default: write-behind daemon enabled)")
+		workers = flag.Int("workers", 0, "dispatcher worker pool size (0: default)")
+		fair    = flag.Bool("fair", true, "fair-share dispatch across tenants (false: global FIFO)")
+		rate    = flag.Float64("rate", 0, "per-tenant admission rate in requests/second (0: unlimited)")
+		burst   = flag.Int("burst", 0, "token bucket depth for -rate (0: default)")
+		queue   = flag.Int("queue", 0, "per-tenant pending-request queue cap (0: default)")
+		fl      = flag.Bool("flight", false, "attach a flight recorder (served at /flight by -expo)")
+		slowNs  = flag.Int64("slow-ns", 0, "flight recorder fixed slow threshold in ns (0: p99 per op kind)")
+		expoOn  = flag.String("expo", "", `serve live metrics over HTTP at this address (e.g. "127.0.0.1:9130")`)
+		traceN  = flag.Int("trace", 0, "capture up to N disk requests in a bounded trace collector")
+	)
+	flag.Parse()
+	if *tenants == "" {
+		fmt.Fprintln(os.Stderr, "cffsd: -tenants is required")
+		os.Exit(2)
+	}
+
+	bk, err := store.Open(store.Config{
+		Backend: *backend,
+		Drive:   *drive,
+		Disks:   *disks,
+		Path:    *img,
+	})
+	fatal(err)
+	defer bk.Bytes.Close()
+	dev := bk.Device()
+
+	reg := obs.NewRegistry()
+	var rec *flight.Recorder
+	var recOpt obs.OpRecorder // stays nil (not typed-nil) without -flight
+	if *fl {
+		rec = flight.New(flight.Config{SlowNs: *slowNs}, dev.Disk().Clock(), reg)
+		recOpt = rec
+	}
+	opts := core.Options{
+		Mode:      core.ModeDelayed,
+		Metrics:   reg,
+		Recorder:  recOpt,
+		Writeback: writeback.Config{Enabled: !*sync},
+	}
+
+	// An existing C-FFS image is mounted; a fresh image (or the
+	// in-memory default) is formatted. Other kinds are refused — the
+	// wire front end needs the concurrent core.
+	var fs *core.FS
+	kind, err := store.DetectFS(bk.Bytes)
+	switch {
+	case errors.Is(err, store.ErrUnknownImage):
+		opts.EmbedInodes, opts.Grouping = true, true
+		fs, err = core.Mkfs(dev, opts)
+	case err == nil && kind == store.KindCFFS:
+		fs, err = core.Mount(dev, opts)
+	case err == nil:
+		err = fmt.Errorf("image holds %v; cffsd serves C-FFS images only", kind)
+	}
+	fatal(err)
+	defer fs.Close()
+
+	server := srv.New(srv.Config{
+		FS:       fs,
+		Registry: reg,
+		QoS: srv.QoS{
+			Workers:   *workers,
+			FairShare: *fair,
+			QueueCap:  *queue,
+			Rate:      *rate,
+			Burst:     *burst,
+		},
+	})
+	for _, t := range strings.Split(*tenants, ",") {
+		fatal(server.AddTenant(strings.TrimSpace(t)))
+	}
+
+	if *traceN > 0 {
+		col := trace.NewBounded(*traceN)
+		col.LabelDrops(reg, func(disk.TraceEntry) string { return server.CurrentTenant() })
+		dev.Disk().SetTraceFunc(col.Add)
+	}
+	if *expoOn != "" {
+		es := expo.New(expo.Config{Addr: *expoOn, Registry: reg, Recorder: rec})
+		eaddr, err := es.Start()
+		fatal(err)
+		defer es.Close()
+		fmt.Fprintf(os.Stderr, "cffsd: exposition server on http://%s/metrics\n", eaddr)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	fatal(err)
+	fmt.Fprintf(os.Stderr, "cffsd: serving tenants [%s] on %s\n",
+		strings.Join(server.Tenants(), " "), ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "cffsd: shutting down")
+		ln.Close()
+		server.Close()
+	}()
+
+	server.Serve(ln)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cffsd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,189 @@
+// Command cfscli is the wire-protocol client: one attach, one
+// operation, exit. It is the smallest way to poke a running cffsd.
+//
+// Usage:
+//
+//	cfscli -tenant name [-addr 127.0.0.1:5640] <op> [args]
+//
+// Operations (paths are relative to the tenant root):
+//
+//	ls [path]          list a directory
+//	stat <path>        print file metadata
+//	read <path>        copy a file to stdout
+//	write <path>       copy stdin into a file (created or truncated)
+//	mkdir <path>       make a directory
+//	rm <path>          unlink a file
+//	rmdir <path>       remove an empty directory
+//	mv <path> <path>   rename within the tenant
+//	fsync              flush the file system
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path"
+
+	"cffs/internal/srv"
+	"cffs/internal/vfs"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:5640", "cffsd TCP address")
+		tenant = flag.String("tenant", "", "tenant to attach as (required)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cfscli -tenant name [-addr host:port] <op> [args]")
+		fmt.Fprintln(os.Stderr, "ops: ls stat read write mkdir rm rmdir mv fsync")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *tenant == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	nc, err := net.Dial("tcp", *addr)
+	fatal(err)
+	c, err := srv.NewClient(nc)
+	fatal(err)
+	defer c.Close()
+	root, err := c.Attach(*tenant)
+	fatal(err)
+
+	op, args := flag.Arg(0), flag.Args()[1:]
+	fatal(run(root, op, args))
+}
+
+func run(root *srv.Fid, op string, args []string) error {
+	arg := func(i int) string {
+		if i >= len(args) {
+			return ""
+		}
+		return args[i]
+	}
+	switch op {
+	case "ls":
+		f, err := root.WalkPath(arg(0))
+		if err != nil {
+			return err
+		}
+		if _, err := f.Open(srv.OModeRead); err != nil {
+			return err
+		}
+		ents, err := f.ReadDir()
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			kind := "-"
+			if e.Type == vfs.TypeDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %8d %s\n", kind, e.Ino, e.Name)
+		}
+		return nil
+	case "stat":
+		f, err := root.WalkPath(arg(0))
+		if err != nil {
+			return err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ino %d type %v nlink %d size %d blocks %d mtime %d\n",
+			st.Ino, st.Type, st.Nlink, st.Size, st.Blocks, st.Mtime)
+		return nil
+	case "read":
+		f, err := root.WalkPath(arg(0))
+		if err != nil {
+			return err
+		}
+		st, err := f.Open(srv.OModeRead)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, f.MaxIO())
+		for off := int64(0); off < st.Size; {
+			n, err := f.ReadAt(buf, off)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				break
+			}
+			if _, err := os.Stdout.Write(buf[:n]); err != nil {
+				return err
+			}
+			off += int64(n)
+		}
+		return nil
+	case "write":
+		dir, name := path.Split(arg(0))
+		d, err := root.WalkPath(dir)
+		if err != nil {
+			return err
+		}
+		f, err := d.Create(name)
+		if err != nil {
+			// Already exists: open it truncated instead.
+			if f, err = d.WalkPath(name); err != nil {
+				return err
+			}
+			if _, err := f.Open(srv.OModeWrite | srv.OModeTrunc); err != nil {
+				return err
+			}
+		}
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		_, err = f.WriteAt(data, 0)
+		return err
+	case "mkdir":
+		dir, name := path.Split(arg(0))
+		d, err := root.WalkPath(dir)
+		if err != nil {
+			return err
+		}
+		_, err = d.Mkdir(name)
+		return err
+	case "rm", "rmdir":
+		dir, name := path.Split(arg(0))
+		d, err := root.WalkPath(dir)
+		if err != nil {
+			return err
+		}
+		if op == "rmdir" {
+			return d.Rmdir(name)
+		}
+		return d.Unlink(name)
+	case "mv":
+		odir, oname := path.Split(arg(0))
+		ndir, nname := path.Split(arg(1))
+		od, err := root.WalkPath(odir)
+		if err != nil {
+			return err
+		}
+		nd, err := root.WalkPath(ndir)
+		if err != nil {
+			return err
+		}
+		return od.Rename(oname, nd, nname)
+	case "fsync":
+		return root.Fsync()
+	default:
+		return fmt.Errorf("unknown op %q (ls stat read write mkdir rm rmdir mv fsync)", op)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfscli:", err)
+		os.Exit(1)
+	}
+}

@@ -40,6 +40,7 @@ func Experiments() []Experiment {
 		{"recovery", "Crash-point enumeration: fsck repair and recovery time", RecoveryExp},
 		{"writeback", "Async write-behind: sync vs async mounts, dirty-limit sweep", WritebackExp},
 		{"scaling", "Striped multi-disk scaling: 1/2/4/8 spindles", ScalingExp},
+		{"service", "Multi-tenant service: loopback sessions, per-tenant QoS", ServiceExp},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
 	return exps

@@ -268,6 +268,9 @@ func FuzzOpenFlags(f *testing.F) {
 	f.Add("d", byte(5), false)
 	f.Add("", byte(2), true)
 	f.Add("deep/nested/name", byte(7), false)
+	f.Add("f", byte(0x1c), true) // ORDWR|OTrunc on an existing file
+	f.Add("f", byte(0x0c), true) // ORead|OTrunc: read-only truncation rejected
+	f.Add("d", byte(0x10), true) // OWrite on a directory rejected
 	f.Fuzz(func(t *testing.T, name string, flags byte, populate bool) {
 		if len(name) > maxFuzzName {
 			t.Skip("name beyond interesting lengths")
@@ -283,7 +286,7 @@ func FuzzOpenFlags(f *testing.F) {
 				}
 			}
 		}
-		flag := vfs.OpenFlag(flags) & (vfs.OCreate | vfs.OExcl | vfs.OTrunc)
+		flag := vfs.OpenFlag(flags) & (vfs.OCreate | vfs.OExcl | vfs.OTrunc | vfs.ORead | vfs.OWrite)
 		pth := "/" + name
 		inoA, errA := vfs.OpenFile(pair.fs, pth, flag)
 		inoB, errB := vfs.OpenFile(pair.ref, pth, flag)

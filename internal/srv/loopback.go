@@ -1,0 +1,87 @@
+package srv
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Loopback is an in-process transport: a net.Listener whose Dial hands
+// the server one end of a net.Pipe. It lets the many-client workload
+// driver run hundreds of real protocol sessions — full framing, tags,
+// QoS — without sockets, so session count is bounded by goroutines,
+// not file descriptors.
+type Loopback struct {
+	mu     sync.Mutex
+	ch     chan net.Conn
+	doneCh chan struct{}
+	closed bool
+}
+
+// NewLoopback returns a ready listener; pass it to Server.Serve and
+// hand Dial to clients.
+func NewLoopback() *Loopback {
+	return &Loopback{ch: make(chan net.Conn)}
+}
+
+// Dial connects a new client to whatever is accepting on this loopback.
+func (l *Loopback) Dial() (net.Conn, error) {
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return nil, errors.New("loopback: closed")
+	}
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done():
+		client.Close()
+		server.Close()
+		return nil, errors.New("loopback: closed")
+	}
+}
+
+// done returns a channel closed when the listener closes. Lazily built
+// so the zero of Loopback stays invalid (use NewLoopback).
+func (l *Loopback) done() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.doneCh == nil {
+		l.doneCh = make(chan struct{})
+	}
+	return l.doneCh
+}
+
+// Accept implements net.Listener.
+func (l *Loopback) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done():
+		return nil, errors.New("loopback: closed")
+	}
+}
+
+// Close implements net.Listener; pending and future Dials fail.
+func (l *Loopback) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		if l.doneCh == nil {
+			l.doneCh = make(chan struct{})
+		}
+		close(l.doneCh)
+	}
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Loopback) Addr() net.Addr { return loopbackAddr{} }
+
+type loopbackAddr struct{}
+
+func (loopbackAddr) Network() string { return "loopback" }
+func (loopbackAddr) String() string  { return "loopback" }

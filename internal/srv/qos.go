@@ -1,0 +1,274 @@
+package srv
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QoS is the per-tenant quality-of-service configuration.
+//
+// Two mechanisms compose, at different depths:
+//
+//   - Token-bucket admission (Rate/Burst) runs in the connection reader
+//     before a request is even queued, so an over-rate tenant's own
+//     reader stalls — per-connection backpressure that never touches
+//     another tenant. It sits in front of the writeback throttle
+//     (writeback.Daemon.Admit inside the fs entry points): admission
+//     bounds how fast requests *arrive*, the writeback throttle bounds
+//     how much dirty state they may *pin* once admitted.
+//
+//   - The fair-share dispatcher runs between the queues and the worker
+//     pool that calls into the fs (and from there into C-LOOK request
+//     scheduling). With FairShare on, workers round-robin across
+//     tenants with pending work, one request per tenant per turn, so a
+//     tenant with a thousand queued readdirs still only gets one slot
+//     per cycle while a tenant with two queued reads gets serviced
+//     every cycle. Per-request work is bounded (reads by msize, readdir
+//     by page size), which is what makes one-request quanta fair. With
+//     FairShare off all tenants share one FIFO — the measured
+//     "no isolation" baseline.
+//
+// The buckets run on the wall clock, not the simulated disk clock: the
+// simulated clock only advances when disk work is done, so pacing
+// against it would deadlock an idle tenant.
+type QoS struct {
+	// Workers is the dispatcher pool size — the number of requests in
+	// the fs concurrently. 0 means DefaultWorkers.
+	Workers int
+	// FairShare round-robins dispatch across tenants instead of
+	// serving one global FIFO.
+	FairShare bool
+	// QueueCap bounds each tenant's pending-request queue (the global
+	// FIFO gets QueueCap per known tenant). Overflow is answered with
+	// ErrLimit instead of queued. 0 means DefaultQueueCap.
+	QueueCap int
+	// Rate is each tenant's sustained admission rate in requests per
+	// second; 0 disables the bucket. Burst is the bucket depth, i.e.
+	// how far a tenant may run ahead of the rate; 0 means DefaultBurst.
+	Rate  float64
+	Burst int
+}
+
+// Defaults for zero QoS fields.
+const (
+	DefaultWorkers  = 8
+	DefaultQueueCap = 4096
+	DefaultBurst    = 64
+)
+
+// bucket is a wall-clock token bucket. A nil bucket admits everything.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable for tests
+	sleep  func(time.Duration)
+}
+
+func newBucket(rate float64, burst int) *bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = DefaultBurst
+	}
+	b := &bucket{rate: rate, burst: float64(burst), tokens: float64(burst), now: time.Now, sleep: time.Sleep}
+	b.last = b.now()
+	return b
+}
+
+// wait blocks until a token is available and returns how long it waited.
+func (b *bucket) wait() time.Duration {
+	if b == nil {
+		return 0
+	}
+	var total time.Duration
+	for {
+		b.mu.Lock()
+		now := b.now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+		if b.tokens >= 1 {
+			b.tokens--
+			b.mu.Unlock()
+			return total
+		}
+		need := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		b.sleep(need)
+		total += need
+	}
+}
+
+// request is one queued operation: parsed, tagged, admitted, waiting
+// for a worker.
+type request struct {
+	c     *conn
+	t     *tenant
+	f     *Fcall
+	start time.Time
+}
+
+// dispatcher moves requests from per-tenant queues to the worker pool.
+type dispatcher struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	fair   bool
+	cap    int
+	fifo   []request // fair == false: one shared queue
+	ring   []*tenant // fair == true: tenants with pending work
+	next   int       // ring scan position
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newDispatcher(fair bool, queueCap int) *dispatcher {
+	d := &dispatcher{fair: fair, cap: queueCap}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// enqueue queues r, reporting false when the tenant's queue (or the
+// shared FIFO's per-tenant share) is full or the dispatcher is closed.
+func (d *dispatcher) enqueue(r request) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	if d.fair {
+		if len(r.t.pending) >= d.cap {
+			return false
+		}
+		if len(r.t.pending) == 0 && !r.t.inRing {
+			d.ring = append(d.ring, r.t)
+			r.t.inRing = true
+		}
+		r.t.pending = append(r.t.pending, r)
+	} else {
+		if len(d.fifo) >= d.cap {
+			return false
+		}
+		d.fifo = append(d.fifo, r)
+	}
+	r.t.m.queueDepth.Add(1)
+	d.cond.Signal()
+	return true
+}
+
+// dequeue blocks for the next request; ok is false once the dispatcher
+// is closed and drained.
+func (d *dispatcher) dequeue() (request, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.fair {
+			for range d.ring {
+				if d.next >= len(d.ring) {
+					d.next = 0
+				}
+				t := d.ring[d.next]
+				if len(t.pending) > 0 {
+					r := t.pending[0]
+					t.pending = t.pending[1:]
+					if len(t.pending) == 0 {
+						d.ring = append(d.ring[:d.next], d.ring[d.next+1:]...)
+						t.inRing = false
+						t.pending = nil // release backing array
+					} else {
+						d.next++
+					}
+					r.t.m.queueDepth.Add(-1)
+					return r, true
+				}
+				d.next++
+			}
+		} else if len(d.fifo) > 0 {
+			r := d.fifo[0]
+			d.fifo = d.fifo[1:]
+			if len(d.fifo) == 0 {
+				d.fifo = nil
+			}
+			r.t.m.queueDepth.Add(-1)
+			return r, true
+		}
+		if d.closed {
+			return request{}, false
+		}
+		d.cond.Wait()
+	}
+}
+
+// run starts the worker pool.
+func (d *dispatcher) run(workers int, handle func(request)) {
+	for i := 0; i < workers; i++ {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for {
+				r, ok := d.dequeue()
+				if !ok {
+					return
+				}
+				handle(r)
+			}
+		}()
+	}
+}
+
+// close drains nothing: workers finish what they dequeued, the rest is
+// abandoned (their connections are closing anyway). Blocks until all
+// workers exit.
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// tenantStack is the ambient who-is-running record, the same
+// best-effort shape as the obs op stack: workers push the tenant before
+// calling into the fs, and the trace hook (which runs synchronously on
+// the issuing goroutine) reads the top to label drops. Under concurrent
+// workers attribution is approximate — a request may be blamed on a
+// sibling tenant mid-overlap — but the value is always *some* currently
+// active tenant, never garbage.
+type tenantStack struct {
+	mu    sync.Mutex
+	stack []string
+	top   atomic.Pointer[string]
+}
+
+func (s *tenantStack) push(name string) func() {
+	s.mu.Lock()
+	s.stack = append(s.stack, name)
+	s.top.Store(&name)
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		if n := len(s.stack); n > 0 {
+			s.stack = s.stack[:n-1]
+			if n > 1 {
+				top := s.stack[n-2] // private copy: readers hold the pointer lock-free
+				s.top.Store(&top)
+			} else {
+				s.top.Store(nil)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *tenantStack) current() string {
+	if p := s.top.Load(); p != nil {
+		return *p
+	}
+	return ""
+}

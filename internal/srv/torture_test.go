@@ -1,0 +1,256 @@
+package srv_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cffs/internal/srv"
+)
+
+// rawDial opens a loopback connection for hand-rolled frames.
+func rawDial(t *testing.T, lb *srv.Loopback) net.Conn {
+	t.Helper()
+	nc, err := lb.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc
+}
+
+func frame(typ byte, tag uint16, body []byte) []byte {
+	b := make([]byte, 7+len(body))
+	binary.LittleEndian.PutUint32(b, uint32(len(b)))
+	b[4] = typ
+	binary.LittleEndian.PutUint16(b[5:7], tag)
+	copy(b[7:], body)
+	return b
+}
+
+// readRaw reads one frame off a hand-rolled connection.
+func readRaw(t *testing.T, nc net.Conn) *srv.Fcall {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := srv.ReadFcall(nc, srv.MaxMsize)
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	return f
+}
+
+// expectClosed asserts the server dropped the connection.
+func expectClosed(t *testing.T, nc net.Conn) {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var b [1]byte
+	if _, err := nc.Read(b[:]); err == nil {
+		t.Fatal("connection still open, want closed")
+	} else if errors.Is(err, io.EOF) || errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("connection still open (read timed out), want closed")
+	}
+}
+
+// TestTortureFraming throws frame-level garbage at the daemon: sizes
+// below the header, oversized lengths, and truncated frames. Each must
+// kill only its own connection — no panic, no fid leak, and the server
+// keeps serving well-behaved clients.
+func TestTortureFraming(t *testing.T) {
+	s, lb := testServer(t, srv.Config{}, "alpha")
+
+	t.Run("size-below-header", func(t *testing.T) {
+		nc := rawDial(t, lb)
+		hdr := make([]byte, 7)
+		binary.LittleEndian.PutUint32(hdr, 3) // impossible: smaller than the header itself
+		nc.Write(hdr)
+		expectClosed(t, nc)
+	})
+	t.Run("oversized-length", func(t *testing.T) {
+		nc := rawDial(t, lb)
+		hdr := make([]byte, 7)
+		binary.LittleEndian.PutUint32(hdr, 1<<31) // 2 GB frame
+		hdr[4] = byte(srv.Tversion)
+		nc.Write(hdr)
+		expectClosed(t, nc)
+	})
+	t.Run("truncated-frame", func(t *testing.T) {
+		nc := rawDial(t, lb)
+		// Announce a 64-byte frame, send half of it, hang up.
+		full := frame(byte(srv.Tattach), 1, make([]byte, 57))
+		nc.Write(full[:20])
+		nc.Close()
+		// Nothing to read back; the point is the server side survives.
+	})
+	t.Run("truncated-body-fields", func(t *testing.T) {
+		nc := rawDial(t, lb)
+		// Frame length is honest but the body lies: a Tattach whose
+		// tenant string claims more bytes than the body holds.
+		body := make([]byte, 7)
+		binary.LittleEndian.PutUint32(body, 9) // fid
+		binary.LittleEndian.PutUint16(body[4:6], 200)
+		nc.Write(frame(byte(srv.Tattach), 1, body))
+		expectClosed(t, nc)
+	})
+
+	// The server is still alive and correct for a well-behaved client.
+	c := dialClient(t, lb)
+	if _, err := c.Attach("alpha"); err != nil {
+		t.Fatalf("attach after torture: %v", err)
+	}
+	c.Close()
+	waitZeroFids(t, s)
+}
+
+// TestTortureMessages sends well-framed nonsense — unknown types,
+// unknown fids, duplicate tags — which must each earn an Rerror while
+// the connection stays usable.
+func TestTortureMessages(t *testing.T) {
+	s, lb := testServer(t, srv.Config{QoS: srv.QoS{Workers: 1}}, "alpha")
+	nc := rawDial(t, lb)
+
+	// Version first, by hand.
+	vbody := make([]byte, 4+2+len(srv.Version))
+	binary.LittleEndian.PutUint32(vbody, srv.DefaultMsize)
+	binary.LittleEndian.PutUint16(vbody[4:6], uint16(len(srv.Version)))
+	copy(vbody[6:], srv.Version)
+	nc.Write(frame(byte(srv.Tversion), 0xAAAA, vbody))
+	if r := readRaw(t, nc); r.Type != srv.Rversion {
+		t.Fatalf("version reply = %v", r.Type)
+	}
+
+	t.Run("unknown-type", func(t *testing.T) {
+		nc.Write(frame(200, 7, []byte("gibberish")))
+		r := readRaw(t, nc)
+		if r.Type != srv.Rerror || r.Tag != 7 || !errors.Is(r.Err(), srv.ErrProto) {
+			t.Fatalf("reply = %v tag %d err %v, want Rerror/7/ErrProto", r.Type, r.Tag, r.Err())
+		}
+	})
+	t.Run("unknown-fid", func(t *testing.T) {
+		body := make([]byte, 13)
+		binary.LittleEndian.PutUint32(body, 999) // never attached
+		nc.Write(frame(byte(srv.Tstat), 8, body[:4]))
+		r := readRaw(t, nc)
+		if r.Type != srv.Rerror || !errors.Is(r.Err(), srv.ErrProto) {
+			t.Fatalf("stat of unknown fid: %v / %v", r.Type, r.Err())
+		}
+	})
+	t.Run("clunk-unknown-fid", func(t *testing.T) {
+		body := make([]byte, 4)
+		binary.LittleEndian.PutUint32(body, 998)
+		nc.Write(frame(byte(srv.Tclunk), 9, body))
+		r := readRaw(t, nc)
+		if r.Type != srv.Rerror || !errors.Is(r.Err(), srv.ErrProto) {
+			t.Fatalf("clunk of unknown fid: %v / %v", r.Type, r.Err())
+		}
+	})
+	t.Run("duplicate-tags", func(t *testing.T) {
+		// Attach fid 1, then pipeline two Tstat requests with the SAME
+		// tag before reading either response. With one worker the
+		// first is parked in the dispatcher while the reader sees the
+		// second — which must be refused (ErrProto) without executing,
+		// and the first must still answer. Exactly one of each.
+		abody := make([]byte, 4+2+5)
+		binary.LittleEndian.PutUint32(abody, 1)
+		binary.LittleEndian.PutUint16(abody[4:6], 5)
+		copy(abody[6:], "alpha")
+		nc.Write(frame(byte(srv.Tattach), 10, abody))
+		if r := readRaw(t, nc); r.Type != srv.Rattach {
+			t.Fatalf("attach: %v", r.Type)
+		}
+		sbody := make([]byte, 4)
+		binary.LittleEndian.PutUint32(sbody, 1)
+		two := append(frame(byte(srv.Tstat), 42, sbody), frame(byte(srv.Tstat), 42, sbody)...)
+		nc.Write(two)
+		var stats, protoErrs int
+		for i := 0; i < 2; i++ {
+			switch r := readRaw(t, nc); {
+			case r.Type == srv.Rstat && r.Tag == 42:
+				stats++
+			case r.Type == srv.Rerror && r.Tag == 42 && errors.Is(r.Err(), srv.ErrProto):
+				protoErrs++
+			default:
+				t.Fatalf("unexpected reply %v tag %d", r.Type, r.Tag)
+			}
+		}
+		if stats != 1 || protoErrs != 1 {
+			t.Fatalf("duplicate tag: %d Rstat + %d proto errors, want 1 + 1", stats, protoErrs)
+		}
+		// The tag is free again afterwards.
+		nc.Write(frame(byte(srv.Tstat), 42, sbody))
+		if r := readRaw(t, nc); r.Type != srv.Rstat {
+			t.Fatalf("tag reuse after completion: %v / %v", r.Type, r.Err())
+		}
+	})
+
+	nc.Close()
+	waitZeroFids(t, s)
+}
+
+// TestTortureMidOpDrop cuts connections while operations are in
+// flight, from many goroutines at once. The daemon must neither panic
+// nor leak: once every connection is gone the fid table is empty.
+func TestTortureMidOpDrop(t *testing.T) {
+	s, lb := testServer(t, srv.Config{QoS: srv.QoS{Workers: 4, FairShare: true}}, "alpha", "beta")
+
+	const clients = 16
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nc, err := lb.Dial()
+			if err != nil {
+				return
+			}
+			c, err := srv.NewClient(nc)
+			if err != nil {
+				nc.Close()
+				return
+			}
+			tenant := "alpha"
+			if i%2 == 1 {
+				tenant = "beta"
+			}
+			root, err := c.Attach(tenant)
+			if err != nil {
+				c.Close()
+				return
+			}
+			// Kick off a burst of concurrent ops and slam the door at a
+			// random point in the middle.
+			var ops sync.WaitGroup
+			for j := 0; j < 8; j++ {
+				ops.Add(1)
+				go func(j int) {
+					defer ops.Done()
+					if f, err := root.Create(byName(i, j)); err == nil {
+						f.WriteAt([]byte("mid-op payload"), 0)
+						f.Stat()
+					}
+				}(j)
+			}
+			if i%3 == 0 {
+				c.Close() // immediate cut, ops in flight
+			} else {
+				ops.Wait()
+				c.Close()
+			}
+			ops.Wait()
+		}(i)
+	}
+	wg.Wait()
+	waitZeroFids(t, s)
+	if n := s.ConnCount(); n != 0 {
+		t.Fatalf("%d connections still tracked", n)
+	}
+}
+
+func byName(i, j int) string {
+	return "f" + string(rune('a'+i)) + string(rune('a'+j))
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"cffs/internal/disk"
+	"cffs/internal/obs"
 )
 
 // Collector is a concurrency-safe trace capture buffer. Install its Add
@@ -25,6 +26,10 @@ type Collector struct {
 	entries []disk.TraceEntry
 	max     int // 0 = unbounded
 	dropped int64
+
+	dropOwner func(disk.TraceEntry) string
+	dropReg   *obs.Registry
+	dropCtr   map[string]*obs.Counter
 }
 
 // NewCollector returns an empty, unbounded collector.
@@ -34,12 +39,42 @@ func NewCollector() *Collector { return &Collector{} }
 // (unbounded when max <= 0) and counts the rest as dropped.
 func NewBounded(max int) *Collector { return &Collector{max: max} }
 
+// LabelDrops attributes future drops to tenants: every request the cap
+// discards increments a trace.dropped{tenant=...} counter in r, with the
+// tenant resolved by owner (typically srv.Server.CurrentTenant wrapped to
+// ignore the entry, since the trace hook runs synchronously on the
+// goroutine that issued the request). Requests with no resolvable owner
+// land under tenant=none, so a full buffer never silently blames the
+// wrong client. A nil registry or owner func disables labeling.
+//
+// owner is called under the collector lock and must not call back into
+// the collector.
+func (c *Collector) LabelDrops(r *obs.Registry, owner func(disk.TraceEntry) string) {
+	c.mu.Lock()
+	c.dropReg = r
+	c.dropOwner = owner
+	c.dropCtr = make(map[string]*obs.Counter)
+	c.mu.Unlock()
+}
+
 // Add records one request. It is safe for concurrent use and is the
 // shape disk.SetTraceFunc expects.
 func (c *Collector) Add(e disk.TraceEntry) {
 	c.mu.Lock()
 	if c.max > 0 && len(c.entries) >= c.max {
 		c.dropped++
+		if c.dropReg != nil && c.dropOwner != nil {
+			tn := c.dropOwner(e)
+			if tn == "" {
+				tn = "none"
+			}
+			ctr := c.dropCtr[tn]
+			if ctr == nil {
+				ctr = c.dropReg.Counter(obs.Name("trace.dropped", "tenant", tn))
+				c.dropCtr[tn] = ctr
+			}
+			ctr.Inc()
+		}
 	} else {
 		c.entries = append(c.entries, e)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cffs/internal/disk"
+	"cffs/internal/obs"
 	"cffs/internal/sim"
 )
 
@@ -54,5 +55,53 @@ func TestCollectorConcurrent(t *testing.T) {
 	col.Reset()
 	if col.Len() != 0 {
 		t.Fatal("reset did not clear")
+	}
+}
+
+// TestCollectorLabelDrops fills a bounded collector past its cap with
+// the drop labeler installed and checks each discarded request lands on
+// its owner's trace.dropped{tenant=} counter — including the ""→none
+// fallback — while the kept prefix is charged to nobody.
+func TestCollectorLabelDrops(t *testing.T) {
+	col := NewBounded(2)
+	reg := obs.NewRegistry()
+	owners := []string{"keep0", "keep1", "alpha", "alpha", "beta", ""}
+	col.LabelDrops(reg, func(e disk.TraceEntry) string { return owners[e.OpID] })
+
+	for i := range owners {
+		col.Add(disk.TraceEntry{OpID: uint64(i)})
+	}
+	if col.Len() != 2 || col.Dropped() != 4 {
+		t.Fatalf("Len=%d Dropped=%d, want 2/4", col.Len(), col.Dropped())
+	}
+	want := map[string]int64{
+		"trace.dropped{tenant=alpha}": 2,
+		"trace.dropped{tenant=beta}":  1,
+		"trace.dropped{tenant=none}":  1,
+	}
+	snap := reg.Snapshot()
+	for name, v := range want {
+		if got := snap.Counters[name]; got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	if _, ok := snap.Counters["trace.dropped{tenant=keep0}"]; ok {
+		t.Error("kept entry charged a drop counter")
+	}
+
+	// Concurrent adds through the labeler must stay race-clean.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				col.Add(disk.TraceEntry{OpID: 4}) // beta
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Snapshot().Counters["trace.dropped{tenant=beta}"]; got != 401 {
+		t.Errorf("beta drops after concurrent adds = %d, want 401", got)
 	}
 }

@@ -73,3 +73,51 @@ func TestOpenFileEdgeCases(t *testing.T) {
 		t.Fatalf("create under missing dir = %v, want ErrNotExist", err)
 	}
 }
+
+func TestOpenFileAccessModes(t *testing.T) {
+	fs := fstest.NewRef()
+	if err := WriteFile(fs, "/f", []byte("contents")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MkdirAll(fs, "/d"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation demands write access: ORDWR|OTrunc works, ORead|OTrunc
+	// is rejected before any path resolution (so even a missing path
+	// reports ErrInvalid, not ErrNotExist).
+	ino, err := OpenFile(fs, "/f", ORDWR|OTrunc)
+	if err != nil {
+		t.Fatalf("ORDWR|OTrunc: %v", err)
+	}
+	if st, err := fs.Stat(ino); err != nil || st.Size != 0 {
+		t.Fatalf("size after ORDWR|OTrunc = %d, %v; want 0", st.Size, err)
+	}
+	if _, err := OpenFile(fs, "/f", ORead|OTrunc); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("ORead|OTrunc = %v, want ErrInvalid", err)
+	}
+	if _, err := OpenFile(fs, "/missing", ORead|OTrunc); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("ORead|OTrunc on missing path = %v, want ErrInvalid", err)
+	}
+
+	// Declared write access to a directory is ErrIsDir; declared
+	// read-only access and the legacy zero-access open both succeed.
+	if _, err := OpenFile(fs, "/d", OWrite); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("OWrite on a directory = %v, want ErrIsDir", err)
+	}
+	if _, err := OpenFile(fs, "/d", ORDWR); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("ORDWR on a directory = %v, want ErrIsDir", err)
+	}
+	if _, err := OpenFile(fs, "/d", ORead); err != nil {
+		t.Fatalf("ORead on a directory: %v", err)
+	}
+
+	// Access bits compose with creation: ORDWR|OCreate creates the
+	// missing file, and OWrite alone on a regular file is a plain open.
+	if _, err := OpenFile(fs, "/fresh", ORDWR|OCreate); err != nil {
+		t.Fatalf("ORDWR|OCreate: %v", err)
+	}
+	if got, err := OpenFile(fs, "/f", OWrite); err != nil || got != ino {
+		t.Fatalf("OWrite on regular file = %d, %v; want %d", got, err, ino)
+	}
+}

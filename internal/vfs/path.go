@@ -89,7 +89,24 @@ const (
 	OExcl
 	// OTrunc truncates an existing regular file to zero length.
 	OTrunc
+	// ORead and OWrite declare the access the caller wants from the
+	// returned handle. The FileSystem interface has no file
+	// descriptors, so per-call enforcement (rejecting WriteAt through a
+	// read-only handle) lives in the layer that owns handles — the wire
+	// protocol's fids (internal/srv). What OpenFile itself enforces is
+	// the flag lattice: OTrunc demands write access, and asking for
+	// write access to a directory fails with ErrIsDir, exactly as
+	// open(2) treats O_TRUNC|O_RDONLY and O_WRONLY on a directory.
+	//
+	// Neither bit set means the legacy "handle open": full access,
+	// directories allowed — the behaviour every pre-existing caller
+	// relies on.
+	ORead
+	OWrite
 )
+
+// ORDWR requests both read and write access.
+const ORDWR = ORead | OWrite
 
 // OpenFile resolves path to a file Ino, honouring flag: plain open of
 // what exists, create-if-missing, exclusive create, and truncate-on-open
@@ -98,6 +115,9 @@ const (
 func OpenFile(fs FileSystem, path string, flag OpenFlag) (Ino, error) {
 	if flag&OExcl != 0 && flag&OCreate == 0 {
 		return 0, fmt.Errorf("openfile %q: OExcl without OCreate: %w", path, ErrInvalid)
+	}
+	if flag&OTrunc != 0 && flag&ORDWR == ORead {
+		return 0, fmt.Errorf("openfile %q: OTrunc on read-only open: %w", path, ErrInvalid)
 	}
 	dir, name, err := WalkDir(fs, path)
 	if err != nil {
@@ -109,7 +129,7 @@ func OpenFile(fs FileSystem, path string, flag OpenFlag) (Ino, error) {
 		if flag&OExcl != 0 {
 			return 0, fmt.Errorf("openfile %q: %w", path, ErrExist)
 		}
-		if flag&OTrunc != 0 {
+		if flag&(OTrunc|OWrite) != 0 {
 			st, err := fs.Stat(ino)
 			if err != nil {
 				return 0, err
@@ -117,8 +137,10 @@ func OpenFile(fs FileSystem, path string, flag OpenFlag) (Ino, error) {
 			if st.Type == TypeDir {
 				return 0, fmt.Errorf("openfile %q: %w", path, ErrIsDir)
 			}
-			if err := fs.Truncate(ino, 0); err != nil {
-				return 0, err
+			if flag&OTrunc != 0 {
+				if err := fs.Truncate(ino, 0); err != nil {
+					return 0, err
+				}
 			}
 		}
 		return ino, nil

@@ -1,0 +1,341 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cffs/internal/obs"
+	"cffs/internal/srv"
+	"cffs/internal/vfs"
+)
+
+// Service workload: a many-client driver for the wire-protocol front
+// end. Each session is a goroutine owning one connection (dialed
+// through the transport under test — loopback in the benchmarks), one
+// attach, and a handful of pre-resolved fids; operations then ride the
+// resolved handles, so steady-state traffic measures the protocol +
+// QoS + fs stack, not path resolution. Per-op wall-clock latency goes
+// into a per-tenant obs histogram, which is where the benchmark's
+// p50/p95/p99 come from.
+
+// Session op kinds.
+const (
+	// SvcRead sessions pre-open a few file fids and issue single-RPC
+	// reads — the victim-shaped small-file load.
+	SvcRead = "read"
+	// SvcScan sessions alternate readdir pages with stats through a
+	// pre-walked fid — the aggressor-shaped metadata storm. Each op is
+	// one RPC, so storms contend through queueing, not giant requests.
+	SvcScan = "scan"
+	// SvcCreate sessions create, write, and clunk session-private
+	// files — the dirty-data load that exercises admission against the
+	// writeback throttle.
+	SvcCreate = "create"
+)
+
+// ServiceLoad describes one tenant's offered load.
+type ServiceLoad struct {
+	Tenant   string
+	Sessions int    // concurrent sessions (connections)
+	Ops      int    // operations per session
+	Kind     string // SvcRead, SvcScan, SvcCreate (default SvcRead)
+	Dirs     int    // directories in the tenant tree, default 8
+	Files    int    // files per directory, default 32
+	FileSize int    // bytes per file, default 1024
+}
+
+func (l *ServiceLoad) fill() {
+	if l.Kind == "" {
+		l.Kind = SvcRead
+	}
+	if l.Sessions == 0 {
+		l.Sessions = 1
+	}
+	if l.Ops == 0 {
+		l.Ops = 100
+	}
+	if l.Dirs == 0 {
+		l.Dirs = 8
+	}
+	if l.Files == 0 {
+		l.Files = 32
+	}
+	if l.FileSize == 0 {
+		l.FileSize = 1024
+	}
+}
+
+// ServiceConfig parameterizes one service run.
+type ServiceConfig struct {
+	// Dial opens one connection per session (srv.Loopback.Dial, or a
+	// net.Dial closure for TCP).
+	Dial  func() (net.Conn, error)
+	Loads []ServiceLoad
+	Seed  uint64
+}
+
+// ServiceTenantResult is one tenant's side of the run.
+type ServiceTenantResult struct {
+	Tenant   string
+	Kind     string
+	Sessions int
+	Ops      int64
+	Errors   int64
+	Latency  obs.HistSnapshot // per-op wall-clock ns
+}
+
+// P is latency quantile q in nanoseconds.
+func (r ServiceTenantResult) P(q float64) float64 { return r.Latency.Quantile(q) }
+
+// ServiceResult is the whole run.
+type ServiceResult struct {
+	Tenants     []ServiceTenantResult
+	WallSeconds float64
+}
+
+// TotalSessions sums sessions across tenants.
+func (r ServiceResult) TotalSessions() int {
+	n := 0
+	for _, t := range r.Tenants {
+		n += t.Sessions
+	}
+	return n
+}
+
+// PrepareServiceTree builds /<tenant>/d<i>/f<j> directly on the fs (no
+// wire round trips) so timed runs start against a populated namespace.
+// The tenant root must already exist (srv.Server.AddTenant makes it).
+func PrepareServiceTree(fs vfs.FileSystem, l ServiceLoad, seed uint64) error {
+	l.fill()
+	rng := rand.New(rand.NewSource(int64(seed ^ 0x5eed)))
+	payload := make([]byte, l.FileSize)
+	rng.Read(payload)
+	for d := 0; d < l.Dirs; d++ {
+		dir, err := vfs.MkdirAll(fs, fmt.Sprintf("/%s/d%02d", l.Tenant, d))
+		if err != nil {
+			return err
+		}
+		for f := 0; f < l.Files; f++ {
+			ino, err := fs.Create(dir, fmt.Sprintf("f%03d", f))
+			if err != nil {
+				return err
+			}
+			if _, err := fs.WriteAt(ino, payload, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return fs.Sync()
+}
+
+// tenantRun aggregates one load's sessions.
+type tenantRun struct {
+	load ServiceLoad
+	hist obs.Histogram // zero value usable, concurrency-safe
+	ops  atomic.Int64
+	errs atomic.Int64
+}
+
+// RunService runs every load's sessions concurrently until each
+// completes its op count, and reports per-tenant latency distributions.
+// Session-fatal failures (dial, attach, protocol loss) are returned as
+// an error; individual op errors are counted per tenant.
+func RunService(cfg ServiceConfig) (ServiceResult, error) {
+	if cfg.Dial == nil {
+		return ServiceResult{}, fmt.Errorf("workload: service run needs a Dial")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	runs := make([]*tenantRun, len(cfg.Loads))
+	for i := range cfg.Loads {
+		cfg.Loads[i].fill()
+		runs[i] = &tenantRun{load: cfg.Loads[i]}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	fatal := make(chan error, 1)
+	for i, r := range runs {
+		for sess := 0; sess < r.load.Sessions; sess++ {
+			wg.Add(1)
+			go func(r *tenantRun, i, sess int) {
+				defer wg.Done()
+				seed := cfg.Seed + uint64(i)<<32 + uint64(sess)
+				if err := runSession(cfg.Dial, r, seed); err != nil {
+					select {
+					case fatal <- fmt.Errorf("tenant %s session %d: %w", r.load.Tenant, sess, err):
+					default:
+					}
+				}
+			}(r, i, sess)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-fatal:
+		return ServiceResult{}, err
+	default:
+	}
+
+	res := ServiceResult{WallSeconds: time.Since(start).Seconds()}
+	for _, r := range runs {
+		res.Tenants = append(res.Tenants, ServiceTenantResult{
+			Tenant:   r.load.Tenant,
+			Kind:     r.load.Kind,
+			Sessions: r.load.Sessions,
+			Ops:      r.ops.Load(),
+			Errors:   r.errs.Load(),
+			Latency:  r.hist.Snapshot(),
+		})
+	}
+	return res, nil
+}
+
+// runSession is one connection's life: dial, attach, resolve handles
+// once, loop ops, clunk, close.
+func runSession(dial func() (net.Conn, error), r *tenantRun, seed uint64) error {
+	nc, err := dial()
+	if err != nil {
+		return err
+	}
+	c, err := srv.NewClient(nc)
+	if err != nil {
+		nc.Close()
+		return err
+	}
+	defer c.Close()
+	root, err := c.Attach(r.load.Tenant)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	switch r.load.Kind {
+	case SvcScan:
+		return scanSession(root, r, rng)
+	case SvcCreate:
+		return createSession(root, r, rng, seed)
+	default:
+		return readSession(root, r, rng)
+	}
+}
+
+// readSession resolves a few file fids up front (BuffetFS-style: pay
+// for the walk and the permission check once), then hammers single-RPC
+// reads across them.
+func readSession(root *srv.Fid, r *tenantRun, rng *rand.Rand) error {
+	const handles = 4
+	fids := make([]*srv.Fid, 0, handles)
+	sizes := make([]int64, 0, handles)
+	for len(fids) < handles {
+		d, f := rng.Intn(r.load.Dirs), rng.Intn(r.load.Files)
+		fid, err := root.Walk(fmt.Sprintf("d%02d", d), fmt.Sprintf("f%03d", f))
+		if err != nil {
+			return fmt.Errorf("resolve: %w", err)
+		}
+		st, err := fid.Open(srv.OModeRead)
+		if err != nil {
+			return fmt.Errorf("open: %w", err)
+		}
+		fids = append(fids, fid)
+		sizes = append(sizes, st.Size)
+	}
+	buf := make([]byte, r.load.FileSize)
+	for op := 0; op < r.load.Ops; op++ {
+		k := rng.Intn(len(fids))
+		off := int64(0)
+		if sizes[k] > int64(len(buf)) {
+			off = rng.Int63n(sizes[k] - int64(len(buf)) + 1)
+		}
+		t0 := time.Now()
+		_, err := fids[k].ReadAt(buf, off)
+		r.hist.Record(time.Since(t0).Nanoseconds())
+		r.ops.Add(1)
+		if err != nil {
+			r.errs.Add(1)
+		}
+	}
+	for _, f := range fids {
+		f.Clunk()
+	}
+	return nil
+}
+
+// scanSession is the metadata storm: paged readdir over pre-opened
+// directory fids, interleaved with stats of a pre-walked file.
+func scanSession(root *srv.Fid, r *tenantRun, rng *rand.Rand) error {
+	dir, err := root.Walk(fmt.Sprintf("d%02d", rng.Intn(r.load.Dirs)))
+	if err != nil {
+		return fmt.Errorf("resolve dir: %w", err)
+	}
+	if _, err := dir.Open(srv.OModeRead); err != nil {
+		return fmt.Errorf("open dir: %w", err)
+	}
+	file, err := root.Walk(fmt.Sprintf("d%02d", rng.Intn(r.load.Dirs)), fmt.Sprintf("f%03d", rng.Intn(r.load.Files)))
+	if err != nil {
+		return fmt.Errorf("resolve file: %w", err)
+	}
+	var off int64
+	for op := 0; op < r.load.Ops; op++ {
+		t0 := time.Now()
+		var err error
+		if op%2 == 0 {
+			var ents []vfs.DirEntry
+			var more bool
+			ents, more, err = dir.ReadDirPage(off)
+			if !more || len(ents) == 0 {
+				off = 0
+			} else {
+				off += int64(len(ents))
+			}
+		} else {
+			_, err = file.Stat()
+		}
+		r.hist.Record(time.Since(t0).Nanoseconds())
+		r.ops.Add(1)
+		if err != nil {
+			r.errs.Add(1)
+		}
+	}
+	dir.Clunk()
+	file.Clunk()
+	return nil
+}
+
+// createSession churns session-private files: create, write the
+// payload, clunk; every second file is unlinked again so the tree grows
+// slowly rather than without bound. Names carry the session seed, so
+// concurrent sessions never collide.
+func createSession(root *srv.Fid, r *tenantRun, rng *rand.Rand, seed uint64) error {
+	dir, err := root.Walk(fmt.Sprintf("d%02d", rng.Intn(r.load.Dirs)))
+	if err != nil {
+		return fmt.Errorf("resolve dir: %w", err)
+	}
+	payload := make([]byte, r.load.FileSize)
+	rng.Read(payload)
+	for op := 0; op < r.load.Ops; op++ {
+		name := fmt.Sprintf("s%x-%d", seed, op)
+		t0 := time.Now()
+		f, err := dir.Create(name)
+		if err == nil {
+			_, err = f.WriteAt(payload, 0)
+			f.Clunk()
+			if op%2 == 1 {
+				if uerr := dir.Unlink(name); err == nil {
+					err = uerr
+				}
+			}
+		}
+		r.hist.Record(time.Since(t0).Nanoseconds())
+		r.ops.Add(1)
+		if err != nil {
+			r.errs.Add(1)
+		}
+	}
+	dir.Clunk()
+	return nil
+}
