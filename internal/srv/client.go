@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"cffs/internal/vfs"
 )
@@ -17,6 +18,12 @@ import (
 type Client struct {
 	nc    net.Conn
 	msize uint32
+
+	// rmsize is the frame limit the read loop enforces: MaxMsize while
+	// the version exchange is still in flight, then the negotiated
+	// msize — a conforming client drops a server that overruns what it
+	// advertised.
+	rmsize atomic.Uint32
 
 	wmu sync.Mutex // frame writes
 
@@ -47,6 +54,7 @@ func NewClient(nc net.Conn) (*Client, error) {
 		return nil, fmt.Errorf("version %q/%v not accepted: %w", r.Version, r.Type, ErrProto)
 	}
 	c.msize = r.Msize
+	c.rmsize.Store(r.Msize)
 	return c, nil
 }
 
@@ -61,7 +69,11 @@ func (c *Client) MaxIO() int { return int(c.msize) - IOHeadroom }
 
 func (c *Client) readLoop() {
 	for {
-		f, err := ReadFcall(c.nc, MaxMsize)
+		limit := c.rmsize.Load()
+		if limit == 0 {
+			limit = MaxMsize
+		}
+		f, err := ReadFcall(c.nc, limit)
 		if err != nil {
 			c.mu.Lock()
 			if c.err == nil {

@@ -12,8 +12,14 @@ import (
 //
 //   - Token-bucket admission (Rate/Burst) runs in the connection reader
 //     before a request is even queued, so an over-rate tenant's own
-//     reader stalls — per-connection backpressure that never touches
-//     another tenant. It sits in front of the writeback throttle
+//     reader stalls. The stall's granularity is the *connection*, not
+//     the tenant: a connection that multiplexes attaches for several
+//     tenants shares one reader, so an over-rate tenant's wait delays
+//     the others riding the same connection. Tenant-level isolation
+//     therefore assumes each tenant dials its own connections — the
+//     deployment shape the client library and workload driver use; only
+//     the fair-share dispatcher below isolates tenants that insist on
+//     sharing one. It sits in front of the writeback throttle
 //     (writeback.Daemon.Admit inside the fs entry points): admission
 //     bounds how fast requests *arrive*, the writeback throttle bounds
 //     how much dirty state they may *pin* once admitted.
@@ -223,11 +229,23 @@ func (d *dispatcher) run(workers int, handle func(request)) {
 }
 
 // close drains nothing: workers finish what they dequeued, the rest is
-// abandoned (their connections are closing anyway). Blocks until all
-// workers exit.
+// abandoned (their connections are closing anyway) — but the abandoned
+// requests' queue-depth gauges are settled here, so srv.queue.depth
+// does not read non-zero forever after a shutdown with pending work.
+// Blocks until all workers exit.
 func (d *dispatcher) close() {
 	d.mu.Lock()
 	d.closed = true
+	for _, r := range d.fifo {
+		r.t.m.queueDepth.Add(-1)
+	}
+	d.fifo = nil
+	for _, t := range d.ring {
+		t.m.queueDepth.Add(int64(-len(t.pending)))
+		t.pending = nil
+		t.inRing = false
+	}
+	d.ring, d.next = nil, 0
 	d.cond.Broadcast()
 	d.mu.Unlock()
 	d.wg.Wait()

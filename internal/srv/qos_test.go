@@ -111,16 +111,23 @@ func TestDispatcherQueueCap(t *testing.T) {
 	if !d.enqueue(request{t: vic, f: &Fcall{}}) {
 		t.Fatal("victim enqueue refused while aggressor full")
 	}
+	if got := agg.m.queueDepth.Value(); got != 3 {
+		t.Fatalf("aggressor queue depth = %d, want 3", got)
+	}
+	if got := vic.m.queueDepth.Value(); got != 1 {
+		t.Fatalf("victim queue depth = %d, want 1", got)
+	}
+	// close abandons everything still queued and settles the gauges:
+	// srv.queue.depth must not read non-zero forever after shutdown.
 	d.close()
 	if _, ok := d.dequeue(); ok {
-		// Workers drain what close left behind; a lone manual dequeue
-		// after close may still see queued work, which is fine — but
-		// eventually it must report closed.
-		for {
-			if _, ok := d.dequeue(); !ok {
-				break
-			}
-		}
+		t.Fatal("dequeue after close returned abandoned work")
+	}
+	if got := agg.m.queueDepth.Value(); got != 0 {
+		t.Fatalf("aggressor queue depth after close = %d, want 0", got)
+	}
+	if got := vic.m.queueDepth.Value(); got != 0 {
+		t.Fatalf("victim queue depth after close = %d, want 0", got)
 	}
 }
 

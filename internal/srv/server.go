@@ -28,12 +28,13 @@ type Config struct {
 	QoS QoS
 }
 
-// fid is one handle: a resolved ino bound to a tenant, with a depth
-// below the tenant root so ".." can be refused exactly at the boundary.
+// fid is one handle: a resolved ino bound to a tenant. The tenant
+// bound here is what confines every walk: ".." is refused whenever the
+// walk stands on the tenant's root ino (see walk), so no fid state can
+// go stale and leak a path out of the subtree.
 type fid struct {
 	t      *tenant
 	ino    vfs.Ino
-	depth  int
 	isRoot bool // the Tattach fid, counted as a session
 	open   bool
 	mode   uint8
@@ -296,6 +297,13 @@ type conn struct {
 	s  *Server
 	nc net.Conn
 
+	// msize is this connection's negotiated frame limit — the server
+	// cap until Tversion succeeds, then whatever Rversion advertised.
+	// The reader enforces it on inbound frames and the read/readdir
+	// budgets keep responses under it; atomic because workers read it
+	// while the reader may renegotiate.
+	msize atomic.Uint32
+
 	wmu sync.Mutex // frame writes
 
 	mu     sync.Mutex
@@ -311,6 +319,7 @@ func (s *Server) newConn(nc net.Conn) *conn {
 		fids: make(map[uint32]*fid),
 		tags: make(map[uint16]struct{}),
 	}
+	c.msize.Store(s.msize)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -351,7 +360,7 @@ func (c *conn) teardown() {
 func (c *conn) readLoop() {
 	defer c.teardown()
 	for {
-		f, err := ReadFcall(c.nc, c.s.msize)
+		f, err := ReadFcall(c.nc, c.msize.Load())
 		if err != nil {
 			return
 		}
@@ -365,25 +374,24 @@ func (c *conn) readLoop() {
 // false to drop the connection.
 func (c *conn) route(f *Fcall) bool {
 	switch f.Type {
-	case Tversion:
-		msize := f.Msize
-		if msize == 0 || msize > c.s.msize {
-			msize = c.s.msize
-		}
-		if msize < MinMsize {
-			msize = MinMsize
-		}
-		if f.Version != Version {
-			c.send(&Fcall{Type: Rversion, Tag: f.Tag, Msize: msize, Version: "unknown"})
+	case Tversion, Tattach, Tclunk:
+		// These execute synchronously on the reader, but their tags
+		// still pass through the in-flight table: a client reusing a
+		// tag held by a queued worker op must be refused here just as
+		// in admit, or two responses race on one tag.
+		if !c.reserveTag(f.Tag) {
+			c.sendErr(f.Tag, fmt.Errorf("tag %d already in flight: %w", f.Tag, ErrProto))
 			return true
 		}
-		c.send(&Fcall{Type: Rversion, Tag: f.Tag, Msize: msize, Version: Version})
-		return true
-	case Tattach:
-		c.attach(f)
-		return true
-	case Tclunk:
-		c.clunk(f)
+		switch f.Type {
+		case Tversion:
+			c.version(f)
+		case Tattach:
+			c.attach(f)
+		case Tclunk:
+			c.clunk(f)
+		}
+		c.releaseTag(f.Tag)
 		return true
 	case Twalk, Topen, Tcreate, Tmkdir, Tread, Twrite, Tstat, Treaddir, Tunlink, Trename, Tfsync:
 		return c.admit(f)
@@ -393,6 +401,25 @@ func (c *conn) route(f *Fcall) bool {
 		c.sendErr(f.Tag, fmt.Errorf("unexpected message %v: %w", f.Type, ErrProto))
 		return true
 	}
+}
+
+// version negotiates the protocol revision and this connection's frame
+// limit. The negotiated msize only takes effect on success — a client
+// answered "unknown" is expected to hang up, not renegotiate framing.
+func (c *conn) version(f *Fcall) {
+	msize := f.Msize
+	if msize == 0 || msize > c.s.msize {
+		msize = c.s.msize
+	}
+	if msize < MinMsize {
+		msize = MinMsize
+	}
+	if f.Version != Version {
+		c.send(&Fcall{Type: Rversion, Tag: f.Tag, Msize: msize, Version: "unknown"})
+		return
+	}
+	c.msize.Store(msize)
+	c.send(&Fcall{Type: Rversion, Tag: f.Tag, Msize: msize, Version: Version})
 }
 
 func (c *conn) attach(f *Fcall) {
@@ -464,6 +491,18 @@ func (c *conn) admit(f *Fcall) bool {
 		c.releaseTag(f.Tag)
 		return true
 	}
+	return true
+}
+
+// reserveTag marks tag in flight, reporting false when the client
+// already has it in flight (the caller answers without executing).
+func (c *conn) reserveTag(tag uint16) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tags[tag]; dup {
+		return false
+	}
+	c.tags[tag] = struct{}{}
 	return true
 }
 
@@ -560,23 +599,28 @@ func (s *Server) handle(c *conn, t *tenant, f *Fcall) *Fcall {
 // walk resolves path components relative to an existing fid, binding
 // the result to NewFid. ".." stops at the tenant root: a fid can name
 // anything inside its tenant's subtree and nothing outside it.
+//
+// The boundary test compares the current ino against the tenant root
+// ino on every ".." step. It must not be a depth counter recorded when
+// the fid was minted: rename can move a directory up or down the tree
+// (repointing its physical ".." entry) while fids into it stay live,
+// so any recorded depth goes stale and a stale depth would let ".."
+// slip past the root into other tenants. Since same-tenant renames are
+// the only renames the server permits, every fid's ino stays inside
+// its tenant's subtree, and any ascent out of the subtree has to pass
+// through the root ino — where it is refused.
 func (s *Server) walk(c *conn, t *tenant, f *Fcall) *Fcall {
 	src, ok := c.fidRef(f.Fid)
 	if !ok {
 		return rerror(fmt.Errorf("walk from unknown fid %d: %w", f.Fid, ErrProto))
 	}
-	cur, depth := src.ino, src.depth
+	cur := src.ino
 	for _, name := range f.Names {
-		switch name {
-		case "", ".":
+		if name == "" || name == "." {
 			continue
-		case "..":
-			if depth == 0 {
-				return rerror(fmt.Errorf("walk above tenant root: %w", ErrPerm))
-			}
-			depth--
-		default:
-			depth++
+		}
+		if name == ".." && cur == t.root {
+			return rerror(fmt.Errorf("walk above tenant root: %w", ErrPerm))
 		}
 		next, err := s.fs.Lookup(cur, name)
 		if err != nil {
@@ -584,7 +628,7 @@ func (s *Server) walk(c *conn, t *tenant, f *Fcall) *Fcall {
 		}
 		cur = next
 	}
-	if !c.installFid(f.NewFid, &fid{t: t, ino: cur, depth: depth}) {
+	if !c.installFid(f.NewFid, &fid{t: t, ino: cur}) {
 		return rerror(fmt.Errorf("fid %d in use: %w", f.NewFid, ErrProto))
 	}
 	return &Fcall{Type: Rwalk, Ino: uint64(cur)}
@@ -640,7 +684,7 @@ func (s *Server) create(c *conn, t *tenant, f *Fcall) *Fcall {
 	if err != nil {
 		return rerror(err)
 	}
-	nf := &fid{t: t, ino: ino, depth: fd.depth + 1, open: true, mode: OModeRead | OModeWrite}
+	nf := &fid{t: t, ino: ino, open: true, mode: OModeRead | OModeWrite}
 	if !c.installFid(f.NewFid, nf) {
 		// The file exists; only the handle binding failed.
 		return rerror(fmt.Errorf("fid %d in use: %w", f.NewFid, ErrProto))
@@ -669,7 +713,7 @@ func (s *Server) read(c *conn, f *Fcall) *Fcall {
 		return rerror(fmt.Errorf("read of fid not open for reading: %w", ErrPerm))
 	}
 	count := f.Count
-	if max := s.msize - IOHeadroom; count > max {
+	if max := c.msize.Load() - IOHeadroom; count > max {
 		count = max
 	}
 	buf := make([]byte, count)
@@ -729,7 +773,7 @@ func (s *Server) readdir(c *conn, f *Fcall) *Fcall {
 		return rerror(fmt.Errorf("readdir offset %d: %w", f.Off, vfs.ErrInvalid))
 	}
 	resp := &Fcall{Type: Rreaddir}
-	budget := int(s.msize) - IOHeadroom
+	budget := int(c.msize.Load()) - IOHeadroom
 	for i := int(f.Off); i < len(ents); i++ {
 		cost := 11 + len(ents[i].Name) // u64 ino + u8 type + u16 len + name
 		if budget < cost {

@@ -229,6 +229,53 @@ func TestTenantIsolation(t *testing.T) {
 	}
 }
 
+// TestWalkEscapeAfterRename pins the rename/walk interaction the
+// tenant boundary depends on: renaming a directory toward the tenant
+// root must not let a fid minted deeper in the tree walk ".." past the
+// boundary. The guard compares the walk position against the tenant
+// root ino on every ".." step, so it cannot go stale the way a depth
+// recorded at walk time would when rename repoints a directory's
+// physical ".." entry under live fids.
+func TestWalkEscapeAfterRename(t *testing.T) {
+	_, lb := testServer(t, srv.Config{}, "alpha", "beta")
+	c := dialClient(t, lb)
+	ra, err := c.Attach("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ra.Mkdir("a"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ra.Walk("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Mkdir("b"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ra.Walk("a", "b") // minted two levels below the tenant root
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move /alpha/a/b up to /alpha/b: b's physical ".." now points at
+	// the tenant root even though the fid was resolved two levels down.
+	if err := a.Rename("b", ra, "b"); err != nil {
+		t.Fatal(err)
+	}
+	// One ".." lands exactly on the tenant root and is fine...
+	if _, err := b.Walk(".."); err != nil {
+		t.Fatalf("walk .. after rename: %v", err)
+	}
+	// ...but a second must stop at the boundary, not slip into "/" and
+	// from there into another tenant's subtree.
+	if _, err := b.Walk("..", ".."); !errors.Is(err, srv.ErrPerm) {
+		t.Fatalf("walk ../.. after rename = %v, want ErrPerm", err)
+	}
+	if _, err := b.Walk("..", "..", "beta"); !errors.Is(err, srv.ErrPerm) {
+		t.Fatalf("cross-tenant escape after rename = %v, want ErrPerm", err)
+	}
+}
+
 // TestOpenModeMapping cross-checks the wire mode → vfs flag mapping
 // against vfs.OpenFile on the same shapes: the lattice the fuzz corpus
 // pins down must hold end to end through the protocol.

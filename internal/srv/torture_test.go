@@ -3,6 +3,7 @@ package srv_test
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -187,8 +188,184 @@ func TestTortureMessages(t *testing.T) {
 			t.Fatalf("tag reuse after completion: %v / %v", r.Type, r.Err())
 		}
 	})
+	t.Run("duplicate-tag-attach", func(t *testing.T) {
+		// Tattach runs synchronously on the reader, but its tag still
+		// goes through the in-flight table: pipelining a Tstat and a
+		// Tattach on one tag must refuse the attach without executing
+		// it, so its fid never comes into existence.
+		abody := make([]byte, 4+2+5)
+		binary.LittleEndian.PutUint32(abody, 77) // would-be attach fid
+		binary.LittleEndian.PutUint16(abody[4:6], 5)
+		copy(abody[6:], "alpha")
+		two := append(frame(byte(srv.Tstat), 50, u32body(1)), frame(byte(srv.Tattach), 50, abody)...)
+		nc.Write(two)
+		var stats, protoErrs int
+		for i := 0; i < 2; i++ {
+			switch r := readRaw(t, nc); {
+			case r.Type == srv.Rstat && r.Tag == 50:
+				stats++
+			case r.Type == srv.Rerror && r.Tag == 50 && errors.Is(r.Err(), srv.ErrProto):
+				protoErrs++
+			default:
+				t.Fatalf("unexpected reply %v tag %d", r.Type, r.Tag)
+			}
+		}
+		if stats != 1 || protoErrs != 1 {
+			t.Fatalf("duplicate-tag attach: %d Rstat + %d proto errors, want 1 + 1", stats, protoErrs)
+		}
+		// The refused attach never executed: fid 77 does not exist.
+		nc.Write(frame(byte(srv.Tstat), 51, u32body(77)))
+		if r := readRaw(t, nc); r.Type != srv.Rerror || !errors.Is(r.Err(), srv.ErrProto) {
+			t.Fatalf("fid from refused attach exists: %v / %v", r.Type, r.Err())
+		}
+	})
+	t.Run("duplicate-tag-clunk", func(t *testing.T) {
+		// Same shape for Tclunk: refused on a busy tag, and the fid it
+		// named must survive.
+		two := append(frame(byte(srv.Tstat), 60, u32body(1)), frame(byte(srv.Tclunk), 60, u32body(1))...)
+		nc.Write(two)
+		var stats, protoErrs int
+		for i := 0; i < 2; i++ {
+			switch r := readRaw(t, nc); {
+			case r.Type == srv.Rstat && r.Tag == 60:
+				stats++
+			case r.Type == srv.Rerror && r.Tag == 60 && errors.Is(r.Err(), srv.ErrProto):
+				protoErrs++
+			default:
+				t.Fatalf("unexpected reply %v tag %d", r.Type, r.Tag)
+			}
+		}
+		if stats != 1 || protoErrs != 1 {
+			t.Fatalf("duplicate-tag clunk: %d Rstat + %d proto errors, want 1 + 1", stats, protoErrs)
+		}
+		nc.Write(frame(byte(srv.Tstat), 61, u32body(1)))
+		if r := readRaw(t, nc); r.Type != srv.Rstat {
+			t.Fatalf("fid clunked by refused request: %v / %v", r.Type, r.Err())
+		}
+	})
 
 	nc.Close()
+	waitZeroFids(t, s)
+}
+
+func u32body(v uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, v)
+	return b
+}
+
+// negotiate runs the version exchange on a raw connection, asserting
+// the server echoes the requested msize back.
+func negotiate(t *testing.T, nc net.Conn, msize uint32) {
+	t.Helper()
+	vbody := make([]byte, 4+2+len(srv.Version))
+	binary.LittleEndian.PutUint32(vbody, msize)
+	binary.LittleEndian.PutUint16(vbody[4:6], uint16(len(srv.Version)))
+	copy(vbody[6:], srv.Version)
+	nc.Write(frame(byte(srv.Tversion), 0, vbody))
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	r, err := srv.ReadFcall(nc, msize)
+	if err != nil {
+		t.Fatalf("version exchange: %v", err)
+	}
+	if r.Type != srv.Rversion || r.Msize != msize {
+		t.Fatalf("version reply %v msize %d, want Rversion msize %d", r.Type, r.Msize, msize)
+	}
+}
+
+// readLimited reads one frame enforcing the negotiated msize — exactly
+// what a conforming client does, so an over-budget server frame fails
+// the test.
+func readLimited(t *testing.T, nc net.Conn, msize uint32) *srv.Fcall {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := srv.ReadFcall(nc, msize)
+	if err != nil {
+		t.Fatalf("read frame (msize %d): %v", msize, err)
+	}
+	return f
+}
+
+// TestTortureNegotiatedMsize pins per-connection msize enforcement:
+// after negotiating the minimum frame size, inbound frames above it
+// kill the connection, and response frames — readdir pages included —
+// stay under it even though the server-wide cap is much larger.
+func TestTortureNegotiatedMsize(t *testing.T) {
+	s, lb := testServer(t, srv.Config{}, "alpha")
+
+	// Populate a directory too large for a single MinMsize readdir page.
+	const entries = 400
+	c := dialClient(t, lb)
+	root, err := c.Attach("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < entries; i++ {
+		f, err := root.Create(fmt.Sprintf("entry%03d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Clunk(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+
+	t.Run("response-budget", func(t *testing.T) {
+		nc := rawDial(t, lb)
+		negotiate(t, nc, srv.MinMsize)
+		abody := make([]byte, 4+2+5)
+		binary.LittleEndian.PutUint32(abody, 1)
+		binary.LittleEndian.PutUint16(abody[4:6], 5)
+		copy(abody[6:], "alpha")
+		nc.Write(frame(byte(srv.Tattach), 1, abody))
+		if r := readLimited(t, nc, srv.MinMsize); r.Type != srv.Rattach {
+			t.Fatalf("attach: %v / %v", r.Type, r.Err())
+		}
+		obody := append(u32body(1), srv.OModeRead)
+		nc.Write(frame(byte(srv.Topen), 2, obody))
+		if r := readLimited(t, nc, srv.MinMsize); r.Type != srv.Ropen {
+			t.Fatalf("open: %v / %v", r.Type, r.Err())
+		}
+		// Page the directory; readLimited rejects any frame over the
+		// negotiated msize, and the clipped budget must force paging.
+		// Tags advance per page: a tag stays reserved until its
+		// response write returns, so instant reuse can race the release.
+		total, pages := 0, 0
+		for {
+			rbody := make([]byte, 12)
+			binary.LittleEndian.PutUint32(rbody, 1)
+			binary.LittleEndian.PutUint64(rbody[4:], uint64(total))
+			nc.Write(frame(byte(srv.Treaddir), uint16(3+pages), rbody))
+			r := readLimited(t, nc, srv.MinMsize)
+			if r.Type != srv.Rreaddir {
+				t.Fatalf("readdir: %v / %v", r.Type, r.Err())
+			}
+			total += len(r.Ents)
+			pages++
+			if !r.More {
+				break
+			}
+		}
+		if total < entries {
+			t.Fatalf("paged %d entries, want >= %d", total, entries)
+		}
+		if pages < 2 {
+			t.Fatalf("directory fit one page; budget not clipped to the negotiated msize")
+		}
+	})
+
+	t.Run("oversized-request", func(t *testing.T) {
+		nc := rawDial(t, lb)
+		negotiate(t, nc, srv.MinMsize)
+		// Below the server-wide cap but above this connection's
+		// negotiated msize: the framing layer must drop the connection.
+		body := make([]byte, 4+8+4+2*srv.MinMsize)
+		binary.LittleEndian.PutUint32(body, 1)
+		binary.LittleEndian.PutUint32(body[12:], 2*srv.MinMsize)
+		nc.Write(frame(byte(srv.Twrite), 4, body))
+		expectClosed(t, nc)
+	})
 	waitZeroFids(t, s)
 }
 
