@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The namespace experiment must hold its own gates at Quick scale (they
+// return errors, so success is the assertion) and report non-degenerate
+// path-cache activity and per-variant metrics for both scales.
+func TestNamespaceExp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("namespace experiment is slow")
+	}
+	cfg := quick()
+	log := &MetricsLog{}
+	cfg.Metrics = log
+	tables, err := NamespaceExp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tables))
+	}
+	main := tables[0]
+	if main.ID != "namespace" || len(main.Rows) != 3 {
+		t.Fatalf("main table %q has %d rows", main.ID, len(main.Rows))
+	}
+	for _, row := range main.Rows {
+		for _, cell := range row[1:] {
+			if strings.Contains(cell, "NaN") || strings.Contains(cell, "Inf") {
+				t.Errorf("phase %s: bad cell %q", row[0], cell)
+			}
+		}
+	}
+	pc := tables[1]
+	if pc.ID != "namespace-pathcache" || len(pc.Rows) != 2 {
+		t.Fatalf("pathcache table %q has %d rows", pc.ID, len(pc.Rows))
+	}
+	for _, row := range pc.Rows {
+		if row[3] == "0" {
+			t.Errorf("scale %s recorded zero path-cache inserts", row[0])
+		}
+	}
+	if len(log.Variants) != 2 {
+		t.Fatalf("got %d variant records, want 2", len(log.Variants))
+	}
+	for _, v := range log.Variants {
+		lk, ok := v.PerOp["lookup"]
+		if !ok || lk.Ops == 0 {
+			t.Errorf("variant %s: no lookup ops recorded", v.Variant)
+		}
+		if len(v.Phases) != 3 {
+			t.Errorf("variant %s: %d phase records, want 3", v.Variant, len(v.Phases))
+		}
+	}
+}

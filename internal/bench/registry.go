@@ -41,6 +41,7 @@ func Experiments() []Experiment {
 		{"writeback", "Async write-behind: sync vs async mounts, dirty-limit sweep", WritebackExp},
 		{"scaling", "Striped multi-disk scaling: 1/2/4/8 spindles", ScalingExp},
 		{"service", "Multi-tenant service: loopback sessions, per-tenant QoS", ServiceExp},
+		{"namespace", "Million-file namespace: indexed directories and the path cache at scale", NamespaceExp},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
 	return exps

@@ -34,10 +34,16 @@ import (
 // the repaired namespace, and one final verification walk runs; any
 // problem that survives it is reported as unrepairable.
 func Check(dev *blockio.Device, repair bool) (*fsck.Report, error) {
-	fs, err := Mount(dev, Options{})
+	// Indexing is disabled on the checker's own mount, and on-disk
+	// indexes are distrusted regardless of the clean flag: fsck's own
+	// directory operations (fixDot) must not follow or build index
+	// structures while the allocation state is still suspect. Index
+	// verification and rebuild are explicit phases below.
+	fs, err := Mount(dev, Options{DirIndexBlocks: -1})
 	if err != nil {
 		return nil, err
 	}
+	fs.wasClean = false
 	r := &fsck.Report{FS: "cffs"}
 	sh, err := runWalk(fs, r)
 	if err != nil {
@@ -50,12 +56,17 @@ func Check(dev *blockio.Device, repair bool) (*fsck.Report, error) {
 
 	// Structural passes: each fix can expose the next problem (clearing
 	// a dangling entry orphans its inode), so repair iterates until a
-	// walk collects no further fixes.
+	// walk collects no further fixes. Directory indexes dropped along
+	// the way are remembered for rebuild once allocation is sound.
 	cur := sh
+	rebuild := make(map[vfs.Ino]bool)
 	for pass := 0; pass < 4 && cur.fx.any(); pass++ {
 		n, err := cur.applyFixes()
 		if err != nil {
 			return nil, err
+		}
+		for d := range cur.idxCleared {
+			rebuild[d] = true
 		}
 		r.RepairsMade += n
 		r2 := &fsck.Report{}
@@ -71,6 +82,31 @@ func Check(dev *blockio.Device, repair bool) (*fsck.Report, error) {
 	}
 	r.RepairsMade += n
 
+	// Index rebuild, only now: building earlier would allocate from
+	// bitmaps the walk had not yet proven (or repaired), risking live
+	// blocks. Directories that no longer clear the size threshold stay
+	// linear — the runtime rebuilds them if they grow again.
+	nri := 0
+	for d := range rebuild {
+		in, err := fs.getInode(d)
+		if err != nil || in.Type != vfs.TypeDir || in.DirIndexRootPtr() != 0 {
+			continue
+		}
+		if in.Size/blockio.BlockSize <= dirIndexMinBlocks {
+			continue
+		}
+		if err := fs.idxBuild(&in, d, 0); err != nil {
+			return nil, err
+		}
+		nri++
+	}
+	if nri > 0 {
+		r.RepairsMade += nri
+		if err := fs.c.Sync(); err != nil {
+			return nil, err
+		}
+	}
+
 	// Verification: whatever a fresh walk still reports is beyond this
 	// checker's repair power.
 	rv := &fsck.Report{}
@@ -80,6 +116,17 @@ func Check(dev *blockio.Device, repair bool) (*fsck.Report, error) {
 	}
 	r.Unrepairable = rv.Problems
 	r.UsedBlocks = len(v.used)
+
+	// The image now verifies end to end (indexes included), so the
+	// unclean marker can come off: the next mount may trust what fsck
+	// just proved.
+	if len(r.Unrepairable) == 0 && fs.sb.Dirty {
+		fs.dirtyMarked = true
+		if err := fs.markClean(); err != nil {
+			return nil, err
+		}
+		r.RepairsMade++
+	}
 	return r, nil
 }
 
@@ -105,12 +152,131 @@ func runWalk(fs *FS, r *fsck.Report) (*checkState, error) {
 	if err := sh.walkDir(RootIno, RootIno, "/"); err != nil {
 		return nil, err
 	}
+	sh.checkIndexes()
 	sh.finish()
 	return sh, nil
 }
 
-// slotRef names one directory slot on disk.
+// checkIndexes verifies every directory index the walk queued. It runs
+// after the namespace walk so all file and metadata claims are in: an
+// index block that collides with real data loses, invalidating the
+// index rather than the file. A valid index's blocks are claimed so the
+// bitmap cross-check sees them; an invalid one's are left unclaimed for
+// the allocation rewrite to reclaim.
+func (s *checkState) checkIndexes() {
+	for _, ic := range s.idxChecks {
+		s.checkIndex(ic)
+	}
+}
+
+// checkIndex verifies one index against the slot population its walk
+// collected: a decodable root, bucket pointers in range, and an exact
+// bijection — every index entry names a live slot with the right hash,
+// every live slot appears exactly once, and the stored entry count
+// matches. Any failure schedules the index for drop-and-rebuild.
+func (s *checkState) checkIndex(ic idxCheck) {
+	fs := s.fs
+	bad := func(format string, args ...any) {
+		s.problem("%s: directory index: "+format, append([]any{ic.path}, args...)...)
+		s.fx.clearIdx[ic.dir] = true
+	}
+	if !fs.idxValidPhys(ic.root) {
+		bad("root block %d out of range", ic.root)
+		return
+	}
+	if s.has(ic.root) {
+		bad("root block %d belongs to %s", ic.root, s.used[ic.root])
+		return
+	}
+	rb, err := fs.c.Read(ic.root)
+	if err != nil {
+		bad("unreadable root block %d: %v", ic.root, err)
+		return
+	}
+	root, ok := layout.DecodeDirIndexRoot(rb.Data)
+	if !ok {
+		rb.Release()
+		bad("root block %d has no valid header", ic.root)
+		return
+	}
+	blocks := map[int64]bool{ic.root: true}
+	var bucketPhys []int64
+	for k := 0; k < int(root.NBuckets); k++ {
+		p := int64(layout.DirIndexBucketPtr(rb.Data, k))
+		if !fs.idxValidPhys(p) {
+			rb.Release()
+			bad("bucket %d points at block %d, out of range", k, p)
+			return
+		}
+		if s.has(p) {
+			rb.Release()
+			bad("bucket %d block %d belongs to %s", k, p, s.used[p])
+			return
+		}
+		if blocks[p] {
+			rb.Release()
+			bad("bucket %d block %d appears twice in the index", k, p)
+			return
+		}
+		blocks[p] = true
+		bucketPhys = append(bucketPhys, p)
+	}
+	rb.Release()
+	seen := make(map[uint32]bool)
+	count := uint32(0)
+	for k, p := range bucketPhys {
+		bb, err := fs.c.Read(p)
+		if err != nil {
+			bad("unreadable bucket %d (block %d): %v", k, p, err)
+			return
+		}
+		for j := 0; j < layout.DirIndexBucketEntries; j++ {
+			h, loc := layout.DirIndexEntry(bb.Data, j)
+			if loc == 0 {
+				continue
+			}
+			want, live := ic.slots[loc]
+			switch {
+			case !live:
+				bb.Release()
+				bad("entry for slot %d/%d names no live slot", idxLocBlock(loc), idxLocSlot(loc))
+				return
+			case seen[loc]:
+				bb.Release()
+				bad("slot %d/%d indexed twice", idxLocBlock(loc), idxLocSlot(loc))
+				return
+			case want != h:
+				bb.Release()
+				bad("slot %d/%d hashed %#x, index says %#x", idxLocBlock(loc), idxLocSlot(loc), want, h)
+				return
+			case uint32(k) != h%root.NBuckets:
+				bb.Release()
+				bad("slot %d/%d filed under bucket %d, hash says %d",
+					idxLocBlock(loc), idxLocSlot(loc), k, h%root.NBuckets)
+				return
+			}
+			seen[loc] = true
+			count++
+		}
+		bb.Release()
+	}
+	if int(count) != len(ic.slots) {
+		bad("%d slots live, %d indexed", len(ic.slots), count)
+		return
+	}
+	if count != root.NEntries {
+		bad("entry count %d, found %d", root.NEntries, count)
+		return
+	}
+	for p := range blocks {
+		s.claim(p, ic.path+" (dir index)")
+	}
+}
+
+// slotRef names one directory slot on disk, and the directory owning it
+// (whose index, if any, goes stale when the slot is cleared).
 type slotRef struct {
+	dir   vfs.Ino
 	block int64
 	slot  int
 }
@@ -145,26 +311,44 @@ type fixes struct {
 	nblocks    map[vfs.Ino]uint32 // rewrite block counts from blocks found
 	clearPtrs  []ptrRef           // cut bad or doubly-claimed block pointers
 	zeroExt    []int              // zero orphaned external inodes (by index)
+	clearIdx   map[vfs.Ino]bool   // drop directory indexes that failed verification
 }
 
 func newFixes() *fixes {
-	return &fixes{nlink: make(map[vfs.Ino]uint16), nblocks: make(map[vfs.Ino]uint32)}
+	return &fixes{
+		nlink:    make(map[vfs.Ino]uint16),
+		nblocks:  make(map[vfs.Ino]uint32),
+		clearIdx: make(map[vfs.Ino]bool),
+	}
 }
 
 func (f *fixes) any() bool {
 	return len(f.clearSlots)+len(f.dots)+len(f.nlink)+len(f.nblocks)+
-		len(f.clearPtrs)+len(f.zeroExt) > 0
+		len(f.clearPtrs)+len(f.zeroExt)+len(f.clearIdx) > 0
+}
+
+// idxCheck is one directory index awaiting verification: the slot
+// population the walk saw (loc → name hash), to be matched against the
+// index structure after every file's blocks are claimed — real data
+// must win any collision with a corrupt index pointer.
+type idxCheck struct {
+	dir   vfs.Ino
+	path  string
+	root  int64
+	slots map[uint32]uint32
 }
 
 // checkState carries the walk.
 type checkState struct {
-	fs      *FS
-	r       *fsck.Report
-	fx      *fixes
-	used    map[int64]string // block -> first owner description
-	extSeen map[int]int      // external idx -> names found
-	extLink map[int]int      // external idx -> on-disk nlink
-	visited map[int]bool     // directories walked (by external idx)
+	fs         *FS
+	r          *fsck.Report
+	fx         *fixes
+	used       map[int64]string // block -> first owner description
+	extSeen    map[int]int      // external idx -> names found
+	extLink    map[int]int      // external idx -> on-disk nlink
+	visited    map[int]bool     // directories walked (by external idx)
+	idxChecks  []idxCheck       // indexes to verify once the walk is done
+	idxCleared map[vfs.Ino]bool // indexes dropped by applyFixes (rebuild later)
 }
 
 func newCheckState(fs *FS, r *fsck.Report) *checkState {
@@ -220,9 +404,13 @@ func (s *checkState) walkDir(dir, parent vfs.Ino, path string) error {
 
 	var dotOK, dotdotOK bool
 	var subs []slotEntry
+	locs := make(map[uint32]uint32)
 	_, err = s.fs.forEachSlot(&in, dir, func(_ *cache.Buf, e slotEntry, used bool) bool {
 		if !used {
 			return false
+		}
+		if e.block < 1<<28 {
+			locs[idxLoc(e.block, e.slot)] = layout.DirNameHash(e.name)
 		}
 		switch e.name {
 		case ".":
@@ -240,6 +428,9 @@ func (s *checkState) walkDir(dir, parent vfs.Ino, path string) error {
 	if err != nil {
 		s.problem("%s: walk failed: %v", path, err)
 		return nil
+	}
+	if root := int64(in.DirIndexRootPtr()); root != 0 {
+		s.idxChecks = append(s.idxChecks, idxCheck{dir: dir, path: path, root: root, slots: locs})
 	}
 	if !dotOK {
 		s.problem("%s: bad or missing \".\"", path)
@@ -277,18 +468,18 @@ func (s *checkState) walkChild(e slotEntry, parent vfs.Ino, path string) (bool, 
 	idx := extIdx(ino)
 	if s.visited[idx] {
 		s.problem("%s: second name for directory inode %d", name, idx)
-		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
+		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{parent, e.block, e.slot})
 		return false, nil
 	}
 	in, err := s.fs.getInode(ino)
 	if err != nil || !in.Alive() {
 		s.problem("%s: dangling directory entry (inode %d)", name, idx)
-		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
+		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{parent, e.block, e.slot})
 		return false, nil
 	}
 	if in.Type != vfs.TypeDir {
 		s.problem("%s: entry says directory, inode %d says type %v", name, idx, in.Type)
-		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
+		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{parent, e.block, e.slot})
 		return false, nil
 	}
 	return true, s.walkDir(ino, parent, name+"/")
@@ -303,12 +494,12 @@ func (s *checkState) checkEntry(dir vfs.Ino, e slotEntry, path string) {
 		in, err := s.fs.getInode(ino)
 		if err != nil || !in.Alive() {
 			s.problem("%s: unreadable embedded inode", name)
-			s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
+			s.fx.clearSlots = append(s.fx.clearSlots, slotRef{dir, e.block, e.slot})
 			return
 		}
 		if in.Type != vfs.TypeReg {
 			s.problem("%s: embedded inode of type %v", name, in.Type)
-			s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
+			s.fx.clearSlots = append(s.fx.clearSlots, slotRef{dir, e.block, e.slot})
 			return
 		}
 		if in.Nlink != 1 {
@@ -330,7 +521,7 @@ func (s *checkState) checkEntry(dir vfs.Ino, e slotEntry, path string) {
 	in, err := s.fs.getInode(vfs.Ino(e.ref))
 	if err != nil || !in.Alive() {
 		s.problem("%s: dangling external inode %d", name, e.ref)
-		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{e.block, e.slot})
+		s.fx.clearSlots = append(s.fx.clearSlots, slotRef{dir, e.block, e.slot})
 		s.extSeen[idx]-- // removal: the name no longer counts toward nlink
 		return
 	}
@@ -546,6 +737,34 @@ func (s *checkState) applyFixes() (int, error) {
 		fs.c.MarkDirty(b)
 		b.Release()
 		fs.freeExtInode(idx)
+		n++
+	}
+	// Index drops: every index that failed verification, plus every
+	// index over a directory whose slots were just repaired (the repair
+	// made it stale). Only the root pointer is cut — the orphaned
+	// blocks fall out of the used set and the allocation rewrite
+	// reclaims them. Check rebuilds these after that rewrite.
+	idxDirty := make(map[vfs.Ino]bool)
+	for d := range s.fx.clearIdx {
+		idxDirty[d] = true
+	}
+	for _, sr := range s.fx.clearSlots {
+		idxDirty[sr.dir] = true
+	}
+	for _, df := range s.fx.dots {
+		idxDirty[df.dir] = true
+	}
+	s.idxCleared = make(map[vfs.Ino]bool)
+	for d := range idxDirty {
+		in, err := fs.getInode(d)
+		if err != nil || in.Type != vfs.TypeDir || in.DirIndexRootPtr() == 0 {
+			continue
+		}
+		in.SetDirIndexRootPtr(0)
+		if err := fs.putInode(d, &in, false); err != nil {
+			return n, err
+		}
+		s.idxCleared[d] = true
 		n++
 	}
 	return n, fs.c.Sync()

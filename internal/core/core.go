@@ -113,6 +113,16 @@ type Options struct {
 	Mode           Mode
 	CacheBlocks    int // buffer cache capacity; default 2048 (8 MB)
 	AGBlocks       int // blocks per allocation group; default 2048 (8 MB)
+	// DirIndexBlocks is the directory size, in blocks, above which a
+	// bucketized name-hash index is maintained next to the directory
+	// (see dirindex.go): 0 means the default (8 blocks = 128 slots),
+	// negative disables indexing entirely. The index is redundant and
+	// rebuildable; images written with and without it interoperate.
+	DirIndexBlocks int
+	// PathCache is the capacity of the sharded full-path→ino lookup
+	// cache serving vfs.Walk (see pathcache.go): 0 means the default
+	// (32768 entries), negative disables it.
+	PathCache int
 	// Metrics, when non-nil, instruments the whole mount: per-operation
 	// disk-request attribution, cache/driver counters, and the C-FFS
 	// mechanism instruments (embedded-inode hits, group-read fill). Nil
@@ -167,6 +177,12 @@ type super struct {
 	ExtBlocks int // allocated inode-file blocks
 	Embed     bool
 	Grouping  bool
+	// Dirty is the unclean-mount marker: set (synchronously) by the
+	// first mutating operation of a mount, cleared by Close after the
+	// final sync and by a successful fsck repair. Directory indexes are
+	// written lazily, so they may only be trusted when the previous
+	// mount ended cleanly — this flag is how a mount knows.
+	Dirty bool
 }
 
 func (s *super) agStart(ag int) int64 { return int64(1+mapBlocks) + int64(ag)*int64(s.AGBlocks) }
@@ -208,6 +224,9 @@ func (s *super) encode(p []byte) {
 	if s.Grouping {
 		flags |= 2
 	}
+	if s.Dirty {
+		flags |= 4
+	}
 	le.pu32(28, flags)
 }
 
@@ -223,6 +242,7 @@ func (s *super) decode(p []byte) error {
 	flags := le.u32(28)
 	s.Embed = flags&1 != 0
 	s.Grouping = flags&2 != 0
+	s.Dirty = flags&4 != 0
 	return nil
 }
 
@@ -276,6 +296,24 @@ type FS struct {
 	sbDirty    bool     // superblock fields changed since last writeSuper
 	dirRotor   int      // next allocation group for a new directory
 
+	// wasClean records whether the previous mount of this image ended
+	// cleanly (always true for a fresh Mkfs); it is immutable after
+	// mount and gates trust in on-disk directory indexes. dirtyMarked
+	// tracks whether this mount has already written the unclean marker;
+	// it is only touched under mu held exclusively.
+	wasClean    bool
+	dirtyMarked bool
+
+	// idxFresh names directories whose index this (uncleanly started)
+	// mount has rebuilt and may therefore trust; nil when wasClean.
+	// idxMu guards it: the map is read on the shared lookup path.
+	idxMu    sync.Mutex
+	idxFresh map[vfs.Ino]struct{}
+
+	// pc is the full-path lookup cache, nil when disabled; see
+	// pathcache.go for its place in the lock hierarchy.
+	pc *pathCache
+
 	// dirLocks is a striped per-directory lock tier between mu and the
 	// cache's internal locks; see lock.go.
 	dirLocks [nDirStripes]sync.Mutex
@@ -297,6 +335,8 @@ type FS struct {
 	mGroupReads    *obs.Counter // ReadRun group fetches issued
 	mGroupBlocks   *obs.Counter // blocks requested by those fetches
 	mGroupPrefetch *obs.Counter // sibling extents carried by readahead
+	mIdxProbes     *obs.Counter // directory-index bucket probes
+	mIdxRebuilds   *obs.Counter // directory-index (re)builds
 
 	// wb is the write-behind daemon, nil on synchronous mounts. Its
 	// flush rounds take fs.mu exclusively (it is a writer like any
@@ -363,6 +403,7 @@ func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
 		clk:         dev.Disk().Clock(),
 		opts:        opts,
 		devParallel: deviceParallelism(dev),
+		wasClean:    true, // a fresh image has no stale indexes
 		sb: super{
 			NBlocks:  nblocks,
 			AGBlocks: opts.AGBlocks,
@@ -371,6 +412,7 @@ func Mkfs(dev *blockio.Device, opts Options) (*FS, error) {
 			Grouping: opts.Grouping,
 		},
 	}
+	fs.pc = newPathCache(opts.PathCache, opts.Metrics)
 	fs.attachMetrics(opts.Metrics, opts.Recorder)
 	// Zero the inode map.
 	for blk := int64(1); blk <= mapBlocks; blk++ {
@@ -448,11 +490,58 @@ func Mount(dev *blockio.Device, opts Options) (*FS, error) {
 	}
 	fs.opts.EmbedInodes = fs.sb.Embed
 	fs.opts.Grouping = fs.sb.Grouping
+	fs.wasClean = !fs.sb.Dirty
+	fs.pc = newPathCache(opts.PathCache, opts.Metrics)
 	if err := fs.scanExtInodes(); err != nil {
 		return nil, err
 	}
 	fs.startWriteback(opts)
 	return fs, nil
+}
+
+// markUnclean stamps the unclean marker into the superblock before the
+// first mutation of this mount takes effect. The write is synchronous
+// regardless of mode: directory-index blocks are delayed writes, and
+// the marker reaching disk first is what licenses the next mount to
+// distrust them after a crash. Called with fs.mu held exclusively.
+func (fs *FS) markUnclean() error {
+	if fs.dirtyMarked {
+		return nil
+	}
+	b, err := fs.c.Read(0)
+	if err != nil {
+		return err
+	}
+	fs.sb.Dirty = true
+	fs.sb.encode(b.Data)
+	if err := fs.c.WriteSync(b); err != nil {
+		b.Release()
+		return err
+	}
+	b.Release()
+	fs.dirtyMarked = true
+	return nil
+}
+
+// markClean clears the unclean marker after everything else is on disk.
+// Called with fs.mu held exclusively, after a full sync.
+func (fs *FS) markClean() error {
+	if !fs.dirtyMarked {
+		return nil
+	}
+	b, err := fs.c.Read(0)
+	if err != nil {
+		return err
+	}
+	fs.sb.Dirty = false
+	fs.sb.encode(b.Data)
+	if err := fs.c.WriteSync(b); err != nil {
+		b.Release()
+		return err
+	}
+	b.Release()
+	fs.dirtyMarked = false
+	return nil
 }
 
 // writeSuper rewrites the cached superblock (delayed). It is a no-op
@@ -530,6 +619,8 @@ func (fs *FS) attachMetrics(r *obs.Registry, rec obs.OpRecorder) {
 		fs.mGroupReads = r.Counter("core.groupread.reads")
 		fs.mGroupBlocks = r.Counter("core.groupread.blocks")
 		fs.mGroupPrefetch = r.Counter("core.groupread.prefetch_extents")
+		fs.mIdxProbes = r.Counter("core.dirindex.probes")
+		fs.mIdxRebuilds = r.Counter("core.dirindex.rebuilds")
 		fs.c.SetMetrics(r)
 		fs.dev.SetMetrics(r)
 	}

@@ -185,7 +185,20 @@ func (fs *FS) forEachSlot(in *layout.Inode, dir vfs.Ino, fn func(b *cache.Buf, e
 }
 
 // dirLookup finds a live entry by name; the returned buffer is pinned.
+// A trusted index answers in O(1); otherwise the slots are scanned.
 func (fs *FS) dirLookup(in *layout.Inode, dir vfs.Ino, name string) (*cache.Buf, slotEntry, error) {
+	if in.DirIndexRootPtr() != 0 && fs.idxTrusted(dir) {
+		b, e, found, usable, err := fs.idxLookup(in, dir, name)
+		if err != nil {
+			return nil, slotEntry{}, err
+		}
+		if usable {
+			if !found {
+				return nil, slotEntry{}, fmt.Errorf("cffs: %q in dir %#x: %w", name, uint64(dir), vfs.ErrNotExist)
+			}
+			return b, e, nil
+		}
+	}
 	var found slotEntry
 	b, err := fs.forEachSlot(in, dir, func(_ *cache.Buf, e slotEntry, used bool) bool {
 		if used && e.name == name {
@@ -205,8 +218,20 @@ func (fs *FS) dirLookup(in *layout.Inode, dir vfs.Ino, name string) (*cache.Buf,
 
 // dirFindFree returns a pinned buffer and slot offset for a free slot,
 // growing the directory by a block when needed (directories grow and
-// never shrink). The caller writes the parent inode back if it changed.
+// never shrink). The parent inode is written back whenever it changes.
 func (fs *FS) dirFindFree(in *layout.Inode, dir vfs.Ino) (*cache.Buf, slotEntry, error) {
+	if in.DirIndexRootPtr() != 0 && fs.idxTrusted(dir) {
+		b, free, grow, ok, err := fs.idxFindFree(in, dir)
+		if err != nil {
+			return nil, slotEntry{}, err
+		}
+		if ok {
+			if grow {
+				return fs.dirGrow(in, dir)
+			}
+			return b, free, nil
+		}
+	}
 	var free slotEntry
 	b, err := fs.forEachSlot(in, dir, func(_ *cache.Buf, e slotEntry, used bool) bool {
 		if !used {
@@ -221,12 +246,21 @@ func (fs *FS) dirFindFree(in *layout.Inode, dir vfs.Ino) (*cache.Buf, slotEntry,
 	if b != nil {
 		return b, free, nil
 	}
+	return fs.dirGrow(in, dir)
+}
+
+// dirGrow appends one zeroed block to the directory and returns its
+// first slot. The parent inode is written back here in both modes — in
+// ModeSync synchronously as part of the ordered growth, in delayed
+// modes as a delayed write — so no caller (including its error paths)
+// is left holding a size update the disk never learns about.
+func (fs *FS) dirGrow(in *layout.Inode, dir vfs.Ino) (*cache.Buf, slotEntry, error) {
 	lb := in.Size / blockio.BlockSize
 	phys, err := fs.bmap(in, dir, lb, true)
 	if err != nil {
 		return nil, slotEntry{}, err
 	}
-	b, err = fs.c.Alloc(phys)
+	b, err := fs.c.Alloc(phys)
 	if err != nil {
 		return nil, slotEntry{}, err
 	}
@@ -249,11 +283,70 @@ func (fs *FS) dirFindFree(in *layout.Inode, dir vfs.Ino) (*cache.Buf, slotEntry,
 		}
 	} else {
 		fs.c.MarkDirty(b)
+		if err := fs.putInode(dir, in, false); err != nil {
+			b.Release()
+			return nil, slotEntry{}, err
+		}
+	}
+	if in.DirIndexRootPtr() != 0 && fs.idxTrusted(dir) {
+		fs.idxSetHint(in, idxLoc(phys, 0))
+	} else if err := fs.idxMaybeBuild(in, dir); err != nil {
+		b.Release()
+		return nil, slotEntry{}, err
 	}
 	return b, slotEntry{block: phys, slot: 0}, nil
 }
 
-// checkName validates an entry name.
+// dirPrepareCreate checks name does not exist and returns a pinned
+// buffer on a free slot, in one pass: the linear path records the first
+// free slot while scanning for the name (the seed paid two full scans
+// here), and the indexed path is two O(1) probes.
+func (fs *FS) dirPrepareCreate(in *layout.Inode, dir vfs.Ino, name string) (*cache.Buf, slotEntry, error) {
+	if in.DirIndexRootPtr() != 0 && fs.idxTrusted(dir) {
+		b, _, found, usable, err := fs.idxLookup(in, dir, name)
+		if err != nil {
+			return nil, slotEntry{}, err
+		}
+		if usable {
+			if found {
+				b.Release()
+				return nil, slotEntry{}, fmt.Errorf("cffs: %q in dir %#x: %w", name, uint64(dir), vfs.ErrExist)
+			}
+			return fs.dirFindFree(in, dir)
+		}
+	}
+	var free slotEntry
+	var haveFree bool
+	b, err := fs.forEachSlot(in, dir, func(_ *cache.Buf, e slotEntry, used bool) bool {
+		if used {
+			return e.name == name
+		}
+		if !haveFree {
+			free, haveFree = e, true
+		}
+		return false
+	})
+	if err != nil {
+		return nil, slotEntry{}, err
+	}
+	if b != nil {
+		b.Release()
+		return nil, slotEntry{}, fmt.Errorf("cffs: %q in dir %#x: %w", name, uint64(dir), vfs.ErrExist)
+	}
+	if haveFree {
+		fb, err := fs.readDirBlock(free.block)
+		if err != nil {
+			return nil, slotEntry{}, err
+		}
+		return fb, free, nil
+	}
+	return fs.dirGrow(in, dir)
+}
+
+// checkName validates an entry name. '/' can never be resolved back by
+// vfs.Walk (it splits on it) and NUL would let a name's on-disk bytes
+// diverge from what string APIs observe, so both bytes are rejected
+// outright — here, in the Ref oracle, and at the srv wire layer.
 func checkName(name string) error {
 	if len(name) == 0 || name == "." || name == ".." {
 		return vfs.ErrInvalid
@@ -261,11 +354,25 @@ func checkName(name string) error {
 	if len(name) > vfs.MaxNameLen {
 		return fmt.Errorf("cffs: name %q: %w", name, vfs.ErrNameTooLong)
 	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' || name[i] == 0 {
+			return fmt.Errorf("cffs: name %q: %w", name, vfs.ErrInvalid)
+		}
+	}
 	return nil
 }
 
 // dirIsEmpty reports whether a directory holds only "." and "..".
 func (fs *FS) dirIsEmpty(in *layout.Inode, dir vfs.Ino) (bool, error) {
+	if in.DirIndexRootPtr() != 0 && fs.idxTrusted(dir) {
+		empty, ok, err := fs.idxEmpty(in)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return empty, nil
+		}
+	}
 	empty := true
 	b, err := fs.forEachSlot(in, dir, func(_ *cache.Buf, e slotEntry, used bool) bool {
 		if used && e.name != "." && e.name != ".." {

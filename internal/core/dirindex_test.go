@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/layout"
+	"cffs/internal/obs"
+)
+
+// bigDir fills root with n zero-byte files named f0000..; returns the
+// directory's size in blocks.
+func bigDir(t *testing.T, fs *FS, n int) int64 {
+	t.Helper()
+	root := fs.Root()
+	for i := 0; i < n; i++ {
+		if _, err := fs.Create(root, fmt.Sprintf("f%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, err := fs.getLiveInode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Size / blockio.BlockSize
+}
+
+// A create pays one directory scan, not two. With the index disabled
+// and the cache far smaller than the directory, the combined
+// lookup+free-slot pass shows up directly in the disk read count: the
+// folded create reads each directory block about once, while the old
+// separate-scan shape read the directory twice.
+func TestCreateSingleDirectoryScan(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Mode: ModeDelayed,
+		DirIndexBlocks: -1, CacheBlocks: 32})
+	dirBlocks := bigDir(t, fs, 1600)
+	if dirBlocks < 64 {
+		t.Fatalf("fixture directory only %d blocks", dirBlocks)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Device().Disk().ResetStats()
+	if _, err := fs.Create(fs.Root(), "probe"); err != nil {
+		t.Fatal(err)
+	}
+	reads := fs.Device().Disk().Stats().Reads
+	// One scan plus slack for allocation metadata; two scans would be
+	// about 2*dirBlocks.
+	if limit := dirBlocks + dirBlocks/4; reads > limit {
+		t.Errorf("unindexed create read %d blocks for a %d-block directory; want <= %d (one scan)",
+			reads, dirBlocks, limit)
+	}
+}
+
+// With the index on, the same create against the same directory is a
+// handful of reads — root, bucket, slot — no matter how many blocks
+// the directory spans.
+func TestIndexedCreateReadsFewBlocks(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Mode: ModeDelayed, CacheBlocks: 32})
+	dirBlocks := bigDir(t, fs, 1600)
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Device().Disk().ResetStats()
+	if _, err := fs.Create(fs.Root(), "probe"); err != nil {
+		t.Fatal(err)
+	}
+	reads := fs.Device().Disk().Stats().Reads
+	if reads > 16 {
+		t.Errorf("indexed create read %d blocks for a %d-block directory; want O(1)",
+			reads, dirBlocks)
+	}
+	// Lookup of a cold name likewise.
+	fs.Device().Disk().Stats()
+	fs.Device().Disk().ResetStats()
+	if _, err := fs.Lookup(fs.Root(), "f0000"); err != nil {
+		t.Fatal(err)
+	}
+	if reads := fs.Device().Disk().Stats().Reads; reads > 8 {
+		t.Errorf("indexed lookup read %d blocks; want O(1)", reads)
+	}
+}
+
+// Slots freed by unlink are found again through the index's free-slot
+// search: recreating as many files as were deleted must not grow the
+// directory.
+func TestIndexReusesHolesAfterUnlink(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Mode: ModeDelayed})
+	root := fs.Root()
+	before := bigDir(t, fs, 400)
+	for i := 0; i < 100; i += 2 {
+		if err := fs.Unlink(root, fmt.Sprintf("f%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := fs.Create(root, fmt.Sprintf("hole%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, err := fs.getLiveInode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := in.Size / blockio.BlockSize; after != before {
+		t.Errorf("directory grew from %d to %d blocks despite %d free slots",
+			before, after, 50)
+	}
+	// Every surviving name must still resolve, deleted ones must not.
+	for i := 0; i < 400; i++ {
+		name := fmt.Sprintf("f%04d", i)
+		_, err := fs.Lookup(root, name)
+		if i < 100 && i%2 == 0 {
+			if err == nil {
+				t.Fatalf("deleted %s still resolves", name)
+			}
+		} else if err != nil {
+			t.Fatalf("surviving %s lost: %v", name, err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := fs.Lookup(root, fmt.Sprintf("hole%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// An unclean mount distrusts on-disk indexes; the first mutation of a
+// directory rebuilds its index from the slots, and lookups and renames
+// stay correct across the rebuild.
+func TestLookupRenameAcrossIndexRebuild(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Mode: ModeDelayed})
+	dev := fs.Device()
+	const n = 300
+	bigDir(t, fs, n)
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: remount without Close. The superblock still carries the
+	// unclean marker, so the index written above must not be believed.
+	fs2, err := Mount(dev, Options{EmbedInodes: true, Mode: ModeDelayed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	root := fs2.Root()
+	if fs2.wasClean {
+		t.Fatal("mount after crash believed itself clean")
+	}
+	if fs2.idxTrusted(root) {
+		t.Fatal("index trusted before any rebuild on an unclean mount")
+	}
+	// Reads fall back to the linear scan and stay correct.
+	if _, err := fs2.Lookup(root, "f0123"); err != nil {
+		t.Fatal(err)
+	}
+	// First mutation rebuilds; the directory's index is trusted again.
+	if err := fs2.Rename(root, "f0000", root, "renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs2.idxTrusted(root) {
+		t.Error("index not rebuilt by the first mutation after an unclean mount")
+	}
+	if _, err := fs2.Lookup(root, "renamed"); err != nil {
+		t.Fatalf("renamed entry lost across rebuild: %v", err)
+	}
+	if _, err := fs2.Lookup(root, "f0000"); err == nil {
+		t.Fatal("old name still resolves after rename")
+	}
+	// Full sweep through the rebuilt index.
+	for i := 1; i < n; i++ {
+		if _, err := fs2.Lookup(root, fmt.Sprintf("f%04d", i)); err != nil {
+			t.Fatalf("f%04d lost across rebuild: %v", i, err)
+		}
+	}
+}
+
+// Growing a directory far past its initial bucket capacity forces
+// in-place index rebuilds (bucket overflow doubles the bucket count);
+// the namespace must stay exact throughout.
+func TestIndexRebuildOnBucketOverflow(t *testing.T) {
+	// Threshold 1 block builds the index almost immediately, so its
+	// first shape has very few buckets and growth must rebuild it.
+	fs := newCFFS(t, Options{EmbedInodes: true, Mode: ModeDelayed,
+		DirIndexBlocks: 1, Metrics: obs.NewRegistry()})
+	root := fs.Root()
+	const n = 1200
+	for i := 0; i < n; i++ {
+		if _, err := fs.Create(root, fmt.Sprintf("g%05d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fs.Lookup(root, fmt.Sprintf("g%05d", i)); err != nil {
+			t.Fatalf("g%05d lost after index growth: %v", i, err)
+		}
+	}
+	if got := fs.mIdxRebuilds.Value(); got < 2 {
+		t.Errorf("expected repeated index rebuilds while growing to %d entries, got %d", n, got)
+	}
+}
+
+// fsck detects a corrupted index block, drops the index, rebuilds it
+// after allocation repair, and leaves a clean image with the namespace
+// intact — the oracle being the full name sweep afterwards.
+func TestFsckRebuildsCorruptedIndex(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Mode: ModeDelayed})
+	dev := fs.Device()
+	const n = 300
+	bigDir(t, fs, n)
+	root := fs.Root()
+	in, err := fs.getLiveInode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootPhys := int64(in.DirIndexRootPtr())
+	if rootPhys == 0 {
+		t.Fatal("fixture directory has no index")
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the index root on the closed (clean) image: plausible
+	// magic, garbage contents.
+	garbage := make([]byte, blockio.BlockSize)
+	layout.DirIndexRoot{NBuckets: 2, NEntries: 9999, FreeHint: 0}.Encode(garbage)
+	if err := dev.WriteBlock(rootPhys, garbage); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Check(dev, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RepairsMade == 0 {
+		t.Fatal("fsck made no repairs on a corrupted index")
+	}
+	rep2, err := Check(dev, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Clean() {
+		max := len(rep2.Problems)
+		if max > 5 {
+			max = 5
+		}
+		t.Fatalf("image not clean after index repair: %v", rep2.Problems[:max])
+	}
+
+	// The namespace survived and the index was rebuilt to a usable
+	// state: a clean mount trusts it, and every name resolves.
+	fs2, err := Mount(dev, Options{EmbedInodes: true, Mode: ModeDelayed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	in2, err := fs2.getLiveInode(fs2.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in2.DirIndexRootPtr() == 0 {
+		t.Error("fsck did not rebuild the dropped index")
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fs2.Lookup(fs2.Root(), fmt.Sprintf("f%04d", i)); err != nil {
+			t.Fatalf("f%04d lost across fsck index repair: %v", i, err)
+		}
+	}
+	ents, err := fs2.ReadDir(fs2.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != n {
+		t.Fatalf("readdir after repair: %d entries, want %d", len(ents), n)
+	}
+}
+
+// Concurrent create/unlink/readdir traffic against one indexed
+// directory; run under -race in CI. Correctness bar: no data race, no
+// error, and exactly the expected survivors.
+func TestConcurrentIndexedDirOps(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Mode: ModeDelayed})
+	root := fs.Root()
+	bigDir(t, fs, 200)
+	const (
+		workers = 4
+		each    = 60
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*3)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				name := fmt.Sprintf("w%d-%03d", w, i)
+				if _, err := fs.Create(root, name); err != nil {
+					errs <- fmt.Errorf("create %s: %w", name, err)
+					return
+				}
+				if i%2 == 0 {
+					if err := fs.Unlink(root, name); err != nil {
+						errs <- fmt.Errorf("unlink %s: %w", name, err)
+						return
+					}
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each/4; i++ {
+				if _, err := fs.ReadDir(root); err != nil {
+					errs <- fmt.Errorf("readdir: %w", err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := fs.Lookup(root, fmt.Sprintf("f%04d", i%200)); err != nil {
+					errs <- fmt.Errorf("lookup under churn: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Odd-numbered worker files survive, even-numbered were unlinked.
+	for w := 0; w < workers; w++ {
+		for i := 0; i < each; i++ {
+			name := fmt.Sprintf("w%d-%03d", w, i)
+			_, err := fs.Lookup(root, name)
+			if i%2 == 0 && err == nil {
+				t.Fatalf("unlinked %s still present", name)
+			}
+			if i%2 == 1 && err != nil {
+				t.Fatalf("created %s lost: %v", name, err)
+			}
+		}
+	}
+}

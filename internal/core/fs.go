@@ -47,16 +47,13 @@ func (fs *FS) create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if err != nil {
 		return 0, err
 	}
-	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
-		b.Release()
-		return 0, fmt.Errorf("cffs: create %q: %w", name, vfs.ErrExist)
-	}
 	now := fs.clk.Now()
 	in := layout.Inode{Type: vfs.TypeReg, Nlink: 1, Mtime: now, Parent: uint32(dir)}
 
 	if fs.opts.EmbedInodes {
-		// One ordered write: name and inode land together.
-		b, slot, err := fs.dirFindFree(&din, dir)
+		// One pass finds the slot and proves the name free; then one
+		// ordered write lands name and inode together.
+		b, slot, err := fs.dirPrepareCreate(&din, dir, name)
 		if err != nil {
 			return 0, err
 		}
@@ -66,6 +63,9 @@ func (fs *FS) create(dir vfs.Ino, name string) (vfs.Ino, error) {
 			return 0, err
 		}
 		b.Release()
+		if err := fs.idxInsert(&din, dir, name, idxLoc(slot.block, slot.slot)); err != nil {
+			return 0, err
+		}
 		din.Mtime = now
 		if err := fs.putInode(dir, &din, false); err != nil {
 			return 0, err
@@ -74,16 +74,18 @@ func (fs *FS) create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	}
 
 	// Conventional two ordered writes: inode first, then the name.
+	b, slot, err := fs.dirPrepareCreate(&din, dir, name)
+	if err != nil {
+		return 0, err
+	}
 	idx, err := fs.allocExtInode(fs.homeAG(&din, dir))
 	if err != nil {
+		b.Release()
 		return 0, err
 	}
 	ino := vfs.Ino(idx + 1)
 	if err := fs.putInode(ino, &in, true); err != nil {
-		return 0, err
-	}
-	b, slot, err := fs.dirFindFree(&din, dir)
-	if err != nil {
+		b.Release()
 		return 0, err
 	}
 	writeSlotExternal(b.Data, slot.slot*slotSize, name, ino, vfs.TypeReg)
@@ -92,6 +94,9 @@ func (fs *FS) create(dir vfs.Ino, name string) (vfs.Ino, error) {
 		return 0, err
 	}
 	b.Release()
+	if err := fs.idxInsert(&din, dir, name, idxLoc(slot.block, slot.slot)); err != nil {
+		return 0, err
+	}
 	din.Mtime = now
 	return ino, fs.putInode(dir, &din, false)
 }
@@ -106,41 +111,43 @@ func (fs *FS) mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if err != nil {
 		return 0, err
 	}
-	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
-		b.Release()
-		return 0, fmt.Errorf("cffs: mkdir %q: %w", name, vfs.ErrExist)
+	b, slot, err := fs.dirPrepareCreate(&din, dir, name)
+	if err != nil {
+		return 0, err
 	}
 	idx, err := fs.allocExtInode(fs.pickDirAG())
 	if err != nil {
+		b.Release()
 		return 0, err
 	}
 	ino := vfs.Ino(idx + 1)
 	now := fs.clk.Now()
 	in := layout.Inode{Type: vfs.TypeDir, Nlink: 2, Mtime: now, Parent: uint32(dir)}
 	if err := fs.initDirData(&in, ino, dir); err != nil {
+		b.Release()
 		return 0, err
 	}
 	if fs.opts.Mode == ModeSync {
 		// Child block before child inode before parent entry.
 		phys, err := fs.bmap(&in, ino, 0, false)
 		if err != nil {
+			b.Release()
 			return 0, err
 		}
 		cb, err := fs.c.Read(phys)
 		if err != nil {
+			b.Release()
 			return 0, err
 		}
 		if err := fs.c.WriteSync(cb); err != nil {
 			cb.Release()
+			b.Release()
 			return 0, err
 		}
 		cb.Release()
 	}
 	if err := fs.putInode(ino, &in, true); err != nil {
-		return 0, err
-	}
-	b, slot, err := fs.dirFindFree(&din, dir)
-	if err != nil {
+		b.Release()
 		return 0, err
 	}
 	writeSlotExternal(b.Data, slot.slot*slotSize, name, ino, vfs.TypeDir)
@@ -149,6 +156,9 @@ func (fs *FS) mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 		return 0, err
 	}
 	b.Release()
+	if err := fs.idxInsert(&din, dir, name, idxLoc(slot.block, slot.slot)); err != nil {
+		return 0, err
+	}
 	din.Nlink++
 	din.Mtime = now
 	return ino, fs.putInode(dir, &din, false)
@@ -192,76 +202,82 @@ func (fs *FS) externalize(old vfs.Ino) (vfs.Ino, error) {
 	return ino, nil
 }
 
-// link implements Link; the FS write lock is held.
-func (fs *FS) link(dir vfs.Ino, name string, target vfs.Ino) error {
+// link implements Link; the FS write lock is held. When the target was
+// embedded it is externalized and its ino changes; the retired embedded
+// ino is returned so the caller can invalidate cached paths to it.
+func (fs *FS) link(dir vfs.Ino, name string, target vfs.Ino) (retired vfs.Ino, err error) {
 	if err := checkName(name); err != nil {
-		return err
+		return 0, err
 	}
 	din, err := fs.dirInode(dir)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tin, err := fs.getLiveInode(target)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if tin.Type == vfs.TypeDir {
-		return vfs.ErrIsDir
+		return 0, vfs.ErrIsDir
 	}
-	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
-		b.Release()
-		return fmt.Errorf("cffs: link %q: %w", name, vfs.ErrExist)
+	// One pass proves the name free and pins its future slot. The slot
+	// stays valid across externalize below: that rewrites the target's
+	// own entry in place and never moves or fills other slots.
+	b, slot, err := fs.dirPrepareCreate(&din, dir, name)
+	if err != nil {
+		return 0, err
 	}
 	if isEmbedded(target) {
+		retired = target
 		target, err = fs.externalize(target)
 		if err != nil {
-			return err
+			b.Release()
+			return 0, err
 		}
 		tin, err = fs.getLiveInode(target)
 		if err != nil {
-			return err
+			b.Release()
+			return 0, err
 		}
 	}
 	tin.Nlink++
 	if err := fs.putInode(target, &tin, true); err != nil {
-		return err
-	}
-	// Re-read the parent: externalize may have grown or dirtied it.
-	din, err = fs.dirInode(dir)
-	if err != nil {
-		return err
-	}
-	b, slot, err := fs.dirFindFree(&din, dir)
-	if err != nil {
-		return err
+		b.Release()
+		return 0, err
 	}
 	writeSlotExternal(b.Data, slot.slot*slotSize, name, target, vfs.TypeReg)
 	if err := fs.syncMeta(b); err != nil {
 		b.Release()
-		return err
+		return 0, err
 	}
 	b.Release()
+	if err := fs.idxInsert(&din, dir, name, idxLoc(slot.block, slot.slot)); err != nil {
+		return 0, err
+	}
 	din.Mtime = fs.clk.Now()
-	return fs.putInode(dir, &din, false)
+	return retired, fs.putInode(dir, &din, false)
 }
 
-// unlink implements Unlink; the FS write lock is held.
-func (fs *FS) unlink(dir vfs.Ino, name string) error {
+// unlink implements Unlink; the FS write lock is held. It returns the
+// ino the removed entry referenced (which may still be alive through
+// other links) for path-cache invalidation.
+func (fs *FS) unlink(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if name == "." || name == ".." {
-		return vfs.ErrInvalid
+		return 0, vfs.ErrInvalid
 	}
 	din, err := fs.dirInode(dir)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	b, e, err := fs.dirLookup(&din, dir, name)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if e.ftype == vfs.TypeDir {
 		b.Release()
-		return vfs.ErrIsDir
+		return 0, vfs.ErrIsDir
 	}
+	victim := e.ino()
 
 	if e.embedded {
 		// Kill name and inode together with a single ordered write, then
@@ -274,150 +290,169 @@ func (fs *FS) unlink(dir vfs.Ino, name string) error {
 		clearSlot(b.Data, e.slot*slotSize)
 		if err := fs.syncMeta(b); err != nil {
 			b.Release()
-			return err
+			return 0, err
 		}
 		b.Release()
+		if err := fs.idxRemove(&din, dir, name, idxLoc(e.block, e.slot)); err != nil {
+			return 0, err
+		}
 		if err := fs.truncate(&in, e.ino(), 0); err != nil {
-			return err
+			return 0, err
 		}
 		din.Mtime = fs.clk.Now()
-		return fs.putInode(dir, &din, false)
+		return victim, fs.putInode(dir, &din, false)
 	}
 
 	// External: conventional two ordered writes.
 	clearSlot(b.Data, e.slot*slotSize)
 	if err := fs.syncMeta(b); err != nil {
 		b.Release()
-		return err
+		return 0, err
 	}
 	b.Release()
+	if err := fs.idxRemove(&din, dir, name, idxLoc(e.block, e.slot)); err != nil {
+		return 0, err
+	}
 	din.Mtime = fs.clk.Now()
 	if err := fs.putInode(dir, &din, false); err != nil {
-		return err
+		return 0, err
 	}
 	ino := e.ino()
 	tin, err := fs.getLiveInode(ino)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	tin.Nlink--
 	if tin.Nlink > 0 {
-		return fs.putInode(ino, &tin, true)
+		return victim, fs.putInode(ino, &tin, true)
 	}
 	if err := fs.truncate(&tin, ino, 0); err != nil {
-		return err
+		return 0, err
 	}
 	tin = layout.Inode{}
 	if err := fs.putInode(ino, &tin, true); err != nil {
-		return err
+		return 0, err
 	}
 	fs.freeExtInode(extIdx(ino))
-	return nil
+	return victim, nil
 }
 
-// rmdir implements Rmdir; the FS write lock is held.
-func (fs *FS) rmdir(dir vfs.Ino, name string) error {
+// rmdir implements Rmdir; the FS write lock is held. It returns the
+// removed directory's ino for path-cache invalidation.
+func (fs *FS) rmdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if name == "." || name == ".." {
-		return vfs.ErrInvalid
+		return 0, vfs.ErrInvalid
 	}
 	din, err := fs.dirInode(dir)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	b, e, err := fs.dirLookup(&din, dir, name)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	b.Release()
 	if e.ftype != vfs.TypeDir {
-		return vfs.ErrNotDir
+		return 0, vfs.ErrNotDir
 	}
 	ino := e.ino()
 	cin, err := fs.getLiveInode(ino)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	empty, err := fs.dirIsEmpty(&cin, ino)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if !empty {
-		return vfs.ErrNotEmpty
+		return 0, vfs.ErrNotEmpty
 	}
 	b, err = fs.c.Read(e.block)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	clearSlot(b.Data, e.slot*slotSize)
 	if err := fs.syncMeta(b); err != nil {
 		b.Release()
-		return err
+		return 0, err
 	}
 	b.Release()
+	if err := fs.idxRemove(&din, dir, name, idxLoc(e.block, e.slot)); err != nil {
+		return 0, err
+	}
 	din.Nlink--
 	din.Mtime = fs.clk.Now()
 	if err := fs.putInode(dir, &din, false); err != nil {
-		return err
+		return 0, err
+	}
+	// The child's own index lives outside its bmap tree; truncate will
+	// not find those blocks, so detach and free them here.
+	if err := fs.idxDrop(&cin, ino, fs.idxTrusted(ino)); err != nil {
+		return 0, err
 	}
 	if err := fs.truncate(&cin, ino, 0); err != nil {
-		return err
+		return 0, err
 	}
 	cin = layout.Inode{}
 	if err := fs.putInode(ino, &cin, true); err != nil {
-		return err
+		return 0, err
 	}
 	fs.freeExtInode(extIdx(ino))
-	return nil
+	return ino, nil
 }
 
 // rename implements Rename; the FS write lock is held. An embedded inode physically moves
 // with its entry, so the file's Ino changes; callers re-Lookup, exactly
-// as the cache's dual indexing anticipates.
-func (fs *FS) rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
+// as the cache's dual indexing anticipates. It returns the moved
+// entry's (pre-move) ino and the replaced destination's ino, if any,
+// for path-cache invalidation.
+func (fs *FS) rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) (moved, replaced vfs.Ino, err error) {
 	if sname == "." || sname == ".." {
-		return vfs.ErrInvalid
+		return 0, 0, vfs.ErrInvalid
 	}
 	if err := checkName(dname); err != nil {
-		return err
+		return 0, 0, err
 	}
 	sin, err := fs.dirInode(sdir)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	b, se, err := fs.dirLookup(&sin, sdir, sname)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	var embeddedCopy layout.Inode
 	if se.embedded {
 		embeddedCopy.Decode(b.Data[se.slot*slotSize+slotInodeOff:])
 	}
 	b.Release()
+	moved = se.ino()
 	din, err := fs.dirInode(ddir)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	if b, de, err := fs.dirLookup(&din, ddir, dname); err == nil {
 		b.Release()
 		if de.block == se.block && de.slot == se.slot {
-			return nil // renaming onto itself
+			return 0, 0, nil // renaming onto itself
 		}
 		if de.ftype == vfs.TypeDir {
-			return vfs.ErrIsDir
+			return 0, 0, vfs.ErrIsDir
 		}
-		if err := fs.unlink(ddir, dname); err != nil {
-			return err
+		replaced, err = fs.unlink(ddir, dname)
+		if err != nil {
+			return 0, 0, err
 		}
 		din, err = fs.dirInode(ddir)
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
 	}
 
 	// Install the destination entry first: two names briefly, never zero.
 	nb, slot, err := fs.dirFindFree(&din, ddir)
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
 	if se.embedded {
 		embeddedCopy.Parent = uint32(ddir)
@@ -427,34 +462,40 @@ func (fs *FS) rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 	}
 	if err := fs.syncMeta(nb); err != nil {
 		nb.Release()
-		return err
+		return moved, replaced, err
 	}
 	nb.Release()
+	if err := fs.idxInsert(&din, ddir, dname, idxLoc(slot.block, slot.slot)); err != nil {
+		return moved, replaced, err
+	}
 	din.Mtime = fs.clk.Now()
 	if err := fs.putInode(ddir, &din, false); err != nil {
-		return err
+		return moved, replaced, err
 	}
 
 	// Remove the source entry.
 	if sdir == ddir {
 		sin, err = fs.dirInode(sdir)
 		if err != nil {
-			return err
+			return moved, replaced, err
 		}
 	}
 	rb, err := fs.c.Read(se.block)
 	if err != nil {
-		return err
+		return moved, replaced, err
 	}
 	clearSlot(rb.Data, se.slot*slotSize)
 	if err := fs.syncMeta(rb); err != nil {
 		rb.Release()
-		return err
+		return moved, replaced, err
 	}
 	rb.Release()
+	if err := fs.idxRemove(&sin, sdir, sname, idxLoc(se.block, se.slot)); err != nil {
+		return moved, replaced, err
+	}
 	sin.Mtime = fs.clk.Now()
 	if err := fs.putInode(sdir, &sin, false); err != nil {
-		return err
+		return moved, replaced, err
 	}
 
 	// A directory changing parents repoints ".." and the link counts.
@@ -462,33 +503,33 @@ func (fs *FS) rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 		child := vfs.Ino(se.ref)
 		cin, err := fs.getLiveInode(child)
 		if err != nil {
-			return err
+			return moved, replaced, err
 		}
 		cb, dd, err := fs.dirLookup(&cin, child, "..")
 		if err != nil {
-			return err
+			return moved, replaced, err
 		}
 		writeSlotExternal(cb.Data, dd.slot*slotSize, "..", ddir, vfs.TypeDir)
 		fs.c.MarkDirty(cb)
 		cb.Release()
 		cin.Parent = uint32(ddir)
 		if err := fs.putInode(child, &cin, false); err != nil {
-			return err
+			return moved, replaced, err
 		}
 		sin.Nlink--
 		if err := fs.putInode(sdir, &sin, false); err != nil {
-			return err
+			return moved, replaced, err
 		}
 		din, err = fs.dirInode(ddir)
 		if err != nil {
-			return err
+			return moved, replaced, err
 		}
 		din.Nlink++
 		if err := fs.putInode(ddir, &din, false); err != nil {
-			return err
+			return moved, replaced, err
 		}
 	}
-	return nil
+	return moved, replaced, nil
 }
 
 // readDir implements ReadDir; the FS lock is held. With embedded inodes the entries'

@@ -25,6 +25,13 @@ import (
 //	                       spans two directories.
 //	adaptMu                the adaptive group-read window, the one FS
 //	                       field mutated on the (shared) read path.
+//	idxMu                  the per-mount index-trust set (idxFresh),
+//	                       read on the shared lookup path after an
+//	                       unclean mount.
+//	path-cache shard locks internal to pathcache.go: probed without
+//	                       fs.mu, inserted into under fs.mu shared,
+//	                       invalidated under fs.mu exclusive — never
+//	                       held while acquiring anything above.
 //	buffer cache locks     internal to internal/cache: shard → idMu →
 //	                       stateMu.
 //	device, disk, clock    internal to internal/blockio, internal/disk,
@@ -96,6 +103,9 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
+	if err := fs.markUnclean(); err != nil {
+		return 0, err
+	}
 	return fs.create(dir, name)
 }
 
@@ -106,6 +116,9 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
+	if err := fs.markUnclean(); err != nil {
+		return 0, err
+	}
 	return fs.mkdir(dir, name)
 }
 
@@ -116,7 +129,12 @@ func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
-	return fs.link(dir, name, target)
+	if err := fs.markUnclean(); err != nil {
+		return err
+	}
+	retired, err := fs.link(dir, name, target)
+	fs.pc.invalidate(retired)
+	return err
 }
 
 // Unlink implements vfs.FileSystem.
@@ -126,7 +144,12 @@ func (fs *FS) Unlink(dir vfs.Ino, name string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
-	return fs.unlink(dir, name)
+	if err := fs.markUnclean(); err != nil {
+		return err
+	}
+	victim, err := fs.unlink(dir, name)
+	fs.pc.invalidate(victim)
+	return err
 }
 
 // Rmdir implements vfs.FileSystem.
@@ -136,17 +159,30 @@ func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDir(dir)()
-	return fs.rmdir(dir, name)
+	if err := fs.markUnclean(); err != nil {
+		return err
+	}
+	victim, err := fs.rmdir(dir, name)
+	fs.pc.invalidate(victim)
+	return err
 }
 
-// Rename implements vfs.FileSystem.
+// Rename implements vfs.FileSystem. Invalidation by the moved entry's
+// ino is also the prefix invalidation: every cached path that resolved
+// through a moved directory carried its ino in its chain.
 func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
 	defer fs.trk.Begin(obs.OpRename)()
 	fs.wb.Admit()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	defer fs.lockDirPair(sdir, ddir)()
-	return fs.rename(sdir, sname, ddir, dname)
+	if err := fs.markUnclean(); err != nil {
+		return err
+	}
+	moved, replaced, err := fs.rename(sdir, sname, ddir, dname)
+	fs.pc.invalidate(moved)
+	fs.pc.invalidate(replaced)
+	return err
 }
 
 // ReadDir implements vfs.FileSystem.
@@ -171,6 +207,9 @@ func (fs *FS) Truncate(ino vfs.Ino, size int64) error {
 	fs.wb.Admit()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if err := fs.markUnclean(); err != nil {
+		return err
+	}
 	return fs.truncateTo(ino, size)
 }
 
@@ -188,6 +227,9 @@ func (fs *FS) WriteAt(ino vfs.Ino, p []byte, off int64) (int, error) {
 	fs.wb.Admit()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if err := fs.markUnclean(); err != nil {
+		return 0, err
+	}
 	return fs.writeAt(ino, p, off)
 }
 
@@ -208,11 +250,20 @@ func (fs *FS) Flush() error {
 }
 
 // Close implements vfs.FileSystem. The write-behind daemon is stopped
-// first (releasing any throttled writers), then the final Sync drains
-// everything it had not yet written.
+// first (releasing any throttled writers), then the final sync drains
+// everything it had not yet written; only after that full sync is the
+// superblock's unclean marker cleared, so a crash anywhere before the
+// marker write leaves the image marked dirty (and its directory
+// indexes distrusted) — never the other way around.
 func (fs *FS) Close() error {
 	fs.wb.Close()
-	return fs.Sync()
+	defer fs.trk.Begin(obs.OpSync)()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.sync(); err != nil {
+		return err
+	}
+	return fs.markClean()
 }
 
 // FreeBlocks counts free blocks (tests and df-style tools).
@@ -227,6 +278,9 @@ func (fs *FS) FreeBlocks() (int64, error) {
 func (fs *FS) GroupWith(file, dir vfs.Ino) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if err := fs.markUnclean(); err != nil {
+		return err
+	}
 	return fs.groupWith(file, dir)
 }
 

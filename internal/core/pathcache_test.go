@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cffs/internal/obs"
+	"cffs/internal/vfs"
+)
+
+func newPCFS(t *testing.T) *FS {
+	return newCFFS(t, Options{EmbedInodes: true, Grouping: true,
+		Mode: ModeDelayed, Metrics: obs.NewRegistry()})
+}
+
+func mustTree(t *testing.T, fs *FS, dirs []string, files []string) {
+	t.Helper()
+	for _, d := range dirs {
+		if _, err := vfs.MkdirAll(fs, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range files {
+		if err := vfs.WriteFile(fs, f, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A repeated deep walk is served from the path cache: the second
+// resolution is a single probe, no per-component lookups.
+func TestPathCacheHit(t *testing.T) {
+	fs := newPCFS(t)
+	mustTree(t, fs, []string{"/a/b/c/d"}, []string{"/a/b/c/d/leaf"})
+	ino1, err := vfs.Walk(fs, "/a/b/c/d/leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := fs.pc.hits.Value()
+	ino2, err := vfs.Walk(fs, "/a/b/c/d/leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ino1 != ino2 {
+		t.Fatalf("cached walk landed on %#x, first walk on %#x", uint64(ino2), uint64(ino1))
+	}
+	if got := fs.pc.hits.Value() - h0; got != 1 {
+		t.Errorf("second walk recorded %d path-cache hits, want 1", got)
+	}
+	if _, ok := fs.pc.get("/a/b/c/d/leaf"); !ok {
+		t.Error("resolved path not present in the cache")
+	}
+}
+
+// Unlinking a file kills its cached paths; the next walk misses and
+// reports ErrNotExist.
+func TestPathCacheInvalidationOnUnlink(t *testing.T) {
+	fs := newPCFS(t)
+	mustTree(t, fs, []string{"/d"}, []string{"/d/f"})
+	if _, err := vfs.Walk(fs, "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := vfs.Walk(fs, "/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink(dir, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.pc.get("/d/f"); ok {
+		t.Fatal("stale path survived unlink")
+	}
+	if _, err := vfs.Walk(fs, "/d/f"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("walk after unlink = %v, want ErrNotExist", err)
+	}
+}
+
+// Moving a directory kills every cached path that resolved through it
+// — prefix invalidation via the resolution chain — and the subtree is
+// reachable under its new name immediately.
+func TestPathCachePrefixInvalidationOnDirMove(t *testing.T) {
+	fs := newPCFS(t)
+	mustTree(t, fs, []string{"/a/b/c"}, []string{"/a/b/c/f1", "/a/b/c/f2"})
+	for _, p := range []string{"/a/b/c/f1", "/a/b/c/f2", "/a/b/c", "/a/b"} {
+		if _, err := vfs.Walk(fs, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := vfs.Walk(fs, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(a, "b", a, "moved"); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"/a/b/c/f1", "/a/b/c/f2", "/a/b/c", "/a/b"} {
+		if _, ok := fs.pc.get(p); ok {
+			t.Fatalf("stale path %s survived the directory move", p)
+		}
+		if _, err := vfs.Walk(fs, p); !errors.Is(err, vfs.ErrNotExist) {
+			t.Fatalf("walk %s after move = %v, want ErrNotExist", p, err)
+		}
+	}
+	ino, err := vfs.Walk(fs, "/a/moved/c/f1")
+	if err != nil {
+		t.Fatalf("subtree unreachable under new name: %v", err)
+	}
+	if st, err := fs.Stat(ino); err != nil || st.Type != vfs.TypeReg {
+		t.Fatalf("moved file stat %+v, %v", st, err)
+	}
+}
+
+// Hard-linking an embedded file externalizes its inode — the ino
+// changes identity — so cached paths naming the old ino must die and
+// the next walk must land on the externalized inode.
+func TestPathCacheInvalidationOnLinkExternalize(t *testing.T) {
+	fs := newPCFS(t)
+	mustTree(t, fs, []string{"/d"}, []string{"/d/f"})
+	oldIno, err := vfs.Walk(fs, "/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link(fs.Root(), "hard", oldIno); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := vfs.Walk(fs, "/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := fs.Lookup(dir, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.Walk(fs, "/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cur {
+		t.Fatalf("walk after link returned %#x, directory holds %#x (stale cache)",
+			uint64(got), uint64(cur))
+	}
+	if cur != oldIno {
+		// The link really did externalize; both names must agree.
+		viaLink, err := fs.Lookup(fs.Root(), "hard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaLink != cur {
+			t.Fatalf("names diverge after externalize: %#x vs %#x", uint64(viaLink), uint64(cur))
+		}
+	}
+}
+
+// PathCache < 0 disables the cache; walks still work (nil-safe cache)
+// and WalkPath stays correct.
+func TestPathCacheDisabled(t *testing.T) {
+	fs := newCFFS(t, Options{EmbedInodes: true, Mode: ModeDelayed, PathCache: -1})
+	if fs.pc != nil {
+		t.Fatal("negative PathCache did not disable the cache")
+	}
+	mustTree(t, fs, []string{"/x/y"}, []string{"/x/y/z"})
+	for i := 0; i < 2; i++ {
+		if _, err := vfs.Walk(fs, "/x/y/z"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -96,6 +96,51 @@ func TestCFFSAsyncWritebackCrashConsistent(t *testing.T) {
 	}
 }
 
+// TestCFFSDirGrowthAsyncCrashConsistent crashes the create-into-grown-
+// directory workload at every write boundary under the write-behind
+// daemon: 20 creates into one directory push it past its first block,
+// so the parent inode's size update and the new directory block are
+// both in flight when the daemon's clustered delayed writes race the
+// ordering barriers. Every completed create must survive repair.
+func TestCFFSDirGrowthAsyncCrashConsistent(t *testing.T) {
+	cfg := CFFSDirGrowthConfig(cffsAsyncOptions(), true)
+	cfg.Seed = 11
+	res, log, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes == 0 || res.CrashPoints != res.Writes+1 {
+		t.Fatalf("covered %d of %d write boundaries", res.CrashPoints, res.Writes+1)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unrepaired state: %s", f)
+	}
+	for _, v := range res.DurabilityViolations {
+		t.Errorf("durability violation: %s", v)
+	}
+	if len(log.Marks) != 24 { // mkdir + 20 creates + 3 unlinks
+		t.Fatalf("expected 24 op marks, got %d", len(log.Marks))
+	}
+}
+
+// TestCFFSDirGrowthDelayedRepairable is the same growth workload in
+// pure delayed mode with the daemon on — the mode where dirGrow's
+// parent-inode write-back is itself a delayed write. No durability is
+// promised, but every crash state must still repair.
+func TestCFFSDirGrowthDelayedRepairable(t *testing.T) {
+	opts := cffsAsyncOptions()
+	opts.Mode = core.ModeDelayed
+	cfg := CFFSDirGrowthConfig(opts, false)
+	cfg.Seed = 11
+	res, _, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unrepaired state: %s", f)
+	}
+}
+
 // TestCFFSDelayedStillRepairable drops the ordering: pure delayed
 // writes lose durability (no oracle), but every crash state must still
 // be repairable — fsck may discard, never corrupt.

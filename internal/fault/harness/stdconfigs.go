@@ -44,6 +44,62 @@ func SmallfileWorkload(fs vfs.FileSystem, closer func() error, mark func(string)
 	return closer()
 }
 
+// DirGrowthWorkload packs one subdirectory with enough files to force
+// directory growth across block boundaries (16 slots per block with
+// embedded inodes, two taken by the dot entries), then deletes a few.
+// The growth path is the interesting crash surface: the new directory
+// block and the parent inode's size update must reach the disk in an
+// order fsck can always repair, in every writeback mode.
+func DirGrowthWorkload(fs vfs.FileSystem, closer func() error, mark func(string)) error {
+	if _, err := vfs.MkdirAll(fs, "/d"); err != nil {
+		return err
+	}
+	mark("create /d")
+	for i := 0; i < 20; i++ {
+		path := fmt.Sprintf("/d/g%02d", i)
+		if err := vfs.WriteFile(fs, path, make([]byte, 512)); err != nil {
+			return err
+		}
+		mark("create " + path)
+	}
+	for i := 0; i < 3; i++ {
+		path := fmt.Sprintf("/d/g%02d", i)
+		if err := vfs.Remove(fs, path); err != nil {
+			return err
+		}
+		mark("unlink " + path)
+	}
+	return closer()
+}
+
+// CFFSDirGrowthConfig builds the directory-growth enumeration config
+// for a C-FFS variant; oracle semantics as in CFFSConfig.
+func CFFSDirGrowthConfig(opts core.Options, oracle bool) Config {
+	cfg := CFFSConfig(opts, oracle)
+	cfg.Workload = func(dev *blockio.Device, mark func(string)) error {
+		fs, err := core.Mount(dev, opts)
+		if err != nil {
+			return err
+		}
+		return DirGrowthWorkload(fs, fs.Close, mark)
+	}
+	if oracle {
+		// Verification remounts without any write-behind daemon the
+		// options may carry; reads don't need one and each enumerated
+		// state would otherwise start (and leak) a goroutine.
+		verifyOpts := opts
+		verifyOpts.Writeback = writeback.Config{}
+		cfg.Verify = func(dev *blockio.Device, completed []string, inflight string) error {
+			fs, err := core.Mount(dev, verifyOpts)
+			if err != nil {
+				return fmt.Errorf("remount: %w", err)
+			}
+			return NamespaceOracle(fs, completed, inflight)
+		}
+	}
+	return cfg
+}
+
 // NamespaceOracle replays the completed create/unlink marks into an
 // expected-presence map and checks the mounted namespace against it.
 // The in-flight operation's path is exempt: a crash mid-operation may

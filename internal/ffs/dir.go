@@ -148,10 +148,127 @@ func (fs *FS) dirLookup(in *layout.Inode, dir vfs.Ino, name string) (*cache.Buf,
 	return b, found, nil
 }
 
+// checkName validates an entry name (the same lattice as cffs: empty
+// and dot names are invalid, then length, then byte content — "/" and
+// NUL can never appear in a directory entry).
+func checkName(name string) error {
+	if len(name) == 0 || name == "." || name == ".." {
+		return vfs.ErrInvalid
+	}
+	if len(name) > vfs.MaxNameLen {
+		return fmt.Errorf("ffs: name %q: %w", name, vfs.ErrNameTooLong)
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' || name[i] == 0 {
+			return fmt.Errorf("ffs: name %q: %w", name, vfs.ErrInvalid)
+		}
+	}
+	return nil
+}
+
+// dirGrow appends one fresh directory block. Under synchronous metadata
+// the block and the directory inode reaching it must be durable before
+// an entry lands in the block, or a crash orphans the entry.
+func (fs *FS) dirGrow(in *layout.Inode, dir vfs.Ino) (*cache.Buf, error) {
+	lb := in.Size / blockio.BlockSize
+	phys, err := fs.bmap(in, dir, lb, true)
+	if err != nil {
+		return nil, err
+	}
+	b, err := fs.c.Alloc(phys)
+	if err != nil {
+		return nil, err
+	}
+	initDirBlock(b.Data)
+	in.Size += blockio.BlockSize
+	in.Mtime = fs.clk.Now()
+	if fs.opts.Mode == ModeSync {
+		if err := fs.c.WriteSync(b); err != nil {
+			b.Release()
+			return nil, err
+		}
+		if err := fs.putInode(dir, in, true); err != nil {
+			b.Release()
+			return nil, err
+		}
+	} else {
+		fs.c.MarkDirty(b)
+	}
+	return b, nil
+}
+
+// dirInsert writes a live entry into the free space at slotOff/slotLen
+// of a pinned directory block.
+func (fs *FS) dirInsert(b *cache.Buf, slotOff, slotLen int, ino vfs.Ino, ftype vfs.FileType, name string) error {
+	e, err := decodeDirent(b.Data, slotOff)
+	if err != nil {
+		return err
+	}
+	if e.ino == 0 {
+		encodeDirent(b.Data, slotOff, uint32(ino), slotLen, ftype, name)
+	} else {
+		// Split the slack off the live entry.
+		usedLen := e.used()
+		encodeDirent(b.Data, slotOff, e.ino, usedLen, e.ftype, e.name)
+		encodeDirent(b.Data, slotOff+usedLen, uint32(ino), slotLen-usedLen, ftype, name)
+	}
+	return nil
+}
+
+// dirPrepareAdd runs the existence check and the free-slot search as a
+// single scan, so a create pays one directory traversal instead of two.
+// When name is already present the returned buffer is pinned at its
+// block and existing describes the entry; otherwise the buffer is
+// pinned at a block with room (grown if need be) and slotOff/slotLen
+// locate the space for dirInsert.
+func (fs *FS) dirPrepareAdd(in *layout.Inode, dir vfs.Ino, name string) (b *cache.Buf, slotOff, slotLen int, existing *dirent, err error) {
+	need := direntSize(len(name))
+	var freeBlock int64
+	var freeOff, freeLen int
+	haveFree := false
+	var found dirent
+	b, err = fs.forEachDirent(in, dir, func(fb *cache.Buf, e dirent) bool {
+		if e.ino != 0 && e.name == name {
+			found = e
+			return true
+		}
+		if !haveFree {
+			switch {
+			case e.ino == 0 && e.reclen >= need:
+				freeBlock, freeOff, freeLen = fb.Block, e.off, e.reclen
+				haveFree = true
+			case e.ino != 0 && e.reclen-e.used() >= need:
+				freeBlock, freeOff, freeLen = fb.Block, e.off, e.reclen
+				haveFree = true
+			}
+		}
+		return false
+	})
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	if b != nil {
+		return b, 0, 0, &found, nil
+	}
+	if haveFree {
+		// The block was scanned moments ago; this re-read is a cache hit.
+		fb, err := fs.c.Read(freeBlock)
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		return fb, freeOff, freeLen, nil, nil
+	}
+	if b, err = fs.dirGrow(in, dir); err != nil {
+		return nil, 0, 0, nil, err
+	}
+	return b, 0, blockio.BlockSize, nil, nil
+}
+
 // dirAdd inserts a live entry, growing the directory by one block when
-// no slot fits. The caller supplies the parent inode and writes it back.
-// The modified block is returned pinned for the caller to order its
-// write (sync or delayed).
+// no slot fits. The caller has already ruled out a duplicate name (or,
+// as with rename's ".." rewrite, knows there is none). The caller
+// supplies the parent inode and writes it back. The modified block is
+// returned pinned for the caller to order its write (sync or delayed).
 func (fs *FS) dirAdd(in *layout.Inode, dir vfs.Ino, name string, ino vfs.Ino, ftype vfs.FileType) (*cache.Buf, error) {
 	if len(name) == 0 || len(name) > vfs.MaxNameLen {
 		return nil, fmt.Errorf("ffs: name %q: %w", name, vfs.ErrNameTooLong)
@@ -173,47 +290,14 @@ func (fs *FS) dirAdd(in *layout.Inode, dir vfs.Ino, name string, ino vfs.Ino, ft
 		return nil, err
 	}
 	if b == nil {
-		// Grow by one block. Under synchronous metadata the fresh block
-		// and the directory inode reaching it must be durable before an
-		// entry lands in the block, or a crash orphans the entry.
-		lb := in.Size / blockio.BlockSize
-		phys, err := fs.bmap(in, dir, lb, true)
-		if err != nil {
+		if b, err = fs.dirGrow(in, dir); err != nil {
 			return nil, err
-		}
-		b, err = fs.c.Alloc(phys)
-		if err != nil {
-			return nil, err
-		}
-		initDirBlock(b.Data)
-		in.Size += blockio.BlockSize
-		in.Mtime = fs.clk.Now()
-		if fs.opts.Mode == ModeSync {
-			if err := fs.c.WriteSync(b); err != nil {
-				b.Release()
-				return nil, err
-			}
-			if err := fs.putInode(dir, in, true); err != nil {
-				b.Release()
-				return nil, err
-			}
-		} else {
-			fs.c.MarkDirty(b)
 		}
 		slotOff, slotLen = 0, blockio.BlockSize
 	}
-	e, err := decodeDirent(b.Data, slotOff)
-	if err != nil {
+	if err := fs.dirInsert(b, slotOff, slotLen, ino, ftype, name); err != nil {
 		b.Release()
 		return nil, err
-	}
-	if e.ino == 0 {
-		encodeDirent(b.Data, slotOff, uint32(ino), slotLen, ftype, name)
-	} else {
-		// Split the slack off the live entry.
-		usedLen := e.used()
-		encodeDirent(b.Data, slotOff, e.ino, usedLen, e.ftype, e.name)
-		encodeDirent(b.Data, slotOff+usedLen, uint32(ino), slotLen-usedLen, ftype, name)
 	}
 	in.Mtime = fs.clk.Now()
 	return b, nil

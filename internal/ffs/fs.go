@@ -36,6 +36,9 @@ func (fs *FS) Lookup(dir vfs.Ino, name string) (vfs.Ino, error) {
 func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	defer fs.trk.Begin(obs.OpCreate)()
 	fs.wb.Admit()
+	if err := checkName(name); err != nil {
+		return 0, err
+	}
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return 0, err
@@ -43,24 +46,33 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if din.Type != vfs.TypeDir {
 		return 0, vfs.ErrNotDir
 	}
-	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
+	// One scan: existence check and free-slot search together. The
+	// buffer stays pinned (slots cannot move) across the inode writes.
+	b, slotOff, slotLen, existing, err := fs.dirPrepareAdd(&din, dir, name)
+	if err != nil {
+		return 0, err
+	}
+	if existing != nil {
 		b.Release()
 		return 0, fmt.Errorf("ffs: create %q: %w", name, vfs.ErrExist)
 	}
 	ino, err := fs.allocInode(fs.cgOfIno(dir))
 	if err != nil {
+		b.Release()
 		return 0, err
 	}
 	in := layout.Inode{Type: vfs.TypeReg, Nlink: 1, Mtime: fs.clk.Now()}
 	// Ordering point 1: the initialized inode reaches disk before the
 	// name that references it.
 	if err := fs.putInode(ino, &in, true); err != nil {
+		b.Release()
 		return 0, err
 	}
-	b, err := fs.dirAdd(&din, dir, name, ino, vfs.TypeReg)
-	if err != nil {
+	if err := fs.dirInsert(b, slotOff, slotLen, ino, vfs.TypeReg, name); err != nil {
+		b.Release()
 		return 0, err
 	}
+	din.Mtime = fs.clk.Now()
 	// Ordering point 2: the directory entry.
 	if err := fs.syncMeta(b); err != nil {
 		b.Release()
@@ -74,6 +86,9 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	defer fs.trk.Begin(obs.OpMkdir)()
 	fs.wb.Admit()
+	if err := checkName(name); err != nil {
+		return 0, err
+	}
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return 0, err
@@ -81,16 +96,22 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if din.Type != vfs.TypeDir {
 		return 0, vfs.ErrNotDir
 	}
-	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
+	b, slotOff, slotLen, existing, err := fs.dirPrepareAdd(&din, dir, name)
+	if err != nil {
+		return 0, err
+	}
+	if existing != nil {
 		b.Release()
 		return 0, fmt.Errorf("ffs: mkdir %q: %w", name, vfs.ErrExist)
 	}
 	ino, err := fs.allocInode(fs.pickDirCG())
 	if err != nil {
+		b.Release()
 		return 0, err
 	}
 	in := layout.Inode{Type: vfs.TypeDir, Nlink: 2, Mtime: fs.clk.Now()}
 	if err := fs.initDirData(&in, ino, dir); err != nil {
+		b.Release()
 		return 0, err
 	}
 	// Child block, then child inode, then parent entry — the mkdir
@@ -98,25 +119,30 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if fs.opts.Mode == ModeSync {
 		phys, err := fs.bmap(&in, ino, 0, false)
 		if err != nil {
+			b.Release()
 			return 0, err
 		}
 		cb, err := fs.c.Read(phys)
 		if err != nil {
+			b.Release()
 			return 0, err
 		}
 		if err := fs.c.WriteSync(cb); err != nil {
 			cb.Release()
+			b.Release()
 			return 0, err
 		}
 		cb.Release()
 	}
 	if err := fs.putInode(ino, &in, true); err != nil {
+		b.Release()
 		return 0, err
 	}
-	b, err := fs.dirAdd(&din, dir, name, ino, vfs.TypeDir)
-	if err != nil {
+	if err := fs.dirInsert(b, slotOff, slotLen, ino, vfs.TypeDir, name); err != nil {
+		b.Release()
 		return 0, err
 	}
+	din.Mtime = fs.clk.Now()
 	if err := fs.syncMeta(b); err != nil {
 		b.Release()
 		return 0, err
@@ -130,6 +156,9 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 	defer fs.trk.Begin(obs.OpLink)()
 	fs.wb.Admit()
+	if err := checkName(name); err != nil {
+		return err
+	}
 	din, err := fs.getLiveInode(dir)
 	if err != nil {
 		return err
@@ -144,19 +173,25 @@ func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 	if tin.Type == vfs.TypeDir {
 		return vfs.ErrIsDir
 	}
-	if b, _, err := fs.dirLookup(&din, dir, name); err == nil {
+	b, slotOff, slotLen, existing, err := fs.dirPrepareAdd(&din, dir, name)
+	if err != nil {
+		return err
+	}
+	if existing != nil {
 		b.Release()
 		return fmt.Errorf("ffs: link %q: %w", name, vfs.ErrExist)
 	}
 	tin.Nlink++
 	// The incremented link count must be stable before the new name.
 	if err := fs.putInode(target, &tin, true); err != nil {
+		b.Release()
 		return err
 	}
-	b, err := fs.dirAdd(&din, dir, name, target, vfs.TypeReg)
-	if err != nil {
+	if err := fs.dirInsert(b, slotOff, slotLen, target, vfs.TypeReg, name); err != nil {
+		b.Release()
 		return err
 	}
+	din.Mtime = fs.clk.Now()
 	if err := fs.syncMeta(b); err != nil {
 		b.Release()
 		return err
@@ -283,8 +318,11 @@ func (fs *FS) Rmdir(dir vfs.Ino, name string) error {
 func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) error {
 	defer fs.trk.Begin(obs.OpRename)()
 	fs.wb.Admit()
-	if sname == "." || sname == ".." || dname == "." || dname == ".." {
+	if sname == "." || sname == ".." {
 		return vfs.ErrInvalid
+	}
+	if err := checkName(dname); err != nil {
+		return err
 	}
 	sin, err := fs.getLiveInode(sdir)
 	if err != nil {
@@ -295,13 +333,22 @@ func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 		return err
 	}
 	b.Release()
+	if sdir == ddir && sname == dname {
+		return nil // self-rename is a no-op
+	}
 	din, err := fs.getLiveInode(ddir)
 	if err != nil {
 		return err
 	}
-	if b, de, err := fs.dirLookup(&din, ddir, dname); err == nil {
-		b.Release()
-		if de.ftype == vfs.TypeDir {
+	// One scan resolves the destination: either the name exists (handled
+	// below) or the scan already found the free slot for the new entry.
+	nb, slotOff, slotLen, existing, err := fs.dirPrepareAdd(&din, ddir, dname)
+	if err != nil {
+		return err
+	}
+	if existing != nil {
+		nb.Release()
+		if existing.ftype == vfs.TypeDir {
 			return vfs.ErrIsDir
 		}
 		if err := fs.Unlink(ddir, dname); err != nil {
@@ -311,13 +358,21 @@ func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 		if err != nil {
 			return err
 		}
+		if nb, slotOff, slotLen, existing, err = fs.dirPrepareAdd(&din, ddir, dname); err != nil {
+			return err
+		}
+		if existing != nil {
+			nb.Release()
+			return fmt.Errorf("ffs: rename %q: %w", dname, vfs.ErrExist)
+		}
 	}
 	// Add the new name first (a moment with two names is safe; a moment
 	// with zero is not).
-	nb, err := fs.dirAdd(&din, ddir, dname, vfs.Ino(se.ino), se.ftype)
-	if err != nil {
+	if err := fs.dirInsert(nb, slotOff, slotLen, vfs.Ino(se.ino), se.ftype, dname); err != nil {
+		nb.Release()
 		return err
 	}
+	din.Mtime = fs.clk.Now()
 	if err := fs.syncMeta(nb); err != nil {
 		nb.Release()
 		return err

@@ -45,6 +45,7 @@ func Cases() []Case {
 		{Name: "RenameAcrossDirs", Needs: Features{Rename: true}, Fn: testRenameAcrossDirs},
 		{Name: "RenameReplace", Needs: Features{Rename: true, RenameReplace: true}, Fn: testRenameReplace},
 		{Name: "ErrorCases", Fn: testErrorCases},
+		{Name: "NameValidation", Fn: testNameValidation},
 		{Name: "PersistenceAcrossFlush", Needs: Features{Flush: true}, Fn: testPersistenceAcrossFlush},
 		{Name: "StatFields", Fn: testStatFields},
 		{Name: "ManyFilesContentIntegrity", Fn: testManyFilesContentIntegrity},
@@ -580,6 +581,44 @@ func testErrorCases(t *testing.T, fs vfs.FileSystem) {
 	}
 	if _, err := fs.Create(root, string(long)); !errors.Is(err, vfs.ErrNameTooLong) {
 		t.Fatalf("oversized name = %v", err)
+	}
+}
+
+// testNameValidation checks that names carrying a path separator or a
+// NUL byte are rejected with ErrInvalid by every namespace-mutating
+// call. A '/' accepted into a single-name field would smuggle extra
+// path components past the walk layer; a NUL would truncate the name
+// for any C-string consumer of the on-disk image.
+func testNameValidation(t *testing.T, fs vfs.FileSystem) {
+	root := fs.Root()
+	target, err := fs.Create(root, "target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create(root, "src"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"a/b", "/", "a\x00b", "\x00", "a/b\x00c"} {
+		if _, err := fs.Create(root, bad); !errors.Is(err, vfs.ErrInvalid) {
+			t.Fatalf("create %q = %v, want ErrInvalid", bad, err)
+		}
+		if _, err := fs.Mkdir(root, bad); !errors.Is(err, vfs.ErrInvalid) {
+			t.Fatalf("mkdir %q = %v, want ErrInvalid", bad, err)
+		}
+		if err := fs.Link(root, bad, target); !errors.Is(err, vfs.ErrInvalid) {
+			t.Fatalf("link %q = %v, want ErrInvalid", bad, err)
+		}
+		if err := fs.Rename(root, "src", root, bad); !errors.Is(err, vfs.ErrInvalid) {
+			t.Fatalf("rename to %q = %v, want ErrInvalid", bad, err)
+		}
+		// The rejected name must not have been entered anywhere.
+		if _, err := fs.Lookup(root, bad); err == nil {
+			t.Fatalf("lookup %q succeeded after rejected ops", bad)
+		}
+	}
+	// The source of the rejected rename must be untouched.
+	if _, err := fs.Lookup(root, "src"); err != nil {
+		t.Fatalf("rename source disturbed: %v", err)
 	}
 }
 

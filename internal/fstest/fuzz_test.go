@@ -355,6 +355,93 @@ func FuzzPathTraversal(f *testing.F) {
 	})
 }
 
+// FuzzRawNames bypasses the path helpers entirely and feeds raw,
+// fuzzer-chosen names straight into the single-name entry points
+// (Create, Mkdir, Link, Unlink, Rmdir, Rename, Lookup). The other
+// targets route names through vfs.Walk, where an embedded '/' is
+// split into components before the file system ever sees it — so
+// only this target exercises the checkName rejection of '/' and NUL
+// inside one name field.
+func FuzzRawNames(f *testing.F) {
+	f.Add("a/b", "ok", []byte{0, 1, 2, 3, 4, 5})
+	f.Add("nul\x00byte", "x/y", []byte{0, 0, 1, 1, 3, 2})
+	f.Add("/", "\x00", []byte{2, 0, 5, 1, 0, 3})
+	f.Fuzz(func(t *testing.T, n1, n2 string, ops []byte) {
+		if len(n1) > maxFuzzName || len(n2) > maxFuzzName {
+			t.Skip("names beyond interesting lengths")
+		}
+		pair := newFuzzPair(t)
+		// A fixture directory so ops can target a non-root parent, and a
+		// link target that exists at the start. Both can be renamed or
+		// unlinked by the program, so they are re-resolved before every
+		// op rather than cached; the resolution itself must agree.
+		for _, fs := range []vfs.FileSystem{pair.fs, pair.ref} {
+			if _, err := fs.Mkdir(fs.Root(), "sub"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fs.Create(fs.Root(), "tgt"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// resolve looks up a fixture name on both systems and requires
+		// them to agree on its existence.
+		resolve := func(name string) (vfs.Ino, vfs.Ino, bool) {
+			a, errA := pair.fs.Lookup(pair.fs.Root(), name)
+			b, errB := pair.ref.Lookup(pair.ref.Root(), name)
+			agree(t, "resolve "+name, errA, errB)
+			return a, b, errA == nil
+		}
+		names := []string{n1, n2, n1 + "/" + n2, n1 + "\x00" + n2, "plain", "sub", "tgt"}
+		pick := func(sel byte) string { return names[int(sel)%len(names)] }
+		p := &prog{data: ops}
+		for ops := 0; !p.done() && ops < maxFuzzOps; ops++ {
+			op := p.byte()
+			di := int(p.byte()) % 2
+			dA, dB := pair.fs.Root(), pair.ref.Root()
+			if di == 1 {
+				if a, b, ok := resolve("sub"); ok {
+					dA, dB = a, b
+				}
+			}
+			name := pick(p.byte())
+			what := fmt.Sprintf("dir%d %q", di, name)
+			switch op % 7 {
+			case 0:
+				_, errA := pair.fs.Create(dA, name)
+				_, errB := pair.ref.Create(dB, name)
+				agree(t, "raw create "+what, errA, errB)
+			case 1:
+				_, errA := pair.fs.Mkdir(dA, name)
+				_, errB := pair.ref.Mkdir(dB, name)
+				agree(t, "raw mkdir "+what, errA, errB)
+			case 2:
+				tA, tB, ok := resolve("tgt")
+				if !ok {
+					continue
+				}
+				agree(t, "raw link "+what,
+					pair.fs.Link(dA, name, tA), pair.ref.Link(dB, name, tB))
+			case 3:
+				agree(t, "raw unlink "+what,
+					pair.fs.Unlink(dA, name), pair.ref.Unlink(dB, name))
+			case 4:
+				agree(t, "raw rmdir "+what,
+					pair.fs.Rmdir(dA, name), pair.ref.Rmdir(dB, name))
+			case 5:
+				dname := pick(p.byte())
+				what = fmt.Sprintf("%s -> %q", what, dname)
+				agree(t, "raw rename "+what,
+					pair.fs.Rename(dA, name, dA, dname), pair.ref.Rename(dB, name, dB, dname))
+			case 6:
+				_, errA := pair.fs.Lookup(dA, name)
+				_, errB := pair.ref.Lookup(dB, name)
+				agree(t, "raw lookup "+what, errA, errB)
+			}
+		}
+		sameTrees(t, pair)
+	})
+}
+
 // --- path-level wrappers that surface errors without aborting ---
 
 func fuzzWrite(fs vfs.FileSystem, p string, data []byte, off int64) error {

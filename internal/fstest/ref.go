@@ -43,6 +43,11 @@ func checkName(name string) error {
 	if len(name) > vfs.MaxNameLen {
 		return fmt.Errorf("ref: name %q: %w", name, vfs.ErrNameTooLong)
 	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' || name[i] == 0 {
+			return fmt.Errorf("ref: name %q: %w", name, vfs.ErrInvalid)
+		}
+	}
 	return nil
 }
 

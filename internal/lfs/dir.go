@@ -127,29 +127,36 @@ func (fs *FS) dirLookup(in *layout.Inode, name string) (dirent, error) {
 	return found, nil
 }
 
-// dirAdd inserts a live entry, growing the directory when needed.
-func (fs *FS) dirAdd(in *layout.Inode, dir vfs.Ino, name string, ino vfs.Ino, ftype vfs.FileType) error {
-	if len(name) == 0 || len(name) > vfs.MaxNameLen {
-		return fmt.Errorf("lfs: name %q: %w", name, vfs.ErrNameTooLong)
-	}
+// dirPrepareAdd runs the existence check and the free-slot search as
+// one scan, so a create pays one directory traversal instead of two.
+// grow=true means no slot fits and dirInsertAt must append a block;
+// a present name returns ErrExist.
+func (fs *FS) dirPrepareAdd(in *layout.Inode, name string) (slot dirent, grow bool, err error) {
 	need := direntSize(len(name))
-	var slot dirent
-	ok, err := fs.forEachDirent(in, func(e dirent) bool {
-		if e.ino == 0 && e.reclen >= need {
-			slot = e
+	var free dirent
+	haveFree := false
+	found, err := fs.forEachDirent(in, func(e dirent) bool {
+		if e.ino != 0 && e.name == name {
 			return true
 		}
-		if e.ino != 0 && e.reclen-e.used() >= need {
-			slot = e
-			return true
+		if !haveFree &&
+			((e.ino == 0 && e.reclen >= need) || (e.ino != 0 && e.reclen-e.used() >= need)) {
+			free, haveFree = e, true
 		}
 		return false
 	})
 	if err != nil {
-		return err
+		return dirent{}, false, err
 	}
-	if !ok {
-		// Grow by one block.
+	if found {
+		return dirent{}, false, fmt.Errorf("lfs: %q: %w", name, vfs.ErrExist)
+	}
+	return free, !haveFree, nil
+}
+
+// dirInsertAt writes a live entry into the place dirPrepareAdd found.
+func (fs *FS) dirInsertAt(in *layout.Inode, dir vfs.Ino, slot dirent, grow bool, ino vfs.Ino, ftype vfs.FileType, name string) error {
+	if grow {
 		lb := in.Size / blockio.BlockSize
 		if err := fs.updateFileBlock(in, dir, lb, func(p []byte) {
 			encodeDirent(p, 0, 0, blockio.BlockSize, vfs.TypeInvalid, "")
@@ -175,6 +182,32 @@ func (fs *FS) dirAdd(in *layout.Inode, dir vfs.Ino, name string, ino vfs.Ino, ft
 			encodeDirent(p, slot.off+usedLen, uint32(ino), e.reclen-usedLen, ftype, name)
 		}
 	})
+}
+
+// dirAdd inserts a live entry, growing the directory when needed. The
+// caller has already ruled out a duplicate name (or, as with rename's
+// ".." rewrite, knows there is none).
+func (fs *FS) dirAdd(in *layout.Inode, dir vfs.Ino, name string, ino vfs.Ino, ftype vfs.FileType) error {
+	if len(name) == 0 || len(name) > vfs.MaxNameLen {
+		return fmt.Errorf("lfs: name %q: %w", name, vfs.ErrNameTooLong)
+	}
+	need := direntSize(len(name))
+	var slot dirent
+	ok, err := fs.forEachDirent(in, func(e dirent) bool {
+		if e.ino == 0 && e.reclen >= need {
+			slot = e
+			return true
+		}
+		if e.ino != 0 && e.reclen-e.used() >= need {
+			slot = e
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return err
+	}
+	return fs.dirInsertAt(in, dir, slot, !ok, ino, ftype, name)
 }
 
 // dirRemove deletes a live entry by name.

@@ -1,6 +1,7 @@
 package lfs
 
 import (
+	"errors"
 	"fmt"
 
 	"cffs/internal/blockio"
@@ -45,6 +46,11 @@ func checkName(name string) error {
 	if len(name) > vfs.MaxNameLen {
 		return fmt.Errorf("lfs: name %q: %w", name, vfs.ErrNameTooLong)
 	}
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' || name[i] == 0 {
+			return fmt.Errorf("lfs: name %q: %w", name, vfs.ErrInvalid)
+		}
+	}
 	return nil
 }
 
@@ -59,8 +65,10 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if err != nil {
 		return 0, err
 	}
-	if _, err := fs.dirLookup(din, name); err == nil {
-		return 0, fmt.Errorf("lfs: create %q: %w", name, vfs.ErrExist)
+	// One scan: existence check and free-slot search together.
+	slot, grow, err := fs.dirPrepareAdd(din, name)
+	if err != nil {
+		return 0, err
 	}
 	ino, err := fs.allocIno()
 	if err != nil {
@@ -70,7 +78,7 @@ func (fs *FS) Create(dir vfs.Ino, name string) (vfs.Ino, error) {
 	fs.inodes[ino] = in
 	fs.dirty[ino] = true
 	fs.imap[int(ino)-1] = 0
-	if err := fs.dirAdd(din, dir, name, ino, vfs.TypeReg); err != nil {
+	if err := fs.dirInsertAt(din, dir, slot, grow, ino, vfs.TypeReg, name); err != nil {
 		return 0, err
 	}
 	din.Mtime = fs.clk.Now()
@@ -89,8 +97,9 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if err != nil {
 		return 0, err
 	}
-	if _, err := fs.dirLookup(din, name); err == nil {
-		return 0, fmt.Errorf("lfs: mkdir %q: %w", name, vfs.ErrExist)
+	slot, grow, err := fs.dirPrepareAdd(din, name)
+	if err != nil {
+		return 0, err
 	}
 	ino, err := fs.allocIno()
 	if err != nil {
@@ -102,7 +111,7 @@ func (fs *FS) Mkdir(dir vfs.Ino, name string) (vfs.Ino, error) {
 	if err := fs.initDirData(in, ino, dir); err != nil {
 		return 0, err
 	}
-	if err := fs.dirAdd(din, dir, name, ino, vfs.TypeDir); err != nil {
+	if err := fs.dirInsertAt(din, dir, slot, grow, ino, vfs.TypeDir, name); err != nil {
 		return 0, err
 	}
 	din.Nlink++
@@ -129,10 +138,11 @@ func (fs *FS) Link(dir vfs.Ino, name string, target vfs.Ino) error {
 	if tin.Type == vfs.TypeDir {
 		return vfs.ErrIsDir
 	}
-	if _, err := fs.dirLookup(din, name); err == nil {
-		return fmt.Errorf("lfs: link %q: %w", name, vfs.ErrExist)
+	slot, grow, err := fs.dirPrepareAdd(din, name)
+	if err != nil {
+		return err
 	}
-	if err := fs.dirAdd(din, dir, name, target, vfs.TypeReg); err != nil {
+	if err := fs.dirInsertAt(din, dir, slot, grow, target, vfs.TypeReg, name); err != nil {
 		return err
 	}
 	tin.Nlink++
@@ -240,13 +250,20 @@ func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 	if err != nil {
 		return err
 	}
+	if sdir == ddir && sname == dname {
+		return nil // self-rename is a no-op
+	}
 	din, err := fs.dirInode(ddir)
 	if err != nil {
 		return err
 	}
-	if de, err := fs.dirLookup(din, dname); err == nil {
-		if de.ino == se.ino && sdir == ddir && sname == dname {
-			return nil
+	// One scan resolves the destination; only the replace path (name
+	// taken) pays a second look to learn what it is replacing.
+	slot, grow, err := fs.dirPrepareAdd(din, dname)
+	if errors.Is(err, vfs.ErrExist) {
+		de, lerr := fs.dirLookup(din, dname)
+		if lerr != nil {
+			return lerr
 		}
 		if de.ftype == vfs.TypeDir {
 			return vfs.ErrIsDir
@@ -254,8 +271,12 @@ func (fs *FS) Rename(sdir vfs.Ino, sname string, ddir vfs.Ino, dname string) err
 		if err := fs.Unlink(ddir, dname); err != nil {
 			return err
 		}
+		slot, grow, err = fs.dirPrepareAdd(din, dname)
 	}
-	if err := fs.dirAdd(din, ddir, dname, vfs.Ino(se.ino), se.ftype); err != nil {
+	if err != nil {
+		return err
+	}
+	if err := fs.dirInsertAt(din, ddir, slot, grow, vfs.Ino(se.ino), se.ftype, dname); err != nil {
 		return err
 	}
 	if _, err := fs.dirRemove(sin, sdir, sname); err != nil {

@@ -265,12 +265,15 @@ func TestShellInject(t *testing.T) {
 	}
 	sh.SetFaultStore(fst)
 
+	// Three durable writes before the cut: the first mutation of the
+	// mount writes the superblock unclean flag, then each sync write
+	// costs one.
 	run(t, sh,
 		"inject torn 0.5",
 		"inject readerr 100",
 		"inject clear",
 		"inject status",
-		"inject cut 2",
+		"inject cut 3",
 		"write /a one",
 		"write /b two",
 	)
@@ -283,7 +286,7 @@ func TestShellInject(t *testing.T) {
 	}
 	run(t, sh, "inject status", "inject revive")
 	s := out.String()
-	for _, want := range []string{"torn-write probability: 0.5", "power cut armed: 2",
+	for _, want := range []string{"torn-write probability: 0.5", "power cut armed: 3",
 		"power: off (cut)", "power restored"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("inject output missing %q:\n%s", want, s)

@@ -619,6 +619,9 @@ func (s *Server) walk(c *conn, t *tenant, f *Fcall) *Fcall {
 		if name == "" || name == "." {
 			continue
 		}
+		if err := checkWireName(name); err != nil {
+			return rerror(err)
+		}
 		if name == ".." && cur == t.root {
 			return rerror(fmt.Errorf("walk above tenant root: %w", ErrPerm))
 		}
@@ -671,10 +674,28 @@ func (s *Server) open(c *conn, f *Fcall) *Fcall {
 	return &Fcall{Type: Ropen, Stat: toWireStat(st)}
 }
 
+// checkWireName refuses entry names no backend may ever accept: a "/"
+// would smuggle extra path components through a single-name field (a
+// tenant-escape vector if a backend were lax about it), and NUL-bearing
+// names break every on-disk format here. The file systems reject these
+// too; refusing at the wire keeps the guarantee independent of which
+// backend is mounted, with a stable Rerror code (codeInvalid).
+func checkWireName(name string) error {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' || name[i] == 0 {
+			return fmt.Errorf("name %q: %w", name, vfs.ErrInvalid)
+		}
+	}
+	return nil
+}
+
 func (s *Server) create(c *conn, t *tenant, f *Fcall) *Fcall {
 	fd, ok := c.fidRef(f.Fid)
 	if !ok {
 		return rerror(fmt.Errorf("create in unknown fid %d: %w", f.Fid, ErrProto))
+	}
+	if err := checkWireName(f.Name); err != nil {
+		return rerror(err)
 	}
 	ino, err := s.fs.Create(fd.ino, f.Name)
 	if err != nil {
@@ -696,6 +717,9 @@ func (s *Server) mkdir(c *conn, f *Fcall) *Fcall {
 	fd, ok := c.fidRef(f.Fid)
 	if !ok {
 		return rerror(fmt.Errorf("mkdir in unknown fid %d: %w", f.Fid, ErrProto))
+	}
+	if err := checkWireName(f.Name); err != nil {
+		return rerror(err)
 	}
 	ino, err := s.fs.Mkdir(fd.ino, f.Name)
 	if err != nil {
@@ -795,6 +819,9 @@ func (s *Server) unlink(c *conn, f *Fcall) *Fcall {
 	if !ok {
 		return rerror(fmt.Errorf("unlink in unknown fid %d: %w", f.Fid, ErrProto))
 	}
+	if err := checkWireName(f.Name); err != nil {
+		return rerror(err)
+	}
 	var err error
 	if f.Rmdir {
 		err = s.fs.Rmdir(fd.ino, f.Name)
@@ -818,6 +845,12 @@ func (s *Server) rename(c *conn, t *tenant, f *Fcall) *Fcall {
 	}
 	if src.t != t || dst.t != t {
 		return rerror(fmt.Errorf("rename across tenants: %w", ErrPerm))
+	}
+	if err := checkWireName(f.Name); err != nil {
+		return rerror(err)
+	}
+	if err := checkWireName(f.NewName); err != nil {
+		return rerror(err)
 	}
 	if err := s.fs.Rename(src.ino, f.Name, dst.ino, f.NewName); err != nil {
 		return rerror(err)

@@ -25,8 +25,19 @@ func SplitPath(path string) []string {
 	return comps
 }
 
+// PathWalker is an optional FileSystem capability: resolve a whole
+// absolute path in one call. Implementations may answer from a path
+// cache without any per-component Lookup traffic; Walk and WalkDir
+// delegate to it when present.
+type PathWalker interface {
+	WalkPath(path string) (Ino, error)
+}
+
 // Walk resolves an absolute path to an Ino.
 func Walk(fs FileSystem, path string) (Ino, error) {
+	if pw, ok := fs.(PathWalker); ok {
+		return pw.WalkPath(path)
+	}
 	cur := fs.Root()
 	for _, c := range SplitPath(path) {
 		next, err := fs.Lookup(cur, c)
@@ -44,6 +55,13 @@ func WalkDir(fs FileSystem, path string) (Ino, string, error) {
 	comps := SplitPath(path)
 	if len(comps) == 0 {
 		return 0, "", fmt.Errorf("walkdir %q: %w", path, ErrInvalid)
+	}
+	if pw, ok := fs.(PathWalker); ok {
+		dir, err := pw.WalkPath("/" + strings.Join(comps[:len(comps)-1], "/"))
+		if err != nil {
+			return 0, "", fmt.Errorf("walkdir %s: %w", path, err)
+		}
+		return dir, comps[len(comps)-1], nil
 	}
 	cur := fs.Root()
 	for _, c := range comps[:len(comps)-1] {

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"cffs/internal/obs"
+	"cffs/internal/sim"
+	"cffs/internal/vfs"
+)
+
+// NamespaceConfig parameterizes the million-file namespace benchmark:
+// a pure-metadata workload (zero-byte files) that measures what the
+// directory index and the path cache buy when the namespace itself is
+// the data set. The tree is a wide fan of fixed-size directories under
+// the root — so the *root* is what grows with the file count — plus one
+// deep chain that exercises long component-by-component resolutions.
+type NamespaceConfig struct {
+	NumFiles    int // total zero-byte files, default 1000000
+	FilesPerDir int // files per leaf directory, default 256
+	ChainDepth  int // depth of the deep directory chain, default 24
+	WalkOps     int // full-path resolutions in the resolve phase, default NumFiles/4
+	Seed        uint64
+
+	// Registry, as in SmallFileConfig: the registry the file system under
+	// test was mounted with, for per-phase metric deltas.
+	Registry *obs.Registry
+}
+
+func (c *NamespaceConfig) fill() {
+	if c.NumFiles == 0 {
+		c.NumFiles = 1000000
+	}
+	if c.FilesPerDir == 0 {
+		c.FilesPerDir = 256
+	}
+	if c.ChainDepth == 0 {
+		c.ChainDepth = 24
+	}
+	if c.WalkOps == 0 {
+		c.WalkOps = c.NumFiles / 4
+	}
+	if c.WalkOps > c.NumFiles {
+		c.WalkOps = c.NumFiles
+	}
+}
+
+// NamespaceResult is the per-phase outcome plus tree shape.
+type NamespaceResult struct {
+	Phases []PhaseResult
+	Dirs   int // leaf directories created (excluding the chain)
+}
+
+// RunNamespace executes three phases against an already-mounted, empty
+// file system:
+//
+//	populate — mkdir the directory fan and create every (empty) file,
+//	           plus the deep chain;
+//	resolve  — WalkOps full-path resolutions of distinct random files
+//	           (every 64th walk resolves the deep chain instead);
+//	scan     — readdir+stat storm: list every directory and stat every
+//	           entry it returns.
+//
+// All paths are distinct in the resolve phase, so the path cache is
+// exercised without letting repeat-hits at small scale skew the
+// requests-per-operation comparison across scales.
+func RunNamespace(fs vfs.FileSystem, cfg NamespaceConfig) (NamespaceResult, error) {
+	cfg.fill()
+	var out NamespaceResult
+	dev, err := deviceOf(fs)
+	if err != nil {
+		return out, err
+	}
+	clk := dev.Disk().Clock()
+	nDirs := (cfg.NumFiles + cfg.FilesPerDir - 1) / cfg.FilesPerDir
+	out.Dirs = nDirs
+	dirs := make([]vfs.Ino, nDirs)
+	perDir := func(d int) int {
+		n := cfg.NumFiles - d*cfg.FilesPerDir
+		if n > cfg.FilesPerDir {
+			n = cfg.FilesPerDir
+		}
+		return n
+	}
+
+	phase := func(label string, ops int, body func() error) error {
+		start := clk.Now()
+		stats0 := dev.Disk().Stats()
+		m0 := cfg.Registry.Snapshot()
+		if err := body(); err != nil {
+			return fmt.Errorf("namespace %s: %w", label, err)
+		}
+		if err := fs.Sync(); err != nil {
+			return err
+		}
+		out.Phases = append(out.Phases, PhaseResult{
+			Name:    label,
+			Files:   ops,
+			Seconds: float64(clk.Now()-start) / 1e9,
+			Disk:    dev.Disk().Stats().Sub(stats0),
+			Metrics: cfg.Registry.Snapshot().Delta(m0),
+		})
+		return flush(fs)
+	}
+
+	if err := phase("populate", cfg.NumFiles, func() error {
+		for d := 0; d < nDirs; d++ {
+			di, err := fs.Mkdir(fs.Root(), fmt.Sprintf("d%05d", d))
+			if err != nil {
+				return err
+			}
+			dirs[d] = di
+			for f := 0; f < perDir(d); f++ {
+				if _, err := fs.Create(di, fmt.Sprintf("f%06d", f)); err != nil {
+					return err
+				}
+			}
+		}
+		cur := fs.Root()
+		for i := 0; i < cfg.ChainDepth; i++ {
+			next, err := fs.Mkdir(cur, fmt.Sprintf("p%02d", i))
+			if err != nil {
+				return err
+			}
+			cur = next
+		}
+		_, err := fs.Create(cur, "leaf")
+		return err
+	}); err != nil {
+		return out, err
+	}
+
+	var chain strings.Builder
+	for i := 0; i < cfg.ChainDepth; i++ {
+		fmt.Fprintf(&chain, "/p%02d", i)
+	}
+	chain.WriteString("/leaf")
+	chainPath := chain.String()
+
+	if err := phase("resolve", cfg.WalkOps, func() error {
+		order := sim.NewRNG(cfg.Seed + 3).Perm(cfg.NumFiles)
+		for k := 0; k < cfg.WalkOps; k++ {
+			p := chainPath
+			if k%64 != 63 {
+				i := order[k]
+				p = fmt.Sprintf("/d%05d/f%06d", i/cfg.FilesPerDir, i%cfg.FilesPerDir)
+			}
+			if _, err := vfs.Walk(fs, p); err != nil {
+				return fmt.Errorf("walk %s: %w", p, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return out, err
+	}
+
+	if err := phase("scan", cfg.NumFiles, func() error {
+		for d := 0; d < nDirs; d++ {
+			ents, err := fs.ReadDir(dirs[d])
+			if err != nil {
+				return err
+			}
+			if len(ents) != perDir(d) {
+				return fmt.Errorf("dir d%05d lists %d entries, want %d", d, len(ents), perDir(d))
+			}
+			for _, e := range ents {
+				if _, err := fs.Stat(e.Ino); err != nil {
+					return fmt.Errorf("stat d%05d/%s: %w", d, e.Name, err)
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return out, err
+	}
+
+	return out, nil
+}
