@@ -1,63 +1,75 @@
 // Command agefs ages a file system image with Herrin93-style
 // create/delete churn around a target utilization (the paper's Section
-// 4.3 methodology), leaving the surviving files as the aged state.
+// 4.3 methodology), leaving the surviving files as the aged state. The
+// image opens through the store registry, so the churn can run against
+// any backend that persists to a file — including the flash model,
+// where -ssd-aged additionally pre-dirties the FTL so the device-level
+// half of aging (steady-state garbage collection) applies too.
 //
 // Usage:
 //
-//	agefs -img disk.img [-drive name] [-util 0.5] [-ops 20000] [-seed 1]
+//	agefs -img disk.img [-backend name] [-drive name] [-disks n]
+//	      [-util 0.5] [-ops 20000] [-seed 1] [-ssd-aged]
 package main
 
 import (
-	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cffs/internal/aging"
-	"cffs/internal/blockio"
 	"cffs/internal/core"
-	"cffs/internal/disk"
 	"cffs/internal/ffs"
 	"cffs/internal/lfs"
-	"cffs/internal/sched"
-	"cffs/internal/sim"
+	"cffs/internal/store"
 	"cffs/internal/vfs"
 )
 
 func main() {
 	var (
-		img  = flag.String("img", "", "image file to age (required)")
-		drv  = flag.String("drive", "Seagate ST31200", "disk model defining the geometry")
-		util = flag.Float64("util", 0.5, "target utilization")
-		ops  = flag.Int("ops", 20000, "create/delete operations")
-		seed = flag.Uint64("seed", 1, "churn seed")
+		img     = flag.String("img", "", "image file to age (required)")
+		backend = flag.String("backend", "", `store backend: `+strings.Join(store.Names(), ", ")+` (default "disk")`)
+		drive   = flag.String("drive", "", `disk model defining the geometry (default "Seagate ST31200")`)
+		disks   = flag.Int("disks", 1, "open the image as an N-spindle striped volume (match mkfs -disks)")
+		util    = flag.Float64("util", 0.5, "target utilization")
+		ops     = flag.Int("ops", 20000, "create/delete operations")
+		seed    = flag.Uint64("seed", 1, "churn seed")
+		ssdAged = flag.Bool("ssd-aged", false, "on the ssd backend, pre-dirty the FTL so GC runs at steady state")
 	)
 	flag.Parse()
 	if *img == "" {
 		fmt.Fprintln(os.Stderr, "agefs: -img is required")
 		os.Exit(2)
 	}
-	spec, err := disk.SpecByName(*drv)
+	bk, err := store.Open(store.Config{
+		Backend: *backend,
+		Drive:   *drive,
+		Disks:   *disks,
+		Path:    *img,
+		SSDAged: *ssdAged,
+	})
 	fatal(err)
-	store, err := disk.OpenFileStore(*img, spec.Geom.Bytes())
-	fatal(err)
-	defer store.Close()
-	d, err := disk.New(spec, sim.NewClock(), store)
-	fatal(err)
-	dev := blockio.NewDevice(d, sched.CLook{})
+	defer bk.Bytes.Close()
 
-	var magic [4]byte
-	fatal(store.ReadAt(magic[:], 0))
+	kind, err := store.DetectFS(bk.Bytes)
+	if errors.Is(err, store.ErrUnknownImage) {
+		fmt.Fprintln(os.Stderr, "agefs: unrecognized image; run mkfs first")
+		os.Exit(1)
+	}
+	fatal(err)
+	dev := bk.Device()
 	var fs vfs.FileSystem
-	switch binary.LittleEndian.Uint32(magic[:]) {
-	case core.Magic:
+	switch kind {
+	case store.KindCFFS:
 		fs, err = core.Mount(dev, core.Options{Mode: core.ModeDelayed})
-	case ffs.Magic:
+	case store.KindFFS:
 		fs, err = ffs.Mount(dev, ffs.Options{Mode: ffs.ModeDelayed})
-	case lfs.Magic:
+	case store.KindLFS:
 		fs, err = lfs.Mount(dev, lfs.Options{})
 	default:
-		fmt.Fprintln(os.Stderr, "agefs: unrecognized image; run mkfs first")
+		fmt.Fprintf(os.Stderr, "agefs: cannot age a %s image\n", kind)
 		os.Exit(1)
 	}
 	fatal(err)
@@ -66,6 +78,11 @@ func main() {
 	fatal(fs.Close())
 	fmt.Printf("agefs: %d creates, %d deletes, %d live files, final utilization %.2f\n",
 		st.Creates, st.Deletes, st.LiveFiles, st.FinalUtil)
+	if bk.SSD != nil {
+		f := bk.SSD.FTL()
+		fmt.Printf("agefs: ssd churn: %d gc runs, %d erases, write amplification %.2f\n",
+			f.GCRuns, f.Erases, f.WriteAmp)
+	}
 }
 
 func fatal(err error) {

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	cffsbench [-exp name] [-drive name] [-sched clook|fcfs] [-files N]
-//	          [-size bytes] [-dirs N] [-cache blocks] [-seed N] [-quick]
-//	          [-metrics-json path]
+//	cffsbench [-exp name] [-backend name] [-drive name] [-sched clook|fcfs]
+//	          [-files N] [-size bytes] [-dirs N] [-cache blocks] [-seed N]
+//	          [-quick] [-aged] [-channels N] [-metrics-json path]
 //	cffsbench -list
 //
 // With no -exp, every experiment runs in sequence (the full run takes a
@@ -43,6 +43,8 @@ func main() {
 		cache   = flag.Int("cache", 0, "buffer cache size in 4K blocks (default 2048)")
 		seed    = flag.Uint64("seed", 0, "workload seed (default 42)")
 		quick   = flag.Bool("quick", false, "shrink workloads ~10x")
+		aged    = flag.Bool("aged", false, "age every file system (and the ssd FTL) before measuring")
+		chans   = flag.Int("channels", 0, "ssd channel-count override (0 = backend default)")
 		mjson   = flag.String("metrics-json", "", "capture metrics and write a JSON report (file with -exp, directory otherwise)")
 		expoOn  = flag.String("expo", "", `serve live metrics over HTTP while experiments run (e.g. "127.0.0.1:9130")`)
 	)
@@ -65,6 +67,8 @@ func main() {
 		CacheBlocks: *cache,
 		Seed:        *seed,
 		Quick:       *quick,
+		Aged:        *aged,
+		Channels:    *chans,
 	}
 
 	if *expoOn != "" {

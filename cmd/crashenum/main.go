@@ -7,8 +7,12 @@
 //
 // Usage:
 //
-//	crashenum [-fs cffs|cffs-async|cffs-delayed|cffs-striped|ffs|lfs|all]
+//	crashenum [-fs cffs|cffs-async|cffs-delayed|cffs-striped|cffs-ssd|ffs|ffs-ssd|lfs|lfs-ssd|all]
 //	          [-max-points n] [-torn n] [-reorder n] [-seed n] [-json file]
+//
+// The -ssd variants rebase the enumeration onto the flash backend with
+// a pre-dirtied FTL, so every crash state is reconstructed with garbage
+// collection in flight.
 //
 // The exit code is 0 when every enumerated state repaired cleanly and
 // every durability promise held, 1 otherwise.
@@ -56,10 +60,13 @@ func main() {
 		"cffs-async":   harness.CFFSAsyncConfig(),
 		"cffs-delayed": harness.CFFSConfig(core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed}, false),
 		"cffs-striped": harness.CFFSStripedConfig(2),
+		"cffs-ssd":     harness.WithSSD(harness.CFFSConfig(core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeSync}, true)),
 		"ffs":          harness.FFSConfig(),
+		"ffs-ssd":      harness.WithSSD(harness.FFSConfig()),
 		"lfs":          harness.LFSConfig(),
+		"lfs-ssd":      harness.WithSSD(harness.LFSConfig()),
 	}
-	order := []string{"cffs", "cffs-async", "cffs-delayed", "cffs-striped", "ffs", "lfs"}
+	order := []string{"cffs", "cffs-async", "cffs-delayed", "cffs-striped", "cffs-ssd", "ffs", "ffs-ssd", "lfs", "lfs-ssd"}
 	if *which != "all" {
 		if _, ok := configs[*which]; !ok {
 			fmt.Fprintf(os.Stderr, "crashenum: unknown -fs %q\n", *which)

@@ -1,11 +1,15 @@
 package aging
 
 import (
+	"crypto/sha256"
+	"reflect"
 	"testing"
 
 	"cffs/internal/blockio"
 	"cffs/internal/core"
 	"cffs/internal/disk"
+	"cffs/internal/health"
+	"cffs/internal/obs"
 	"cffs/internal/sched"
 	"cffs/internal/sim"
 )
@@ -76,6 +80,78 @@ func TestAgeDeterministic(t *testing.T) {
 	}
 	if sa != sb {
 		t.Fatalf("same seed produced different aging: %+v vs %+v", sa, sb)
+	}
+}
+
+// TestAgeByteIdenticalImages is the regression gate under the aged
+// experiment matrix: two runs with the same seed must produce
+// byte-identical aged images and identical health.* fragmentation
+// gauges. Stats equality (above) is necessary but not sufficient — the
+// same create/delete counts could still land blocks differently; the
+// benchmarks difference aged results across backends, which is only
+// sound if "aged" names one reproducible disk state.
+func TestAgeByteIdenticalImages(t *testing.T) {
+	run := func() ([sha256.Size]byte, obs.Snapshot) {
+		spec := disk.SeagateST31200()
+		if err := spec.Validate(); err != nil { // derives the geometry totals
+			t.Fatal(err)
+		}
+		st := disk.NewMemStore(spec.Geom.Bytes())
+		d, err := disk.New(spec, sim.NewClock(), st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := core.Mkfs(blockio.NewDevice(d, sched.CLook{}), core.Options{
+			EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Age(fs, Config{Ops: 1500, TargetUtil: 0.15, Dirs: 6, MeanSize: 16384, Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := health.Inspect(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		rep.Register(reg)
+		if err := fs.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		h := sha256.New()
+		buf := make([]byte, 1<<20)
+		for off := int64(0); off < spec.Geom.Bytes(); off += int64(len(buf)) {
+			n := spec.Geom.Bytes() - off
+			if n > int64(len(buf)) {
+				n = int64(len(buf))
+			}
+			if err := st.ReadAt(buf[:n], off); err != nil {
+				t.Fatal(err)
+			}
+			h.Write(buf[:n])
+		}
+		var sum [sha256.Size]byte
+		copy(sum[:], h.Sum(nil))
+		return sum, reg.Snapshot()
+	}
+
+	sumA, healthA := run()
+	sumB, healthB := run()
+	if sumA != sumB {
+		t.Errorf("same seed produced different aged images: %x vs %x", sumA, sumB)
+	}
+	if len(healthA.Gauges) == 0 {
+		t.Fatal("no health gauges registered")
+	}
+	if !reflect.DeepEqual(healthA.Gauges, healthB.Gauges) {
+		t.Errorf("same seed produced different health gauges:\n%v\nvs\n%v", healthA.Gauges, healthB.Gauges)
+	}
+	if frag, ok := healthA.Gauges["health.frag_pct"]; !ok {
+		t.Error("health.frag_pct gauge missing from aged report")
+	} else if frag == 0 {
+		t.Log("aged image shows no fragmentation; churn may be too small")
 	}
 }
 

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"cffs/internal/aging"
 	"cffs/internal/blockio"
 	"cffs/internal/core"
 	"cffs/internal/disk"
@@ -23,6 +24,16 @@ type Config struct {
 	Drive       string // disk model, default the paper's ST31200
 	Scheduler   string // "clook" (default) or "fcfs"
 	CacheBlocks int    // buffer cache size, default 2048 (8 MB)
+	Channels    int    // ssd channel-count override; 0 keeps the backend default
+
+	// Aged runs every variant build through internal/aging before the
+	// measured workload: deterministic create/delete churn fragments the
+	// free space (the file-system half of an aged image) and, on the ssd
+	// backend, the FTL opens pre-dirtied so garbage collection runs at
+	// steady state from the first write (the device half). Fresh-vs-aged
+	// is the second axis of the experiment matrix; every experiment
+	// honors it because it acts at the variant-build seam.
+	Aged bool
 
 	NumFiles int // small-file benchmark file count, default 10000
 	FileSize int // small-file size in bytes, default 1024
@@ -87,11 +98,46 @@ func (c Config) newDevice() (*blockio.Device, error) {
 		Backend:   c.Backend,
 		Drive:     c.Drive,
 		Scheduler: c.Scheduler,
+		Channels:  c.Channels,
+		SSDAged:   c.Aged,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: %w", err)
 	}
-	return bk.Device(), nil
+	dev := bk.Device()
+	// Backends with device-level instruments (the ssd's FTL counters)
+	// record into the same registry as the file system above them.
+	if c.Registry != nil {
+		if m, ok := dev.Disk().(interface{ SetMetrics(*obs.Registry) }); ok {
+			m.SetMetrics(c.Registry)
+		}
+	}
+	return dev, nil
+}
+
+// agingConfig is the deterministic churn an Aged build runs before its
+// measured workload. The scale is fixed (not Quick-dependent) so "aged"
+// names the same file-system state no matter how the measurement after
+// it is scaled.
+func (c Config) agingConfig() aging.Config {
+	return aging.Config{
+		Ops: 6000, TargetUtil: 0.15, Dirs: 24, MeanSize: 32768, Seed: c.Seed,
+	}
+}
+
+// ageIfConfigured applies the Aged dimension to a freshly built file
+// system: churn to steady state, then reset the device statistics so
+// the measured phases start from zero — the fragmentation stays, the
+// aging traffic does not pollute the measurement.
+func (c Config) ageIfConfigured(fs vfs.FileSystem, dev *blockio.Device) error {
+	if !c.Aged {
+		return nil
+	}
+	if _, err := aging.Age(fs, c.agingConfig()); err != nil {
+		return fmt.Errorf("bench: aging: %w", err)
+	}
+	dev.Disk().ResetStats()
+	return nil
 }
 
 // newStripedDevice builds an n-spindle striped volume over fresh
@@ -141,6 +187,9 @@ func coreVariant(name string, embed, grouping bool) fsVariant {
 			if err != nil {
 				return nil, nil, err
 			}
+			if err := c.ageIfConfigured(fs, dev); err != nil {
+				return nil, nil, err
+			}
 			return fs, dev, nil
 		},
 	}
@@ -161,6 +210,9 @@ func ffsVariant() fsVariant {
 			}
 			fs, err := ffs.Mkfs(dev, ffs.Options{Mode: m, CacheBlocks: c.CacheBlocks, Metrics: c.Registry})
 			if err != nil {
+				return nil, nil, err
+			}
+			if err := c.ageIfConfigured(fs, dev); err != nil {
 				return nil, nil, err
 			}
 			return fs, dev, nil

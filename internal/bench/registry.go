@@ -42,6 +42,7 @@ func Experiments() []Experiment {
 		{"scaling", "Striped multi-disk scaling: 1/2/4/8 spindles", ScalingExp},
 		{"service", "Multi-tenant service: loopback sessions, per-tenant QoS", ServiceExp},
 		{"namespace", "Million-file namespace: indexed directories and the path cache at scale", NamespaceExp},
+		{"ssd", "Backend matrix: disk vs flash, fresh vs aged — where the C-FFS bet breaks", SSDExp},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name })
 	return exps

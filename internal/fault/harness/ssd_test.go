@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/core"
+	"cffs/internal/disk"
+	"cffs/internal/fault"
+	"cffs/internal/sim"
+	"cffs/internal/ssd"
+)
+
+// captureSSD wraps WithSSD so the test can reach the device built for
+// each harness phase: call 1 is mkfs, call 2 the recorded workload, the
+// rest crash states. The workload device is the one whose FTL must show
+// garbage collection in flight.
+func captureSSD(cfg Config, out *[]*ssd.Store) Config {
+	cfg = WithSSD(cfg)
+	inner := cfg.NewDevice
+	cfg.NewDevice = func(spec disk.Spec, clk *sim.Clock, st disk.Store) *blockio.Device {
+		dev := inner(spec, clk, st)
+		*out = append(*out, dev.Disk().(*ssd.Store))
+		return dev
+	}
+	return cfg
+}
+
+// TestCFFSSSDEnumeration is the satellite claim: power-cut at every
+// write boundary of the smallfile workload on the flash backend — with
+// the pre-dirtied FTL garbage-collecting underneath — must fsck-repair,
+// and no completed operation may be lost. The FTL sits above the
+// recorded byte store, so it can only break this by breaking the write
+// stream; the test proves it does not.
+func TestCFFSSSDEnumeration(t *testing.T) {
+	var devs []*ssd.Store
+	cfg := captureSSD(CFFSConfig(core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeSync}, true), &devs)
+	cfg.Seed = 7
+	res, log, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes == 0 || res.CrashPoints != res.Writes+1 {
+		t.Fatalf("covered %d of %d write boundaries", res.CrashPoints, res.Writes+1)
+	}
+	if res.TornStates == 0 || res.ReorderStates == 0 {
+		t.Fatalf("no torn (%d) or reorder (%d) states sampled", res.TornStates, res.ReorderStates)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unrepaired state: %s", f)
+	}
+	for _, v := range res.DurabilityViolations {
+		t.Errorf("durability violation: %s", v)
+	}
+	if len(log.Marks) != 12 {
+		t.Fatalf("expected 12 op marks, got %d", len(log.Marks))
+	}
+	// GC in flight: the recorded workload's device (second built) must
+	// have collected — the enumeration above happened with the FTL
+	// actively migrating pages between the crashed writes.
+	if len(devs) < 2 {
+		t.Fatalf("captured %d devices, want mkfs + workload at least", len(devs))
+	}
+	if st := devs[1].FTL(); st.GCRuns == 0 || st.Erases == 0 {
+		t.Fatalf("workload FTL never collected (%+v); the 'GC in flight' claim is vacuous", st)
+	}
+}
+
+func TestFFSSSDEnumeration(t *testing.T) {
+	cfg := WithSSD(FFSConfig())
+	cfg.Seed = 11
+	res, _, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashPoints != res.Writes+1 {
+		t.Fatalf("covered %d of %d write boundaries", res.CrashPoints, res.Writes+1)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unrepaired state: %s", f)
+	}
+	for _, v := range res.DurabilityViolations {
+		t.Errorf("durability violation: %s", v)
+	}
+}
+
+func TestLFSSSDEnumeration(t *testing.T) {
+	cfg := WithSSD(LFSConfig())
+	cfg.Seed = 13
+	res, _, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrashPoints != res.Writes+1 {
+		t.Fatalf("covered %d of %d write boundaries", res.CrashPoints, res.Writes+1)
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unrepaired state: %s", f)
+	}
+}
+
+// TestSSDTornInsideEraseBlock constructs the torn state the satellite
+// asks for explicitly. The store-level write atom is one 4 KB block —
+// exactly one flash page of the harness's 16-page erase blocks — so a
+// power cut tearing a write mid-transfer leaves an erase block holding
+// a page with mixed old and new sectors. Every interior sector offset
+// of every page of one erase block's worth of recorded writes is torn
+// and must repair; the flash-specific twist over the generic sampled
+// torn states is exhaustiveness within the erase-block span.
+func TestSSDTornInsideEraseBlock(t *testing.T) {
+	opts := core.Options{EmbedInodes: true, Grouping: true, Mode: core.ModeDelayed}
+	cfg := WithSSD(CFFSConfig(opts, false))
+	cfg.Spec = disk.SeagateST31200()
+	if err := cfg.Spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ImageBytes = cfg.Spec.Geom.Bytes()
+
+	// Record the workload once, exactly as Run does.
+	base := disk.NewMemStore(cfg.ImageBytes)
+	if err := cfg.Mkfs(cfg.NewDevice(cfg.Spec, sim.NewClock(), base)); err != nil {
+		t.Fatal(err)
+	}
+	snap := base.Clone()
+	rec := fault.NewRecorder(base)
+	if err := cfg.Workload(cfg.NewDevice(cfg.Spec, sim.NewClock(), rec), rec.Mark); err != nil {
+		t.Fatal(err)
+	}
+	log := rec.Log()
+
+	// Collect one erase block's worth of multi-sector page writes.
+	spec := SSDHarnessSpec()
+	var pages []int
+	for i := range log.Entries {
+		if log.Entries[i].Sectors() > 1 {
+			pages = append(pages, i)
+			if len(pages) == spec.PagesPerBlock {
+				break
+			}
+		}
+	}
+	if len(pages) == 0 {
+		t.Fatal("no multi-sector page writes recorded")
+	}
+
+	// Tear each at every interior sector boundary.
+	res := &Result{}
+	for _, n := range pages {
+		for torn := 1; torn < log.Entries[n].Sectors(); torn++ {
+			st := snap.Clone()
+			if err := log.ApplyTorn(st, n, torn); err != nil {
+				t.Fatal(err)
+			}
+			checkRepair(cfg, res, st, "torn-in-erase-block")
+		}
+	}
+	if res.Clean+res.Repaired == 0 {
+		t.Fatal("no torn states checked")
+	}
+	for _, f := range res.Failures {
+		t.Errorf("unrepaired state: %s", f)
+	}
+}

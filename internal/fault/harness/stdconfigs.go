@@ -11,6 +11,7 @@ import (
 	"cffs/internal/lfs"
 	"cffs/internal/sched"
 	"cffs/internal/sim"
+	"cffs/internal/ssd"
 	"cffs/internal/vfs"
 	"cffs/internal/volume"
 	"cffs/internal/writeback"
@@ -228,6 +229,39 @@ func cffsAsyncOptions() core.Options {
 			Batch:  8,
 		},
 	}
+}
+
+// SSDHarnessSpec is the flash spec crash enumeration runs on: small
+// erase blocks and a tight reserve so the enumeration workload's few
+// hundred page writes demonstrably keep garbage collection in flight,
+// and a pre-dirtied FTL so the first workload write already runs at GC
+// steady state. Exported so tests can assert against the same geometry.
+func SSDHarnessSpec() ssd.Spec {
+	spec := ssd.DefaultSpec()
+	spec.PagesPerBlock = 16
+	spec.GCReserve = 2
+	spec.PreDirty = true
+	return spec
+}
+
+// WithSSD rebases an enumeration config onto the flash device: the
+// recorder still wraps the byte store directly, so the write stream,
+// ordered barriers, and crash-state reconstruction are untouched — the
+// FTL above only re-prices the writes and runs its garbage collector
+// against them. That is the claim this config exists to check: crash
+// consistency is a property of the ordered write stream, not of the
+// device's timing model, so fsck must repair every enumerated state
+// with GC churning underneath exactly as it does on the disk.
+func WithSSD(cfg Config) Config {
+	cfg.NewDevice = func(spec disk.Spec, clk *sim.Clock, st disk.Store) *blockio.Device {
+		size := spec.Geom.Bytes()
+		s, err := ssd.New(SSDHarnessSpec(), clk, st, size)
+		if err != nil {
+			panic(err) // spec is fixed above; sizing comes from the drive geometry
+		}
+		return blockio.NewDevice(s, sched.CLook{})
+	}
+	return cfg
 }
 
 // FFSConfig builds the smallfile enumeration config for the baseline

@@ -22,7 +22,7 @@ import (
 // backendNames is the provider matrix. Every registered provider must
 // be here; TestBackendMatrixCoversRegistry enforces it so a future
 // backend cannot dodge conformance by forgetting to list itself.
-var backendNames = []string{"disk", "fault", "striped", "objstore"}
+var backendNames = []string{"disk", "fault", "striped", "objstore", "ssd"}
 
 func backendDevice(t *testing.T, backend string) *blockio.Device {
 	t.Helper()
@@ -70,6 +70,63 @@ func TestBackendMatrixCoversRegistry(t *testing.T) {
 	}
 	if len(backendNames) != len(store.Names()) {
 		t.Errorf("matrix lists %v, registry has %v", backendNames, store.Names())
+	}
+}
+
+// TestSSDDeclaredCapabilities pins the ssd provider's declared Features
+// to the opened device's actual behaviour: no seek curve (service time
+// is address-independent), parallelism equal to the configured channel
+// count, and working ordered writes. The declaration is what every
+// consumer above the seam trusts; this test is what makes it true.
+func TestSSDDeclaredCapabilities(t *testing.T) {
+	cfg := store.Config{Backend: "ssd", Channels: 4}
+	f, err := store.FeaturesFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Seek {
+		t.Error("ssd declares Seek=true; the backend exists to have no seek curve")
+	}
+	if !f.Ordered {
+		t.Error("ssd declares Ordered=false; crash enumeration depends on barriers")
+	}
+	if !f.Batch {
+		t.Error("ssd declares Batch=false; channel makespan needs batch submission")
+	}
+	if f.Parallelism != 4 {
+		t.Errorf("ssd declares Parallelism=%d with 4 channels", f.Parallelism)
+	}
+
+	bk, err := store.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bk.Bytes.Close() })
+	if pr, ok := bk.Target.(interface{ Parallelism() int }); !ok || pr.Parallelism() != f.Parallelism {
+		t.Errorf("device parallelism probe does not match declared %d", f.Parallelism)
+	}
+
+	// Seek=false, verified: a far pair of reads costs exactly what a
+	// near pair costs. On the disk backend this same probe shows a
+	// difference — that contrast is the experiment matrix's whole point.
+	dev := bk.Device()
+	buf := make([]byte, blockio.BlockSize)
+	elapsed := func(block int64) int64 {
+		start := bk.Target.Clock().Now()
+		if err := dev.ReadBlock(block, buf); err != nil {
+			t.Fatal(err)
+		}
+		return bk.Target.Clock().Now() - start
+	}
+	near := elapsed(1)
+	far := elapsed(dev.Blocks() - 1)
+	if near != far {
+		t.Errorf("address-dependent timing on ssd: adjacent read %dns, far read %dns", near, far)
+	}
+
+	// Ordered=true, verified: a barrier write reaches the device.
+	if err := dev.WriteBlockOrdered(0, buf); err != nil {
+		t.Errorf("ordered write failed: %v", err)
 	}
 }
 

@@ -1,0 +1,661 @@
+// Package ssd simulates a flash device: every request pays a small
+// fixed cost (protocol plus flash access, microseconds rather than the
+// disk's milliseconds), transfers stream at a per-channel bandwidth,
+// and there is no positioning state — address distance never enters the
+// timing. Requests on distinct channels service concurrently, and
+// beneath the flat logical address space an erase-block FTL tracks the
+// out-of-place write costs the interface hides: garbage collection,
+// write amplification, and erase wear, all charged on the simulated
+// clock.
+//
+// The device exists to test where the paper's bet breaks. C-FFS wins on
+// a mechanical disk for two separable reasons: grouped placement turns
+// many seeks into one (locality), and grouped transfer turns many
+// requests into one (batching). Flash deletes the first reason — the
+// seek-locality half of the read speedup evaporates — but keeps the
+// second: each request still carries a fixed price, so grouping a
+// directory's files into one 64 KB transfer still divides the request
+// count by the group size. The fresh-vs-aged experiment matrix adds the
+// FTL's own axis: on an aged device GC taxes every write with migration
+// and erase time, which favors file systems that write less metadata.
+//
+// Unlike the disk and objstore models, the ssd carries state that
+// timing depends on (the FTL mapping); like them, it is fully
+// deterministic, so aged-image benchmarks reproduce bit-for-bit.
+package ssd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cffs/internal/blockio"
+	"cffs/internal/disk"
+	"cffs/internal/obs"
+	"cffs/internal/sim"
+)
+
+// Spec parameterizes the flash device's timing model and FTL geometry.
+type Spec struct {
+	Name string
+
+	// ReqOverhead is the fixed per-request cost in seconds: command
+	// submission, flash array access, and completion. Microseconds, not
+	// the disk's milliseconds — but still the term explicit grouping
+	// amortizes.
+	ReqOverhead float64
+
+	// Bandwidth is the streaming rate of one request in bytes/second
+	// once the fixed cost is paid.
+	Bandwidth float64
+
+	// Channels bounds how many requests service concurrently; 0 means
+	// unbounded.
+	Channels int
+
+	// PageBytes is the flash page size, the FTL's mapping granularity.
+	// Must be a positive sector multiple.
+	PageBytes int
+
+	// PagesPerBlock is the erase-block size in pages.
+	PagesPerBlock int
+
+	// OverProvision is the fraction of spare erase blocks beyond the
+	// logical capacity (raised to the GC progress minimum if smaller).
+	OverProvision float64
+
+	// GCReserve is the free-block floor: GC collects until at least
+	// this many blocks are free (minimum 2 for progress).
+	GCReserve int
+
+	// Erase is the time to erase one block, in seconds.
+	Erase float64
+
+	// PreDirty ages the FTL at open: every logical page is programmed
+	// once so the log is wrapped and GC runs at steady state from the
+	// first write, like a drive that has been through many fill cycles.
+	// A fresh FTL on a benchmark-sized device never wraps its log, so
+	// GC stays silent and write amplification is exactly 1.0.
+	PreDirty bool
+}
+
+// DefaultSpec models a mid-range NVMe-class device: 30 µs per request,
+// 200 MB/s per channel, 8 channels, 4 KB pages in 256 KB erase blocks
+// with 12.5% over-provisioning and 2 ms erases. At these numbers a 1 KB
+// read costs ~35 µs and a full 64 KB group read ~360 µs — the fixed
+// cost still dominates single-file traffic, but by 2 orders of
+// magnitude less than a disk seek.
+func DefaultSpec() Spec {
+	return Spec{
+		Name:          "ssd",
+		ReqOverhead:   30e-6,
+		Bandwidth:     200e6,
+		Channels:      8,
+		PageBytes:     4096,
+		PagesPerBlock: 64,
+		OverProvision: 0.125,
+		GCReserve:     4,
+		Erase:         2e-3,
+	}
+}
+
+// Validate checks the spec for usable values.
+func (s Spec) Validate() error {
+	if s.ReqOverhead < 0 {
+		return fmt.Errorf("ssd: negative request overhead %g", s.ReqOverhead)
+	}
+	if s.Bandwidth <= 0 {
+		return fmt.Errorf("ssd: bandwidth %g not positive", s.Bandwidth)
+	}
+	if s.Channels < 0 {
+		return fmt.Errorf("ssd: negative channel count %d", s.Channels)
+	}
+	if s.PageBytes <= 0 || s.PageBytes%disk.SectorSize != 0 {
+		return fmt.Errorf("ssd: page size %d is not a positive sector multiple", s.PageBytes)
+	}
+	if s.PagesPerBlock <= 0 {
+		return fmt.Errorf("ssd: %d pages per erase block", s.PagesPerBlock)
+	}
+	if s.OverProvision < 0 {
+		return fmt.Errorf("ssd: negative over-provisioning %g", s.OverProvision)
+	}
+	if s.Erase < 0 {
+		return fmt.Errorf("ssd: negative erase time %g", s.Erase)
+	}
+	return nil
+}
+
+var (
+	_ blockio.Target         = (*Store)(nil)
+	_ blockio.BatchSubmitter = (*Store)(nil)
+)
+
+// fanHint is the parallelism reported upward when the channel pool is
+// unbounded, mirroring objstore.
+const fanHint = 16
+
+// Store is a simulated flash device presenting a flat logical sector
+// address space over a byte store, implementing blockio.Target and
+// blockio.BatchSubmitter. It is safe for concurrent use; a single mutex
+// serializes the timing model, the FTL, and statistics.
+//
+// The FTL is accounting, not a data path: the byte store always holds
+// logical data at logical offsets, so fsck, fault injection, and
+// crash-state reconstruction work on the ssd backend unchanged.
+type Store struct {
+	spec    Spec
+	clock   *sim.Clock
+	store   disk.Store
+	sectors int64
+	ftl     *ftl
+
+	mu sync.Mutex // guards stats, FTL, trace hooks, and the byte store
+
+	stats       disk.Stats
+	trace       *[]disk.TraceEntry
+	traceFunc   func(disk.TraceEntry)
+	opSource    func() (kind uint8, id uint64)
+	metricsFunc func(disk.TraceEntry)
+
+	// ssd.* instruments; nil (no-op) until SetMetrics attaches a registry.
+	mHostPages *obs.Counter // ssd.pages.host
+	mFlashPg   *obs.Counter // ssd.pages.flash
+	mGCRuns    *obs.Counter // ssd.gc.runs
+	mGCMoved   *obs.Counter // ssd.gc.pages_moved
+	mGCErases  *obs.Counter // ssd.gc.erases
+	mGCNanos   *obs.Counter // ssd.gc.ns
+	mTrims     *obs.Counter // ssd.trims
+	gWriteAmp  *obs.Gauge   // ssd.writeamp_x100
+	gFreeBlks  *obs.Gauge   // ssd.blocks.free
+	gEraseMax  *obs.Gauge   // ssd.erase.max
+}
+
+// New builds a flash device of the given byte capacity (a sector
+// multiple) over an existing byte store.
+func New(spec Spec, clock *sim.Clock, st disk.Store, capacity int64) (*Store, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 || capacity%disk.SectorSize != 0 {
+		return nil, fmt.Errorf("ssd: capacity %d is not a positive sector multiple", capacity)
+	}
+	nLogical := int((capacity + int64(spec.PageBytes) - 1) / int64(spec.PageBytes))
+	f, err := newFTL(nLogical, spec.PagesPerBlock, spec.GCReserve, spec.OverProvision)
+	if err != nil {
+		return nil, err
+	}
+	if spec.PreDirty {
+		f.fill()
+	}
+	return &Store{
+		spec:    spec,
+		clock:   clock,
+		store:   st,
+		sectors: capacity / disk.SectorSize,
+		ftl:     f,
+	}, nil
+}
+
+// NewMem builds a flash device over a fresh in-memory image.
+func NewMem(spec Spec, clock *sim.Clock, capacity int64) (*Store, error) {
+	return New(spec, clock, disk.NewMemStore(capacity), capacity)
+}
+
+// Spec returns the timing parameters.
+func (d *Store) Spec() Spec { return d.spec }
+
+// Sectors implements blockio.Target.
+func (d *Store) Sectors() int64 { return d.sectors }
+
+// Clock implements blockio.Target.
+func (d *Store) Clock() *sim.Clock { return d.clock }
+
+// Parallelism reports how many requests a device with this spec
+// services concurrently. An unbounded channel pool reports fanHint.
+func (s Spec) Parallelism() int {
+	if s.Channels > 0 {
+		return s.Channels
+	}
+	return fanHint
+}
+
+// Parallelism implements the optional device-parallelism probe.
+func (d *Store) Parallelism() int { return d.spec.Parallelism() }
+
+// Stats implements blockio.Target.
+func (d *Store) Stats() disk.Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats implements blockio.Target.
+func (d *Store) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = disk.Stats{}
+}
+
+// SetMetrics attaches a registry for the device's FTL instruments.
+// Counters: ssd.pages.host, ssd.pages.flash, ssd.gc.runs,
+// ssd.gc.pages_moved, ssd.gc.erases, ssd.gc.ns, ssd.trims. Gauges:
+// ssd.writeamp_x100, ssd.blocks.free, ssd.erase.max. Families are
+// created eagerly so they appear in snapshots even before GC first
+// runs. Call before concurrent use.
+func (d *Store) SetMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mHostPages = r.Counter("ssd.pages.host")
+	d.mFlashPg = r.Counter("ssd.pages.flash")
+	d.mGCRuns = r.Counter("ssd.gc.runs")
+	d.mGCMoved = r.Counter("ssd.gc.pages_moved")
+	d.mGCErases = r.Counter("ssd.gc.erases")
+	d.mGCNanos = r.Counter("ssd.gc.ns")
+	d.mTrims = r.Counter("ssd.trims")
+	d.gWriteAmp = r.Gauge("ssd.writeamp_x100")
+	d.gFreeBlks = r.Gauge("ssd.blocks.free")
+	d.gEraseMax = r.Gauge("ssd.erase.max")
+	d.updateGauges()
+}
+
+// updateGauges publishes the FTL's current levels, with d.mu held.
+func (d *Store) updateGauges() {
+	d.gWriteAmp.Set(int64(d.ftl.writeAmp() * 100))
+	d.gFreeBlks.Set(int64(d.ftl.freeBlocks()))
+	d.gEraseMax.Set(int64(d.ftl.maxErase()))
+}
+
+// FTLStats is a point-in-time copy of the FTL's accounting, for
+// benchmark gates and tests.
+type FTLStats struct {
+	HostPages  int64   // pages the host wrote
+	FlashPages int64   // pages actually programmed (host + migrated)
+	Moved      int64   // pages relocated by GC
+	Erases     int64   // erase operations
+	GCRuns     int64   // GC activations
+	Trims      int64   // logical pages trimmed
+	WriteAmp   float64 // FlashPages / HostPages
+	MaxErase   int32   // highest per-block erase count
+	FreeBlocks int     // current free pool size
+}
+
+// FTL returns the current FTL accounting.
+func (d *Store) FTL() FTLStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return FTLStats{
+		HostPages:  d.ftl.hostPages,
+		FlashPages: d.ftl.flashPages,
+		Moved:      d.ftl.moved,
+		Erases:     d.ftl.eraseOps,
+		GCRuns:     d.ftl.gcRuns,
+		Trims:      d.ftl.trims,
+		WriteAmp:   d.ftl.writeAmp(),
+		MaxErase:   d.ftl.maxErase(),
+		FreeBlocks: d.ftl.freeBlocks(),
+	}
+}
+
+// serviceNs returns one request's host-visible service time: fixed
+// overhead plus streaming transfer. No positioning term, no distance
+// dependence — that is the whole point of this backend.
+func (d *Store) serviceNs(nsect int) (svc, transfer int64) {
+	transfer = int64(float64(nsect) * disk.SectorSize / d.spec.Bandwidth * 1e9)
+	return int64(d.spec.ReqOverhead*1e9) + transfer, transfer
+}
+
+// gcNs prices one GC round: migrated pages stream at the device
+// bandwidth, erases pay the fixed erase time.
+func (d *Store) gcNs(cost gcCost) int64 {
+	if cost.moved == 0 && cost.erases == 0 {
+		return 0
+	}
+	program := int64(float64(cost.moved) * float64(d.spec.PageBytes) / d.spec.Bandwidth * 1e9)
+	return program + cost.erases*int64(d.spec.Erase*1e9)
+}
+
+// ftlWrite maps one host write through the FTL with d.mu held: every
+// touched page is programmed out-of-place, and any GC the write forced
+// is priced and counted. It returns the GC time to charge on the clock.
+func (d *Store) ftlWrite(lba int64, nsect int) (int64, error) {
+	spp := int64(d.spec.PageBytes / disk.SectorSize)
+	first := lba / spp
+	last := (lba + int64(nsect) - 1) / spp
+	var cost gcCost
+	var runs int64
+	for lpn := first; lpn <= last; lpn++ {
+		c, err := d.ftl.write(int(lpn))
+		if err != nil {
+			return 0, err
+		}
+		cost.moved += c.moved
+		cost.erases += c.erases
+		if c.moved > 0 || c.erases > 0 {
+			runs++
+		}
+	}
+	pages := last - first + 1
+	gc := d.gcNs(cost)
+	d.mHostPages.Add(pages)
+	d.mFlashPg.Add(pages + cost.moved)
+	d.mGCRuns.Add(runs)
+	d.mGCMoved.Add(cost.moved)
+	d.mGCErases.Add(cost.erases)
+	d.mGCNanos.Add(gc)
+	d.updateGauges()
+	return gc, nil
+}
+
+// Trim declares a sector run dead: the FTL unmaps every page fully
+// covered by the run, so GC never migrates its contents. Timing-free —
+// trims ride in the host's command stream.
+func (d *Store) Trim(lba int64, nsect int) error {
+	if err := d.check(lba, nsect); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	spp := int64(d.spec.PageBytes / disk.SectorSize)
+	first := (lba + spp - 1) / spp     // round up: only whole pages
+	last := (lba + int64(nsect)) / spp // round down
+	n := int64(0)
+	for lpn := first; lpn < last; lpn++ {
+		if err := d.ftl.trim(int(lpn)); err != nil {
+			return err
+		}
+		n++
+	}
+	d.mTrims.Add(n)
+	d.updateGauges()
+	return nil
+}
+
+// account records one serviced request's statistics and trace entry
+// with d.mu held. It does not touch the clock; callers advance it by
+// the request's completion model (serial or batched).
+func (d *Store) account(lba int64, nsect int, write bool, svc, transfer int64) {
+	if write {
+		d.stats.Writes++
+		d.stats.SectorsWrite += int64(nsect)
+	} else {
+		d.stats.Reads++
+		d.stats.SectorsRead += int64(nsect)
+	}
+	d.stats.Requests++
+	d.stats.BusyNanos += svc
+	d.stats.TransferNanos += transfer
+	if d.trace != nil || d.traceFunc != nil || d.metricsFunc != nil {
+		e := disk.TraceEntry{LBA: lba, Count: nsect, Write: write, Nanos: svc}
+		if d.opSource != nil {
+			e.OpKind, e.OpID = d.opSource()
+		}
+		if d.trace != nil {
+			*d.trace = append(*d.trace, e)
+		}
+		if d.traceFunc != nil {
+			d.traceFunc(e)
+		}
+		if d.metricsFunc != nil {
+			d.metricsFunc(e)
+		}
+	}
+}
+
+func (d *Store) check(lba int64, nsect int) error {
+	if nsect <= 0 {
+		return fmt.Errorf("ssd: request of %d sectors", nsect)
+	}
+	if lba < 0 || lba+int64(nsect) > d.sectors {
+		return fmt.Errorf("ssd: request [%d,%d) outside device of %d sectors",
+			lba, lba+int64(nsect), d.sectors)
+	}
+	return nil
+}
+
+func sectorCount(bufs [][]byte) (int, error) {
+	total := 0
+	for _, b := range bufs {
+		if len(b) == 0 || len(b)%disk.SectorSize != 0 {
+			return 0, fmt.Errorf("ssd: transfer of %d bytes is not a positive sector multiple", len(b))
+		}
+		total += len(b) / disk.SectorSize
+	}
+	return total, nil
+}
+
+// ReadV implements blockio.Target: one request, one fixed cost,
+// scattered into bufs. Reads never touch the FTL accounting — flash
+// reads are in-place.
+func (d *Store) ReadV(lba int64, bufs [][]byte) error {
+	return d.rw(lba, bufs, false, false)
+}
+
+// WriteV implements blockio.Target.
+func (d *Store) WriteV(lba int64, bufs [][]byte) error {
+	return d.rw(lba, bufs, true, false)
+}
+
+// WriteOrdered implements blockio.Target: timing and FTL cost are an
+// ordinary write; the barrier is forwarded to the backing byte store
+// when it distinguishes ordered writes (the fault injector does). The
+// FTL's log-structured mapping makes the barrier cheap on real flash
+// too — ordered metadata writes are the C-FFS cost that survives the
+// move off mechanical disks, which is why the experiment matrix counts
+// them per backend.
+func (d *Store) WriteOrdered(lba int64, buf []byte) error {
+	return d.rw(lba, [][]byte{buf}, true, true)
+}
+
+// rw services one request end to end: timing, FTL, statistics, byte
+// movement.
+func (d *Store) rw(lba int64, bufs [][]byte, write, ordered bool) error {
+	nsect, err := sectorCount(bufs)
+	if err != nil {
+		return err
+	}
+	if err := d.check(lba, nsect); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	svc, transfer := d.serviceNs(nsect)
+	var gc int64
+	if write {
+		if gc, err = d.ftlWrite(lba, nsect); err != nil {
+			return err
+		}
+	}
+	d.account(lba, nsect, write, svc, transfer)
+	d.stats.BusyNanos += gc
+	d.clock.Advance(svc + gc)
+	off := lba * disk.SectorSize
+	for _, b := range bufs {
+		if write {
+			if ordered {
+				if os, ok := d.store.(disk.OrderedStore); ok {
+					err = os.WriteAtOrdered(b, off)
+				} else {
+					err = d.store.WriteAt(b, off)
+				}
+			} else {
+				err = d.store.WriteAt(b, off)
+			}
+		} else {
+			err = d.store.ReadAt(b, off)
+		}
+		if err != nil {
+			return err
+		}
+		off += int64(len(b))
+	}
+	return nil
+}
+
+// SubmitBlocks implements blockio.BatchSubmitter. As on the object
+// store there is no head position and nothing to sweep: contiguous
+// same-direction runs coalesce into one request (capped at the 64 KB
+// transfer limit so request sizes stay comparable with the disk
+// backend), and the merged requests service concurrently across
+// channels — batch cost is the makespan, not the sum. GC forced by the
+// batch's writes is device-internal housekeeping and serializes after
+// the batch on the simulated clock. Explicit grouping still matters
+// here precisely because it makes a directory's blocks contiguous and
+// therefore mergeable; without it every small file is its own
+// full-overhead request.
+func (d *Store) SubmitBlocks(reqs []blockio.Req) (int, error) {
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+	// Address order is meaningless for timing but is what makes merges
+	// visible; a stable scan in block order finds every contiguous run.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := &reqs[order[a]], &reqs[order[b]]
+		if ra.Block != rb.Block {
+			return ra.Block < rb.Block
+		}
+		return !ra.Write && rb.Write
+	})
+	type run struct {
+		block int64
+		write bool
+		bufs  [][]byte
+	}
+	var runs []run
+	for i := 0; i < len(order); {
+		first := &reqs[order[i]]
+		m := run{block: first.Block, write: first.Write}
+		m.bufs = append(m.bufs, first.Bufs...)
+		next := first.Block + int64(len(first.Bufs))
+		j := i + 1
+		for j < len(order) {
+			r := &reqs[order[j]]
+			if r.Write != m.write || r.Block != next ||
+				len(m.bufs)+len(r.Bufs) > blockio.MaxTransferBlocks {
+				break
+			}
+			m.bufs = append(m.bufs, r.Bufs...)
+			next += int64(len(r.Bufs))
+			j++
+		}
+		runs = append(runs, m)
+		i = j
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	svcs := make([]int64, len(runs))
+	var gcTotal int64
+	for i, m := range runs {
+		nsect, err := sectorCount(m.bufs)
+		if err != nil {
+			return 0, err
+		}
+		lba := m.block * int64(blockio.SectorsPerBlock)
+		if err := d.check(lba, nsect); err != nil {
+			return 0, err
+		}
+		svc, transfer := d.serviceNs(nsect)
+		svcs[i] = svc
+		if m.write {
+			gc, err := d.ftlWrite(lba, nsect)
+			if err != nil {
+				return 0, err
+			}
+			gcTotal += gc
+		}
+		d.account(lba, nsect, m.write, svc, transfer)
+	}
+	d.stats.BusyNanos += gcTotal
+	d.clock.Advance(d.makespan(svcs) + gcTotal)
+	for _, m := range runs {
+		off := m.block * int64(blockio.BlockSize)
+		for _, b := range m.bufs {
+			var err error
+			if m.write {
+				err = d.store.WriteAt(b, off)
+			} else {
+				err = d.store.ReadAt(b, off)
+			}
+			if err != nil {
+				return 0, err
+			}
+			off += int64(len(b))
+		}
+	}
+	return len(runs), nil
+}
+
+// makespan returns how long a batch of concurrently-issued requests
+// occupies the device: slowest request on unbounded channels, fullest
+// channel under longest-first packing on a bounded pool.
+func (d *Store) makespan(svcs []int64) int64 {
+	var max int64
+	if d.spec.Channels <= 0 || len(svcs) <= d.spec.Channels {
+		for _, s := range svcs {
+			if s > max {
+				max = s
+			}
+		}
+		return max
+	}
+	sorted := append([]int64(nil), svcs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	load := make([]int64, d.spec.Channels)
+	for _, s := range sorted {
+		least := 0
+		for c := 1; c < len(load); c++ {
+			if load[c] < load[least] {
+				least = c
+			}
+		}
+		load[least] += s
+	}
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Close implements blockio.Target.
+func (d *Store) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.store.Close()
+}
+
+// SetTrace implements blockio.Target.
+func (d *Store) SetTrace(buf *[]disk.TraceEntry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.trace = buf
+}
+
+// SetTraceFunc implements blockio.Target.
+func (d *Store) SetTraceFunc(fn func(disk.TraceEntry)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.traceFunc = fn
+}
+
+// SetOpSource implements blockio.Target.
+func (d *Store) SetOpSource(fn func() (kind uint8, id uint64)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.opSource = fn
+}
+
+// SetMetricsFunc implements blockio.Target.
+func (d *Store) SetMetricsFunc(fn func(disk.TraceEntry)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.metricsFunc = fn
+}

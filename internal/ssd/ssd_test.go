@@ -1,0 +1,285 @@
+package ssd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cffs/internal/blockio"
+	"cffs/internal/disk"
+	"cffs/internal/obs"
+	"cffs/internal/sim"
+)
+
+const testCap = 4 << 20 // 4 MB: small enough that GC tests are cheap
+
+func newTestStore(t *testing.T, spec Spec) *Store {
+	t.Helper()
+	d, err := NewMem(spec, sim.NewClock(), testCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := newTestStore(t, DefaultSpec())
+	buf := bytes.Repeat([]byte{0xAB}, blockio.BlockSize)
+	if err := d.WriteV(64, [][]byte{buf}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, blockio.BlockSize)
+	if err := d.ReadV(64, [][]byte{got}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Fatal("read back different bytes")
+	}
+	st := d.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.Requests != 2 {
+		t.Fatalf("stats %+v after one write and one read", st)
+	}
+}
+
+// TestSeekFree is the property that defines this backend: service time
+// is independent of address distance. Two single-block reads at opposite
+// ends of the device must cost exactly what two adjacent reads cost.
+func TestSeekFree(t *testing.T) {
+	run := func(lbas []int64) int64 {
+		d := newTestStore(t, DefaultSpec())
+		buf := make([]byte, blockio.BlockSize)
+		for _, lba := range lbas {
+			if err := d.ReadV(lba, [][]byte{buf}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d.Clock().Now()
+	}
+	sectors := int64(testCap / disk.SectorSize)
+	near := run([]int64{0, 8})
+	far := run([]int64{0, sectors - 8})
+	if near != far {
+		t.Fatalf("address-dependent timing: near=%dns far=%dns", near, far)
+	}
+}
+
+func TestFixedCostDominatesSmallReads(t *testing.T) {
+	spec := DefaultSpec()
+	d := newTestStore(t, spec)
+	buf := make([]byte, disk.SectorSize)
+	if err := d.ReadV(0, [][]byte{buf}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := d.Clock().Now()
+	overhead := int64(spec.ReqOverhead * 1e9)
+	if elapsed < overhead {
+		t.Fatalf("1-sector read took %dns, below the %dns fixed cost", elapsed, overhead)
+	}
+	if elapsed > 2*overhead {
+		t.Fatalf("1-sector read took %dns; transfer should not dominate the fixed cost", elapsed)
+	}
+}
+
+// TestGCChargedOnClock drives enough rewrites to force GC and checks the
+// device got slower in exactly the accounted amount: clock time equals
+// host service time plus the ssd.gc.ns counter.
+func TestGCChargedOnClock(t *testing.T) {
+	spec := DefaultSpec()
+	spec.PreDirty = true
+	d := newTestStore(t, spec)
+	reg := obs.NewRegistry()
+	d.SetMetrics(reg)
+
+	buf := make([]byte, blockio.BlockSize)
+	var hostSvc int64
+	// Random overwrites so GC victims keep live pages and must migrate
+	// them (sequential overwrites invalidate whole blocks — free GC).
+	rng := rand.New(rand.NewSource(7))
+	blocks := testCap / blockio.BlockSize
+	writes := 4 * blocks // four device fills
+	for i := 0; i < writes; i++ {
+		lba := int64(rng.Intn(blocks)) * int64(blockio.SectorsPerBlock)
+		if err := d.WriteV(lba, [][]byte{buf}); err != nil {
+			t.Fatal(err)
+		}
+		svc, _ := d.serviceNs(blockio.SectorsPerBlock)
+		hostSvc += svc
+	}
+	snap := reg.Snapshot()
+	gcNs := snap.Counter("ssd.gc.ns")
+	if gcNs == 0 {
+		t.Fatal("no GC time after overwriting an aged device 4x")
+	}
+	if got := d.Clock().Now(); got != hostSvc+gcNs {
+		t.Fatalf("clock=%dns, want host %dns + gc %dns = %dns", got, hostSvc, gcNs, hostSvc+gcNs)
+	}
+	if snap.Counter("ssd.gc.erases") == 0 || snap.Counter("ssd.gc.pages_moved") == 0 {
+		t.Fatalf("gc counters empty: %v", snap.Counters)
+	}
+	if wa := snap.Gauges["ssd.writeamp_x100"]; wa <= 100 {
+		t.Fatalf("write amp gauge %d not above 100 (=1.00x) at steady state", wa)
+	}
+	if ftl := d.FTL(); ftl.WriteAmp <= 1 || ftl.Erases == 0 {
+		t.Fatalf("FTL stats %+v after forced GC", ftl)
+	}
+}
+
+// TestFreshDeviceNoGC is the other half of the aged/fresh contrast: a
+// benchmark-scale write volume on a fresh FTL must not trigger GC, and
+// the metric families must still exist (at zero) for the reports.
+func TestFreshDeviceNoGC(t *testing.T) {
+	d := newTestStore(t, DefaultSpec())
+	reg := obs.NewRegistry()
+	d.SetMetrics(reg)
+	buf := make([]byte, blockio.BlockSize)
+	for i := 0; i < 64; i++ {
+		if err := d.WriteV(int64(i*blockio.SectorsPerBlock), [][]byte{buf}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("ssd.gc.runs") != 0 {
+		t.Fatal("fresh device ran GC under a light write load")
+	}
+	if _, ok := snap.Counters["ssd.gc.ns"]; !ok {
+		t.Fatal("ssd.gc.ns family not created eagerly")
+	}
+	if wa := snap.Gauges["ssd.writeamp_x100"]; wa != 100 {
+		t.Fatalf("fresh write amp gauge %d, want 100 (=1.00x)", wa)
+	}
+}
+
+func TestSubmitBlocksMergesAndPacks(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Channels = 2
+	d := newTestStore(t, spec)
+
+	mkreq := func(block int64) blockio.Req {
+		return blockio.Req{Block: block, Bufs: [][]byte{make([]byte, blockio.BlockSize)}}
+	}
+	// Two contiguous runs of 4 blocks each, far apart: must merge to 2
+	// requests and service on 2 channels for the cost of one.
+	var reqs []blockio.Req
+	for i := int64(0); i < 4; i++ {
+		reqs = append(reqs, mkreq(i), mkreq(200+i))
+	}
+	issued, err := d.SubmitBlocks(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issued != 2 {
+		t.Fatalf("issued %d requests, want 2 merged runs", issued)
+	}
+	svc, _ := d.serviceNs(4 * blockio.SectorsPerBlock)
+	if got := d.Clock().Now(); got != svc {
+		t.Fatalf("2-channel makespan %dns, want one run's %dns", got, svc)
+	}
+	if st := d.Stats(); st.Requests != 2 {
+		t.Fatalf("stats count %d requests, want 2", st.Requests)
+	}
+}
+
+func TestSubmitBlocksBoundedChannels(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Channels = 2
+	d := newTestStore(t, spec)
+	// Four non-contiguous single-block reads on 2 channels: makespan is
+	// two back-to-back requests per channel.
+	var reqs []blockio.Req
+	for i := int64(0); i < 4; i++ {
+		reqs = append(reqs, blockio.Req{Block: i * 10, Bufs: [][]byte{make([]byte, blockio.BlockSize)}})
+	}
+	if _, err := d.SubmitBlocks(reqs); err != nil {
+		t.Fatal(err)
+	}
+	svc, _ := d.serviceNs(blockio.SectorsPerBlock)
+	if got := d.Clock().Now(); got != 2*svc {
+		t.Fatalf("makespan %dns, want 2 serialized requests = %dns", got, 2*svc)
+	}
+}
+
+// TestOrderedWriteForwarded checks WriteOrdered reaches the byte store's
+// ordered entry point — the hook the fault injector's reordering model
+// depends on.
+type orderedSpy struct {
+	disk.Store
+	ordered int
+}
+
+func (s *orderedSpy) WriteAtOrdered(p []byte, off int64) error {
+	s.ordered++
+	return s.Store.WriteAt(p, off)
+}
+
+func TestOrderedWriteForwarded(t *testing.T) {
+	spy := &orderedSpy{Store: disk.NewMemStore(testCap)}
+	d, err := New(DefaultSpec(), sim.NewClock(), spy, testCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteOrdered(0, make([]byte, blockio.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if spy.ordered != 1 {
+		t.Fatalf("ordered writes forwarded %d times, want 1", spy.ordered)
+	}
+}
+
+func TestTrimUnmapsWholePages(t *testing.T) {
+	d := newTestStore(t, DefaultSpec())
+	reg := obs.NewRegistry()
+	d.SetMetrics(reg)
+	buf := make([]byte, 4*blockio.BlockSize)
+	if err := d.WriteV(0, [][]byte{buf}); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Clock().Now()
+	if err := d.Trim(0, 4*blockio.SectorsPerBlock); err != nil {
+		t.Fatal(err)
+	}
+	if d.Clock().Now() != before {
+		t.Fatal("trim advanced the clock")
+	}
+	if got := reg.Snapshot().Counter("ssd.trims"); got != 4 {
+		t.Fatalf("trimmed %d pages, want 4", got)
+	}
+}
+
+func TestBoundsAndValidation(t *testing.T) {
+	d := newTestStore(t, DefaultSpec())
+	buf := make([]byte, blockio.BlockSize)
+	sectors := int64(testCap / disk.SectorSize)
+	if err := d.ReadV(sectors, [][]byte{buf}); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := d.WriteV(-8, [][]byte{buf}); err == nil {
+		t.Fatal("negative LBA accepted")
+	}
+	if err := d.WriteV(0, [][]byte{make([]byte, 100)}); err == nil {
+		t.Fatal("non-sector-multiple transfer accepted")
+	}
+	bad := DefaultSpec()
+	bad.Bandwidth = 0
+	if _, err := NewMem(bad, sim.NewClock(), testCap); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	bad = DefaultSpec()
+	bad.PageBytes = 100
+	if _, err := NewMem(bad, sim.NewClock(), testCap); err == nil {
+		t.Fatal("non-sector-multiple page size accepted")
+	}
+}
+
+func TestParallelismProbe(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Channels = 4
+	d := newTestStore(t, spec)
+	if got := d.Parallelism(); got != 4 {
+		t.Fatalf("Parallelism()=%d, want 4", got)
+	}
+	spec.Channels = 0
+	d = newTestStore(t, spec)
+	if got := d.Parallelism(); got != fanHint {
+		t.Fatalf("unbounded Parallelism()=%d, want fanHint %d", got, fanHint)
+	}
+}

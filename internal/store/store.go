@@ -6,12 +6,14 @@
 // hard-coding a device stack, so a new device model plugs in once and
 // every consumer gets it for free.
 //
-// Four providers ship in this package. "disk" is the paper's mechanical
+// Five providers ship in this package. "disk" is the paper's mechanical
 // disk; "fault" is the same disk over the fault-injecting store;
 // "striped" is the multi-spindle volume (its members are disk.Window
 // views over one image, which is how the window store is exercised);
 // "objstore" is the object-store model with fixed per-request latency
-// and no seek curve.
+// and no seek curve; "ssd" is the flash model — microsecond fixed
+// costs, channel parallelism, no seek curve, and an erase-block FTL
+// whose garbage collection is charged on the simulated clock.
 package store
 
 import (
@@ -29,6 +31,7 @@ import (
 	"cffs/internal/objstore"
 	"cffs/internal/sched"
 	"cffs/internal/sim"
+	"cffs/internal/ssd"
 	"cffs/internal/volume"
 )
 
@@ -83,6 +86,17 @@ type Config struct {
 	Faults    bool
 	FaultSeed int64
 
+	// Channels overrides the ssd backend's channel count; 0 keeps the
+	// provider default. Other backends ignore it.
+	Channels int
+
+	// SSDAged opens the ssd backend with a pre-dirtied FTL: every
+	// logical page programmed once, so garbage collection runs at
+	// steady state from the first write instead of staying silent until
+	// the log first wraps. This is the device half of an aged image;
+	// internal/aging provides the file-system half.
+	SSDAged bool
+
 	Scheduler string // request scheduler; default "clook"
 }
 
@@ -121,6 +135,7 @@ type Backend struct {
 	Bytes    disk.Store     // root byte store backing the image
 	Fault    *fault.Store   // non-nil when Config.Faults armed it
 	Volume   *volume.Volume // non-nil on the striped backend
+	SSD      *ssd.Store     // non-nil on the ssd backend (FTL stats, metrics)
 
 	sch sched.Scheduler
 }
@@ -356,6 +371,60 @@ func openObjstore(cfg Config) (*Backend, error) {
 	}, nil
 }
 
+// ssdSpec resolves cfg into the flash device's spec.
+func ssdSpec(cfg Config) ssd.Spec {
+	spec := ssd.DefaultSpec()
+	if cfg.Channels > 0 {
+		spec.Channels = cfg.Channels
+	}
+	spec.PreDirty = cfg.SSDAged
+	return spec
+}
+
+func ssdFeatures(cfg Config) Features {
+	return Features{
+		Ordered:       true,
+		AtomicSectors: true,
+		Batch:         true,
+		Parallelism:   ssdSpec(cfg).Parallelism(),
+		Seek:          false,
+		FileImage:     true,
+		Faulty:        cfg.Faults,
+		Stats:         true,
+	}
+}
+
+func openSSD(cfg Config) (*Backend, error) {
+	dspec, err := disk.SpecByName(cfg.Drive)
+	if err != nil {
+		return nil, err
+	}
+	sch, ok := sched.ByName(cfg.Scheduler)
+	if !ok {
+		return nil, fmt.Errorf("store: unknown scheduler %q", cfg.Scheduler)
+	}
+	// Size the image exactly like the disk backends do, so one image file
+	// moves between backends and the same mkfs layout fits.
+	size := int64(cfg.Disks) * dspec.Geom.Bytes()
+	root, bottom, fst, err := openBytes(cfg, size)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ssd.New(ssdSpec(cfg), sim.NewClock(), bottom, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{
+		Name:     cfg.Backend,
+		Features: ssdFeatures(cfg),
+		Target:   s,
+		Bytes:    root,
+		Fault:    fst,
+		SSD:      s,
+		sch:      sch,
+	}, nil
+}
+
 func init() {
 	Register(Provider{
 		Name:        "disk",
@@ -388,6 +457,12 @@ func init() {
 		Brief:       "object store: fixed per-request latency, parallel channels, no seek curve",
 		FeaturesFor: objstoreFeatures,
 		Open:        openObjstore,
+	})
+	Register(Provider{
+		Name:        "ssd",
+		Brief:       "flash device: microsecond fixed cost, channel parallelism, erase-block FTL, no seek curve",
+		FeaturesFor: ssdFeatures,
+		Open:        openSSD,
 	})
 }
 

@@ -21,7 +21,7 @@ func TestUnknownBackendTypedError(t *testing.T) {
 }
 
 func TestRegistryLists(t *testing.T) {
-	want := []string{"disk", "fault", "objstore", "striped"}
+	want := []string{"disk", "fault", "objstore", "ssd", "striped"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -137,7 +137,7 @@ func TestDisksSelectsStriped(t *testing.T) {
 }
 
 func TestFaultsBeneathAnyBackend(t *testing.T) {
-	for _, name := range []string{"disk", "striped", "objstore"} {
+	for _, name := range []string{"disk", "striped", "objstore", "ssd"} {
 		cfg := configFor(name)
 		cfg.Faults = true
 		bk, err := Open(cfg)
@@ -148,6 +148,48 @@ func TestFaultsBeneathAnyBackend(t *testing.T) {
 			t.Errorf("%s: Faults did not arm the injector", name)
 		}
 		bk.Bytes.Close()
+	}
+}
+
+// TestSSDConfigKnobs checks the seam-level ssd parameters: the channel
+// override must show up in both the declared Features and the opened
+// device, and SSDAged must hand back a pre-dirtied FTL (every logical
+// page mapped, accounting zeroed).
+func TestSSDConfigKnobs(t *testing.T) {
+	cfg := Config{Backend: "ssd", Channels: 3}
+	f, err := FeaturesFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Parallelism != 3 {
+		t.Errorf("declared Parallelism=%d with Channels=3", f.Parallelism)
+	}
+	bk, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bk.Bytes.Close()
+	if bk.SSD == nil {
+		t.Fatal("ssd backend has no SSD handle")
+	}
+	if got := bk.SSD.Spec().Channels; got != 3 {
+		t.Errorf("opened device has %d channels, want 3", got)
+	}
+	if st := bk.SSD.FTL(); st.FreeBlocks == 0 {
+		t.Errorf("fresh FTL has no free blocks: %+v", st)
+	}
+
+	aged, err := Open(Config{Backend: "ssd", SSDAged: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aged.Bytes.Close()
+	st := aged.SSD.FTL()
+	if st.HostPages != 0 || st.FlashPages != 0 {
+		t.Errorf("aged FTL accounting not zeroed: %+v", st)
+	}
+	if !aged.SSD.Spec().PreDirty {
+		t.Error("SSDAged did not set PreDirty")
 	}
 }
 
@@ -206,7 +248,7 @@ func TestDetectFS(t *testing.T) {
 // TestFileImagePersists round-trips a formatted image through a file:
 // every FileImage backend must reopen what another run wrote.
 func TestFileImagePersists(t *testing.T) {
-	for _, name := range []string{"disk", "objstore"} {
+	for _, name := range []string{"disk", "objstore", "ssd"} {
 		t.Run(name, func(t *testing.T) {
 			path := filepath.Join(t.TempDir(), "disk.img")
 			cfg := configFor(name)
